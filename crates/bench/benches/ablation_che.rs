@@ -1,0 +1,51 @@
+//! FN vs CHE programming ablation — the paper's §II comparison.
+//!
+//! Checks: FN per-cell programming current stays below 1 nA (the paper's
+//! NAND claim) while CHE draws the 0.3–1 mA class channel current, and the
+//! per-operation energy gap exceeds three orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash_array::cell::FlashCell;
+use gnr_flash_array::nor::{fn_pulse_energy, CheBias, NorCell};
+use gnr_units::{Charge, Voltage};
+use std::hint::black_box;
+
+fn bench_che(c: &mut Criterion) {
+    // FN side: peak programming current per cell.
+    let device = gnr_flash::device::FloatingGateTransistor::mlgnr_cnt_paper();
+    let state = device.tunneling_state(Voltage::from_volts(15.0), Voltage::ZERO, Charge::ZERO);
+    let i_fn = state.tunnel_flow.abs().as_amps_per_square_meter()
+        * device.geometry().gate_area().as_square_meters();
+    assert!(i_fn < 1.0e-9, "FN cell current must be < 1 nA, got {i_fn:e} A");
+
+    // CHE side: energy comparison.
+    let bias = CheBias::default();
+    assert!(bias.drain_current.as_milliamps() >= 0.3);
+    let mut fn_cell = FlashCell::paper_cell();
+    fn_cell.program_default().expect("program");
+    let e_fn = fn_pulse_energy(fn_cell.charge(), Voltage::from_volts(15.0));
+    let nor = NorCell::new(FlashCell::paper_cell());
+    let e_che = nor.che_pulse_energy(&bias);
+    assert!(e_che / e_fn > 1.0e3, "energy ratio {:e}", e_che / e_fn);
+
+    let mut group = c.benchmark_group("ablation_che");
+    group.sample_size(10);
+    group.bench_function("fn_program_pulse", |b| {
+        b.iter(|| {
+            let mut cell = FlashCell::paper_cell();
+            cell.program_default().expect("program");
+            black_box(cell.charge())
+        });
+    });
+    group.bench_function("che_program_pulse", |b| {
+        b.iter(|| {
+            let mut cell = NorCell::new(FlashCell::paper_cell());
+            cell.program_che(&bias);
+            black_box(cell.cell().charge())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_che);
+criterion_main!(benches);

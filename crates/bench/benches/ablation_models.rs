@@ -1,0 +1,105 @@
+//! Tunneling-model ablation: analytic FN (the paper's eq. 4) vs the
+//! image-force-corrected FN vs numeric WKB transmission, over the Figure 6
+//! field grid.
+//!
+//! Checks before timing: (1) the numeric WKB exponent matches the analytic
+//! `−B/E` within 0.1 %; (2) the image-force correction only *increases*
+//! the current; (3) the paper-form prefactor differs from Lenzlinger–Snow
+//! by exactly `m₀/m_ox`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_tunneling::fn_model::FnCoefficients;
+use gnr_tunneling::nordheim::ImageForceFnModel;
+use gnr_tunneling::tsu_esaki::TsuEsakiModel;
+use gnr_tunneling::wkb::BarrierProfile;
+use gnr_tunneling::TunnelingModel;
+use gnr_units::{ElectricField, Energy, Length, Mass};
+use std::hint::black_box;
+
+fn fields() -> Vec<ElectricField> {
+    (0..46)
+        .map(|i| ElectricField::from_volts_per_meter(9.6e8 + 2.5e7 * f64::from(i)))
+        .collect()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let fn_model = *device.channel_emission_model();
+    let barrier = fn_model.barrier();
+    let mass = fn_model.effective_mass();
+    let image = ImageForceFnModel::new(fn_model, 3.9);
+    let grid = fields();
+
+    // Check 1: WKB exponent vs analytic B.
+    let e_test = ElectricField::from_volts_per_meter(1.8e9);
+    let profile = BarrierProfile::ideal(barrier, Length::from_nanometers(5.0), e_test);
+    let wkb_exp = profile.fermi_level_exponent(mass);
+    let analytic = -fn_model.coefficients().b / e_test.as_volts_per_meter();
+    assert!(
+        ((wkb_exp - analytic) / analytic).abs() < 1e-3,
+        "wkb {wkb_exp} vs analytic {analytic}"
+    );
+    // Check 2: image force only increases the current.
+    for &e in &grid {
+        let j0 = fn_model.current_density(e).as_amps_per_square_meter();
+        let j1 = TunnelingModel::current_density(&image, e).as_amps_per_square_meter();
+        assert!(j1 >= j0);
+    }
+    // Check 3: the paper-form prefactor.
+    let full = FnCoefficients::lenzlinger_snow(barrier, mass);
+    let paper = FnCoefficients::paper_form(barrier, mass);
+    let ratio = full.a / paper.a * mass.as_electron_masses();
+    assert!((ratio - 1.0).abs() < 1e-9);
+    // Check 4: the first-principles supply-function current lands within
+    // an order of magnitude of the analytic law at the program point.
+    let tsu = TsuEsakiModel::free_emitter(
+        barrier,
+        Length::from_nanometers(5.0),
+        mass,
+    );
+    let j_tsu = tsu.current_density(e_test).as_amps_per_square_meter();
+    let j_fn = fn_model.current_density(e_test).as_amps_per_square_meter();
+    let r = j_tsu / j_fn;
+    assert!((0.05..20.0).contains(&r), "Tsu-Esaki/FN ratio {r}");
+
+    let mut group = c.benchmark_group("ablation_models");
+    group.bench_function("analytic_fn", |b| {
+        b.iter(|| {
+            grid.iter()
+                .map(|&e| fn_model.current_density(black_box(e)).as_amps_per_square_meter())
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("image_force_fn", |b| {
+        b.iter(|| {
+            grid.iter()
+                .map(|&e| {
+                    TunnelingModel::current_density(&image, black_box(e))
+                        .as_amps_per_square_meter()
+                })
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("tsu_esaki_supply_integral", |b| {
+        b.iter(|| {
+            tsu.current_density(black_box(e_test)).as_amps_per_square_meter()
+        });
+    });
+    group.bench_function("numeric_wkb_transmission", |b| {
+        b.iter(|| {
+            grid.iter()
+                .map(|&e| {
+                    BarrierProfile::ideal(barrier, Length::from_nanometers(5.0), black_box(e))
+                        .transmission(Energy::from_ev(0.0), mass)
+                })
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+
+    let _ = Mass::from_electron_masses(0.42);
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Solver ablation: adaptive Dormand–Prince 5(4) vs fixed-step RK4 vs
+//! forward Euler on the Figure 5 programming transient.
+//!
+//! The transient spans ~10 decades of time; the ablation quantifies the
+//! cost of fixed-step integration at matched accuracy over the early
+//! window (fixed-step methods cannot reach saturation at all within any
+//! reasonable step budget — reported here as the accuracy gap at equal
+//! RHS-evaluation budgets).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_numerics::ode::{Dopri45, ExplicitEuler, OdeOptions, Rk4, Sdirk2};
+use gnr_units::{Charge, Voltage};
+use std::hint::black_box;
+
+/// The charge-balance RHS over the early 10 µs window (state in volts).
+fn make_rhs(
+    device: &FloatingGateTransistor,
+) -> impl Fn(f64, &[f64], &mut [f64]) + '_ {
+    let ct = device.capacitances().total().as_farads();
+    move |_t: f64, y: &[f64], dydt: &mut [f64]| {
+        let q = Charge::from_coulombs(y[0] * ct);
+        let state = device.tunneling_state(Voltage::from_volts(15.0), Voltage::ZERO, q);
+        dydt[0] = state.charge_rate_amps / ct;
+    }
+}
+
+const WINDOW_S: f64 = 1.0e-5;
+
+fn bench_solvers(c: &mut Criterion) {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+
+    // Accuracy cross-check before timing: all three agree at the end of
+    // the early window when given enough budget.
+    let reference = Dopri45::new(OdeOptions::with_tolerances(1e-12, 1e-14))
+        .integrate(make_rhs(&device), 0.0, &[0.0], WINDOW_S)
+        .expect("reference")
+        .final_state()[0];
+    let rk4 = Rk4::new(20_000)
+        .integrate(make_rhs(&device), 0.0, &[0.0], WINDOW_S)
+        .expect("rk4")
+        .final_state()[0];
+    let euler = ExplicitEuler::new(200_000)
+        .integrate(make_rhs(&device), 0.0, &[0.0], WINDOW_S)
+        .expect("euler")
+        .final_state()[0];
+    let sdirk = Sdirk2::new(2_000)
+        .integrate(make_rhs(&device), 0.0, &[0.0], WINDOW_S)
+        .expect("sdirk2")
+        .final_state()[0];
+    assert!((rk4 - reference).abs() < 1e-6, "rk4 = {rk4}, ref = {reference}");
+    assert!((euler - reference).abs() < 1e-3, "euler = {euler}, ref = {reference}");
+    assert!((sdirk - reference).abs() < 1e-4, "sdirk = {sdirk}, ref = {reference}");
+
+    let mut group = c.benchmark_group("ablation_solvers");
+    group.sample_size(10);
+    group.bench_function("dopri45_adaptive", |b| {
+        b.iter(|| {
+            Dopri45::new(OdeOptions::with_tolerances(1e-8, 1e-10))
+                .integrate(make_rhs(black_box(&device)), 0.0, &[0.0], WINDOW_S)
+                .expect("dopri45")
+        });
+    });
+    group.bench_function("rk4_fixed_20k", |b| {
+        b.iter(|| {
+            Rk4::new(20_000)
+                .integrate(make_rhs(black_box(&device)), 0.0, &[0.0], WINDOW_S)
+                .expect("rk4")
+        });
+    });
+    group.bench_function("euler_fixed_200k", |b| {
+        b.iter(|| {
+            ExplicitEuler::new(200_000)
+                .integrate(make_rhs(black_box(&device)), 0.0, &[0.0], WINDOW_S)
+                .expect("euler")
+        });
+    });
+    group.bench_function("sdirk2_implicit_2k", |b| {
+        b.iter(|| {
+            Sdirk2::new(2_000)
+                .integrate(make_rhs(black_box(&device)), 0.0, &[0.0], WINDOW_S)
+                .expect("sdirk2")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

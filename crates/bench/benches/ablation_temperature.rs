@@ -1,0 +1,49 @@
+//! Temperature ablation: the Lenzlinger–Snow finite-temperature factor on
+//! the programming current, 250–400 K.
+//!
+//! The analytic eq. (4) the paper uses is a zero-temperature law; this
+//! ablation quantifies how much the room-temperature correction shifts
+//! the Figure 6 nominal point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_units::{Temperature, Voltage};
+use std::hint::black_box;
+
+fn bench_temperature(c: &mut Criterion) {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let vfg = Voltage::from_volts(9.0); // the §III worked example
+
+    // Shape check: correction grows with T, bounded at the nominal point.
+    let j0 = device
+        .tunnel_flow(vfg, Voltage::ZERO)
+        .as_amps_per_square_meter();
+    let mut prev = j0;
+    for t in [250.0, 300.0, 350.0, 400.0] {
+        let j = device
+            .tunnel_flow_at(vfg, Voltage::ZERO, Temperature::from_kelvin(t))
+            .as_amps_per_square_meter();
+        assert!(j > prev, "J must grow with temperature");
+        prev = j;
+    }
+    let j300 = device
+        .tunnel_flow_at(vfg, Voltage::ZERO, Temperature::from_kelvin(300.0))
+        .as_amps_per_square_meter();
+    assert!(j300 / j0 < 1.5, "room-T correction should be modest: {}", j300 / j0);
+
+    c.bench_function("temperature_sweep_250_400K", |b| {
+        b.iter(|| {
+            (0..31)
+                .map(|i| {
+                    let t = Temperature::from_kelvin(250.0 + 5.0 * f64::from(i));
+                    device
+                        .tunnel_flow_at(black_box(vfg), Voltage::ZERO, t)
+                        .as_amps_per_square_meter()
+                })
+                .sum::<f64>()
+        });
+    });
+}
+
+criterion_group!(benches, bench_temperature);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Array-level throughput: page programming with ISPP and block erase —
+//! the paper's §II point that FN's tiny per-cell current lets "many cells
+//! be programmed at a time".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash_array::nand::{NandArray, NandConfig};
+use std::hint::black_box;
+
+fn bench_array(c: &mut Criterion) {
+    let config = NandConfig { blocks: 2, pages_per_block: 2, page_width: 16 };
+
+    // Functional check: a page programs and reads back.
+    let mut array = NandArray::new(config);
+    let pattern: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+    array.program_page(0, 0, &pattern).expect("program");
+    assert_eq!(array.read_page(0, 0).expect("read"), pattern);
+
+    let mut group = c.benchmark_group("array_throughput");
+    group.sample_size(10);
+    group.bench_function("program_16_cell_page", |b| {
+        b.iter(|| {
+            let mut array = NandArray::new(black_box(config));
+            array.program_page(0, 0, &pattern).expect("program");
+            array
+        });
+    });
+    group.bench_function("erase_block", |b| {
+        b.iter(|| {
+            let mut array = NandArray::new(black_box(config));
+            array.program_page(0, 0, &pattern).expect("program");
+            array.erase_block(0).expect("erase");
+            array
+        });
+    });
+    group.bench_function("read_page", |b| {
+        let mut array = NandArray::new(config);
+        array.program_page(0, 0, &pattern).expect("program");
+        b.iter(|| array.read_page(0, 0).expect("read"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_array);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benches the Figure 2 band-diagram construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::experiments::band_diagram;
+use gnr_flash::presets;
+use gnr_units::Charge;
+use std::hint::black_box;
+
+fn bench_band_diagram(c: &mut Criterion) {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let data = band_diagram::generate(&device, presets::program_vgs(), Charge::ZERO);
+    band_diagram::check(&data).expect("fig2 shape");
+
+    c.bench_function("fig2_band_diagram", |b| {
+        b.iter(|| {
+            band_diagram::generate(
+                black_box(&device),
+                presets::program_vgs(),
+                Charge::ZERO,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_band_diagram);
+criterion_main!(benches);

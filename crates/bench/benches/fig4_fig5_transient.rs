@@ -1,0 +1,32 @@
+//! Benches the Figure 4/5 programming transient (onset + saturation).
+//!
+//! Asserts the paper shapes before timing, so `cargo bench` is also a
+//! reproduction check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::experiments::{fig4, fig5};
+use std::hint::black_box;
+
+fn bench_transients(c: &mut Criterion) {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+
+    // Reproduction check once, outside the timing loop.
+    let f4 = fig4::generate(&device).expect("fig4");
+    fig4::check(&f4).expect("fig4 shape");
+    let f5 = fig5::generate(&device).expect("fig5");
+    fig5::check(&f5).expect("fig5 shape");
+
+    let mut group = c.benchmark_group("fig4_fig5");
+    group.sample_size(10);
+    group.bench_function("fig4_onset", |b| {
+        b.iter(|| fig4::generate(black_box(&device)).expect("fig4"));
+    });
+    group.bench_function("fig5_saturation", |b| {
+        b.iter(|| fig5::generate(black_box(&device)).expect("fig5"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transients);
+criterion_main!(benches);

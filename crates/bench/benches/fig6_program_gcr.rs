@@ -1,0 +1,16 @@
+//! Benches the Figure 6 sweep: program JFN vs VGS over four GCR values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::experiments::fig6;
+
+fn bench_fig6(c: &mut Criterion) {
+    let fig = fig6::generate().expect("fig6");
+    fig6::check(&fig).expect("fig6 shape");
+
+    c.bench_function("fig6_program_gcr_sweep", |b| {
+        b.iter(|| fig6::generate().expect("fig6"));
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

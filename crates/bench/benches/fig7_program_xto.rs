@@ -1,0 +1,17 @@
+//! Benches the Figure 7 sweep: program JFN vs VGS over five oxide
+//! thicknesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::experiments::fig7;
+
+fn bench_fig7(c: &mut Criterion) {
+    let fig = fig7::generate().expect("fig7");
+    fig7::check(&fig).expect("fig7 shape");
+
+    c.bench_function("fig7_program_xto_sweep", |b| {
+        b.iter(|| fig7::generate().expect("fig7"));
+    });
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

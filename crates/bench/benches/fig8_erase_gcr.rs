@@ -1,0 +1,17 @@
+//! Benches the Figure 8 sweep: erase JFN vs negative VGS over four GCR
+//! values.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::experiments::fig8;
+
+fn bench_fig8(c: &mut Criterion) {
+    let fig = fig8::generate().expect("fig8");
+    fig8::check(&fig).expect("fig8 shape");
+
+    c.bench_function("fig8_erase_gcr_sweep", |b| {
+        b.iter(|| fig8::generate().expect("fig8"));
+    });
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Benches the Figure 9 sweep: erase JFN vs negative VGS over five oxide
+//! thicknesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::experiments::fig9;
+
+fn bench_fig9(c: &mut Criterion) {
+    let fig = fig9::generate().expect("fig9");
+    fig9::check(&fig).expect("fig9 shape");
+
+    c.bench_function("fig9_erase_xto_sweep", |b| {
+        b.iter(|| fig9::generate().expect("fig9"));
+    });
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # gnr-bench
+//!
+//! Benchmark and figure-regeneration harness for the `gnr-flash`
+//! reproduction.
+//!
+//! Two consumers:
+//!
+//! * the `figures` binary — regenerates every paper figure, writes
+//!   `results/*.csv`/`results/*.json`, runs the shape checks and prints a
+//!   compact report (the reproduction record of EXPERIMENTS.md);
+//! * the Criterion benches under `benches/` — one per figure plus
+//!   ablations; each asserts its shape check before timing so
+//!   `cargo bench` doubles as a reproduction test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{ascii_table, format_series_summary, write_results_file};

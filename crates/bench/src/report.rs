@@ -1,0 +1,122 @@
+//! Reporting utilities: ASCII tables, result files and series summaries.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use gnr_flash::experiments::FigureData;
+
+/// Renders rows as a fixed-width ASCII table with a header rule.
+///
+/// # Panics
+///
+/// Panics when rows are ragged with respect to the header.
+#[must_use]
+pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Writes `contents` under `results/` (created on demand) and returns the
+/// path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_results_file(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(contents.as_bytes())?;
+    Ok(path)
+}
+
+/// One-line summary of each series of a figure: label, y at the first and
+/// last grid point, and the decade span.
+#[must_use]
+pub fn format_series_summary(fig: &FigureData) -> String {
+    let mut rows = Vec::new();
+    for s in &fig.series {
+        let first = *s.y.first().unwrap_or(&f64::NAN);
+        let last = *s.y.last().unwrap_or(&f64::NAN);
+        let decades = if first > 0.0 && last > 0.0 {
+            (last / first).abs().log10()
+        } else {
+            f64::NAN
+        };
+        rows.push(vec![
+            s.label.clone(),
+            format!("{first:.3e}"),
+            format!("{last:.3e}"),
+            format!("{decades:+.1}"),
+        ]);
+    }
+    ascii_table(&["series", "y(first)", "y(last)", "decades"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnr_flash::experiments::SweepSeries;
+
+    #[test]
+    fn table_alignment() {
+        let t = ascii_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = ascii_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn summary_counts_decades() {
+        let fig = FigureData {
+            id: "x".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![SweepSeries {
+                label: "s".into(),
+                x: vec![0.0, 1.0],
+                y: vec![1.0, 1000.0],
+            }],
+        };
+        let s = format_series_summary(&fig);
+        assert!(s.contains("+3.0"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for device construction and simulation.
+
+use core::fmt;
+
+/// Errors produced by the device model and its simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A constructor argument violated its documented range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A material-layer combination was rejected by `gnr-materials`.
+    Material(gnr_materials::MaterialError),
+    /// The transient integrator failed.
+    Numerics(gnr_numerics::NumericsError),
+    /// The requested bias point produces no measurable tunneling within
+    /// the simulation horizon (e.g. programming at 1 V).
+    NoTunneling {
+        /// The control-gate voltage that was applied.
+        vgs: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid {name} = {value}: {constraint}")
+            }
+            Self::Material(e) => write!(f, "material error: {e}"),
+            Self::Numerics(e) => write!(f, "numerical error: {e}"),
+            Self::NoTunneling { vgs } => {
+                write!(f, "no appreciable tunneling at VGS = {vgs} V")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Material(e) => Some(e),
+            Self::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gnr_materials::MaterialError> for DeviceError {
+    fn from(e: gnr_materials::MaterialError) -> Self {
+        Self::Material(e)
+    }
+}
+
+impl From<gnr_numerics::NumericsError> for DeviceError {
+    fn from(e: gnr_numerics::NumericsError) -> Self {
+        Self::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DeviceError::NoTunneling { vgs: 1.0 };
+        assert!(e.to_string().contains("VGS = 1"));
+    }
+
+    #[test]
+    fn source_chains_to_inner_error() {
+        use std::error::Error;
+        let inner = gnr_numerics::NumericsError::InvalidInput("x".into());
+        let e = DeviceError::Numerics(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! Shape assertions shared by tests and the bench harness.
+
+use super::FigureData;
+
+/// `true` when the slice is non-decreasing (with a tiny tolerance for
+/// floating-point noise).
+#[must_use]
+pub fn monotone_increasing(v: &[f64]) -> bool {
+    v.windows(2).all(|w| w[1] >= w[0] - 1e-300 - 1e-12 * w[0].abs())
+}
+
+/// `true` when the slice is non-increasing (with a tiny tolerance).
+#[must_use]
+pub fn monotone_decreasing(v: &[f64]) -> bool {
+    v.windows(2).all(|w| w[1] <= w[0] + 1e-300 + 1e-12 * w[0].abs())
+}
+
+/// `true` when, at grid index `x_index`, the series of the figure are in
+/// strictly increasing `y` order (first curve lowest) — the curve
+/// ordering the paper's legends imply.
+#[must_use]
+pub fn series_ordered_at(figure: &FigureData, x_index: usize) -> bool {
+    figure
+        .series
+        .windows(2)
+        .all(|pair| pair[1].y[x_index] > pair[0].y[x_index])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::SweepSeries;
+
+    #[test]
+    fn monotonicity_checks() {
+        assert!(monotone_increasing(&[1.0, 1.0, 2.0]));
+        assert!(!monotone_increasing(&[2.0, 1.0]));
+        assert!(monotone_decreasing(&[3.0, 2.0, 2.0]));
+        assert!(!monotone_decreasing(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn ordering_check() {
+        let fig = FigureData {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                SweepSeries { label: "lo".into(), x: vec![0.0], y: vec![1.0] },
+                SweepSeries { label: "hi".into(), x: vec![0.0], y: vec![2.0] },
+            ],
+        };
+        assert!(series_ordered_at(&fig, 0));
+    }
+}

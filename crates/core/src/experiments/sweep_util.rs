@@ -1,0 +1,91 @@
+//! Shared machinery for the Figure 6–9 J–V sweeps.
+//!
+//! All four figures evaluate eq. (3) + eq. (7) with `QFG = 0`:
+//! `VFG = GCR·VGS`, `E = VFG/XTO`, `J = A·E²·exp(−B/E)` — the device's
+//! directional [`tunnel_flow`](crate::device::FloatingGateTransistor::tunnel_flow)
+//! picks the emitter (channel for programming, CNT floating gate for
+//! erase) automatically from the field sign.
+
+use gnr_units::{Charge, Length, Voltage};
+
+use crate::device::{FgtBuilder, FloatingGateTransistor};
+use crate::experiments::SweepSeries;
+use crate::Result;
+
+/// Evaluates `|JFN|(VGS)` (A/m²) for one device over a VGS grid with
+/// `QFG = 0`, exactly as the paper's Figures 6–9 are generated "from
+/// equations (3) and (7)".
+#[must_use]
+pub fn j_vs_vgs(device: &FloatingGateTransistor, vgs_grid: &[f64]) -> Vec<f64> {
+    vgs_grid
+        .iter()
+        .map(|&v| {
+            let vfg = device.floating_gate_voltage(Voltage::from_volts(v), Charge::ZERO);
+            device
+                .tunnel_flow(vfg, Voltage::ZERO)
+                .abs()
+                .as_amps_per_square_meter()
+        })
+        .collect()
+}
+
+/// Builds the paper device with an overridden GCR.
+///
+/// # Errors
+///
+/// Propagates builder validation (GCR out of range).
+pub fn device_with_gcr(gcr: f64) -> Result<FloatingGateTransistor> {
+    FgtBuilder::default().name(format!("paper-gcr-{gcr}")).gcr(gcr).build()
+}
+
+/// Builds the paper device with an overridden tunnel-oxide thickness.
+///
+/// # Errors
+///
+/// Propagates geometry validation (XTO must stay below XCO).
+pub fn device_with_xto(xto_nm: f64) -> Result<FloatingGateTransistor> {
+    let geometry = crate::geometry::FgtGeometry::paper_nominal()
+        .with_tunnel_oxide(Length::from_nanometers(xto_nm))?;
+    FgtBuilder::default()
+        .name(format!("paper-xto-{xto_nm}nm"))
+        .geometry(geometry)
+        .build()
+}
+
+/// Assembles one labelled series.
+#[must_use]
+pub fn series(label: impl Into<String>, x: &[f64], y: Vec<f64>) -> SweepSeries {
+    SweepSeries { label: label.into(), x: x.to_vec(), y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn j_vs_vgs_positive_and_finite_at_program_bias() {
+        let d = FloatingGateTransistor::mlgnr_cnt_paper();
+        let grid = presets::vgs_grid(presets::FIG6_VGS_RANGE);
+        let j = j_vs_vgs(&d, &grid);
+        assert_eq!(j.len(), grid.len());
+        assert!(j.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // At 17 V the current must be clearly measurable.
+        assert!(*j.last().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn erase_grid_also_produces_current() {
+        let d = FloatingGateTransistor::mlgnr_cnt_paper();
+        let grid = presets::vgs_grid(presets::FIG8_VGS_RANGE);
+        let j = j_vs_vgs(&d, &grid);
+        assert!(j.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(j[0] > *j.last().unwrap(), "more negative VGS → more current");
+    }
+
+    #[test]
+    fn builders_reject_invalid_overrides() {
+        assert!(device_with_gcr(1.2).is_err());
+        assert!(device_with_xto(12.0).is_err()); // equals XCO
+    }
+}

@@ -1,0 +1,110 @@
+//! Extension experiment: temperature dependence of the programming
+//! current (Lenzlinger–Snow correction), 250–400 K.
+//!
+//! The paper's eq. (4) is a zero-temperature law. This experiment
+//! quantifies what that simplification costs across the Figure 6 sweep —
+//! the kind of "more accurate models for JFN" the conclusion defers to
+//! future work.
+
+use gnr_units::{Charge, Temperature, Voltage};
+
+use crate::device::FloatingGateTransistor;
+use crate::experiments::{FigureData, SweepSeries};
+use crate::presets;
+use crate::Result;
+
+/// Temperatures of the study (K).
+pub const TEMPERATURES_K: [f64; 4] = [250.0, 300.0, 350.0, 400.0];
+
+/// Generates `|JFN|(VGS)` curves at each temperature for the device.
+///
+/// # Errors
+///
+/// Never fails for the preset grids; the `Result` mirrors the other
+/// generators.
+pub fn generate(device: &FloatingGateTransistor) -> Result<FigureData> {
+    let grid = presets::vgs_grid(presets::FIG6_VGS_RANGE);
+    let mut fig = FigureData {
+        id: "temperature".into(),
+        title: "[Extension] FN current density vs VGS, 250-400 K".into(),
+        x_label: "VGS (V)".into(),
+        y_label: "|JFN| (A/m^2)".into(),
+        series: Vec::with_capacity(TEMPERATURES_K.len()),
+    };
+    for t_k in TEMPERATURES_K {
+        let t = Temperature::from_kelvin(t_k);
+        let y: Vec<f64> = grid
+            .iter()
+            .map(|&vgs| {
+                let vfg = device
+                    .floating_gate_voltage(Voltage::from_volts(vgs), Charge::ZERO);
+                device
+                    .tunnel_flow_at(vfg, Voltage::ZERO, t)
+                    .abs()
+                    .as_amps_per_square_meter()
+            })
+            .collect();
+        fig.series.push(SweepSeries { label: format!("T={t_k:.0}K"), x: grid.clone(), y });
+    }
+    Ok(fig)
+}
+
+/// Checks the expected shape: hotter curves sit above colder ones, and
+/// the room-temperature correction stays modest (< 50 % over the 0 K
+/// law), justifying the paper's temperature-free analysis.
+///
+/// # Errors
+///
+/// Returns a description of the first violated property.
+pub fn check(fig: &FigureData, device: &FloatingGateTransistor) -> core::result::Result<(), String> {
+    if fig.series.len() != TEMPERATURES_K.len() {
+        return Err("wrong number of temperature curves".into());
+    }
+    let n = fig.series[0].x.len();
+    for i in [0, n / 2, n - 1] {
+        if !crate::experiments::series_ordered_at(fig, i) {
+            return Err(format!("temperature ordering violated at grid index {i}"));
+        }
+    }
+    // Room-temperature curve vs the 0 K analytic law at the nominal point.
+    let vgs = Voltage::from_volts(15.0);
+    let vfg = device.floating_gate_voltage(vgs, Charge::ZERO);
+    let j0 = device.tunnel_flow(vfg, Voltage::ZERO).abs().as_amps_per_square_meter();
+    let idx_300 = 1; // TEMPERATURES_K[1] = 300
+    let series = &fig.series[idx_300];
+    // Locate 15 V on the grid.
+    let i15 = series
+        .x
+        .iter()
+        .position(|&x| (x - 15.0).abs() < 0.11)
+        .ok_or("15 V not on the grid")?;
+    let correction = series.y[i15] / j0;
+    if !(1.0..1.5).contains(&correction) {
+        return Err(format!("room-T correction {correction} outside (1, 1.5)"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_study_shape() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let fig = generate(&device).unwrap();
+        check(&fig, &device).unwrap();
+    }
+
+    #[test]
+    fn correction_grows_with_temperature_everywhere() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let fig = generate(&device).unwrap();
+        let n = fig.series[0].x.len();
+        for i in 0..n {
+            for pair in fig.series.windows(2) {
+                assert!(pair[1].y[i] > pair[0].y[i], "at grid {i}");
+            }
+        }
+    }
+}

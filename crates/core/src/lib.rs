@@ -1,0 +1,65 @@
+//! # gnr-flash
+//!
+//! The core library of this workspace: a from-scratch simulator of the
+//! **multilayer-graphene-nanoribbon / carbon-nanotube floating-gate
+//! transistor (MLGNR-CNT FGT)** proposed by Hossain, Hossain & Chowdhury,
+//! *"Multilayer Layer Graphene Nanoribbon Flash Memory: Analysis of
+//! Programming and Erasing Operation"*, IEEE SOCC 2014.
+//!
+//! The paper models the cell with four equations — the FN current law
+//! (eq. 1/4), the floating-gate capacitance network (eq. 2), the
+//! floating-gate potential (eq. 3) and the oxide field (eq. 5) — and
+//! evaluates programming/erase behaviour in six figures. This crate
+//! implements the device model and each figure as a callable experiment:
+//!
+//! * [`geometry`] / [`capacitance`] — the cell stack and eq. (2)–(3).
+//! * [`device`] — [`device::FloatingGateTransistor`]: materials +
+//!   geometry + four directional FN tunneling paths; presets for the
+//!   paper's MLGNR-CNT cell and the conventional-silicon baseline.
+//! * [`transient`] — the charge-balance ODE behind Figures 4–5, with
+//!   `t_sat` detection.
+//! * [`threshold`] — threshold-voltage shift, read current, memory window
+//!   and logic-state classification.
+//! * [`pulse`] — program/erase waveforms, including ISPP ladders.
+//! * [`variation`] — Monte-Carlo process variation (XTO, ΦB, GCR).
+//! * [`optimize`] — the paper's §V future work: fastest reliable design
+//!   point under an oxide-stress budget.
+//! * [`experiments`] — `band_diagram` (Fig. 2) and `fig4`…`fig9`,
+//!   returning serialisable data series with paper-shape assertions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gnr_flash::device::FloatingGateTransistor;
+//! use gnr_flash::transient::{ProgramPulseSpec, TransientSimulator};
+//! use gnr_units::Voltage;
+//!
+//! let device = FloatingGateTransistor::mlgnr_cnt_paper();
+//! let sim = TransientSimulator::new(&device);
+//! let result = sim
+//!     .run(&ProgramPulseSpec::program(Voltage::from_volts(15.0)))
+//!     .unwrap();
+//! assert!(result.saturation_time().is_some());
+//! assert!(result.final_charge().as_coulombs() < 0.0); // electrons stored
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitance;
+pub mod device;
+pub mod experiments;
+pub mod geometry;
+pub mod optimize;
+pub mod presets;
+pub mod pulse;
+pub mod threshold;
+pub mod transient;
+pub mod variation;
+
+mod error;
+
+pub use error::DeviceError;
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, DeviceError>;

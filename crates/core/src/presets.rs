@@ -1,0 +1,89 @@
+//! The paper's nominal operating points and sweep grids.
+//!
+//! Values stated in the paper are cited to their section; values the paper
+//! leaves implicit are documented assumptions (see DESIGN.md §5).
+
+use gnr_units::Voltage;
+
+/// Programming control-gate voltage, §II/§III: "a programming voltage
+/// around 15V in our proposed design".
+pub const PROGRAM_VGS_VOLTS: f64 = 15.0;
+
+/// Erase control-gate voltage (symmetric negative bias, §I/§IV.b).
+pub const ERASE_VGS_VOLTS: f64 = -15.0;
+
+/// Drain bias during programming, §III: "the drain is connected to a
+/// minimum voltage (50mV in this case)" — treated as 0 in eq. (7),
+/// exactly as the paper does.
+pub const DRAIN_BIAS_VOLTS: f64 = 0.05;
+
+/// The paper's worked-example gate-coupling ratio (§III: "a GCR value of
+/// 0.6").
+pub const PAPER_GCR: f64 = 0.6;
+
+/// GCR sweep for Figures 6 and 8 ("four different GCR"); the paper does
+/// not list the values — 50/60/70/80 % brackets the worked example.
+pub const GCR_SWEEP: [f64; 4] = [0.5, 0.6, 0.7, 0.8];
+
+/// Tunnel-oxide sweep for Figures 7 and 9 ("five different tunnel oxide
+/// thickness"), bracketing the ITRS 5–6 nm values the paper cites and the
+/// 7 nm threshold it calls out.
+pub const XTO_SWEEP_NM: [f64; 5] = [4.0, 5.0, 6.0, 7.0, 8.0];
+
+/// Programming VGS range of Figure 6 ("VGS = 8–17V").
+pub const FIG6_VGS_RANGE: (f64, f64) = (8.0, 17.0);
+
+/// Programming VGS range of Figure 7 ("VGS = 10–17V").
+pub const FIG7_VGS_RANGE: (f64, f64) = (10.0, 17.0);
+
+/// Erase VGS range of Figures 8–9 (mirror of Figure 6, negative).
+pub const FIG8_VGS_RANGE: (f64, f64) = (-17.0, -8.0);
+
+/// Number of bias points per sweep curve.
+pub const SWEEP_POINTS: usize = 46;
+
+/// The programming voltage as a typed quantity.
+#[must_use]
+pub fn program_vgs() -> Voltage {
+    Voltage::from_volts(PROGRAM_VGS_VOLTS)
+}
+
+/// The erase voltage as a typed quantity.
+#[must_use]
+pub fn erase_vgs() -> Voltage {
+    Voltage::from_volts(ERASE_VGS_VOLTS)
+}
+
+/// Evenly spaced sweep grid over `[lo, hi]` with [`SWEEP_POINTS`] points.
+#[must_use]
+pub fn vgs_grid(range: (f64, f64)) -> Vec<f64> {
+    let (lo, hi) = range;
+    (0..SWEEP_POINTS)
+        .map(|i| lo + (hi - lo) * i as f64 / (SWEEP_POINTS - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_their_ranges() {
+        let g = vgs_grid(FIG6_VGS_RANGE);
+        assert_eq!(g.len(), SWEEP_POINTS);
+        assert!((g[0] - 8.0).abs() < 1e-12);
+        assert!((g.last().unwrap() - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweeps_include_paper_nominals() {
+        assert!(GCR_SWEEP.contains(&PAPER_GCR));
+        assert!(XTO_SWEEP_NM.contains(&5.0));
+    }
+
+    #[test]
+    fn erase_grid_is_negative() {
+        let g = vgs_grid(FIG8_VGS_RANGE);
+        assert!(g.iter().all(|&v| v < 0.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the array layer.
+
+use core::fmt;
+
+/// Errors produced by array-level operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// The underlying device simulation failed.
+    Device(gnr_flash::DeviceError),
+    /// An address was outside the array.
+    AddressOutOfRange {
+        /// What kind of address (block/page/column).
+        kind: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of valid entries.
+        len: usize,
+    },
+    /// An ISPP verify loop exhausted its ladder without passing.
+    VerifyFailed {
+        /// Pulses applied before giving up.
+        pulses: usize,
+        /// The threshold shift reached (V).
+        reached_volts: f64,
+        /// The verify target (V).
+        target_volts: f64,
+    },
+    /// A page write was attempted on a page that is not erased
+    /// (erase-before-write violation).
+    PageNotErased {
+        /// Block index.
+        block: usize,
+        /// Page index.
+        page: usize,
+    },
+    /// A data buffer did not match the page width.
+    WrongPageWidth {
+        /// Provided length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::AddressOutOfRange { kind, index, len } => {
+                write!(f, "{kind} index {index} out of range (len {len})")
+            }
+            Self::VerifyFailed { pulses, reached_volts, target_volts } => write!(
+                f,
+                "verify failed after {pulses} pulses: reached {reached_volts:.2} V of \
+                 {target_volts:.2} V"
+            ),
+            Self::PageNotErased { block, page } => {
+                write!(f, "page {page} of block {block} must be erased before writing")
+            }
+            Self::WrongPageWidth { got, expected } => {
+                write!(f, "page data has {got} bits, page width is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gnr_flash::DeviceError> for ArrayError {
+    fn from(e: gnr_flash::DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ArrayError::VerifyFailed { pulses: 5, reached_volts: 2.1, target_volts: 3.0 };
+        assert!(e.to_string().contains("5 pulses"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArrayError>();
+    }
+}

@@ -1,0 +1,212 @@
+//! Incremental step pulse programming (ISPP) with verify.
+//!
+//! The standard NAND programming algorithm: apply a pulse, read back,
+//! step the amplitude up, repeat until the target threshold is reached.
+//! This realises the paper's §II point that FN programming allows tight
+//! threshold placement with tiny per-cell current.
+
+use gnr_flash::pulse::IsppLadder;
+use gnr_units::Voltage;
+
+use crate::cell::FlashCell;
+use crate::{ArrayError, Result};
+
+/// Result of one ISPP operation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IsppReport {
+    /// Pulses applied (including the passing one).
+    pub pulses: usize,
+    /// Final gate amplitude applied (V).
+    pub final_amplitude: f64,
+    /// Threshold shift after the operation (V).
+    pub final_vt_shift: f64,
+}
+
+/// ISPP programmer: a ladder plus a verify target.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IsppProgrammer {
+    ladder: IsppLadder,
+    target: Voltage,
+}
+
+impl IsppProgrammer {
+    /// Creates a programmer.
+    #[must_use]
+    pub fn new(ladder: IsppLadder, target: Voltage) -> Self {
+        Self { ladder, target }
+    }
+
+    /// A nominal NAND-class recipe for the paper cell: 13 → 16 V in
+    /// 0.5 V steps, 10 µs rungs, verify at +2 V threshold shift.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self::new(
+            IsppLadder::new(
+                Voltage::from_volts(13.0),
+                Voltage::from_volts(0.5),
+                Voltage::from_volts(16.0),
+                gnr_units::Time::from_microseconds(10.0),
+            ),
+            Voltage::from_volts(2.0),
+        )
+    }
+
+    /// The verify target.
+    #[must_use]
+    pub fn target(&self) -> Voltage {
+        self.target
+    }
+
+    /// Programs the cell, verifying after every rung.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::VerifyFailed`] when the ladder is exhausted before
+    /// the target is reached; device errors propagate.
+    pub fn program(&self, cell: &mut FlashCell) -> Result<IsppReport> {
+        let mut pulses = 0;
+        #[allow(unused_assignments)]
+        let mut last_amp = f64::NAN;
+        for pulse in self.ladder {
+            cell.apply_pulse(pulse)?;
+            pulses += 1;
+            last_amp = pulse.amplitude.as_volts();
+            if cell.verify_program(self.target) {
+                return Ok(IsppReport {
+                    pulses,
+                    final_amplitude: last_amp,
+                    final_vt_shift: cell.vt_shift().as_volts(),
+                });
+            }
+        }
+        Err(ArrayError::VerifyFailed {
+            pulses,
+            reached_volts: cell.vt_shift().as_volts(),
+            target_volts: self.target.as_volts(),
+        })
+    }
+}
+
+/// ISPP eraser: a negative ladder plus a verify ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IsppEraser {
+    ladder: IsppLadder,
+    target: Voltage,
+}
+
+impl IsppEraser {
+    /// Creates an eraser.
+    #[must_use]
+    pub fn new(ladder: IsppLadder, target: Voltage) -> Self {
+        Self { ladder, target }
+    }
+
+    /// A nominal erase recipe: −13 → −16 V in 0.5 V steps, 10 µs rungs,
+    /// verify at ≤ +0.3 V shift.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Self::new(
+            IsppLadder::new(
+                Voltage::from_volts(-13.0),
+                Voltage::from_volts(0.5),
+                Voltage::from_volts(-16.0),
+                gnr_units::Time::from_microseconds(10.0),
+            ),
+            Voltage::from_volts(0.3),
+        )
+    }
+
+    /// Erases the cell, verifying after every rung.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::VerifyFailed`] when the ladder is exhausted before
+    /// the threshold falls to the target; device errors propagate.
+    pub fn erase(&self, cell: &mut FlashCell) -> Result<IsppReport> {
+        let mut pulses = 0;
+        #[allow(unused_assignments)]
+        let mut last_amp = f64::NAN;
+        for pulse in self.ladder {
+            cell.apply_pulse(pulse)?;
+            pulses += 1;
+            last_amp = pulse.amplitude.as_volts();
+            if cell.verify_erase(self.target) {
+                return Ok(IsppReport {
+                    pulses,
+                    final_amplitude: last_amp,
+                    final_vt_shift: cell.vt_shift().as_volts(),
+                });
+            }
+        }
+        Err(ArrayError::VerifyFailed {
+            pulses,
+            reached_volts: cell.vt_shift().as_volts(),
+            target_volts: self.target.as_volts(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_ispp_programs_the_paper_cell() {
+        let mut cell = FlashCell::paper_cell();
+        let report = IsppProgrammer::nominal().program(&mut cell).unwrap();
+        assert!(report.pulses >= 1);
+        assert!(report.final_vt_shift >= 2.0);
+        assert!(cell.verify_program(Voltage::from_volts(2.0)));
+    }
+
+    #[test]
+    fn ispp_stops_at_first_passing_rung() {
+        // A generous target passes on the very first rung.
+        let mut cell = FlashCell::paper_cell();
+        let p = IsppProgrammer::new(
+            IsppLadder::new(
+                Voltage::from_volts(15.0),
+                Voltage::from_volts(0.5),
+                Voltage::from_volts(16.0),
+                gnr_units::Time::from_microseconds(50.0),
+            ),
+            Voltage::from_volts(0.5),
+        );
+        let report = p.program(&mut cell).unwrap();
+        assert_eq!(report.pulses, 1);
+        assert!((report.final_amplitude - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_fails_verify() {
+        let mut cell = FlashCell::paper_cell();
+        let p = IsppProgrammer::new(
+            IsppLadder::new(
+                Voltage::from_volts(10.0),
+                Voltage::from_volts(0.5),
+                Voltage::from_volts(11.0),
+                gnr_units::Time::from_microseconds(1.0),
+            ),
+            Voltage::from_volts(8.0),
+        );
+        let err = p.program(&mut cell).unwrap_err();
+        assert!(matches!(err, ArrayError::VerifyFailed { .. }));
+    }
+
+    #[test]
+    fn erase_returns_programmed_cell_below_target() {
+        let mut cell = FlashCell::paper_cell();
+        IsppProgrammer::nominal().program(&mut cell).unwrap();
+        let report = IsppEraser::nominal().erase(&mut cell).unwrap();
+        assert!(report.final_vt_shift <= 0.3);
+        assert!(cell.verify_erase(Voltage::from_volts(0.3)));
+    }
+
+    #[test]
+    fn ispp_uses_fewer_volts_than_worst_case() {
+        // The point of ISPP: most cells pass before the ladder top.
+        let mut cell = FlashCell::paper_cell();
+        let report = IsppProgrammer::nominal().program(&mut cell).unwrap();
+        assert!(report.final_amplitude <= 16.0);
+    }
+}

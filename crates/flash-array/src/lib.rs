@@ -1,0 +1,56 @@
+//! # gnr-flash-array
+//!
+//! The flash-memory system layer over the MLGNR-CNT cell of `gnr-flash`.
+//!
+//! The paper motivates its device with flash-memory practice: FN
+//! tunneling "allows many cells to be programmed at a time" (NAND), CHE
+//! programming draws milliamps per cell (NOR), and high tunneling current
+//! "will severely damage the oxide's reliability" (§V). This crate makes
+//! those claims runnable:
+//!
+//! * [`cell`] — a stateful flash cell: pulse application, read, verify.
+//! * [`ispp`] — incremental step pulse programming with verify loops.
+//! * [`nand`] — strings, pages and blocks with program-inhibit bias.
+//! * [`mlc`] — multi-level (two-bit) operation with Gray-coded states.
+//! * [`margins`] — array-wide threshold distributions and read margins.
+//! * [`nor`] — channel-hot-electron programming (the NOR baseline).
+//! * [`disturb`] — read/pass-disturb accumulation on unselected cells.
+//! * [`endurance`] — P/E cycling with phenomenological oxide wear.
+//! * [`retention`] — low-field charge loss and the ten-year check.
+//! * [`controller`] — a miniature page-write/read controller with
+//!   erase-before-write and wear tracking.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_flash_array::cell::FlashCell;
+//! use gnr_flash::threshold::LogicState;
+//!
+//! let mut cell = FlashCell::paper_cell();
+//! assert_eq!(cell.read(), LogicState::Erased1); // fresh cell reads '1'
+//! cell.program_default().unwrap();
+//! assert_eq!(cell.read(), LogicState::Programmed0);
+//! cell.erase_default().unwrap();
+//! assert_eq!(cell.read(), LogicState::Erased1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod controller;
+pub mod disturb;
+pub mod endurance;
+pub mod ispp;
+pub mod margins;
+pub mod mlc;
+pub mod nand;
+pub mod nor;
+pub mod retention;
+
+mod error;
+
+pub use error::ArrayError;
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, ArrayError>;

@@ -1,0 +1,165 @@
+//! Array-level threshold-distribution and read-margin analysis.
+//!
+//! A single cell has a clean window; an *array* has distributions — of
+//! programmed and erased thresholds, smeared by disturb history. The read
+//! margin is the gap between the lowest programmed and the highest erased
+//! threshold; sensing fails when it closes. This module extracts those
+//! statistics from a [`NandArray`].
+
+use gnr_flash::threshold::LogicState;
+use gnr_numerics::stats::{Histogram, Summary};
+
+use crate::nand::NandArray;
+use crate::Result;
+
+/// Threshold statistics of one logic population in the array.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationStats {
+    /// Number of cells in the population.
+    pub count: usize,
+    /// Threshold summary (V).
+    pub vt: Summary,
+}
+
+/// The array margin report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MarginReport {
+    /// Programmed ('0') population, when non-empty.
+    pub programmed: Option<PopulationStats>,
+    /// Erased ('1') population, when non-empty.
+    pub erased: Option<PopulationStats>,
+    /// Worst-case read margin: `min(programmed VT) − max(erased VT)` (V);
+    /// `None` unless both populations exist.
+    pub worst_case_margin: Option<f64>,
+}
+
+impl MarginReport {
+    /// `true` when both populations exist and the margin exceeds
+    /// `required` volts.
+    #[must_use]
+    pub fn is_readable(&self, required: f64) -> bool {
+        self.worst_case_margin.is_some_and(|m| m > required)
+    }
+}
+
+/// Scans every cell of the array and builds the margin report.
+///
+/// # Errors
+///
+/// Propagates address errors (never occurs for in-range scans) and
+/// statistics errors for pathological (empty) arrays.
+pub fn analyze(array: &NandArray) -> Result<MarginReport> {
+    let cfg = array.config();
+    let mut programmed = Vec::new();
+    let mut erased = Vec::new();
+    for b in 0..cfg.blocks {
+        for p in 0..cfg.pages_per_block {
+            for c in 0..cfg.page_width {
+                let cell = array.cell(b, p, c)?;
+                let vt = cell.vt_shift().as_volts();
+                match cell.read() {
+                    LogicState::Programmed0 => programmed.push(vt),
+                    LogicState::Erased1 => erased.push(vt),
+                }
+            }
+        }
+    }
+    let stats = |v: &[f64]| -> Result<Option<PopulationStats>> {
+        if v.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(PopulationStats {
+            count: v.len(),
+            vt: Summary::from_samples(v).map_err(gnr_flash::DeviceError::from)?,
+        }))
+    };
+    let programmed_stats = stats(&programmed)?;
+    let erased_stats = stats(&erased)?;
+    let margin = match (&programmed_stats, &erased_stats) {
+        (Some(p), Some(e)) => Some(p.vt.min - e.vt.max),
+        _ => None,
+    };
+    Ok(MarginReport {
+        programmed: programmed_stats,
+        erased: erased_stats,
+        worst_case_margin: margin,
+    })
+}
+
+/// Threshold histogram of every cell in the array (for VT-distribution
+/// plots), over `[lo, hi]` volts with `bins` bins.
+///
+/// # Errors
+///
+/// Propagates histogram-construction errors for invalid ranges.
+pub fn vt_histogram(array: &NandArray, lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+    let cfg = array.config();
+    let mut samples = Vec::with_capacity(cfg.blocks * cfg.pages_per_block * cfg.page_width);
+    for b in 0..cfg.blocks {
+        for p in 0..cfg.pages_per_block {
+            for c in 0..cfg.page_width {
+                samples.push(array.cell(b, p, c)?.vt_shift().as_volts());
+            }
+        }
+    }
+    Histogram::new(&samples, lo, hi, bins)
+        .map_err(|e| gnr_flash::DeviceError::from(e).into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nand::NandConfig;
+
+    fn half_programmed_array() -> NandArray {
+        let mut array =
+            NandArray::new(NandConfig { blocks: 1, pages_per_block: 2, page_width: 8 });
+        // Alternate bits on page 0; page 1 stays erased.
+        let bits: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        array.program_page(0, 0, &bits).unwrap();
+        array
+    }
+
+    #[test]
+    fn populations_are_counted_correctly() {
+        let array = half_programmed_array();
+        let report = analyze(&array).unwrap();
+        let p = report.programmed.unwrap();
+        let e = report.erased.unwrap();
+        assert_eq!(p.count, 4); // half of page 0
+        assert_eq!(e.count, 12); // other half + page 1
+    }
+
+    #[test]
+    fn margin_is_open_after_ispp_programming() {
+        let array = half_programmed_array();
+        let report = analyze(&array).unwrap();
+        let margin = report.worst_case_margin.unwrap();
+        assert!(margin > 0.5, "margin = {margin} V");
+        assert!(report.is_readable(0.5));
+        assert!(!report.is_readable(margin + 1.0));
+    }
+
+    #[test]
+    fn fresh_array_has_single_population() {
+        let array = NandArray::new(NandConfig { blocks: 1, pages_per_block: 1, page_width: 4 });
+        let report = analyze(&array).unwrap();
+        assert!(report.programmed.is_none());
+        assert!(report.erased.is_some());
+        assert!(report.worst_case_margin.is_none());
+        assert!(!report.is_readable(0.0));
+    }
+
+    #[test]
+    fn histogram_is_bimodal_after_programming() {
+        let array = half_programmed_array();
+        let h = vt_histogram(&array, -1.0, 4.0, 10).unwrap();
+        assert_eq!(h.total(), 16);
+        // Mass near 0 V (erased) and near the ISPP target ~2.3 V.
+        let counts = h.counts();
+        let low_mass: usize = counts[..4].iter().sum();
+        let high_mass: usize = counts[5..].iter().sum();
+        assert!(low_mass >= 12, "low bins {counts:?}");
+        assert!(high_mass >= 4, "high bins {counts:?}");
+    }
+}

@@ -1,0 +1,322 @@
+//! NAND organisation: strings of cells grouped into pages and blocks.
+//!
+//! FN programming is what makes NAND dense and parallel (§II of the
+//! paper: "it requires very small programming current (< 1nA) per cell
+//! thus allowing many cells to be programmed at a time"). This module
+//! implements page-granularity programming with ISPP, block-granularity
+//! erase, program-inhibit bias on unselected pages and the associated
+//! disturb accounting.
+//!
+//! Bit convention: `true` = erased = logic '1'; `false` = programmed =
+//! logic '0' (matching the paper's state naming).
+
+use gnr_flash::threshold::LogicState;
+use gnr_units::Voltage;
+
+use crate::cell::FlashCell;
+use crate::disturb::{apply_disturb, DisturbBias};
+use crate::ispp::{IsppEraser, IsppProgrammer};
+use crate::{ArrayError, Result};
+
+/// Shape of a NAND array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NandConfig {
+    /// Number of erase blocks.
+    pub blocks: usize,
+    /// Pages per block (wordlines).
+    pub pages_per_block: usize,
+    /// Cells per page (bitlines).
+    pub page_width: usize,
+}
+
+impl Default for NandConfig {
+    fn default() -> Self {
+        Self { blocks: 4, pages_per_block: 4, page_width: 16 }
+    }
+}
+
+/// One erase block.
+#[derive(Debug, Clone)]
+struct Block {
+    pages: Vec<Vec<FlashCell>>,
+    page_erased: Vec<bool>,
+    erase_count: u64,
+}
+
+/// A NAND array of MLGNR-CNT cells.
+#[derive(Debug, Clone)]
+pub struct NandArray {
+    config: NandConfig,
+    blocks: Vec<Block>,
+    bias: DisturbBias,
+    programmer: IsppProgrammer,
+    eraser: IsppEraser,
+}
+
+impl NandArray {
+    /// Builds an array of fresh paper cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension of `config` is zero.
+    #[must_use]
+    pub fn new(config: NandConfig) -> Self {
+        assert!(
+            config.blocks > 0 && config.pages_per_block > 0 && config.page_width > 0,
+            "array dimensions must be positive"
+        );
+        let make_block = || Block {
+            pages: (0..config.pages_per_block)
+                .map(|_| (0..config.page_width).map(|_| FlashCell::paper_cell()).collect())
+                .collect(),
+            page_erased: vec![true; config.pages_per_block],
+            erase_count: 0,
+        };
+        Self {
+            config,
+            blocks: (0..config.blocks).map(|_| make_block()).collect(),
+            bias: DisturbBias::default(),
+            programmer: IsppProgrammer::nominal(),
+            eraser: IsppEraser::nominal(),
+        }
+    }
+
+    /// The array shape.
+    #[must_use]
+    pub fn config(&self) -> NandConfig {
+        self.config
+    }
+
+    /// Erase count of a block (wear metric).
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad block index.
+    pub fn erase_count(&self, block: usize) -> Result<u64> {
+        Ok(self.block(block)?.erase_count)
+    }
+
+    /// `true` when the page has not been written since its last erase.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for bad indices.
+    pub fn is_page_erased(&self, block: usize, page: usize) -> Result<bool> {
+        let b = self.block(block)?;
+        b.page_erased
+            .get(page)
+            .copied()
+            .ok_or(ArrayError::AddressOutOfRange {
+                kind: "page",
+                index: page,
+                len: self.config.pages_per_block,
+            })
+    }
+
+    /// Programs a page: cells with `false` bits are ISPP-programmed,
+    /// `true` bits are left erased (program-inhibited). Every cell of the
+    /// *other* pages in the block receives one pass-voltage disturb
+    /// exposure.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::WrongPageWidth`], [`ArrayError::PageNotErased`],
+    /// address errors, and ISPP verify failures.
+    pub fn program_page(&mut self, block: usize, page: usize, bits: &[bool]) -> Result<()> {
+        if bits.len() != self.config.page_width {
+            return Err(ArrayError::WrongPageWidth {
+                got: bits.len(),
+                expected: self.config.page_width,
+            });
+        }
+        if !self.is_page_erased(block, page)? {
+            return Err(ArrayError::PageNotErased { block, page });
+        }
+        let programmer = self.programmer;
+        let bias = self.bias;
+        let pages_per_block = self.config.pages_per_block;
+        let b = self.block_mut(block)?;
+        for (cell, &bit) in b.pages[page].iter_mut().zip(bits) {
+            if !bit {
+                programmer.program(cell)?;
+            }
+        }
+        b.page_erased[page] = false;
+        // Pass-disturb on unselected pages of the same block.
+        for p in 0..pages_per_block {
+            if p == page {
+                continue;
+            }
+            for cell in &mut b.pages[p] {
+                apply_disturb(cell, bias.v_pass_program, bias.program_exposure, 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a page; unselected pages of the block receive one
+    /// read-disturb exposure each.
+    ///
+    /// # Errors
+    ///
+    /// Address errors.
+    pub fn read_page(&mut self, block: usize, page: usize) -> Result<Vec<bool>> {
+        let bias = self.bias;
+        let pages_per_block = self.config.pages_per_block;
+        let b = self.block_mut(block)?;
+        if page >= pages_per_block {
+            return Err(ArrayError::AddressOutOfRange {
+                kind: "page",
+                index: page,
+                len: pages_per_block,
+            });
+        }
+        let bits = b.pages[page]
+            .iter()
+            .map(|c| c.read() == LogicState::Erased1)
+            .collect();
+        for p in 0..pages_per_block {
+            if p == page {
+                continue;
+            }
+            for cell in &mut b.pages[p] {
+                apply_disturb(cell, bias.v_pass_read, bias.read_exposure, 1);
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Erases a whole block (the only erase granularity NAND offers).
+    ///
+    /// # Errors
+    ///
+    /// Address errors and ISPP verify failures.
+    pub fn erase_block(&mut self, block: usize) -> Result<()> {
+        let eraser = self.eraser;
+        let b = self.block_mut(block)?;
+        for page in &mut b.pages {
+            for cell in page {
+                // Already-erased cells pass verify on the first rung.
+                if !cell.verify_erase(Voltage::from_volts(0.3)) {
+                    eraser.erase(cell)?;
+                } else {
+                    // Erase pulses hit every cell of the block regardless.
+                    cell.erase_default()?;
+                }
+            }
+        }
+        b.page_erased.fill(true);
+        b.erase_count += 1;
+        Ok(())
+    }
+
+    /// Direct cell access for analyses (threshold maps, disturb margins).
+    ///
+    /// # Errors
+    ///
+    /// Address errors.
+    pub fn cell(&self, block: usize, page: usize, column: usize) -> Result<&FlashCell> {
+        let b = self.block(block)?;
+        let p = b.pages.get(page).ok_or(ArrayError::AddressOutOfRange {
+            kind: "page",
+            index: page,
+            len: self.config.pages_per_block,
+        })?;
+        p.get(column).ok_or(ArrayError::AddressOutOfRange {
+            kind: "column",
+            index: column,
+            len: self.config.page_width,
+        })
+    }
+
+    fn block(&self, idx: usize) -> Result<&Block> {
+        self.blocks.get(idx).ok_or(ArrayError::AddressOutOfRange {
+            kind: "block",
+            index: idx,
+            len: self.config.blocks,
+        })
+    }
+
+    fn block_mut(&mut self, idx: usize) -> Result<&mut Block> {
+        let len = self.config.blocks;
+        self.blocks.get_mut(idx).ok_or(ArrayError::AddressOutOfRange {
+            kind: "block",
+            index: idx,
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NandArray {
+        NandArray::new(NandConfig { blocks: 2, pages_per_block: 2, page_width: 4 })
+    }
+
+    #[test]
+    fn fresh_array_reads_all_ones() {
+        let mut a = tiny();
+        assert_eq!(a.read_page(0, 0).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn program_and_read_back_pattern() {
+        let mut a = tiny();
+        let pattern = vec![true, false, false, true];
+        a.program_page(0, 0, &pattern).unwrap();
+        assert_eq!(a.read_page(0, 0).unwrap(), pattern);
+        // The other page of the block is untouched.
+        assert_eq!(a.read_page(0, 1).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn erase_before_write_enforced() {
+        let mut a = tiny();
+        a.program_page(0, 0, &[false, false, false, false]).unwrap();
+        let err = a.program_page(0, 0, &[true, true, true, true]).unwrap_err();
+        assert!(matches!(err, ArrayError::PageNotErased { .. }));
+        a.erase_block(0).unwrap();
+        assert_eq!(a.read_page(0, 0).unwrap(), vec![true; 4]);
+        a.program_page(0, 0, &[true, true, false, true]).unwrap();
+    }
+
+    #[test]
+    fn erase_counts_track_wear() {
+        let mut a = tiny();
+        assert_eq!(a.erase_count(0).unwrap(), 0);
+        a.erase_block(0).unwrap();
+        a.erase_block(0).unwrap();
+        assert_eq!(a.erase_count(0).unwrap(), 2);
+        assert_eq!(a.erase_count(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn wrong_page_width_rejected() {
+        let mut a = tiny();
+        let err = a.program_page(0, 0, &[true]).unwrap_err();
+        assert!(matches!(err, ArrayError::WrongPageWidth { .. }));
+    }
+
+    #[test]
+    fn bad_addresses_rejected() {
+        let mut a = tiny();
+        assert!(a.read_page(5, 0).is_err());
+        assert!(a.read_page(0, 9).is_err());
+        assert!(a.cell(0, 0, 99).is_err());
+        assert!(a.erase_block(7).is_err());
+    }
+
+    #[test]
+    fn disturb_does_not_flip_neighbours() {
+        let mut a = tiny();
+        a.program_page(0, 0, &[false; 4]).unwrap();
+        // Hammer page 0 with reads; page 1 cells accumulate read disturb
+        // but must still read erased.
+        for _ in 0..200 {
+            let _ = a.read_page(0, 0).unwrap();
+        }
+        assert_eq!(a.read_page(0, 1).unwrap(), vec![true; 4]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for material-model construction.
+
+use core::fmt;
+
+/// Errors produced when constructing or combining material models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MaterialError {
+    /// A structural parameter was outside its physical range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// The requested interface would have a non-positive electron barrier
+    /// (the emitter Fermi level lies above the oxide conduction band), so
+    /// the FN triangular-barrier picture does not apply.
+    NonPositiveBarrier {
+        /// Emitter work function in eV.
+        emitter_work_function_ev: f64,
+        /// Oxide electron affinity in eV.
+        oxide_affinity_ev: f64,
+    },
+}
+
+impl fmt::Display for MaterialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid {name} = {value}: {constraint}")
+            }
+            Self::NonPositiveBarrier { emitter_work_function_ev, oxide_affinity_ev } => {
+                write!(
+                    f,
+                    "non-positive tunnel barrier: work function {emitter_work_function_ev} eV \
+                     does not exceed oxide affinity {oxide_affinity_ev} eV"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaterialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = MaterialError::InvalidParameter {
+            name: "layers",
+            value: 0.0,
+            constraint: "must be at least 1",
+        };
+        assert!(e.to_string().contains("layers"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MaterialError>();
+    }
+}

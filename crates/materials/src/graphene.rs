@@ -1,0 +1,71 @@
+//! Pristine graphene sheet constants.
+//!
+//! These feed the nanoribbon ([`crate::gnr`]) and multilayer
+//! ([`crate::mlgnr`]) models.
+
+use gnr_units::{Energy, Length};
+
+/// Carbon–carbon bond length `a_cc` = 1.42 Å.
+#[must_use]
+pub fn bond_length() -> Length {
+    Length::from_angstroms(1.42)
+}
+
+/// Graphene lattice constant `a = √3 a_cc` = 2.46 Å.
+#[must_use]
+pub fn lattice_constant() -> Length {
+    Length::from_angstroms(2.46)
+}
+
+/// Interlayer (Bernal) spacing in multilayer graphene, 3.35 Å.
+#[must_use]
+pub fn interlayer_spacing() -> Length {
+    Length::from_angstroms(3.35)
+}
+
+/// Nearest-neighbour tight-binding hopping energy γ₀ ≈ 2.7 eV.
+#[must_use]
+pub fn hopping_energy() -> Energy {
+    Energy::from_ev(2.7)
+}
+
+/// Fermi velocity `v_F ≈ 1.0 × 10⁶ m/s`.
+#[must_use]
+pub fn fermi_velocity() -> f64 {
+    1.0e6
+}
+
+/// Work function of intrinsic monolayer graphene, ≈ 4.56 eV.
+#[must_use]
+pub fn work_function_monolayer() -> Energy {
+    Energy::from_ev(4.56)
+}
+
+/// Work function of graphite (the many-layer limit), ≈ 4.6 eV.
+#[must_use]
+pub fn work_function_graphite() -> Energy {
+    Energy::from_ev(4.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_constant_is_sqrt3_times_bond() {
+        let ratio = lattice_constant().as_meters() / bond_length().as_meters();
+        assert!((ratio - 3.0f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn work_functions_bracket_known_range() {
+        assert!(work_function_monolayer().as_ev() > 4.3);
+        assert!(work_function_graphite().as_ev() < 4.9);
+        assert!(work_function_graphite() > work_function_monolayer());
+    }
+
+    #[test]
+    fn fermi_velocity_order_of_magnitude() {
+        assert!((fermi_velocity() - 1e6).abs() < 2e5);
+    }
+}

@@ -1,0 +1,59 @@
+//! # gnr-materials
+//!
+//! Material models for the `gnr-flash` simulator (reproduction of Hossain
+//! et al., IEEE SOCC 2014).
+//!
+//! The paper's device stacks a **multilayer graphene nanoribbon (MLGNR)
+//! channel**, a tunnel oxide, a **carbon nanotube (CNT) floating gate**, a
+//! control oxide and a control gate (paper Figure 1). This crate provides
+//! the material properties that parameterise the tunneling physics:
+//!
+//! * [`oxide`] — insulators (SiO₂, Al₂O₃, HfO₂, h-BN, Si₃N₄) with
+//!   permittivity, electron affinity, effective tunneling mass, band gap and
+//!   breakdown field.
+//! * [`graphene`], [`gnr`], [`gnr_bands`], [`mlgnr`] — graphene sheet constants, armchair /
+//!   zigzag nanoribbon band structure (width-dependent gap families), and
+//!   multilayer stacks with interlayer screening and quantum capacitance.
+//! * [`cnt`] — chirality-indexed nanotubes: metallicity, diameter, band gap
+//!   and work function (the floating-gate material).
+//! * [`silicon`] — bulk silicon and n⁺ poly-silicon (the conventional-FGT
+//!   baseline).
+//! * [`interface`] — emitter/oxide barrier heights by vacuum alignment
+//!   (Anderson's rule), the `ΦB` of the paper's eq. (1) and (4).
+//! * [`fermi`] — Fermi–Dirac statistics and graphene carrier densities.
+//!
+//! # Example
+//!
+//! The paper's tunnel barrier (MLGNR channel emitting into SiO₂):
+//!
+//! ```
+//! use gnr_materials::interface::TunnelInterface;
+//! use gnr_materials::mlgnr::MultilayerGnr;
+//! use gnr_materials::oxide::Oxide;
+//!
+//! let channel = MultilayerGnr::paper_channel();
+//! let iface = TunnelInterface::new(channel.work_function(), Oxide::silicon_dioxide())
+//!     .unwrap();
+//! let phi_b = iface.barrier_height();
+//! assert!(phi_b.as_ev() > 3.0 && phi_b.as_ev() < 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnt;
+pub mod fermi;
+pub mod gnr;
+pub mod gnr_bands;
+pub mod graphene;
+pub mod interface;
+pub mod mlgnr;
+pub mod oxide;
+pub mod silicon;
+
+mod error;
+
+pub use error::MaterialError;
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, MaterialError>;

@@ -1,0 +1,63 @@
+//! Bulk silicon and poly-silicon constants for the conventional-FGT
+//! baseline.
+//!
+//! The paper repeatedly contrasts the proposed device with "conventional
+//! silicon FGT" (15–20 V FN programming, Si/SiO₂ barrier); these constants
+//! configure that baseline in `gnr-flash::baseline`.
+
+use gnr_units::Energy;
+
+/// Electron affinity of silicon, χ = 4.05 eV.
+#[must_use]
+pub fn electron_affinity() -> Energy {
+    Energy::from_ev(4.05)
+}
+
+/// Band gap of silicon at 300 K, 1.12 eV.
+#[must_use]
+pub fn band_gap() -> Energy {
+    Energy::from_ev(1.12)
+}
+
+/// Work function of degenerate n⁺ poly-silicon (Fermi level at the
+/// conduction-band edge): equals the electron affinity.
+#[must_use]
+pub fn n_poly_work_function() -> Energy {
+    electron_affinity()
+}
+
+/// Effective work function of the inverted n-channel surface used as the
+/// FN emitter in a conventional cell: χ + small quantisation offset.
+#[must_use]
+pub fn inversion_layer_work_function() -> Energy {
+    Energy::from_ev(4.05 + 0.05)
+}
+
+/// The canonical Si/SiO₂ electron barrier, ≈ 3.1 eV (Lenzlinger–Snow
+/// measured 3.05–3.2 eV). Provided as a reference value for validation
+/// tests; the simulator computes barriers from alignments.
+#[must_use]
+pub fn si_sio2_reference_barrier() -> Energy {
+    Energy::from_ev(3.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oxide::Oxide;
+
+    #[test]
+    fn computed_si_sio2_barrier_matches_reference() {
+        let computed = inversion_layer_work_function().as_ev()
+            - Oxide::silicon_dioxide().electron_affinity().as_ev();
+        assert!(
+            (computed - si_sio2_reference_barrier().as_ev()).abs() < 0.1,
+            "computed barrier {computed} eV"
+        );
+    }
+
+    #[test]
+    fn n_poly_is_degenerate() {
+        assert_eq!(n_poly_work_function().as_ev(), electron_affinity().as_ev());
+    }
+}

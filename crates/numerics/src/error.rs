@@ -1,0 +1,83 @@
+//! Error type shared by all numerical routines.
+
+use core::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed.
+        method: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A bracketing method was given an interval that does not bracket a
+    /// root (`f(a)` and `f(b)` have the same sign).
+    InvalidBracket {
+        /// Function value at the left endpoint.
+        f_lo: f64,
+        /// Function value at the right endpoint.
+        f_hi: f64,
+    },
+    /// The adaptive step-size controller shrank the step below the
+    /// representable minimum — the problem is too stiff for the tolerance.
+    StepSizeUnderflow {
+        /// Time at which the underflow occurred.
+        t: f64,
+    },
+    /// An argument violated a documented precondition.
+    InvalidInput(String),
+    /// A matrix was singular (or numerically singular) during elimination.
+    SingularMatrix {
+        /// Pivot index at which elimination broke down.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoConvergence { method, iterations } => {
+                write!(f, "{method} did not converge within {iterations} iterations")
+            }
+            Self::InvalidBracket { f_lo, f_hi } => write!(
+                f,
+                "interval does not bracket a root: f(lo) = {f_lo:e}, f(hi) = {f_hi:e}"
+            ),
+            Self::StepSizeUnderflow { t } => {
+                write!(f, "adaptive step size underflowed at t = {t:e}")
+            }
+            Self::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Self::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NumericsError::NoConvergence { method: "brent", iterations: 100 };
+        assert_eq!(e.to_string(), "brent did not converge within 100 iterations");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+
+    #[test]
+    fn bracket_error_shows_values() {
+        let e = NumericsError::InvalidBracket { f_lo: 1.0, f_hi: 2.0 };
+        assert!(e.to_string().contains("does not bracket"));
+    }
+}

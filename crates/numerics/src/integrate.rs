@@ -1,0 +1,232 @@
+//! One-dimensional quadrature: trapezoid, Simpson, adaptive Simpson and
+//! Gauss–Legendre.
+//!
+//! The WKB transmission coefficient is `exp(-2 ∫ κ(x) dx)` over the
+//! classically forbidden region of the oxide barrier; these routines
+//! evaluate that action integral for arbitrary barrier profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_numerics::integrate::adaptive_simpson;
+//!
+//! let v = adaptive_simpson(|x: f64| x.exp(), 0.0, 1.0, 1e-12, 50).unwrap();
+//! assert!((v - (1.0f64.exp() - 1.0)).abs() < 1e-10);
+//! ```
+
+use crate::{NumericsError, Result};
+
+/// Composite trapezoid rule with `n` panels.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "trapezoid requires at least one panel");
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + i as f64 * h);
+    }
+    acc * h
+}
+
+/// Composite Simpson rule with `n` panels (`n` is rounded up to even).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "simpson requires at least one panel");
+    let n = if n % 2 == 0 { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + i as f64 * h);
+    }
+    acc * h / 3.0
+}
+
+/// Adaptive Simpson quadrature with error control `tol` and recursion
+/// depth limit `max_depth`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::NoConvergence`] when the recursion depth limit
+/// is hit before the local error bound is met, and
+/// [`NumericsError::InvalidInput`] for a non-positive tolerance.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: usize,
+) -> Result<f64> {
+    if tol <= 0.0 {
+        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    rec(&f, a, b, fa, fb, fm, whole, tol, max_depth)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fm: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> Result<f64> {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+    let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+    let delta = left + right - whole;
+    if delta.abs() <= 15.0 * tol {
+        return Ok(left + right + delta / 15.0);
+    }
+    if depth == 0 {
+        return Err(NumericsError::NoConvergence {
+            method: "adaptive_simpson",
+            iterations: 0,
+        });
+    }
+    let l = rec(f, a, m, fa, fm, flm, left, tol / 2.0, depth - 1)?;
+    let r = rec(f, m, b, fm, fb, frm, right, tol / 2.0, depth - 1)?;
+    Ok(l + r)
+}
+
+/// Ten-point Gauss–Legendre abscissae on `[-1, 1]` (positive half).
+const GL10_X: [f64; 5] = [
+    0.148_874_338_981_631_21,
+    0.433_395_394_129_247_19,
+    0.679_409_568_299_024_41,
+    0.865_063_366_688_984_51,
+    0.973_906_528_517_171_72,
+];
+/// Ten-point Gauss–Legendre weights (matching [`GL10_X`]).
+const GL10_W: [f64; 5] = [
+    0.295_524_224_714_752_87,
+    0.269_266_719_309_996_36,
+    0.219_086_362_515_982_04,
+    0.149_451_349_150_580_59,
+    0.066_671_344_308_688_14,
+];
+
+/// Ten-point Gauss–Legendre quadrature on `[a, b]`.
+///
+/// Exact for polynomials of degree ≤ 19; excellent for the smooth barrier
+/// integrands of the WKB action.
+#[must_use]
+pub fn gauss_legendre_10<F: Fn(f64) -> f64>(f: F, a: f64, b: f64) -> f64 {
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    let mut acc = 0.0;
+    for i in 0..5 {
+        acc += GL10_W[i] * (f(c + h * GL10_X[i]) + f(c - h * GL10_X[i]));
+    }
+    acc * h
+}
+
+/// Composite 10-point Gauss–Legendre over `panels` equal sub-intervals.
+///
+/// # Panics
+///
+/// Panics if `panels == 0`.
+#[must_use]
+pub fn gauss_legendre_composite<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    panels: usize,
+) -> f64 {
+    assert!(panels > 0, "gauss_legendre_composite requires at least one panel");
+    let h = (b - a) / panels as f64;
+    (0..panels)
+        .map(|i| gauss_legendre_10(&f, a + i as f64 * h, a + (i + 1) as f64 * h))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_exact_for_lines() {
+        let v = trapezoid(|x| 2.0 * x + 1.0, 0.0, 4.0, 3);
+        assert!((v - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_exact_for_cubics() {
+        let v = simpson(|x| x * x * x, 0.0, 2.0, 2);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_rounds_odd_panels_up() {
+        let v = simpson(|x| x * x, 0.0, 1.0, 3);
+        assert!((v - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_simpson_handles_peaked_integrand() {
+        // ∫ exp(-100 (x-0.5)^2) dx over [0,1] = sqrt(π)/10 erf(5) ≈ sqrt(π)/10.
+        let v = adaptive_simpson(|x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp(), 0.0, 1.0, 1e-12, 60)
+            .unwrap();
+        let exact = core::f64::consts::PI.sqrt() / 10.0;
+        assert!((v - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_simpson_zero_width_interval() {
+        assert_eq!(adaptive_simpson(|x| x, 1.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_simpson_depth_limit_errors() {
+        // Integrable singularity with absurd tolerance and tiny depth.
+        let e = adaptive_simpson(|x: f64| 1.0 / x.sqrt(), 1e-12, 1.0, 1e-16, 2);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn gauss_legendre_10_exact_for_degree_19() {
+        let v = gauss_legendre_10(|x| x.powi(19) + x.powi(4), -1.0, 1.0);
+        // Odd power integrates to zero; x^4 over [-1,1] = 2/5.
+        assert!((v - 0.4).abs() < 1e-13);
+    }
+
+    #[test]
+    fn composite_gauss_matches_adaptive() {
+        let f = |x: f64| (x.sin() * 3.0).exp();
+        let g = gauss_legendre_composite(f, 0.0, 3.0, 8);
+        let a = adaptive_simpson(f, 0.0, 3.0, 1e-12, 60).unwrap();
+        assert!((g - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wkb_like_action_integral() {
+        // κ(x) = sqrt(1 - x) on [0, 1]: ∫ = 2/3. The square-root branch
+        // point at x = 1 slows Gauss convergence; 64 panels reach ~1e-5.
+        let v = gauss_legendre_composite(|x: f64| (1.0 - x).max(0.0).sqrt(), 0.0, 1.0, 64);
+        assert!((v - 2.0 / 3.0).abs() < 1e-5, "v = {v}");
+    }
+}

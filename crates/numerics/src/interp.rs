@@ -1,0 +1,315 @@
+//! One-dimensional interpolation: piecewise linear, natural cubic spline and
+//! monotone PCHIP.
+//!
+//! Used for resampling transient traces onto plotting grids and for table
+//! lookups (e.g. GNR band-gap vs ribbon width).
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_numerics::interp::LinearInterpolator;
+//!
+//! let li = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 20.0]).unwrap();
+//! assert_eq!(li.eval(0.5), 5.0);
+//! ```
+
+use crate::{NumericsError, Result};
+
+fn validate_nodes(xs: &[f64], ys: &[f64], min_len: usize) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::InvalidInput(format!(
+            "x and y lengths differ: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < min_len {
+        return Err(NumericsError::InvalidInput(format!(
+            "need at least {min_len} nodes, got {}",
+            xs.len()
+        )));
+    }
+    if xs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(NumericsError::InvalidInput(
+            "x nodes must be strictly increasing".into(),
+        ));
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(NumericsError::InvalidInput("nodes must be finite".into()));
+    }
+    Ok(())
+}
+
+/// Locates the segment index `i` with `xs[i] <= x < xs[i+1]`, clamped.
+fn segment(xs: &[f64], x: f64) -> usize {
+    match xs.binary_search_by(|p| p.partial_cmp(&x).expect("finite nodes")) {
+        Ok(i) => i.min(xs.len() - 2),
+        Err(0) => 0,
+        Err(i) if i >= xs.len() => xs.len() - 2,
+        Err(i) => i - 1,
+    }
+}
+
+/// Piecewise-linear interpolation over strictly increasing nodes.
+///
+/// Evaluation clamps to the end values outside the hull (flat
+/// extrapolation), which is the safe behaviour for physical lookup tables.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterpolator {
+    /// Builds the interpolator.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] for mismatched lengths, fewer than
+    /// two nodes, non-increasing or non-finite nodes.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate_nodes(&xs, &ys, 2)?;
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluates at `x` (clamped to the node range).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().expect("non-empty") {
+            return *self.ys.last().expect("non-empty");
+        }
+        let i = segment(&self.xs, x);
+        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + t * (self.ys[i + 1] - self.ys[i])
+    }
+
+    /// The node abscissae.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The node ordinates.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+}
+
+/// Natural cubic spline (second derivative zero at both ends).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the nodes.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Builds a natural cubic spline through the nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] for mismatched lengths, fewer than
+    /// three nodes, non-increasing or non-finite nodes.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate_nodes(&xs, &ys, 3)?;
+        let n = xs.len();
+        // Solve the tridiagonal system for second derivatives (natural BCs).
+        let mut sub = vec![0.0; n];
+        let mut diag = vec![0.0; n];
+        let mut sup = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        diag[0] = 1.0;
+        diag[n - 1] = 1.0;
+        for i in 1..n - 1 {
+            let h0 = xs[i] - xs[i - 1];
+            let h1 = xs[i + 1] - xs[i];
+            sub[i] = h0;
+            diag[i] = 2.0 * (h0 + h1);
+            sup[i] = h1;
+            rhs[i] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+        }
+        let m = crate::linalg::solve_tridiagonal(&sub, &diag, &sup, &rhs)?;
+        Ok(Self { xs, ys, m })
+    }
+
+    /// Evaluates at `x` (clamped to the node range).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.clamp(self.xs[0], *self.xs.last().expect("non-empty"));
+        let i = segment(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        a * self.ys[i]
+            + b * self.ys[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+}
+
+/// Monotone piecewise-cubic Hermite interpolation (Fritsch–Carlson).
+///
+/// Preserves monotonicity of the data — important when resampling the
+/// strictly decreasing `Jin(t)` / increasing `Jout(t)` traces of Figure 5 so
+/// that no spurious oscillation creates a fake crossing.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Pchip {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Node derivatives.
+    d: Vec<f64>,
+}
+
+impl Pchip {
+    /// Builds the monotone interpolant.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] for mismatched lengths, fewer than
+    /// two nodes, non-increasing or non-finite nodes.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        validate_nodes(&xs, &ys, 2)?;
+        let n = xs.len();
+        let mut delta = vec![0.0; n - 1];
+        for i in 0..n - 1 {
+            delta[i] = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i]);
+        }
+        let mut d = vec![0.0; n];
+        if n == 2 {
+            d[0] = delta[0];
+            d[1] = delta[0];
+        } else {
+            d[0] = end_slope(xs[1] - xs[0], xs[2] - xs[1], delta[0], delta[1]);
+            d[n - 1] = end_slope(
+                xs[n - 1] - xs[n - 2],
+                xs[n - 2] - xs[n - 3],
+                delta[n - 2],
+                delta[n - 3],
+            );
+            for i in 1..n - 1 {
+                if delta[i - 1] * delta[i] <= 0.0 {
+                    d[i] = 0.0;
+                } else {
+                    let h0 = xs[i] - xs[i - 1];
+                    let h1 = xs[i + 1] - xs[i];
+                    let w1 = 2.0 * h1 + h0;
+                    let w2 = h1 + 2.0 * h0;
+                    d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                }
+            }
+        }
+        Ok(Self { xs, ys, d })
+    }
+
+    /// Evaluates at `x` (clamped to the node range).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.clamp(self.xs[0], *self.xs.last().expect("non-empty"));
+        let i = segment(&self.xs, x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let t = (x - self.xs[i]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[i] + h * h10 * self.d[i] + h01 * self.ys[i + 1] + h * h11 * self.d[i + 1]
+    }
+}
+
+/// Fritsch–Carlson one-sided three-point end slope with monotonicity guard.
+fn end_slope(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let s = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if s * d0 <= 0.0 {
+        0.0
+    } else if d0 * d1 < 0.0 && s.abs() > 3.0 * d0.abs() {
+        3.0 * d0
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_nodes_and_midpoints() {
+        let li = LinearInterpolator::new(vec![0.0, 2.0, 4.0], vec![1.0, 3.0, -1.0]).unwrap();
+        assert_eq!(li.eval(0.0), 1.0);
+        assert_eq!(li.eval(2.0), 3.0);
+        assert_eq!(li.eval(1.0), 2.0);
+        assert_eq!(li.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn linear_clamps_outside_hull() {
+        let li = LinearInterpolator::new(vec![0.0, 1.0], vec![5.0, 6.0]).unwrap();
+        assert_eq!(li.eval(-10.0), 5.0);
+        assert_eq!(li.eval(10.0), 6.0);
+    }
+
+    #[test]
+    fn rejects_unsorted_nodes() {
+        assert!(LinearInterpolator::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterpolator::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_nodes() {
+        assert!(LinearInterpolator::new(vec![0.0, f64::NAN], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spline_reproduces_parabola_closely() {
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0 * 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x).collect();
+        let sp = CubicSpline::new(xs, ys).unwrap();
+        // Natural BCs distort the ends; check the interior.
+        for &x in &[0.5, 0.77, 1.0, 1.3, 1.5] {
+            assert!((sp.eval(x) - x * x).abs() < 2e-3, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn spline_interpolates_nodes_exactly() {
+        let sp = CubicSpline::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, -1.0, 4.0, 2.0]).unwrap();
+        for (x, y) in [(0.0, 1.0), (1.0, -1.0), (2.0, 4.0), (3.0, 2.0)] {
+            assert!((sp.eval(x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_preserves_monotonicity() {
+        // Data with a sharp knee that overshoots with an ordinary spline.
+        let xs = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = vec![0.0, 0.0, 0.0, 1.0, 1.0];
+        let p = Pchip::new(xs, ys).unwrap();
+        let mut prev = p.eval(0.0);
+        for i in 1..=400 {
+            let x = i as f64 / 100.0;
+            let y = p.eval(x);
+            assert!(y >= prev - 1e-12, "not monotone at x = {x}");
+            assert!((-1e-12..=1.0 + 1e-12).contains(&y), "overshoot at x = {x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn pchip_two_points_is_linear() {
+        let p = Pchip::new(vec![0.0, 2.0], vec![0.0, 4.0]).unwrap();
+        assert!((p.eval(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pchip_interpolates_nodes_exactly() {
+        let p = Pchip::new(vec![0.0, 1.0, 3.0], vec![2.0, 5.0, 4.0]).unwrap();
+        assert!((p.eval(1.0) - 5.0).abs() < 1e-12);
+        assert!((p.eval(3.0) - 4.0).abs() < 1e-12);
+    }
+}

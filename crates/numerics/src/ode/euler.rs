@@ -1,0 +1,108 @@
+//! Explicit (forward) Euler — the baseline integrator for ablation benches.
+
+use crate::ode::solution::OdeSolution;
+use crate::ode::OdeRhs;
+use crate::{NumericsError, Result};
+
+/// Forward Euler with a fixed step count.
+///
+/// First-order accurate; present to quantify, in the solver ablation bench,
+/// how much accuracy the higher-order methods buy on the device transient.
+///
+/// # Example
+///
+/// ```
+/// use gnr_numerics::ode::ExplicitEuler;
+///
+/// let sol = ExplicitEuler::new(10_000)
+///     .integrate(|_t, y: &[f64], d: &mut [f64]| d[0] = -y[0], 0.0, &[1.0], 1.0)
+///     .unwrap();
+/// assert!((sol.final_state()[0] - (-1.0f64).exp()).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplicitEuler {
+    steps: usize,
+}
+
+impl ExplicitEuler {
+    /// Creates an integrator that takes exactly `steps` equal steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    #[must_use]
+    pub fn new(steps: usize) -> Self {
+        assert!(steps > 0, "ExplicitEuler requires at least one step");
+        Self { steps }
+    }
+
+    /// Integrates `dy/dt = rhs(t, y)` from `(t0, y0)` to `t_end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInput`] for an empty state or a
+    /// non-increasing interval.
+    pub fn integrate<R: OdeRhs>(
+        &self,
+        rhs: R,
+        t0: f64,
+        y0: &[f64],
+        t_end: f64,
+    ) -> Result<OdeSolution> {
+        if y0.is_empty() {
+            return Err(NumericsError::InvalidInput("empty initial state".into()));
+        }
+        if !(t_end - t0).is_finite() || t_end <= t0 {
+            return Err(NumericsError::InvalidInput(format!(
+                "integration interval [{t0}, {t_end}] must be finite and increasing"
+            )));
+        }
+        let n = y0.len();
+        let h = (t_end - t0) / self.steps as f64;
+        let mut sol = OdeSolution::new();
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        let mut f = vec![0.0; n];
+
+        rhs.eval(t, &y, &mut f);
+        sol.record_rhs_evals(1);
+        sol.push(t, &y, &f);
+
+        for step in 0..self.steps {
+            for i in 0..n {
+                y[i] += h * f[i];
+            }
+            t = t0 + (step + 1) as f64 * h;
+            rhs.eval(t, &y, &mut f);
+            sol.record_rhs_evals(1);
+            sol.record_accept();
+            sol.push(t, &y, &f);
+        }
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_convergence() {
+        let rhs = |_t: f64, y: &[f64], d: &mut [f64]| d[0] = -y[0];
+        let exact = (-1.0f64).exp();
+        let err = |steps: usize| {
+            let sol = ExplicitEuler::new(steps).integrate(rhs, 0.0, &[1.0], 1.0).unwrap();
+            (sol.final_state()[0] - exact).abs()
+        };
+        let ratio = err(100) / err(200);
+        assert!(ratio > 1.8 && ratio < 2.2, "observed order ratio {ratio}");
+    }
+
+    #[test]
+    fn exact_for_constant_rhs() {
+        let sol = ExplicitEuler::new(7)
+            .integrate(|_t, _y: &[f64], d: &mut [f64]| d[0] = 3.0, 0.0, &[1.0], 7.0)
+            .unwrap();
+        assert!((sol.final_state()[0] - 22.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Scalar root finding: bisection, Brent's method and damped Newton.
+//!
+//! Used to invert device relations — e.g. "which control-gate voltage
+//! produces a target tunneling current density" in the ISPP verify loop, and
+//! threshold extraction from read-current curves.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_numerics::roots::brent;
+//!
+//! let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14, 100).unwrap();
+//! assert!((root - 2.0f64.sqrt()).abs() < 1e-12);
+//! ```
+
+use crate::{NumericsError, Result};
+
+/// Bisection on `[lo, hi]`; requires a sign change.
+///
+/// Robust and guaranteed to converge linearly; preferred when the function
+/// is expensive but monotone and the bracket is known.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidBracket`] when `f(lo)` and `f(hi)` have the same
+/// sign, [`NumericsError::NoConvergence`] if `max_iter` is exhausted before
+/// the interval shrinks below `tol`, and [`NumericsError::InvalidInput`] for
+/// a degenerate interval or non-positive tolerance.
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    if !(lo < hi) {
+        return Err(NumericsError::InvalidInput(format!(
+            "bisect requires lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    if tol <= 0.0 {
+        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || (b - a) < tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumericsError::NoConvergence { method: "bisect", iterations: max_iter })
+}
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection).
+///
+/// Superlinear convergence with bisection's robustness; the default root
+/// finder throughout the workspace.
+///
+/// # Errors
+///
+/// As for [`bisect`].
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    if !(lo < hi) {
+        return Err(NumericsError::InvalidInput(format!(
+            "brent requires lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    if tol <= 0.0 {
+        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        core::mem::swap(&mut a, &mut b);
+        core::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo_bound = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo_bound.min(b)) && (s < lo_bound.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= d.abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && d.abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c - b;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            core::mem::swap(&mut a, &mut b);
+            core::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::NoConvergence { method: "brent", iterations: max_iter })
+}
+
+/// Damped Newton–Raphson with a numerically differenced derivative.
+///
+/// Falls back to halving the step when the residual does not decrease.
+///
+/// # Errors
+///
+/// [`NumericsError::NoConvergence`] if the residual does not drop below
+/// `tol` in `max_iter` iterations, [`NumericsError::InvalidInput`] for a
+/// non-positive tolerance or a vanishing derivative at an iterate.
+pub fn newton<F: Fn(f64) -> f64>(f: F, x0: f64, tol: f64, max_iter: usize) -> Result<f64> {
+    if tol <= 0.0 {
+        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+    }
+    let mut x = x0;
+    let mut fx = f(x);
+    for _ in 0..max_iter {
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        let h = 1e-7 * x.abs().max(1e-7);
+        let dfx = (f(x + h) - f(x - h)) / (2.0 * h);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericsError::InvalidInput(format!(
+                "newton: derivative vanished at x = {x}"
+            )));
+        }
+        let mut step = fx / dfx;
+        // Damping: halve until the residual shrinks (at most 20 times).
+        let mut accepted = false;
+        for _ in 0..20 {
+            let x_new = x - step;
+            let f_new = f(x_new);
+            if f_new.abs() < fx.abs() {
+                x = x_new;
+                fx = f_new;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            return Err(NumericsError::NoConvergence { method: "newton", iterations: max_iter });
+        }
+    }
+    Err(NumericsError::NoConvergence { method: "newton", iterations: max_iter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100);
+        assert!(matches!(e, Err(NumericsError::InvalidBracket { .. })));
+    }
+
+    #[test]
+    fn bisect_returns_exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn brent_finds_transcendental_root() {
+        // x e^x = 1 → x = W(1) ≈ 0.5671432904.
+        let r = brent(|x| x * x.exp() - 1.0, 0.0, 1.0, 1e-15, 100).unwrap();
+        assert!((r - 0.567_143_290_409_783_8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_beats_bisection_on_iterations() {
+        // Count function evaluations via a cell.
+        use core::cell::Cell;
+        let count = Cell::new(0usize);
+        let f = |x: f64| {
+            count.set(count.get() + 1);
+            x.tanh() - 0.5
+        };
+        let _ = brent(f, -5.0, 5.0, 1e-13, 200).unwrap();
+        let brent_evals = count.get();
+        count.set(0);
+        let _ = bisect(f, -5.0, 5.0, 1e-13, 200).unwrap();
+        let bisect_evals = count.get();
+        assert!(brent_evals < bisect_evals, "{brent_evals} !< {bisect_evals}");
+    }
+
+    #[test]
+    fn newton_converges_quadratically_near_root() {
+        let r = newton(|x| x * x * x - 8.0, 3.0, 1e-12, 100).unwrap();
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_flat_function_errors() {
+        let e = newton(|_| 1.0, 0.0, 1e-12, 10);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn negative_tolerance_rejected_everywhere() {
+        assert!(bisect(|x| x, -1.0, 1.0, -1.0, 10).is_err());
+        assert!(brent(|x| x, -1.0, 1.0, 0.0, 10).is_err());
+        assert!(newton(|x| x, 1.0, -0.5, 10).is_err());
+    }
+}

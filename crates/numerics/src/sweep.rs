@@ -1,0 +1,116 @@
+//! Parallel parameter sweeps over crossbeam scoped threads.
+//!
+//! Every figure of the paper is a sweep (over `VGS`, `GCR`, `XTO`); this
+//! module evaluates the grid points in parallel while preserving input
+//! order in the output.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_numerics::sweep::parallel_map;
+//!
+//! let squares = parallel_map(&[1.0f64, 2.0, 3.0, 4.0], |&x| x * x);
+//! assert_eq!(squares, vec![1.0, 4.0, 9.0, 16.0]);
+//! ```
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving order.
+///
+/// Spawns at most `available_parallelism` worker threads (and no more than
+/// one per item); falls back to a sequential map for tiny inputs where
+/// thread startup would dominate.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    const SEQUENTIAL_CUTOFF: usize = 8;
+    if items.len() <= SEQUENTIAL_CUTOFF {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(items.len());
+
+    let results: Mutex<Vec<Option<U>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let value = f(&items[idx]);
+                results.lock()[idx] = Some(value);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every index was computed"))
+        .collect()
+}
+
+/// Cartesian product of two parameter slices, row-major
+/// (`a[0]` paired with every `b`, then `a[1]`, …).
+pub fn grid<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_large_inputs() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, |&i| i * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn sequential_cutoff_path() {
+        let out = parallel_map(&[1, 2, 3], |&i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], |&i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let g = grid(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], (1, "a"));
+        assert_eq!(g[2], (1, "c"));
+        assert_eq!(g[3], (2, "a"));
+    }
+
+    #[test]
+    fn parallel_map_runs_closures_with_captures() {
+        let offset = 100.0;
+        let items: Vec<f64> = (0..64).map(f64::from).collect();
+        let out = parallel_map(&items, |&x| x + offset);
+        assert_eq!(out[63], 163.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the numerical substrate.
+
+use gnr_numerics::integrate::{adaptive_simpson, gauss_legendre_composite, simpson};
+use gnr_numerics::interp::CubicSpline;
+use gnr_numerics::linalg::{solve_tridiagonal, Matrix};
+use gnr_numerics::ode::{Dopri45, OdeOptions, Rk4, Sdirk2};
+use gnr_numerics::regression::{polyfit, polyval};
+use gnr_numerics::roots::{bisect, brent};
+use gnr_numerics::stats::Summary;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both bracketing root finders locate the root of a random monotone
+    /// cubic.
+    #[test]
+    fn root_finders_agree(root in -5.0f64..5.0, scale in 0.1f64..10.0) {
+        let f = move |x: f64| scale * ((x - root).powi(3) + (x - root));
+        let lo = root - 10.0;
+        let hi = root + 10.0;
+        let rb = bisect(f, lo, hi, 1e-12, 500).unwrap();
+        let rr = brent(f, lo, hi, 1e-12, 500).unwrap();
+        prop_assert!((rb - root).abs() < 1e-9);
+        prop_assert!((rr - root).abs() < 1e-9);
+    }
+
+    /// Simpson is exact for random cubics; Gauss for random quintics.
+    #[test]
+    fn quadrature_exactness(
+        c0 in -3.0f64..3.0, c1 in -3.0f64..3.0, c2 in -3.0f64..3.0, c3 in -3.0f64..3.0,
+        a in -2.0f64..0.0, b in 0.1f64..2.0,
+    ) {
+        let f = move |x: f64| c0 + c1 * x + c2 * x * x + c3 * x * x * x;
+        let exact = |x: f64| c0 * x + c1 * x * x / 2.0 + c2 * x * x * x / 3.0
+            + c3 * x * x * x * x / 4.0;
+        let integral = exact(b) - exact(a);
+        let s = simpson(f, a, b, 64);
+        prop_assert!((s - integral).abs() <= 1e-9 * integral.abs().max(1.0));
+        let g = gauss_legendre_composite(f, a, b, 2);
+        prop_assert!((g - integral).abs() <= 1e-10 * integral.abs().max(1.0));
+        let ad = adaptive_simpson(f, a, b, 1e-12, 40).unwrap();
+        prop_assert!((ad - integral).abs() <= 1e-8 * integral.abs().max(1.0));
+    }
+
+    /// polyfit ∘ polyval is the identity on random quadratics.
+    #[test]
+    fn polyfit_round_trip(c0 in -5.0f64..5.0, c1 in -5.0f64..5.0, c2 in -5.0f64..5.0) {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 / 2.0 - 3.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        for &x in &xs {
+            let err = (polyval(&c, x) - (c0 + c1 * x + c2 * x * x)).abs();
+            prop_assert!(err < 1e-7, "err {err}");
+        }
+    }
+
+    /// Tridiagonal Thomas and dense LU agree on random diagonally
+    /// dominant systems.
+    #[test]
+    fn tridiagonal_matches_dense(
+        diag_boost in 2.5f64..10.0,
+        vals in proptest::collection::vec(-1.0f64..1.0, 12),
+    ) {
+        let n = 4;
+        let sub: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { vals[i] }).collect();
+        let sup: Vec<f64> = (0..n).map(|i| if i == n - 1 { 0.0 } else { vals[4 + i] }).collect();
+        let diag: Vec<f64> = (0..n).map(|i| diag_boost + vals[8 + i].abs()).collect();
+        let rhs = [1.0, -2.0, 3.0, -4.0];
+
+        let x_tri = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, diag[i]);
+            if i > 0 {
+                m.set(i, i - 1, sub[i]);
+            }
+            if i < n - 1 {
+                m.set(i, i + 1, sup[i]);
+            }
+        }
+        let x_dense = m.solve(&rhs).unwrap();
+        for (a, b) in x_tri.iter().zip(&x_dense) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// All three production integrators agree on random linear systems.
+    #[test]
+    fn integrators_cross_validate(lambda in 0.1f64..3.0, y0 in 0.5f64..2.0) {
+        let rhs = move |_t: f64, y: &[f64], d: &mut [f64]| d[0] = -lambda * y[0];
+        let exact = y0 * (-lambda).exp();
+        let dp = Dopri45::new(OdeOptions::with_tolerances(1e-10, 1e-12))
+            .integrate(rhs, 0.0, &[y0], 1.0).unwrap().final_state()[0];
+        let rk = Rk4::new(500).integrate(rhs, 0.0, &[y0], 1.0).unwrap().final_state()[0];
+        let sd = Sdirk2::new(500).integrate(rhs, 0.0, &[y0], 1.0).unwrap().final_state()[0];
+        prop_assert!((dp - exact).abs() < 1e-8);
+        prop_assert!((rk - exact).abs() < 1e-8);
+        prop_assert!((sd - exact).abs() < 1e-4);
+    }
+
+    /// Spline interpolation reproduces its nodes for random data.
+    #[test]
+    fn spline_hits_nodes(ys in proptest::collection::vec(-10.0f64..10.0, 5..10)) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let sp = CubicSpline::new(xs.clone(), ys.clone()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            prop_assert!((sp.eval(*x) - y).abs() < 1e-9);
+        }
+    }
+
+    /// Summary statistics are translation-equivariant.
+    #[test]
+    fn summary_translation(
+        samples in proptest::collection::vec(-100.0f64..100.0, 5..40),
+        shift in -50.0f64..50.0,
+    ) {
+        let s1 = Summary::from_samples(&samples).unwrap();
+        let shifted: Vec<f64> = samples.iter().map(|x| x + shift).collect();
+        let s2 = Summary::from_samples(&shifted).unwrap();
+        prop_assert!((s2.mean - s1.mean - shift).abs() < 1e-9);
+        prop_assert!((s2.std_dev - s1.std_dev).abs() < 1e-9);
+        prop_assert!((s2.median - s1.median - shift).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the tunneling physics.
+
+use gnr_tunneling::direct::DirectTunnelingModel;
+use gnr_tunneling::fn_model::FnModel;
+use gnr_tunneling::fn_plot::{extract_params, generate_plot};
+use gnr_tunneling::nordheim::{nordheim_t, nordheim_v, ImageForceFnModel};
+use gnr_tunneling::wkb::BarrierProfile;
+use gnr_tunneling::TunnelingModel;
+use gnr_units::{ElectricField, Energy, Length, Mass, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FN-plot extraction round-trips the model parameters for any
+    /// physical (ΦB, m_ox).
+    #[test]
+    fn fn_plot_round_trip(phi_ev in 2.0f64..4.5, m_ratio in 0.2f64..0.9) {
+        let model = FnModel::new(
+            Energy::from_ev(phi_ev),
+            Mass::from_electron_masses(m_ratio),
+        );
+        let fields: Vec<ElectricField> = (0..20)
+            .map(|i| ElectricField::from_volts_per_meter(8.0e8 + 5.0e7 * f64::from(i)))
+            .collect();
+        let pts = generate_plot(&model, &fields);
+        let ex = extract_params(&pts).unwrap();
+        let c = model.coefficients();
+        prop_assert!((ex.b - c.b).abs() / c.b < 1e-6);
+        prop_assert!((ex.a - c.a).abs() / c.a < 1e-4);
+    }
+
+    /// The unified direct/FN model is continuous at the regime boundary
+    /// for any barrier/thickness.
+    #[test]
+    fn direct_fn_continuity(phi_ev in 2.5f64..4.0, t_nm in 3.0f64..9.0) {
+        let m = DirectTunnelingModel::new(
+            Energy::from_ev(phi_ev),
+            Mass::from_electron_masses(0.42),
+            Length::from_nanometers(t_nm),
+        );
+        let v_star = phi_ev; // qVox = ΦB boundary
+        let below = m
+            .current_density_for_drop(Voltage::from_volts(v_star * 0.999))
+            .as_amps_per_square_meter();
+        let above = m
+            .current_density_for_drop(Voltage::from_volts(v_star * 1.001))
+            .as_amps_per_square_meter();
+        prop_assert!(below > 0.0 && above > 0.0);
+        prop_assert!((below / above).ln().abs() < 0.5, "jump {below:e} vs {above:e}");
+    }
+
+    /// Nordheim functions are bounded and complementary on [0, 1].
+    #[test]
+    fn nordheim_bounds(f in 0.0f64..1.0) {
+        let v = nordheim_v(f);
+        let t = nordheim_t(f);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((1.0..1.2).contains(&t));
+    }
+
+    /// The image-force correction never reduces the current and never
+    /// breaks the odd symmetry.
+    #[test]
+    fn image_force_invariants(phi_ev in 2.5f64..4.5, e in 3.0e8f64..2.5e9) {
+        let base = FnModel::new(Energy::from_ev(phi_ev), Mass::from_electron_masses(0.42));
+        let image = ImageForceFnModel::new(base, 3.9);
+        let field = ElectricField::from_volts_per_meter(e);
+        let j_base = base.current_density(field).as_amps_per_square_meter();
+        let j_img = TunnelingModel::current_density(&image, field).as_amps_per_square_meter();
+        prop_assert!(j_img >= j_base);
+        let j_rev = TunnelingModel::current_density(&image, -field).as_amps_per_square_meter();
+        prop_assert!((j_img + j_rev).abs() <= 1e-12 * j_img.abs().max(1e-300));
+    }
+
+    /// The WKB exponent of a fully-tilted triangular barrier matches the
+    /// analytic −B/E for random physical parameters.
+    #[test]
+    fn wkb_matches_analytic(
+        phi_ev in 2.5f64..4.0,
+        m_ratio in 0.3f64..0.6,
+        e in 1.0e9f64..3.0e9,
+    ) {
+        let m_ox = Mass::from_electron_masses(m_ratio);
+        // Ensure the barrier is fully tilted through the film: qEt > ΦB.
+        let t_nm = (phi_ev / e * 1.0e9) * 2.0;
+        let profile = BarrierProfile::ideal(
+            Energy::from_ev(phi_ev),
+            Length::from_nanometers(t_nm),
+            ElectricField::from_volts_per_meter(e),
+        );
+        let wkb = profile.fermi_level_exponent(m_ox);
+        let b = FnModel::new(Energy::from_ev(phi_ev), m_ox).coefficients().b;
+        let analytic = -b / e;
+        prop_assert!(((wkb - analytic) / analytic).abs() < 5e-3, "wkb {wkb} vs {analytic}");
+    }
+
+    /// Transmission is a probability for arbitrary energies and barriers.
+    #[test]
+    fn transmission_is_probability(
+        phi_ev in 1.0f64..5.0,
+        t_nm in 1.0f64..10.0,
+        e_field in 0.0f64..2.0e9,
+        e_x_ev in -1.0f64..6.0,
+    ) {
+        let profile = BarrierProfile::ideal(
+            Energy::from_ev(phi_ev),
+            Length::from_nanometers(t_nm),
+            ElectricField::from_volts_per_meter(e_field),
+        );
+        let t = profile.transmission(
+            Energy::from_ev(e_x_ev),
+            Mass::from_electron_masses(0.42),
+        );
+        prop_assert!((0.0..=1.0).contains(&t), "T = {t}");
+    }
+}

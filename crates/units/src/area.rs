@@ -1,0 +1,62 @@
+//! Area in square meters (gate, overlap and cell areas).
+
+quantity!(
+    /// An area in square meters.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::Area;
+    ///
+    /// let gate = Area::from_square_nanometers(22.0 * 22.0);
+    /// assert!((gate.as_square_meters() - 4.84e-16).abs() < 1e-28);
+    /// ```
+    Area,
+    "m\u{00b2}",
+    from_square_meters,
+    as_square_meters
+);
+
+impl Area {
+    /// Creates an area from square nanometers.
+    #[must_use]
+    pub const fn from_square_nanometers(nm2: f64) -> Self {
+        Self::from_square_meters(nm2 * 1.0e-18)
+    }
+
+    /// Returns the area in square nanometers.
+    #[must_use]
+    pub fn as_square_nanometers(self) -> f64 {
+        self.as_square_meters() * 1.0e18
+    }
+
+    /// Creates an area from square centimeters (device-physics convention).
+    #[must_use]
+    pub const fn from_square_centimeters(cm2: f64) -> Self {
+        Self::from_square_meters(cm2 * 1.0e-4)
+    }
+
+    /// Returns the area in square centimeters.
+    #[must_use]
+    pub fn as_square_centimeters(self) -> f64 {
+        self.as_square_meters() * 1.0e4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_centimeter_round_trip() {
+        let a = Area::from_square_centimeters(1.0);
+        assert!((a.as_square_meters() - 1e-4).abs() < 1e-16);
+        assert!((a.as_square_centimeters() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_nanometer_round_trip() {
+        let a = Area::from_square_nanometers(484.0);
+        assert!((a.as_square_nanometers() - 484.0).abs() < 1e-9);
+    }
+}

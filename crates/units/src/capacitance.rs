@@ -1,0 +1,112 @@
+//! Capacitance (farads) and capacitance per area (F/m²) — the floating-gate
+//! capacitance network of eq. (2).
+
+use crate::{Area, Charge, Voltage};
+
+quantity!(
+    /// A capacitance in farads.
+    ///
+    /// Nanoscale floating-gate capacitances are attofarads;
+    /// display formatting handles the prefixes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::{Capacitance, Voltage};
+    ///
+    /// let c = Capacitance::from_farads(1.92e-18);
+    /// let q = c * Voltage::from_volts(3.0);
+    /// assert!((q.as_coulombs() - 5.76e-18).abs() < 1e-30);
+    /// ```
+    Capacitance,
+    "F",
+    from_farads,
+    as_farads
+);
+
+quantity!(
+    /// A capacitance per unit area in farads per square meter
+    /// (parallel-plate oxide capacitance `ε₀·ε_r / thickness`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::{CapacitancePerArea, Area};
+    ///
+    /// let cpa = CapacitancePerArea::from_farads_per_square_meter(6.9e-3);
+    /// let c = cpa * Area::from_square_nanometers(484.0);
+    /// assert!(c.as_farads() > 0.0);
+    /// ```
+    CapacitancePerArea,
+    "F/m\u{00b2}",
+    from_farads_per_square_meter,
+    as_farads_per_square_meter
+);
+
+impl Capacitance {
+    /// Creates a capacitance from attofarads.
+    #[must_use]
+    pub const fn from_attofarads(af: f64) -> Self {
+        Self::from_farads(af * 1.0e-18)
+    }
+
+    /// Returns the capacitance in attofarads.
+    #[must_use]
+    pub fn as_attofarads(self) -> f64 {
+        self.as_farads() * 1.0e18
+    }
+}
+
+impl core::ops::Mul<Voltage> for Capacitance {
+    type Output = Charge;
+    fn mul(self, rhs: Voltage) -> Charge {
+        Charge::from_coulombs(self.as_farads() * rhs.as_volts())
+    }
+}
+
+impl core::ops::Mul<Capacitance> for Voltage {
+    type Output = Charge;
+    fn mul(self, rhs: Capacitance) -> Charge {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<Area> for CapacitancePerArea {
+    type Output = Capacitance;
+    fn mul(self, rhs: Area) -> Capacitance {
+        Capacitance::from_farads(self.as_farads_per_square_meter() * rhs.as_square_meters())
+    }
+}
+
+impl core::ops::Mul<CapacitancePerArea> for Area {
+    type Output = Capacitance;
+    fn mul(self, rhs: CapacitancePerArea) -> Capacitance {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attofarad_round_trip() {
+        let c = Capacitance::from_attofarads(1.92);
+        assert!((c.as_farads() - 1.92e-18).abs() < 1e-30);
+        assert!((c.as_attofarads() - 1.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitance_voltage_commutes() {
+        let c = Capacitance::from_attofarads(2.0);
+        let v = Voltage::from_volts(1.5);
+        assert_eq!((c * v).as_coulombs(), (v * c).as_coulombs());
+    }
+
+    #[test]
+    fn per_area_times_area() {
+        let cpa = CapacitancePerArea::from_farads_per_square_meter(1.0e-2);
+        let a = Area::from_square_meters(1.0e-16);
+        assert!(((cpa * a).as_farads() - 1.0e-18).abs() < 1e-30);
+    }
+}

@@ -1,0 +1,94 @@
+//! CODATA-2018 physical constants used throughout the simulator.
+//!
+//! All values are exact where the SI redefinition fixed them (charge, Planck,
+//! Boltzmann) and CODATA-2018 recommended values otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_units::constants;
+//!
+//! // The FN exponent prefactor 4/3 * sqrt(2 m) / (q ħ) is finite and positive.
+//! let b = 4.0 / 3.0 * (2.0 * constants::ELECTRON_MASS).sqrt()
+//!     / (constants::ELEMENTARY_CHARGE * constants::REDUCED_PLANCK);
+//! assert!(b.is_finite() && b > 0.0);
+//! ```
+
+use crate::{Energy, Temperature, Voltage};
+
+/// Elementary charge `q` in coulombs (exact).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Planck constant `h` in joule-seconds (exact).
+pub const PLANCK: f64 = 6.626_070_15e-34;
+
+/// Reduced Planck constant `ħ = h / 2π` in joule-seconds.
+pub const REDUCED_PLANCK: f64 = PLANCK / (2.0 * core::f64::consts::PI);
+
+/// Free-electron rest mass `m₀` in kilograms (CODATA 2018).
+pub const ELECTRON_MASS: f64 = 9.109_383_701_5e-31;
+
+/// Vacuum permittivity `ε₀` in farads per meter (CODATA 2018).
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
+
+/// Boltzmann constant `k_B` in joules per kelvin (exact).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// One electron-volt in joules (exact, equals [`ELEMENTARY_CHARGE`]).
+pub const ELECTRON_VOLT: f64 = ELEMENTARY_CHARGE;
+
+/// Speed of light `c` in meters per second (exact).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Room temperature used by default across the simulator (300 K).
+pub const ROOM_TEMPERATURE_KELVIN: f64 = 300.0;
+
+/// Thermal voltage `k_B·T / q` at the given temperature.
+///
+/// # Example
+///
+/// ```
+/// use gnr_units::constants::thermal_voltage;
+/// use gnr_units::Temperature;
+///
+/// let vt = thermal_voltage(Temperature::from_kelvin(300.0));
+/// assert!((vt.as_volts() - 0.02585).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn thermal_voltage(temperature: Temperature) -> Voltage {
+    Voltage::from_volts(BOLTZMANN * temperature.as_kelvin() / ELEMENTARY_CHARGE)
+}
+
+/// Thermal energy `k_B·T` at the given temperature.
+#[must_use]
+pub fn thermal_energy(temperature: Temperature) -> Energy {
+    Energy::from_joules(BOLTZMANN * temperature.as_kelvin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_planck_is_h_over_two_pi() {
+        assert!((REDUCED_PLANCK - 1.054_571_817e-34).abs() / REDUCED_PLANCK < 1e-9);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = thermal_voltage(Temperature::from_kelvin(ROOM_TEMPERATURE_KELVIN));
+        assert!((vt.as_volts() - 0.025_852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn electron_volt_matches_charge() {
+        assert_eq!(ELECTRON_VOLT, ELEMENTARY_CHARGE);
+    }
+
+    #[test]
+    fn thermal_energy_scales_linearly() {
+        let e1 = thermal_energy(Temperature::from_kelvin(100.0));
+        let e3 = thermal_energy(Temperature::from_kelvin(300.0));
+        assert!((e3.as_joules() / e1.as_joules() - 3.0).abs() < 1e-12);
+    }
+}

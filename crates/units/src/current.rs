@@ -1,0 +1,135 @@
+//! Current (amperes) and current density (amperes per square meter).
+
+use crate::{Area, Charge, Time};
+
+quantity!(
+    /// An electric current in amperes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::{Current, Time};
+    ///
+    /// let i = Current::from_amps(1e-9);
+    /// let q = i * Time::from_seconds(1e-6);
+    /// assert!((q.as_coulombs() - 1e-15).abs() < 1e-27);
+    /// ```
+    Current,
+    "A",
+    from_amps,
+    as_amps
+);
+
+quantity!(
+    /// A current density in amperes per square meter.
+    ///
+    /// The tunneling literature (and the paper's figures) uses A/cm²;
+    /// 1 A/cm² = 10⁴ A/m².
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::CurrentDensity;
+    ///
+    /// let j = CurrentDensity::from_amps_per_square_centimeter(1.0);
+    /// assert_eq!(j.as_amps_per_square_meter(), 1.0e4);
+    /// ```
+    CurrentDensity,
+    "A/m\u{00b2}",
+    from_amps_per_square_meter,
+    as_amps_per_square_meter
+);
+
+impl Current {
+    /// Creates a current from nanoamperes (FN programming currents are < 1 nA
+    /// per cell, §II of the paper).
+    #[must_use]
+    pub const fn from_nanoamps(na: f64) -> Self {
+        Self::from_amps(na * 1.0e-9)
+    }
+
+    /// Returns the current in nanoamperes.
+    #[must_use]
+    pub fn as_nanoamps(self) -> f64 {
+        self.as_amps() * 1.0e9
+    }
+
+    /// Creates a current from milliamperes (CHE programming currents are
+    /// 0.3–1 mA, §II of the paper).
+    #[must_use]
+    pub const fn from_milliamps(ma: f64) -> Self {
+        Self::from_amps(ma * 1.0e-3)
+    }
+
+    /// Returns the current in milliamperes.
+    #[must_use]
+    pub fn as_milliamps(self) -> f64 {
+        self.as_amps() * 1.0e3
+    }
+}
+
+impl CurrentDensity {
+    /// Creates a current density from A/cm².
+    #[must_use]
+    pub const fn from_amps_per_square_centimeter(a_cm2: f64) -> Self {
+        Self::from_amps_per_square_meter(a_cm2 * 1.0e4)
+    }
+
+    /// Returns the current density in A/cm².
+    #[must_use]
+    pub fn as_amps_per_square_centimeter(self) -> f64 {
+        self.as_amps_per_square_meter() * 1.0e-4
+    }
+}
+
+impl core::ops::Mul<Area> for CurrentDensity {
+    type Output = Current;
+    fn mul(self, rhs: Area) -> Current {
+        Current::from_amps(self.as_amps_per_square_meter() * rhs.as_square_meters())
+    }
+}
+
+impl core::ops::Mul<CurrentDensity> for Area {
+    type Output = Current;
+    fn mul(self, rhs: CurrentDensity) -> Current {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<Time> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::from_coulombs(self.as_amps() * rhs.as_seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_times_area_is_current() {
+        let j = CurrentDensity::from_amps_per_square_centimeter(100.0);
+        let a = Area::from_square_centimeters(0.01);
+        assert!(((j * a).as_amps() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanoamp_round_trip() {
+        let i = Current::from_nanoamps(0.5);
+        assert!((i.as_amps() - 5e-10).abs() < 1e-22);
+        assert!((i.as_nanoamps() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_per_cm2_round_trip() {
+        let j = CurrentDensity::from_amps_per_square_centimeter(2.5);
+        assert!((j.as_amps_per_square_centimeter() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_time_charge() {
+        let q = Current::from_amps(2.0) * Time::from_seconds(3.0);
+        assert_eq!(q.as_coulombs(), 6.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Energy in joules with electron-volt conveniences (barrier heights, band
+//! offsets, work functions).
+
+use crate::constants::ELECTRON_VOLT;
+
+quantity!(
+    /// An energy in joules.
+    ///
+    /// Barrier heights and work functions are quoted in eV;
+    /// [`Energy::from_ev`] / [`Energy::as_ev`] convert exactly.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::Energy;
+    ///
+    /// let phi_b = Energy::from_ev(3.2);
+    /// assert!((phi_b.as_joules() - 5.127e-19).abs() < 1e-21);
+    /// ```
+    Energy,
+    "J",
+    from_joules,
+    as_joules
+);
+
+impl Energy {
+    /// Creates an energy from electron-volts.
+    #[must_use]
+    pub fn from_ev(ev: f64) -> Self {
+        Self::from_joules(ev * ELECTRON_VOLT)
+    }
+
+    /// Returns the energy in electron-volts.
+    #[must_use]
+    pub fn as_ev(self) -> f64 {
+        self.as_joules() / ELECTRON_VOLT
+    }
+
+    /// Raises the energy to the 3/2 power, returning J^{3/2}
+    /// (the FN exponent uses `ΦB^{3/2}`; this keeps the call sites honest
+    /// about leaving the unit system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the energy is negative (no real 3/2 power exists).
+    #[must_use]
+    pub fn pow_three_halves(self) -> f64 {
+        assert!(
+            self.as_joules() >= 0.0,
+            "pow_three_halves requires a non-negative energy"
+        );
+        self.as_joules().powf(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ev_round_trip() {
+        let e = Energy::from_ev(3.2);
+        assert!((e.as_ev() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_halves_power_of_barrier() {
+        let phi = Energy::from_ev(3.2);
+        let expected = (3.2 * ELECTRON_VOLT).powf(1.5);
+        assert!((phi.pow_three_halves() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn three_halves_power_rejects_negative() {
+        let _ = Energy::from_ev(-1.0).pow_three_halves();
+    }
+}

@@ -1,0 +1,76 @@
+//! Electric field in volts per meter (oxide fields driving tunneling).
+
+use crate::{Length, Voltage};
+
+quantity!(
+    /// An electric field in volts per meter.
+    ///
+    /// Device literature quotes oxide fields in MV/cm;
+    /// [`ElectricField::as_megavolts_per_centimeter`] converts
+    /// (1 MV/cm = 10⁸ V/m).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::ElectricField;
+    ///
+    /// let e = ElectricField::from_volts_per_meter(1.8e9);
+    /// assert!((e.as_megavolts_per_centimeter() - 18.0).abs() < 1e-9);
+    /// ```
+    ElectricField,
+    "V/m",
+    from_volts_per_meter,
+    as_volts_per_meter
+);
+
+impl ElectricField {
+    /// Creates a field from megavolts per centimeter.
+    #[must_use]
+    pub const fn from_megavolts_per_centimeter(mv_cm: f64) -> Self {
+        Self::from_volts_per_meter(mv_cm * 1.0e8)
+    }
+
+    /// Returns the field in megavolts per centimeter.
+    #[must_use]
+    pub fn as_megavolts_per_centimeter(self) -> f64 {
+        self.as_volts_per_meter() * 1.0e-8
+    }
+}
+
+impl core::ops::Mul<Length> for ElectricField {
+    type Output = Voltage;
+    fn mul(self, rhs: Length) -> Voltage {
+        Voltage::from_volts(self.as_volts_per_meter() * rhs.as_meters())
+    }
+}
+
+impl core::ops::Mul<ElectricField> for Length {
+    type Output = Voltage;
+    fn mul(self, rhs: ElectricField) -> Voltage {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mv_per_cm_conversion() {
+        let e = ElectricField::from_megavolts_per_centimeter(10.0);
+        assert!((e.as_volts_per_meter() - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn field_times_length_recovers_voltage() {
+        let v = ElectricField::from_volts_per_meter(1.8e9) * Length::from_nanometers(5.0);
+        assert!((v.as_volts() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commuted_multiplication_agrees() {
+        let e = ElectricField::from_volts_per_meter(2.0e8);
+        let d = Length::from_nanometers(12.0);
+        assert_eq!((e * d).as_volts(), (d * e).as_volts());
+    }
+}

@@ -1,0 +1,88 @@
+//! Engineering-notation formatting (SI prefixes) for quantity `Display`
+//! implementations and harness tables.
+//!
+//! # Example
+//!
+//! ```
+//! use gnr_units::fmt_eng::eng;
+//!
+//! assert_eq!(eng(5.0e-9, "m"), "5.000 nm");
+//! assert_eq!(eng(1.8e9, "V/m"), "1.800 GV/m");
+//! assert_eq!(eng(0.0, "A"), "0.000 A");
+//! ```
+
+/// SI prefixes from `1e-24` (yocto) to `1e24` (yotta), index 8 = no prefix.
+const PREFIXES: [&str; 17] = [
+    "y", "z", "a", "f", "p", "n", "\u{00b5}", "m", "", "k", "M", "G", "T", "P", "E", "Z", "Y",
+];
+
+/// Formats `value` with an SI prefix and the given unit symbol.
+///
+/// Non-finite values are rendered as-is (`inf m`, `NaN V`); zero is rendered
+/// without a prefix. Values outside the prefix table saturate at yocto/yotta.
+#[must_use]
+pub fn eng(value: f64, unit: &str) -> String {
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    if value == 0.0 {
+        return format!("0.000 {unit}");
+    }
+    let exponent = value.abs().log10().floor();
+    // Engineering notation: exponent a multiple of 3.
+    let eng_exp = (exponent / 3.0).floor() as i32;
+    let idx = (eng_exp + 8).clamp(0, 16) as usize;
+    let scale = 10f64.powi((idx as i32 - 8) * 3);
+    let scaled = value / scale;
+    format!("{scaled:.3} {}{unit}", PREFIXES[idx])
+}
+
+/// Formats `value` in scientific notation with the unit, for log-scale
+/// series (tunneling currents span > 20 decades).
+#[must_use]
+pub fn sci(value: f64, unit: &str) -> String {
+    format!("{value:.4e} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanometer_range() {
+        assert_eq!(eng(5.0e-9, "m"), "5.000 nm");
+        assert_eq!(eng(-5.0e-9, "m"), "-5.000 nm");
+    }
+
+    #[test]
+    fn unit_range_has_no_prefix() {
+        assert_eq!(eng(2.5, "V"), "2.500 V");
+    }
+
+    #[test]
+    fn giga_range() {
+        assert_eq!(eng(1.8e9, "V/m"), "1.800 GV/m");
+    }
+
+    #[test]
+    fn attofarad_range() {
+        assert_eq!(eng(1.92e-18, "F"), "1.920 aF");
+    }
+
+    #[test]
+    fn saturates_beyond_table() {
+        // 1e30 saturates at yotta (1e24).
+        assert_eq!(eng(1.0e30, "x"), "1000000.000 Yx");
+    }
+
+    #[test]
+    fn non_finite_values_pass_through() {
+        assert_eq!(eng(f64::INFINITY, "A"), "inf A");
+        assert!(eng(f64::NAN, "A").starts_with("NaN"));
+    }
+
+    #[test]
+    fn sci_formats_exponent() {
+        assert_eq!(sci(1.234e-7, "A/m^2"), "1.2340e-7 A/m^2");
+    }
+}

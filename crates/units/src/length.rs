@@ -1,0 +1,107 @@
+//! Length in meters, with nanometer/angstrom conveniences (oxide
+//! thicknesses, ribbon widths, interlayer spacing).
+
+use crate::Area;
+
+quantity!(
+    /// A length in meters.
+    ///
+    /// Oxide thicknesses in the paper are a few nanometers, so
+    /// [`Length::from_nanometers`] is the most common constructor.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::Length;
+    ///
+    /// let x_to = Length::from_nanometers(5.0);
+    /// assert_eq!(x_to.as_meters(), 5.0e-9);
+    /// assert_eq!(x_to.as_nanometers(), 5.0);
+    /// ```
+    Length,
+    "m",
+    from_meters,
+    as_meters
+);
+
+impl Length {
+    /// Creates a length from nanometers.
+    #[must_use]
+    pub const fn from_nanometers(nm: f64) -> Self {
+        Self::from_meters(nm * 1.0e-9)
+    }
+
+    /// Returns the length in nanometers.
+    #[must_use]
+    pub fn as_nanometers(self) -> f64 {
+        self.as_meters() * 1.0e9
+    }
+
+    /// Creates a length from micrometers.
+    #[must_use]
+    pub const fn from_micrometers(um: f64) -> Self {
+        Self::from_meters(um * 1.0e-6)
+    }
+
+    /// Returns the length in micrometers.
+    #[must_use]
+    pub fn as_micrometers(self) -> f64 {
+        self.as_meters() * 1.0e6
+    }
+
+    /// Creates a length from ångströms (graphene lattice scales).
+    #[must_use]
+    pub const fn from_angstroms(a: f64) -> Self {
+        Self::from_meters(a * 1.0e-10)
+    }
+
+    /// Returns the length in ångströms.
+    #[must_use]
+    pub fn as_angstroms(self) -> f64 {
+        self.as_meters() * 1.0e10
+    }
+}
+
+impl core::ops::Mul<Length> for Length {
+    type Output = Area;
+    fn mul(self, rhs: Length) -> Area {
+        Area::from_square_meters(self.as_meters() * rhs.as_meters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanometer_round_trip() {
+        let l = Length::from_nanometers(7.5);
+        assert!((l.as_nanometers() - 7.5).abs() < 1e-12);
+        assert!((l.as_meters() - 7.5e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn angstrom_is_tenth_of_nanometer() {
+        let a = Length::from_angstroms(3.35);
+        assert!((a.as_nanometers() - 0.335).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_times_length_is_area() {
+        let gate = Length::from_nanometers(22.0) * Length::from_nanometers(22.0);
+        assert!((gate.as_square_meters() - 4.84e-16).abs() < 1e-28);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(Length::from_nanometers(5.0).to_string(), "5.000 nm");
+    }
+
+    #[test]
+    fn ordering_and_clamp() {
+        let a = Length::from_nanometers(4.0);
+        let b = Length::from_nanometers(8.0);
+        assert!(a < b);
+        assert_eq!(Length::from_nanometers(10.0).clamp(a, b), b);
+    }
+}

@@ -1,0 +1,99 @@
+//! # gnr-units
+//!
+//! Dimensioned quantities and physical constants for the `gnr-flash`
+//! simulator, a reproduction of Hossain et al., *"Multilayer Layer Graphene
+//! Nanoribbon Flash Memory: Analysis of Programming and Erasing Operation"*
+//! (IEEE SOCC 2014).
+//!
+//! Every physical value exchanged between crates in this workspace is a
+//! newtype over `f64` carrying its SI unit in the type
+//! ([C-NEWTYPE](https://rust-lang.github.io/api-guidelines/type-safety.html)).
+//! Only physically meaningful arithmetic is implemented: dividing a
+//! [`Voltage`] by a [`Length`] yields an [`ElectricField`] (eq. (5) of the
+//! paper), multiplying a [`CurrentDensity`] by an [`Area`] yields a
+//! [`Current`], and so on. Dimensionally nonsensical expressions fail to
+//! compile.
+//!
+//! # Example
+//!
+//! Computing the tunnel-oxide field of the paper's worked example
+//! (`VFG = 9 V` across `XTO = 5 nm`):
+//!
+//! ```
+//! use gnr_units::{Voltage, Length};
+//!
+//! let v_fg = Voltage::from_volts(9.0);
+//! let x_to = Length::from_nanometers(5.0);
+//! let field = v_fg / x_to;
+//! assert!((field.as_volts_per_meter() - 1.8e9).abs() < 1.0);
+//! assert!((field.as_megavolts_per_centimeter() - 18.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+pub mod constants;
+pub mod fmt_eng;
+
+mod area;
+mod capacitance;
+mod charge;
+mod current;
+mod energy;
+mod field;
+mod length;
+mod mass;
+mod temperature;
+mod time;
+mod voltage;
+
+pub use area::Area;
+pub use capacitance::{Capacitance, CapacitancePerArea};
+pub use charge::{Charge, ChargeDensity};
+pub use current::{Current, CurrentDensity};
+pub use energy::Energy;
+pub use field::ElectricField;
+pub use length::Length;
+pub use mass::Mass;
+pub use temperature::Temperature;
+pub use time::Time;
+pub use voltage::Voltage;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_quantity_ops_compose() {
+        let v = Voltage::from_volts(9.0);
+        let d = Length::from_nanometers(5.0);
+        let e = v / d;
+        assert!((e.as_volts_per_meter() - 1.8e9).abs() < 1e-3);
+        // Round trip: E * d == v.
+        let v2 = e * d;
+        assert!((v2.as_volts() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_capacitance_voltage_triangle() {
+        let c = Capacitance::from_farads(2e-18);
+        let v = Voltage::from_volts(3.0);
+        let q = c * v;
+        assert!((q.as_coulombs() - 6e-18).abs() < 1e-30);
+        let v2 = q / c;
+        assert!((v2.as_volts() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_area_time_chain() {
+        let j = CurrentDensity::from_amps_per_square_meter(1e6);
+        let a = Area::from_square_nanometers(22.0 * 22.0);
+        let i = j * a;
+        let q = i * Time::from_seconds(1e-9);
+        assert!(q.as_coulombs() > 0.0);
+        assert!(q.as_electrons() > 1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Mass in kilograms with electron-mass conveniences (effective tunneling
+//! masses `m_ox`).
+
+use crate::constants::ELECTRON_MASS;
+
+quantity!(
+    /// A mass in kilograms.
+    ///
+    /// Effective tunneling masses are quoted as multiples of the free
+    /// electron mass `m₀` (SiO₂: `0.42 m₀` after Lenzlinger–Snow).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::Mass;
+    ///
+    /// let m_ox = Mass::from_electron_masses(0.42);
+    /// assert!((m_ox.as_electron_masses() - 0.42).abs() < 1e-12);
+    /// ```
+    Mass,
+    "kg",
+    from_kilograms,
+    as_kilograms
+);
+
+impl Mass {
+    /// Creates a mass from multiples of the free electron mass `m₀`.
+    #[must_use]
+    pub fn from_electron_masses(ratio: f64) -> Self {
+        Self::from_kilograms(ratio * ELECTRON_MASS)
+    }
+
+    /// Returns the mass as a multiple of the free electron mass `m₀`.
+    #[must_use]
+    pub fn as_electron_masses(self) -> f64 {
+        self.as_kilograms() / ELECTRON_MASS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn electron_mass_round_trip() {
+        let m = Mass::from_electron_masses(0.42);
+        assert!((m.as_kilograms() - 0.42 * ELECTRON_MASS).abs() < 1e-42);
+        assert!((m.as_electron_masses() - 0.42).abs() < 1e-12);
+    }
+}

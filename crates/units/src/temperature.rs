@@ -1,0 +1,54 @@
+//! Absolute temperature in kelvin.
+
+quantity!(
+    /// An absolute temperature in kelvin.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::Temperature;
+    ///
+    /// let t = Temperature::from_celsius(85.0); // retention-bake condition
+    /// assert!((t.as_kelvin() - 358.15).abs() < 1e-9);
+    /// ```
+    Temperature,
+    "K",
+    from_kelvin,
+    as_kelvin
+);
+
+impl Temperature {
+    /// Creates a temperature from degrees Celsius.
+    #[must_use]
+    pub const fn from_celsius(celsius: f64) -> Self {
+        Self::from_kelvin(celsius + 273.15)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[must_use]
+    pub fn as_celsius(self) -> f64 {
+        self.as_kelvin() - 273.15
+    }
+
+    /// Room temperature, 300 K (the simulator default).
+    #[must_use]
+    pub const fn room() -> Self {
+        Self::from_kelvin(300.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Temperature::from_celsius(85.0);
+        assert!((t.as_celsius() - 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn room_is_300_kelvin() {
+        assert_eq!(Temperature::room().as_kelvin(), 300.0);
+    }
+}

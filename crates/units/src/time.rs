@@ -1,0 +1,95 @@
+//! Time in seconds (program/erase pulse widths, saturation time, retention).
+
+quantity!(
+    /// A duration in seconds.
+    ///
+    /// Program transients live in nanoseconds–milliseconds; retention in
+    /// years. Both extremes are exercised by the simulator.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnr_units::Time;
+    ///
+    /// let ten_years = Time::from_years(10.0);
+    /// assert!(ten_years.as_seconds() > 3.0e8);
+    /// ```
+    Time,
+    "s",
+    from_seconds,
+    as_seconds
+);
+
+impl Time {
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Self::from_seconds(ns * 1.0e-9)
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[must_use]
+    pub fn as_nanoseconds(self) -> f64 {
+        self.as_seconds() * 1.0e9
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_microseconds(us: f64) -> Self {
+        Self::from_seconds(us * 1.0e-6)
+    }
+
+    /// Returns the duration in microseconds.
+    #[must_use]
+    pub fn as_microseconds(self) -> f64 {
+        self.as_seconds() * 1.0e6
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_milliseconds(ms: f64) -> Self {
+        Self::from_seconds(ms * 1.0e-3)
+    }
+
+    /// Returns the duration in milliseconds.
+    #[must_use]
+    pub fn as_milliseconds(self) -> f64 {
+        self.as_seconds() * 1.0e3
+    }
+
+    /// Creates a duration from Julian years (365.25 days), the retention
+    /// convention.
+    #[must_use]
+    pub const fn from_years(years: f64) -> Self {
+        Self::from_seconds(years * 365.25 * 24.0 * 3600.0)
+    }
+
+    /// Returns the duration in Julian years.
+    #[must_use]
+    pub fn as_years(self) -> f64 {
+        self.as_seconds() / (365.25 * 24.0 * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = Time::from_nanoseconds(12.5);
+        assert!((t.as_nanoseconds() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn year_conversion() {
+        let t = Time::from_years(10.0);
+        assert!((t.as_seconds() - 3.15576e8).abs() < 1.0);
+        assert!((t.as_years() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milliseconds_and_microseconds() {
+        assert!((Time::from_milliseconds(1.0).as_microseconds() - 1000.0).abs() < 1e-9);
+    }
+}

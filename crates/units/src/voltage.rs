@@ -1,0 +1,70 @@
+//! Electric potential in volts (gate, floating-gate and terminal voltages).
+
+use crate::{ElectricField, Length};
+
+quantity!(
+    /// An electric potential difference in volts.
+    ///
+    /// # Example
+    ///
+    /// Eq. (5) of the paper, `E = (VFG − VS) / XTO`:
+    ///
+    /// ```
+    /// use gnr_units::{Voltage, Length};
+    ///
+    /// let e = (Voltage::from_volts(9.0) - Voltage::from_volts(0.0))
+    ///     / Length::from_nanometers(5.0);
+    /// assert!((e.as_volts_per_meter() - 1.8e9).abs() < 1.0);
+    /// ```
+    Voltage,
+    "V",
+    from_volts,
+    as_volts
+);
+
+impl Voltage {
+    /// Creates a voltage from millivolts (e.g. the paper's 50 mV drain bias).
+    #[must_use]
+    pub const fn from_millivolts(mv: f64) -> Self {
+        Self::from_volts(mv * 1.0e-3)
+    }
+
+    /// Returns the voltage in millivolts.
+    #[must_use]
+    pub fn as_millivolts(self) -> f64 {
+        self.as_volts() * 1.0e3
+    }
+}
+
+impl core::ops::Div<Length> for Voltage {
+    type Output = ElectricField;
+    fn div(self, rhs: Length) -> ElectricField {
+        ElectricField::from_volts_per_meter(self.as_volts() / rhs.as_meters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_from_voltage_over_length() {
+        let e = Voltage::from_volts(6.0) / Length::from_nanometers(12.0);
+        assert!((e.as_volts_per_meter() - 5.0e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn millivolt_round_trip() {
+        let v = Voltage::from_millivolts(50.0);
+        assert!((v.as_volts() - 0.05).abs() < 1e-15);
+        assert!((v.as_millivolts() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negation_models_erase_bias() {
+        let program = Voltage::from_volts(15.0);
+        let erase = -program;
+        assert_eq!(erase.as_volts(), -15.0);
+        assert_eq!(erase.signum(), -1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the quantity algebra.
+
+use gnr_units::{
+    Area, Capacitance, Charge, CurrentDensity, ElectricField, Energy, Length, Mass,
+    Temperature, Time, Voltage,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Voltage/Length/Field triangle: (V/d)·d == V.
+    #[test]
+    fn field_round_trip(v in -100.0f64..100.0, d_nm in 0.1f64..100.0) {
+        let voltage = Voltage::from_volts(v);
+        let length = Length::from_nanometers(d_nm);
+        let back = (voltage / length) * length;
+        prop_assert!((back.as_volts() - v).abs() <= 1e-12 * v.abs().max(1.0));
+    }
+
+    /// Charge/Capacitance/Voltage triangle: (C·V)/C == V.
+    #[test]
+    fn charge_round_trip(c_af in 0.1f64..100.0, v in -50.0f64..50.0) {
+        let c = Capacitance::from_attofarads(c_af);
+        let voltage = Voltage::from_volts(v);
+        let back = (c * voltage) / c;
+        prop_assert!((back.as_volts() - v).abs() <= 1e-12 * v.abs().max(1.0));
+    }
+
+    /// Current = J·A and Charge = I·t chain is associative with scalars.
+    #[test]
+    fn current_chain(j in 0.0f64..1e8, a_nm2 in 1.0f64..1e6, t_us in 0.0f64..1e4) {
+        let q = (CurrentDensity::from_amps_per_square_meter(j)
+            * Area::from_square_nanometers(a_nm2))
+            * Time::from_microseconds(t_us);
+        prop_assert!(q.as_coulombs() >= 0.0);
+        let expected = j * a_nm2 * 1e-18 * t_us * 1e-6;
+        prop_assert!((q.as_coulombs() - expected).abs() <= 1e-12 * expected.max(1e-30));
+    }
+
+    /// Unit conversions round trip exactly (within f64).
+    #[test]
+    fn conversion_round_trips(x in -1.0e6f64..1.0e6) {
+        prop_assert!((Length::from_nanometers(x).as_nanometers() - x).abs() <= 1e-9 * x.abs().max(1.0));
+        prop_assert!((Energy::from_ev(x).as_ev() - x).abs() <= 1e-12 * x.abs().max(1.0));
+        prop_assert!((Time::from_microseconds(x).as_microseconds() - x).abs() <= 1e-9 * x.abs().max(1.0));
+        prop_assert!((ElectricField::from_megavolts_per_centimeter(x)
+            .as_megavolts_per_centimeter() - x).abs() <= 1e-9 * x.abs().max(1.0));
+        prop_assert!((Charge::from_electrons(x).as_electrons() - x).abs() <= 1e-9 * x.abs().max(1.0));
+        prop_assert!((Mass::from_electron_masses(x.abs() + 0.1).as_electron_masses()
+            - (x.abs() + 0.1)).abs() <= 1e-9 * x.abs().max(1.0));
+    }
+
+    /// Addition is commutative and subtraction is its inverse.
+    #[test]
+    fn additive_group_laws(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let x = Voltage::from_volts(a);
+        let y = Voltage::from_volts(b);
+        prop_assert_eq!((x + y).as_volts(), (y + x).as_volts());
+        let diff = (x + y) - y;
+        prop_assert!((diff.as_volts() - a).abs() <= 1e-6 * a.abs().max(1.0));
+    }
+
+    /// Ordering agrees with the underlying scalar, and clamp bounds.
+    #[test]
+    fn ordering_and_clamp(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let clamped = Temperature::from_kelvin(c.abs())
+            .clamp(Temperature::from_kelvin(lo.abs().min(hi.abs())),
+                   Temperature::from_kelvin(lo.abs().max(hi.abs())));
+        prop_assert!(clamped.as_kelvin() >= lo.abs().min(hi.abs()) - 1e-12);
+        prop_assert!(clamped.as_kelvin() <= lo.abs().max(hi.abs()) + 1e-12);
+    }
+
+    /// Celsius/Kelvin is a shift, years/seconds a scale.
+    #[test]
+    fn temperature_and_time_affine(t_c in -200.0f64..500.0, yrs in 0.0f64..100.0) {
+        let t = Temperature::from_celsius(t_c);
+        prop_assert!((t.as_kelvin() - (t_c + 273.15)).abs() < 1e-9);
+        let y = Time::from_years(yrs);
+        prop_assert!((y.as_years() - yrs).abs() < 1e-9);
+    }
+
+    /// Engineering display never panics and is non-empty for any finite
+    /// value (C-DEBUG-NONEMPTY analogue for Display).
+    #[test]
+    fn display_total(x in proptest::num::f64::NORMAL) {
+        let s = format!("{}", Voltage::from_volts(x));
+        prop_assert!(!s.is_empty());
+        let s2 = gnr_units::fmt_eng::eng(x, "V");
+        prop_assert!(s2.contains('V'));
+    }
+}

@@ -1,0 +1,64 @@
+//! A small NAND array demo: program a page pattern, read it back, show
+//! the disturb margins on the neighbours, then run the mini controller.
+//!
+//! ```text
+//! cargo run --example nand_page_demo
+//! ```
+
+use gnr_flash_array::controller::{FlashController, PageAddress};
+use gnr_flash_array::nand::{NandArray, NandConfig};
+
+fn render(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = NandConfig { blocks: 2, pages_per_block: 4, page_width: 16 };
+    let mut array = NandArray::new(config);
+    println!(
+        "array: {} blocks x {} pages x {} cells",
+        config.blocks, config.pages_per_block, config.page_width
+    );
+
+    // Program an alternating pattern into block 0, page 1.
+    let pattern: Vec<bool> = (0..config.page_width).map(|i| i % 2 == 0).collect();
+    array.program_page(0, 1, &pattern)?;
+    println!("\nwrote  b0/p1: {}", render(&pattern));
+    let readback = array.read_page(0, 1)?;
+    println!("read   b0/p1: {}", render(&readback));
+    assert_eq!(pattern, readback, "page must read back exactly");
+
+    // Threshold map of the programmed page.
+    print!("VT map b0/p1: ");
+    for col in 0..config.page_width {
+        let cell = array.cell(0, 1, col)?;
+        print!("{:5.1}", cell.vt_shift().as_volts());
+    }
+    println!(" (V)");
+
+    // Hammer the page with reads — neighbours accumulate read disturb but
+    // must hold their data.
+    for _ in 0..500 {
+        let _ = array.read_page(0, 1)?;
+    }
+    println!("\nafter 500 reads of b0/p1:");
+    for page in 0..config.pages_per_block {
+        let bits = array.read_page(0, page)?;
+        println!("  b0/p{page}: {}", render(&bits));
+    }
+
+    // Block erase restores everything to '1'.
+    array.erase_block(0)?;
+    println!("\nafter block erase: b0/p1 = {}", render(&array.read_page(0, 1)?));
+
+    // The mini controller: sequential writes with erase-before-write.
+    let mut ctrl = FlashController::new(config);
+    let mut addrs: Vec<PageAddress> = Vec::new();
+    for i in 0..6 {
+        let data: Vec<bool> = (0..config.page_width).map(|c| (c + i) % 3 != 0).collect();
+        addrs.push(ctrl.write(&data)?);
+    }
+    println!("\ncontroller wrote 6 pages at: {addrs:?}");
+    println!("wear stats: {:?}", ctrl.wear_stats()?);
+    Ok(())
+}

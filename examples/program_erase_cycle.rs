@@ -1,0 +1,41 @@
+//! A full program/erase cycle with ISPP verify — the logic-state story of
+//! §I: accumulate electrons (logic '0'), deplete them (logic '1').
+//!
+//! ```text
+//! cargo run --example program_erase_cycle
+//! ```
+
+use gnr_flash_array::cell::FlashCell;
+use gnr_flash_array::ispp::{IsppEraser, IsppProgrammer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cell = FlashCell::paper_cell();
+    println!("fresh cell: state = {:?}, VT shift = {}", cell.read(), cell.vt_shift());
+
+    // Program with the incremental-step ladder (13 -> 16 V, verify +2 V).
+    let programmer = IsppProgrammer::nominal();
+    let report = programmer.program(&mut cell)?;
+    println!("\nISPP program:");
+    println!("  pulses applied : {}", report.pulses);
+    println!("  final amplitude: {:.1} V", report.final_amplitude);
+    println!("  VT shift       : {:.2} V", report.final_vt_shift);
+    println!("  state          : {:?} (logic '0')", cell.read());
+    println!("  read current   : {}", cell.read_current());
+
+    // Erase back (negative ladder, verify <= +0.3 V).
+    let eraser = IsppEraser::nominal();
+    let report = eraser.erase(&mut cell)?;
+    println!("\nISPP erase:");
+    println!("  pulses applied : {}", report.pulses);
+    println!("  final amplitude: {:.1} V", report.final_amplitude);
+    println!("  VT shift       : {:.2} V", report.final_vt_shift);
+    println!("  state          : {:?} (logic '1')", cell.read());
+    println!("  read current   : {}", cell.read_current());
+
+    let stats = cell.stats();
+    println!(
+        "\nlifetime: {} programs, {} erases, {:.2e} C of tunnel fluence",
+        stats.program_ops, stats.erase_ops, stats.injected_charge
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build the paper's MLGNR-CNT floating-gate transistor,
+//! program it at 15 V, and report everything §III promises.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::presets;
+use gnr_flash::threshold::vt_shift;
+use gnr_flash::transient::{ProgramPulseSpec, TransientSimulator};
+use gnr_units::{Charge, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's device: MLGNR channel, CNT floating gate, 5 nm tunnel /
+    // 12 nm control SiO2, GCR = 0.6, 22 nm gate.
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    println!("device: {}", device.name());
+    println!("  gate area      : {}", device.geometry().gate_area());
+    println!("  tunnel oxide   : {}", device.geometry().tunnel_oxide_thickness());
+    println!("  control oxide  : {}", device.geometry().control_oxide_thickness());
+    println!("  CT (eq. 2)     : {}", device.capacitances().total());
+    println!("  GCR            : {:.2}", device.capacitances().gcr());
+    println!(
+        "  tunnel barrier : {:.2} eV (MLGNR -> SiO2)",
+        device.channel_emission_model().barrier().as_ev()
+    );
+
+    // The worked example of §III: VGS = 15 V, QFG = 0 → VFG = 9 V.
+    let vgs = presets::program_vgs();
+    let vfg = device.floating_gate_voltage(vgs, Charge::ZERO);
+    println!("\nVGS = {vgs} -> VFG = {vfg}  (paper: 9 V)");
+    let field = device.tunnel_oxide_field(vfg, Voltage::ZERO);
+    println!(
+        "tunnel-oxide field = {:.1} MV/cm",
+        field.as_megavolts_per_centimeter()
+    );
+
+    // Program to the Jin = Jout balance of Figure 5.
+    let result = TransientSimulator::new(&device).run(&ProgramPulseSpec::program(vgs))?;
+    let t_sat = result.saturation_time().expect("the paper device saturates");
+    let q_sat = result.charge_at_saturation().expect("charge at saturation");
+    println!("\nprogramming transient (Figure 5):");
+    println!("  t_sat          : {:.3e} s", t_sat.as_seconds());
+    println!("  stored charge  : {:.1} electrons", q_sat.as_electrons());
+    println!("  VFG at balance : {}", result.final_vfg());
+    println!(
+        "  threshold shift: {} (memory window)",
+        vt_shift(&device, result.final_charge())
+    );
+
+    // The reliability warning of §V.
+    let (tox_stress, cox_stress) = device.stress_ratios(vgs, Voltage::ZERO, Charge::ZERO);
+    println!("\noxide stress at programming onset (fraction of breakdown):");
+    println!("  tunnel oxide : {tox_stress:.2}  <- the paper's reliability concern");
+    println!("  control oxide: {cox_stress:.2}");
+    Ok(())
+}

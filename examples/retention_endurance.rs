@@ -1,0 +1,68 @@
+//! Reliability analysis: cycle the cell, then bake it — the quantitative
+//! version of the paper's conclusion that "higher tunneling current will
+//! severely damage the oxide's reliability".
+//!
+//! ```text
+//! cargo run --example retention_endurance
+//! ```
+
+use gnr_flash_array::cell::FlashCell;
+use gnr_flash_array::endurance::EnduranceModel;
+use gnr_flash_array::retention::RetentionModel;
+use gnr_units::{Temperature, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Endurance -------------------------------------------------------
+    let cell = FlashCell::paper_cell();
+    let model = EnduranceModel::default();
+    let report = model.simulate(&cell, 10_000_000, Voltage::from_volts(1.0))?;
+
+    println!("endurance (P/E cycling):");
+    println!("  charge per cycle : {:.2e} C", report.charge_per_cycle);
+    println!("{:>10} {:>10} {:>10} {:>9}", "cycle", "VT(prog)", "VT(erase)", "window");
+    for p in report.points.iter().step_by(3) {
+        println!(
+            "{:>10} {:>9.2}V {:>9.2}V {:>8.2}V",
+            p.cycle, p.vt_programmed, p.vt_erased, p.window
+        );
+    }
+    match report.cycles_to_window_close {
+        Some(n) => println!("  window closes below 1 V at ~{n} cycles"),
+        None => println!("  window stays open through the simulated horizon"),
+    }
+    match report.cycles_to_breakdown {
+        Some(n) => println!("  charge-to-breakdown reached at ~{n} cycles"),
+        None => println!("  Q_BD not reached"),
+    }
+
+    // --- Retention -------------------------------------------------------
+    let mut programmed = FlashCell::paper_cell();
+    programmed.program_default()?;
+    let retention = RetentionModel::default();
+
+    println!("\nretention (ten-year check):");
+    for (label, temp) in [
+        ("25 C", Temperature::from_celsius(25.0)),
+        ("85 C bake", Temperature::from_celsius(85.0)),
+        ("125 C bake", Temperature::from_celsius(125.0)),
+    ] {
+        let r = retention.ten_year_check(
+            programmed.device(),
+            programmed.charge(),
+            Voltage::from_volts(1.0),
+            temp,
+        );
+        println!(
+            "  {label:>10}: VT {:.2} V -> {:.2} V after 10 years  [{}]",
+            r.initial_vt,
+            r.final_vt,
+            if r.pass { "PASS" } else { "FAIL" }
+        );
+    }
+
+    println!(
+        "\nArrhenius acceleration at 85 C: {:.0}x",
+        retention.acceleration(Temperature::from_celsius(85.0))
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Monte-Carlo process variation: how manufacturing spread in the tunnel
+//! oxide, the barrier and the GCR smears the programming current — the
+//! sensitivity data behind the paper's call for parameter optimisation.
+//!
+//! ```text
+//! cargo run --example variation_monte_carlo
+//! ```
+
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::presets;
+use gnr_flash::variation::{run_variation, VariationSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+
+    println!("nominal device, VGS = 15 V, 2000 samples per condition\n");
+    println!(
+        "{:>22} {:>12} {:>12} {:>12} {:>12}",
+        "condition", "median", "p05", "p95", "spread(dec)"
+    );
+
+    for (label, spec) in [
+        (
+            "tight (2%/30meV/1%)",
+            VariationSpec {
+                samples: 2000,
+                xto_sigma_fraction: 0.02,
+                barrier_sigma_ev: 0.03,
+                gcr_sigma: 0.01,
+                ..VariationSpec::default()
+            },
+        ),
+        ("nominal (4%/50meV/2%)", VariationSpec { samples: 2000, ..VariationSpec::default() }),
+        (
+            "loose (8%/80meV/4%)",
+            VariationSpec {
+                samples: 2000,
+                xto_sigma_fraction: 0.08,
+                barrier_sigma_ev: 0.08,
+                gcr_sigma: 0.04,
+                ..VariationSpec::default()
+            },
+        ),
+    ] {
+        let report = run_variation(&device, presets::program_vgs(), &spec)?;
+        let j = report.log10_j_in;
+        println!(
+            "{label:>22} {:>11.2e} {:>11.2e} {:>11.2e} {:>12.2}",
+            10f64.powf(j.median),
+            10f64.powf(j.p05),
+            10f64.powf(j.p95),
+            j.p95 - j.p05
+        );
+    }
+
+    println!("\ninterpretation: the FN exponential turns a few percent of");
+    println!("oxide-thickness spread into decades of programming-current");
+    println!("spread — the engineering reason ISPP verify loops exist.");
+    Ok(())
+}

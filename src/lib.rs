@@ -1,0 +1,11 @@
+//! Facade crate for the gnr-flash reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests can use a
+//! single dependency root.
+
+pub use gnr_flash as device;
+pub use gnr_flash_array as array;
+pub use gnr_materials as materials;
+pub use gnr_numerics as numerics;
+pub use gnr_tunneling as tunneling;
+pub use gnr_units as units;

@@ -1,0 +1,95 @@
+//! Array-level integration: NAND pages, the controller, NOR/CHE, and the
+//! reliability models working over the same device physics.
+
+use gnr_flash_array::cell::FlashCell;
+use gnr_flash_array::controller::FlashController;
+use gnr_flash_array::endurance::EnduranceModel;
+use gnr_flash_array::nand::{NandArray, NandConfig};
+use gnr_flash_array::nor::{CheBias, NorCell};
+use gnr_flash_array::retention::RetentionModel;
+use gnr_units::{Temperature, Voltage};
+
+fn config() -> NandConfig {
+    NandConfig { blocks: 2, pages_per_block: 3, page_width: 8 }
+}
+
+#[test]
+fn page_program_preserves_unselected_pages() {
+    let mut array = NandArray::new(config());
+    let data = vec![false, true, false, true, false, true, false, true];
+    array.program_page(0, 1, &data).unwrap();
+    assert_eq!(array.read_page(0, 1).unwrap(), data);
+    for page in [0, 2] {
+        assert_eq!(
+            array.read_page(0, page).unwrap(),
+            vec![true; 8],
+            "page {page} must stay erased"
+        );
+    }
+    // And the other block is untouched entirely.
+    assert_eq!(array.read_page(1, 0).unwrap(), vec![true; 8]);
+}
+
+#[test]
+fn controller_survives_many_writes() {
+    let mut ctrl = FlashController::new(config());
+    for i in 0..20usize {
+        let data: Vec<bool> = (0..8).map(|c| (c + i) % 2 == 0).collect();
+        let addr = ctrl.write(&data).unwrap();
+        assert_eq!(ctrl.read(addr).unwrap(), data, "write {i}");
+    }
+    let wear = ctrl.wear_stats().unwrap();
+    assert!(wear.total_erases > 0);
+    assert!(wear.max_erases - wear.min_erases <= 1, "wear levelled: {wear:?}");
+}
+
+#[test]
+fn nor_and_nand_programming_reach_comparable_states() {
+    // CHE and FN both store electrons; the stored charges should be the
+    // same order of magnitude (both are bounded by CT × a few volts).
+    let mut nand_cell = FlashCell::paper_cell();
+    nand_cell.program_default().unwrap();
+    let mut nor = NorCell::new(FlashCell::paper_cell());
+    nor.program_che(&CheBias::default());
+    let q_fn = nand_cell.charge().as_coulombs().abs();
+    let q_che = nor.cell().charge().as_coulombs().abs();
+    let ratio = q_fn.max(q_che) / q_fn.min(q_che);
+    assert!(ratio < 10.0, "stored-charge ratio {ratio}");
+}
+
+#[test]
+fn endurance_and_retention_compose() {
+    // Window at the endurance midpoint still passes a room-temperature
+    // retention check — reliability models agree with each other.
+    let cell = FlashCell::paper_cell();
+    let endurance = EnduranceModel::default()
+        .simulate(&cell, 100_000, Voltage::from_volts(1.0))
+        .unwrap();
+    let midlife = &endurance.points[endurance.points.len() / 2];
+    assert!(midlife.window > 1.0, "midlife window {}", midlife.window);
+
+    let mut programmed = FlashCell::paper_cell();
+    programmed.program_default().unwrap();
+    let retention = RetentionModel::default().ten_year_check(
+        programmed.device(),
+        programmed.charge(),
+        Voltage::from_volts(1.0),
+        Temperature::room(),
+    );
+    assert!(retention.pass);
+}
+
+#[test]
+fn erase_block_resets_wear_tracked_pages() {
+    let mut array = NandArray::new(config());
+    let data = vec![false; 8];
+    array.program_page(0, 0, &data).unwrap();
+    array.program_page(0, 1, &data).unwrap();
+    assert!(!array.is_page_erased(0, 0).unwrap());
+    array.erase_block(0).unwrap();
+    for page in 0..3 {
+        assert!(array.is_page_erased(0, page).unwrap());
+        assert_eq!(array.read_page(0, page).unwrap(), vec![true; 8]);
+    }
+    assert_eq!(array.erase_count(0).unwrap(), 1);
+}

@@ -1,0 +1,130 @@
+//! Integration tests for the extension modules: design optimisation
+//! (paper §V future work), MLC operation, Tsu–Esaki validation and the
+//! tight-binding band structure feeding the device stack.
+
+use gnr_flash::optimize::{fastest_reliable_program, DesignSpec};
+use gnr_flash_array::mlc::{MlcCell, MlcState};
+use gnr_materials::gnr::{Edge, Nanoribbon};
+use gnr_materials::gnr_bands::AgnrBands;
+use gnr_materials::mlgnr::MultilayerGnr;
+use gnr_tunneling::tsu_esaki::TsuEsakiModel;
+use gnr_units::{ElectricField, Length, Mass};
+
+#[test]
+fn optimizer_beats_the_naive_grid_and_respects_stress() {
+    let spec = DesignSpec::default();
+    let opt = fastest_reliable_program(&spec).unwrap();
+    assert!(opt.stress <= spec.max_stress + 1e-3);
+
+    // Compare against a coarse feasible grid: the continuous optimum must
+    // be at least as fast as every feasible grid point.
+    let mut best_grid = 0.0f64;
+    for vgs in [9.0, 11.0, 13.0, 15.0, 17.0] {
+        for xto in [4.0, 5.0, 6.0, 7.0, 8.0] {
+            let geometry = gnr_flash::geometry::FgtGeometry::paper_nominal()
+                .with_tunnel_oxide(Length::from_nanometers(xto))
+                .unwrap();
+            let device = gnr_flash::device::FgtBuilder::default()
+                .geometry(geometry)
+                .gcr(spec.gcr)
+                .build()
+                .unwrap();
+            let v = gnr_units::Voltage::from_volts(vgs);
+            let (stress, _) =
+                device.stress_ratios(v, gnr_units::Voltage::ZERO, gnr_units::Charge::ZERO);
+            if stress <= spec.max_stress {
+                let j = device
+                    .tunneling_state(v, gnr_units::Voltage::ZERO, gnr_units::Charge::ZERO)
+                    .tunnel_flow
+                    .abs()
+                    .as_amps_per_square_meter();
+                best_grid = best_grid.max(j);
+            }
+        }
+    }
+    assert!(
+        opt.j_program >= 0.99 * best_grid,
+        "optimum {:.3e} must match/beat grid best {best_grid:.3e}",
+        opt.j_program
+    );
+}
+
+#[test]
+fn mlc_survives_a_full_state_tour() {
+    let mut cell = MlcCell::paper_cell();
+    // Visit every state from every other state.
+    for from in MlcState::all() {
+        for to in MlcState::all() {
+            cell.program(from).unwrap();
+            assert_eq!(cell.read(), from);
+            cell.program(to).unwrap();
+            assert_eq!(cell.read(), to, "{from:?} -> {to:?}");
+        }
+    }
+}
+
+#[test]
+fn tsu_esaki_brackets_the_device_current() {
+    // The device's analytic programming current should be within an order
+    // of magnitude of the first-principles supply-function result.
+    let device = gnr_flash::device::FloatingGateTransistor::mlgnr_cnt_paper();
+    let model = device.channel_emission_model();
+    let te = TsuEsakiModel::free_emitter(
+        model.barrier(),
+        device.geometry().tunnel_oxide_thickness(),
+        model.effective_mass(),
+    );
+    let field = ElectricField::from_volts_per_meter(1.8e9);
+    let j_analytic = model.current_density(field).as_amps_per_square_meter();
+    let j_numeric = te.current_density(field).as_amps_per_square_meter();
+    let ratio = j_numeric / j_analytic;
+    assert!((0.05..20.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn tight_binding_confirms_the_paper_channel_is_conductive() {
+    // The paper channel ribbon (N = 18, 3p family) has a moderate gap —
+    // small enough for thermal carriers at programming fields, which is
+    // what lets it source FN electrons.
+    let channel = MultilayerGnr::paper_channel();
+    let bands = AgnrBands::new(channel.ribbon()).unwrap();
+    let gap = bands.band_gap().as_ev();
+    assert!(gap < 1.0, "TB gap {gap} eV");
+    assert!(gap > 0.0);
+    // And a deliberately metallic ribbon (3p+2) has none.
+    let metallic = Nanoribbon::new(Edge::Armchair, 17).unwrap();
+    assert!(AgnrBands::new(metallic).unwrap().is_metallic());
+}
+
+#[test]
+fn optimizer_design_point_is_usable_end_to_end() {
+    // Build the optimal device and actually program it.
+    let opt = fastest_reliable_program(&DesignSpec::default()).unwrap();
+    let geometry = gnr_flash::geometry::FgtGeometry::paper_nominal()
+        .with_tunnel_oxide(Length::from_nanometers(opt.xto_nm))
+        .unwrap();
+    let device = gnr_flash::device::FgtBuilder::default()
+        .geometry(geometry)
+        .gcr(DesignSpec::default().gcr)
+        .build()
+        .unwrap();
+    let result = gnr_flash::transient::TransientSimulator::new(&device)
+        .run(&gnr_flash::transient::ProgramPulseSpec::program(
+            gnr_units::Voltage::from_volts(opt.vgs),
+        ))
+        .unwrap();
+    assert!(result.saturation_time().is_some());
+    assert!(result.final_charge().as_coulombs() < 0.0);
+}
+
+#[test]
+fn effective_masses_flow_into_tunneling() {
+    // The TB effective mass of a semiconducting ribbon is of the same
+    // order as the oxide masses used in the FN models — a consistency
+    // check across the materials/tunneling boundary.
+    let ribbon = Nanoribbon::new(Edge::Armchair, 13).unwrap();
+    let m = AgnrBands::new(ribbon).unwrap().effective_mass().unwrap();
+    let m_ox = Mass::from_electron_masses(0.42);
+    let ratio = m.as_kilograms() / m_ox.as_kilograms();
+    assert!((0.01..10.0).contains(&ratio), "ratio {ratio}");
+}

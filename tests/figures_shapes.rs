@@ -1,0 +1,88 @@
+//! The headline reproduction test: every figure of the paper regenerates
+//! and passes its paper-shape check.
+
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::experiments::{band_diagram, fig4, fig5, fig6, fig7, fig8, fig9};
+use gnr_flash::presets;
+use gnr_units::Charge;
+
+#[test]
+fn fig2_band_diagram_reproduces() {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let data = band_diagram::generate(&device, presets::program_vgs(), Charge::ZERO);
+    band_diagram::check(&data).unwrap();
+    // The §III drop split: 9 V across the tunnel oxide.
+    assert!((data.vfg - 9.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig4_onset_reproduces() {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let data = fig4::generate(&device).unwrap();
+    fig4::check(&data).unwrap();
+    // "Jin is much higher than Jout" — by many decades at onset.
+    assert!(data.onset_ratio() > 1e6);
+}
+
+#[test]
+fn fig5_saturation_reproduces() {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let data = fig5::generate(&device).unwrap();
+    fig5::check(&data).unwrap();
+}
+
+#[test]
+fn fig6_program_gcr_reproduces() {
+    let fig = fig6::generate().unwrap();
+    fig6::check(&fig).unwrap();
+    assert_eq!(fig.series.len(), 4);
+}
+
+#[test]
+fn fig7_program_xto_reproduces() {
+    let fig = fig7::generate().unwrap();
+    fig7::check(&fig).unwrap();
+    assert_eq!(fig.series.len(), 5);
+}
+
+#[test]
+fn fig8_erase_gcr_reproduces() {
+    let fig = fig8::generate().unwrap();
+    fig8::check(&fig).unwrap();
+}
+
+#[test]
+fn fig9_erase_xto_reproduces() {
+    let fig = fig9::generate().unwrap();
+    fig9::check(&fig).unwrap();
+}
+
+#[test]
+fn all_sweep_figures_serialize_and_export() {
+    for fig in [
+        fig6::generate().unwrap(),
+        fig7::generate().unwrap(),
+        fig8::generate().unwrap(),
+        fig9::generate().unwrap(),
+    ] {
+        let json = serde_json::to_string(&fig).unwrap();
+        assert!(json.contains(&fig.id));
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), presets::SWEEP_POINTS + 1);
+    }
+}
+
+#[test]
+fn crossover_structure_between_fig6_curves() {
+    // FN curves at different GCR never cross within the sweep — higher
+    // coupling always wins (the legend ordering of the paper's Figure 6).
+    let fig = fig6::generate().unwrap();
+    for i in 0..presets::SWEEP_POINTS {
+        for pair in fig.series.windows(2) {
+            assert!(
+                pair[1].y[i] > pair[0].y[i],
+                "ordering violated at grid point {i}"
+            );
+        }
+    }
+}

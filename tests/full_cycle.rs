@@ -1,0 +1,121 @@
+//! End-to-end device behaviour across crates: program → read → erase →
+//! read, baseline comparison, and the paper's §III worked example.
+
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::presets;
+use gnr_flash::threshold::{vt_shift, LogicState};
+use gnr_flash::transient::{ProgramPulseSpec, TransientSimulator};
+use gnr_flash_array::cell::FlashCell;
+use gnr_units::{Charge, Voltage};
+
+#[test]
+fn worked_example_of_section_three() {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    // GCR = 0.6, VGS = 15 V, QFG = 0 → VFG = 9 V; drops split 9 V / 6 V.
+    let vfg = device.floating_gate_voltage(presets::program_vgs(), Charge::ZERO);
+    assert!((vfg.as_volts() - 9.0).abs() < 1e-9);
+    let e_t = device.tunnel_oxide_field(vfg, Voltage::ZERO);
+    let e_c = device.control_oxide_field(presets::program_vgs(), vfg);
+    assert!((e_t.as_volts_per_meter() - 9.0 / 5.0e-9).abs() < 1.0);
+    assert!((e_c.as_volts_per_meter() - 6.0 / 12.0e-9).abs() < 1.0);
+}
+
+#[test]
+fn logic_states_follow_the_paper() {
+    // §I: programming (electron accumulation) = '0'; erase = '1'.
+    let mut cell = FlashCell::paper_cell();
+    assert_eq!(cell.read(), LogicState::Erased1);
+    cell.program_default().unwrap();
+    assert_eq!(cell.read(), LogicState::Programmed0);
+    assert!(cell.charge().as_coulombs() < 0.0, "programmed = electrons stored");
+    cell.erase_default().unwrap();
+    assert_eq!(cell.read(), LogicState::Erased1);
+}
+
+#[test]
+fn repeated_cycles_are_stable() {
+    // Without a wear model in the loop, cycling is stationary: state
+    // flips cleanly every time.
+    let mut cell = FlashCell::paper_cell();
+    for cycle in 0..5 {
+        cell.program_default().unwrap();
+        assert_eq!(cell.read(), LogicState::Programmed0, "cycle {cycle}");
+        cell.erase_default().unwrap();
+        assert_eq!(cell.read(), LogicState::Erased1, "cycle {cycle}");
+    }
+}
+
+#[test]
+fn baseline_si_device_has_smaller_barrier_and_faster_program() {
+    let gnr = FloatingGateTransistor::mlgnr_cnt_paper();
+    let si = FloatingGateTransistor::silicon_conventional();
+    assert!(
+        si.channel_emission_model().barrier() < gnr.channel_emission_model().barrier()
+    );
+    let sim_g = TransientSimulator::new(&gnr);
+    let sim_s = TransientSimulator::new(&si);
+    let t_g = sim_g
+        .run(&ProgramPulseSpec::program(presets::program_vgs()))
+        .unwrap()
+        .saturation_time()
+        .unwrap();
+    let t_s = sim_s
+        .run(&ProgramPulseSpec::program(presets::program_vgs()))
+        .unwrap()
+        .saturation_time()
+        .unwrap();
+    assert!(
+        t_s < t_g,
+        "lower barrier must saturate faster: Si {t_s} vs GNR {t_g}"
+    );
+}
+
+#[test]
+fn memory_window_scales_with_program_voltage() {
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let sim = TransientSimulator::new(&device);
+    let mut windows = Vec::new();
+    for vgs in [13.0, 15.0, 17.0] {
+        let q = sim
+            .run(&ProgramPulseSpec::program(Voltage::from_volts(vgs)))
+            .unwrap()
+            .final_charge();
+        windows.push(vt_shift(&device, q).as_volts());
+    }
+    assert!(windows[0] < windows[1] && windows[1] < windows[2], "{windows:?}");
+}
+
+#[test]
+fn erase_depletes_below_initial_charge() {
+    // §I: "A negative voltage applied at the control gate leads to the
+    // depletion of electrons" — from a programmed state the erase
+    // overshoots past neutral (the FG ends electron-depleted).
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let sim = TransientSimulator::new(&device);
+    let q_prog = sim
+        .run(&ProgramPulseSpec::program(presets::program_vgs()))
+        .unwrap()
+        .final_charge();
+    let q_erased = sim
+        .run(&ProgramPulseSpec::erase(presets::erase_vgs(), q_prog))
+        .unwrap()
+        .final_charge();
+    assert!(q_erased.as_coulombs() > 0.0, "erase ends depleted: {q_erased:?}");
+}
+
+#[test]
+fn drain_bias_effect_is_negligible_as_the_paper_assumes() {
+    // §III: the 50 mV drain bias "is considered to be 0V in the analysis".
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let caps = device.capacitances();
+    let with = caps.floating_gate_voltage_full(
+        presets::program_vgs(),
+        Voltage::ZERO,
+        Voltage::ZERO,
+        Voltage::from_millivolts(50.0),
+        Charge::ZERO,
+    );
+    let without = caps.floating_gate_voltage(presets::program_vgs(), Charge::ZERO);
+    let rel = (with.as_volts() - without.as_volts()).abs() / without.as_volts();
+    assert!(rel < 1e-3, "relative VFG perturbation {rel}");
+}

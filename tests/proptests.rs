@@ -1,0 +1,193 @@
+//! Property-based tests over the core physical invariants.
+
+use gnr_flash::capacitance::CapacitanceNetwork;
+use gnr_flash::device::FgtBuilder;
+use gnr_flash::geometry::FgtGeometry;
+use gnr_numerics::interp::{LinearInterpolator, Pchip};
+use gnr_numerics::ode::{Dopri45, OdeOptions};
+use gnr_tunneling::fn_model::FnModel;
+use gnr_tunneling::fn_plot::{barrier_from_b, mass_from_b};
+use gnr_units::{Capacitance, Charge, ElectricField, Energy, Length, Mass, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FN current density is strictly increasing in the field magnitude.
+    #[test]
+    fn fn_current_monotone_in_field(
+        phi_ev in 2.5f64..4.5,
+        m_ratio in 0.2f64..0.8,
+        e1 in 4.0e8f64..3.0e9,
+        factor in 1.01f64..3.0,
+    ) {
+        let model = FnModel::new(
+            Energy::from_ev(phi_ev),
+            Mass::from_electron_masses(m_ratio),
+        );
+        let j1 = model
+            .current_density(ElectricField::from_volts_per_meter(e1))
+            .as_amps_per_square_meter();
+        let j2 = model
+            .current_density(ElectricField::from_volts_per_meter(e1 * factor))
+            .as_amps_per_square_meter();
+        prop_assert!(j2 > j1);
+    }
+
+    /// FN current density decreases with barrier height (§II: "higher ΦB
+    /// leads to significantly lower JFN").
+    #[test]
+    fn fn_current_antimonotone_in_barrier(
+        phi_ev in 2.5f64..4.0,
+        dphi in 0.05f64..0.8,
+        e in 6.0e8f64..2.5e9,
+    ) {
+        let lo = FnModel::new(Energy::from_ev(phi_ev), Mass::from_electron_masses(0.42));
+        let hi = FnModel::new(Energy::from_ev(phi_ev + dphi), Mass::from_electron_masses(0.42));
+        let field = ElectricField::from_volts_per_meter(e);
+        prop_assert!(
+            lo.current_density(field).as_amps_per_square_meter()
+                > hi.current_density(field).as_amps_per_square_meter()
+        );
+    }
+
+    /// The FN law is odd in the field.
+    #[test]
+    fn fn_current_is_odd(
+        phi_ev in 2.5f64..4.5,
+        e in 1.0e8f64..3.0e9,
+    ) {
+        let model = FnModel::new(Energy::from_ev(phi_ev), Mass::from_electron_masses(0.42));
+        let fwd = model
+            .current_density(ElectricField::from_volts_per_meter(e))
+            .as_amps_per_square_meter();
+        let rev = model
+            .current_density(ElectricField::from_volts_per_meter(-e))
+            .as_amps_per_square_meter();
+        prop_assert!((fwd + rev).abs() <= 1e-12 * fwd.abs().max(1.0));
+    }
+
+    /// B-coefficient inversions round trip for any (ΦB, m_ox).
+    #[test]
+    fn fn_b_inversions_round_trip(
+        phi_ev in 2.0f64..5.0,
+        m_ratio in 0.1f64..1.0,
+    ) {
+        let model = FnModel::new(
+            Energy::from_ev(phi_ev),
+            Mass::from_electron_masses(m_ratio),
+        );
+        let b = model.coefficients().b;
+        let phi_back = barrier_from_b(b, Mass::from_electron_masses(m_ratio));
+        prop_assert!((phi_back.as_ev() - phi_ev).abs() < 1e-9);
+        let m_back = mass_from_b(b, Energy::from_ev(phi_ev));
+        prop_assert!((m_back.as_electron_masses() - m_ratio).abs() < 1e-9);
+    }
+
+    /// Eq. (3): VFG is linear in VGS and in QFG, with slope GCR and 1/CT.
+    #[test]
+    fn floating_gate_voltage_is_affine(
+        gcr in 0.05f64..0.95,
+        ct_af in 1.0f64..20.0,
+        vgs in -20.0f64..20.0,
+        q_e in -200.0f64..200.0,
+    ) {
+        let net = CapacitanceNetwork::from_gcr(gcr, Capacitance::from_attofarads(ct_af))
+            .unwrap();
+        let q = Charge::from_electrons(q_e);
+        let v = net.floating_gate_voltage(Voltage::from_volts(vgs), q);
+        let expected = gcr * vgs + q.as_coulombs() / (ct_af * 1e-18);
+        prop_assert!((v.as_volts() - expected).abs() < 1e-9);
+        // GCR bounds hold by construction.
+        prop_assert!(net.gcr() > 0.0 && net.gcr() < 1.0);
+    }
+
+    /// The device charge balance always moves the charge in the direction
+    /// the bias dictates from the neutral state.
+    #[test]
+    fn charge_rate_sign_follows_bias(vgs in 8.0f64..17.0) {
+        let device = FgtBuilder::default().build().unwrap();
+        let prog = device.tunneling_state(
+            Voltage::from_volts(vgs),
+            Voltage::ZERO,
+            Charge::ZERO,
+        );
+        prop_assert!(prog.charge_rate_amps < 0.0, "programming stores electrons");
+        let erase = device.tunneling_state(
+            Voltage::from_volts(-vgs),
+            Voltage::ZERO,
+            Charge::ZERO,
+        );
+        prop_assert!(erase.charge_rate_amps > 0.0, "erase depletes electrons");
+    }
+
+    /// Geometry validation: any XTO below XCO builds; equal or above is
+    /// rejected.
+    #[test]
+    fn geometry_ordering_invariant(xto_nm in 1.0f64..20.0, xco_nm in 1.0f64..20.0) {
+        let r = FgtGeometry::new(
+            Length::from_nanometers(22.0),
+            Length::from_nanometers(22.0),
+            Length::from_nanometers(xto_nm),
+            Length::from_nanometers(xco_nm),
+        );
+        if xto_nm < xco_nm {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    /// Interpolators stay within the hull of their data.
+    #[test]
+    fn interpolation_within_hull(
+        ys in proptest::collection::vec(-100.0f64..100.0, 4..12),
+        at in 0.0f64..1.0,
+    ) {
+        let n = ys.len();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let x = at * (n - 1) as f64;
+
+        let li = LinearInterpolator::new(xs.clone(), ys.clone()).unwrap();
+        let yl = li.eval(x);
+        prop_assert!(yl >= lo - 1e-9 && yl <= hi + 1e-9);
+
+        // PCHIP is monotonicity/overshoot safe too.
+        let pc = Pchip::new(xs, ys).unwrap();
+        let yp = pc.eval(x);
+        prop_assert!(yp >= lo - 1e-9 && yp <= hi + 1e-9);
+    }
+
+    /// The adaptive integrator result is invariant under tolerance
+    /// refinement (within the coarser tolerance).
+    #[test]
+    fn ode_solution_stable_under_refinement(
+        lambda in 0.1f64..5.0,
+        t_end in 0.5f64..3.0,
+    ) {
+        let rhs = |_t: f64, y: &[f64], d: &mut [f64]| d[0] = -lambda * y[0];
+        let coarse = Dopri45::new(OdeOptions::with_tolerances(1e-6, 1e-9))
+            .integrate(rhs, 0.0, &[1.0], t_end)
+            .unwrap()
+            .final_state()[0];
+        let fine = Dopri45::new(OdeOptions::with_tolerances(1e-11, 1e-13))
+            .integrate(rhs, 0.0, &[1.0], t_end)
+            .unwrap()
+            .final_state()[0];
+        prop_assert!((coarse - fine).abs() < 1e-4 * fine.abs().max(1e-6));
+        prop_assert!((fine - (-lambda * t_end).exp()).abs() < 1e-9);
+    }
+
+    /// Threshold shift is linear in stored charge with slope −1/CFC.
+    #[test]
+    fn vt_shift_linear_in_charge(q_e in -500.0f64..0.0) {
+        let device = FgtBuilder::default().build().unwrap();
+        let q = Charge::from_electrons(q_e);
+        let shift = gnr_flash::threshold::vt_shift(&device, q);
+        let expected = -q.as_coulombs() / device.capacitances().cfc().as_farads();
+        prop_assert!((shift.as_volts() - expected).abs() < 1e-9);
+        prop_assert!(shift.as_volts() >= 0.0, "stored electrons raise VT");
+    }
+}
