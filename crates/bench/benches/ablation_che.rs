@@ -16,7 +16,10 @@ fn bench_che(c: &mut Criterion) {
     let state = device.tunneling_state(Voltage::from_volts(15.0), Voltage::ZERO, Charge::ZERO);
     let i_fn = state.tunnel_flow.abs().as_amps_per_square_meter()
         * device.geometry().gate_area().as_square_meters();
-    assert!(i_fn < 1.0e-9, "FN cell current must be < 1 nA, got {i_fn:e} A");
+    assert!(
+        i_fn < 1.0e-9,
+        "FN cell current must be < 1 nA, got {i_fn:e} A"
+    );
 
     // CHE side: energy comparison.
     let bias = CheBias::default();

@@ -53,11 +53,7 @@ fn bench_models(c: &mut Criterion) {
     assert!((ratio - 1.0).abs() < 1e-9);
     // Check 4: the first-principles supply-function current lands within
     // an order of magnitude of the analytic law at the program point.
-    let tsu = TsuEsakiModel::free_emitter(
-        barrier,
-        Length::from_nanometers(5.0),
-        mass,
-    );
+    let tsu = TsuEsakiModel::free_emitter(barrier, Length::from_nanometers(5.0), mass);
     let j_tsu = tsu.current_density(e_test).as_amps_per_square_meter();
     let j_fn = fn_model.current_density(e_test).as_amps_per_square_meter();
     let r = j_tsu / j_fn;
@@ -67,7 +63,11 @@ fn bench_models(c: &mut Criterion) {
     group.bench_function("analytic_fn", |b| {
         b.iter(|| {
             grid.iter()
-                .map(|&e| fn_model.current_density(black_box(e)).as_amps_per_square_meter())
+                .map(|&e| {
+                    fn_model
+                        .current_density(black_box(e))
+                        .as_amps_per_square_meter()
+                })
                 .sum::<f64>()
         });
     });
@@ -75,15 +75,15 @@ fn bench_models(c: &mut Criterion) {
         b.iter(|| {
             grid.iter()
                 .map(|&e| {
-                    TunnelingModel::current_density(&image, black_box(e))
-                        .as_amps_per_square_meter()
+                    TunnelingModel::current_density(&image, black_box(e)).as_amps_per_square_meter()
                 })
                 .sum::<f64>()
         });
     });
     group.bench_function("tsu_esaki_supply_integral", |b| {
         b.iter(|| {
-            tsu.current_density(black_box(e_test)).as_amps_per_square_meter()
+            tsu.current_density(black_box(e_test))
+                .as_amps_per_square_meter()
         });
     });
     group.bench_function("numeric_wkb_transmission", |b| {

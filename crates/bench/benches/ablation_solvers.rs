@@ -14,9 +14,7 @@ use gnr_units::{Charge, Voltage};
 use std::hint::black_box;
 
 /// The charge-balance RHS over the early 10 µs window (state in volts).
-fn make_rhs(
-    device: &FloatingGateTransistor,
-) -> impl Fn(f64, &[f64], &mut [f64]) + '_ {
+fn make_rhs(device: &FloatingGateTransistor) -> impl Fn(f64, &[f64], &mut [f64]) + '_ {
     let ct = device.capacitances().total().as_farads();
     move |_t: f64, y: &[f64], dydt: &mut [f64]| {
         let q = Charge::from_coulombs(y[0] * ct);
@@ -48,9 +46,18 @@ fn bench_solvers(c: &mut Criterion) {
         .integrate(make_rhs(&device), 0.0, &[0.0], WINDOW_S)
         .expect("sdirk2")
         .final_state()[0];
-    assert!((rk4 - reference).abs() < 1e-6, "rk4 = {rk4}, ref = {reference}");
-    assert!((euler - reference).abs() < 1e-3, "euler = {euler}, ref = {reference}");
-    assert!((sdirk - reference).abs() < 1e-4, "sdirk = {sdirk}, ref = {reference}");
+    assert!(
+        (rk4 - reference).abs() < 1e-6,
+        "rk4 = {rk4}, ref = {reference}"
+    );
+    assert!(
+        (euler - reference).abs() < 1e-3,
+        "euler = {euler}, ref = {reference}"
+    );
+    assert!(
+        (sdirk - reference).abs() < 1e-4,
+        "sdirk = {sdirk}, ref = {reference}"
+    );
 
     let mut group = c.benchmark_group("ablation_solvers");
     group.sample_size(10);

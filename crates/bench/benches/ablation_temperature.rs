@@ -29,7 +29,11 @@ fn bench_temperature(c: &mut Criterion) {
     let j300 = device
         .tunnel_flow_at(vfg, Voltage::ZERO, Temperature::from_kelvin(300.0))
         .as_amps_per_square_meter();
-    assert!(j300 / j0 < 1.5, "room-T correction should be modest: {}", j300 / j0);
+    assert!(
+        j300 / j0 < 1.5,
+        "room-T correction should be modest: {}",
+        j300 / j0
+    );
 
     c.bench_function("temperature_sweep_250_400K", |b| {
         b.iter(|| {

@@ -1,13 +1,118 @@
 //! Array-level throughput: page programming with ISPP and block erase —
 //! the paper's §II point that FN's tiny per-cell current lets "many cells
 //! be programmed at a time".
+//!
+//! Besides the Criterion timings, this bench measures the batched
+//! (rayon fan-out) vs sequential wall-clock on the acceptance-criterion
+//! 4×4×16 NAND array and writes `BENCH_array_throughput.json` at the
+//! workspace root so the perf trajectory of the batch engine is recorded
+//! per run.
+
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::nand::{NandArray, NandConfig};
 use std::hint::black_box;
 
+/// Programs every page of a fresh array with a checkerboard; returns the
+/// elapsed wall-clock.
+fn program_all_pages(config: NandConfig, batch: BatchSimulator) -> Duration {
+    let pattern: Vec<bool> = (0..config.page_width).map(|i| i % 2 == 0).collect();
+    let mut array = NandArray::new(config).with_batch(batch);
+    let start = Instant::now();
+    for block in 0..config.blocks {
+        for page in 0..config.pages_per_block {
+            array.program_page(block, page, &pattern).expect("program");
+        }
+    }
+    start.elapsed()
+}
+
+/// Erases every (programmed) block; returns the elapsed wall-clock.
+fn erase_all_blocks(config: NandConfig, batch: BatchSimulator) -> Duration {
+    let pattern: Vec<bool> = (0..config.page_width).map(|i| i % 2 == 0).collect();
+    let mut array = NandArray::new(config).with_batch(batch);
+    for block in 0..config.blocks {
+        for page in 0..config.pages_per_block {
+            array.program_page(block, page, &pattern).expect("program");
+        }
+    }
+    let start = Instant::now();
+    for block in 0..config.blocks {
+        array.erase_block(block).expect("erase");
+    }
+    start.elapsed()
+}
+
+fn best_of<F: FnMut() -> Duration>(runs: usize, mut f: F) -> Duration {
+    (0..runs).map(|_| f()).min().expect("at least one run")
+}
+
+/// Batch-vs-sequential speedup on the 4×4×16 acceptance config, written
+/// to `BENCH_array_throughput.json`.
+fn measure_batch_speedup() {
+    let config = NandConfig {
+        blocks: 4,
+        pages_per_block: 4,
+        page_width: 16,
+    };
+    let runs = 3;
+
+    let seq_program = best_of(runs, || {
+        program_all_pages(config, BatchSimulator::sequential())
+    });
+    let par_program = best_of(runs, || program_all_pages(config, BatchSimulator::new()));
+    let seq_erase = best_of(runs, || {
+        erase_all_blocks(config, BatchSimulator::sequential())
+    });
+    let par_erase = best_of(runs, || erase_all_blocks(config, BatchSimulator::new()));
+
+    let program_speedup = seq_program.as_secs_f64() / par_program.as_secs_f64().max(1e-12);
+    let erase_speedup = seq_erase.as_secs_f64() / par_erase.as_secs_f64().max(1e-12);
+
+    println!(
+        "batch speedup on 4x4x16 ({} cores): page-program {:.2}x ({:?} -> {:?}), \
+         block-erase {:.2}x ({:?} -> {:?})",
+        rayon::current_num_threads(),
+        program_speedup,
+        seq_program,
+        par_program,
+        erase_speedup,
+        seq_erase,
+        par_erase,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"array_throughput\",\n  \"config\": \"4x4x16\",\n  \
+         \"cores\": {},\n  \"sequential_program_ms\": {:.3},\n  \
+         \"parallel_program_ms\": {:.3},\n  \"program_speedup\": {:.3},\n  \
+         \"sequential_erase_ms\": {:.3},\n  \"parallel_erase_ms\": {:.3},\n  \
+         \"erase_speedup\": {:.3}\n}}\n",
+        rayon::current_num_threads(),
+        seq_program.as_secs_f64() * 1e3,
+        par_program.as_secs_f64() * 1e3,
+        program_speedup,
+        seq_erase.as_secs_f64() * 1e3,
+        par_erase.as_secs_f64() * 1e3,
+        erase_speedup,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_array_throughput.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn bench_array(c: &mut Criterion) {
-    let config = NandConfig { blocks: 2, pages_per_block: 2, page_width: 16 };
+    let config = NandConfig {
+        blocks: 2,
+        pages_per_block: 2,
+        page_width: 16,
+    };
 
     // Functional check: a page programs and reads back.
     let mut array = NandArray::new(config);
@@ -15,11 +120,21 @@ fn bench_array(c: &mut Criterion) {
     array.program_page(0, 0, &pattern).expect("program");
     assert_eq!(array.read_page(0, 0).expect("read"), pattern);
 
+    measure_batch_speedup();
+
     let mut group = c.benchmark_group("array_throughput");
     group.sample_size(10);
     group.bench_function("program_16_cell_page", |b| {
         b.iter(|| {
             let mut array = NandArray::new(black_box(config));
+            array.program_page(0, 0, &pattern).expect("program");
+            array
+        });
+    });
+    group.bench_function("program_16_cell_page_sequential", |b| {
+        b.iter(|| {
+            let mut array =
+                NandArray::new(black_box(config)).with_batch(BatchSimulator::sequential());
             array.program_page(0, 0, &pattern).expect("program");
             array
         });

@@ -13,13 +13,7 @@ fn bench_band_diagram(c: &mut Criterion) {
     band_diagram::check(&data).expect("fig2 shape");
 
     c.bench_function("fig2_band_diagram", |b| {
-        b.iter(|| {
-            band_diagram::generate(
-                black_box(&device),
-                presets::program_vgs(),
-                Charge::ZERO,
-            )
-        });
+        b.iter(|| band_diagram::generate(black_box(&device), presets::program_vgs(), Charge::ZERO));
     });
 }
 

@@ -4,190 +4,79 @@
 //! cargo run -p gnr-bench --bin figures
 //! ```
 //!
-//! Writes `results/fig*.csv` (+ JSON for the transients), runs every
-//! shape check, and prints the per-figure summaries that EXPERIMENTS.md
-//! quotes.
+//! Iterates the [`gnr_flash::experiments::registry`] — every paper
+//! figure plus the extension studies — through the batched engine,
+//! writes each experiment's artifacts under `results/`, runs every
+//! shape check and prints the per-figure summaries that EXPERIMENTS.md
+//! quotes. Adding an experiment to the registry adds it here with no
+//! changes to this binary.
 
-use gnr_bench::{ascii_table, format_series_summary, write_results_file};
-use gnr_flash::device::FloatingGateTransistor;
-use gnr_flash::experiments::{
-    band_diagram, erase_transient, fig4, fig5, fig6, fig7, fig8, fig9, fn_plot_fig,
-    saturation_sweep, temperature_fig,
-};
+use gnr_bench::{ascii_table, write_results_file};
+use gnr_flash::experiments::ExperimentContext;
 use gnr_flash::presets;
-use gnr_units::fmt_eng::sci;
 use gnr_units::Charge;
 
 fn main() {
-    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let ctx = ExperimentContext::paper();
     let mut failures = 0usize;
-    let mut check = |name: &str, result: Result<(), String>| match result {
-        Ok(()) => println!("  [check] {name}: OK"),
-        Err(e) => {
-            failures += 1;
-            println!("  [check] {name}: FAILED — {e}");
+
+    for experiment in gnr_flash::experiments::registry() {
+        println!("== {}: {} ==", experiment.id(), experiment.title());
+        let report = match experiment.run(&ctx) {
+            Ok(report) => report,
+            Err(e) => {
+                failures += 1;
+                println!("  [check] {}: FAILED to run — {e}", experiment.id());
+                continue;
+            }
+        };
+        for line in &report.summary {
+            println!("  {line}");
         }
-    };
-
-    println!("== Figure 2: FN band diagram at VGS = +15 V ==");
-    let bd = band_diagram::generate(&device, presets::program_vgs(), Charge::ZERO);
-    println!(
-        "  VFG = {:.2} V; tunnel barrier peak = {:.2} eV",
-        bd.vfg,
-        bd.regions[1].points.first().map_or(f64::NAN, |p| p.1)
-    );
-    check("fig2 band diagram", band_diagram::check(&bd));
-    let json = serde_json::to_string_pretty(&bd).expect("serializable");
-    report_path("fig2_band_diagram.json", &write_results_file("fig2_band_diagram.json", &json));
-
-    println!("\n== Figure 4: programming onset (Jin vs Jout) ==");
-    let f4 = fig4::generate(&device).expect("fig4 transient");
-    println!(
-        "  Jin(0) = {}, Jout(0) = {}, ratio = {:.1e}",
-        sci(f4.j_in_onset, "A/m^2"),
-        sci(f4.j_out_onset, "A/m^2"),
-        f4.onset_ratio()
-    );
-    println!(
-        "  oxide drops at t=0: tunnel {:.1} V, control {:.1} V (paper: 9 V / 6 V)",
-        f4.tunnel_drop, f4.control_drop
-    );
-    check("fig4 onset", fig4::check(&f4));
-    let json = serde_json::to_string_pretty(&f4).expect("serializable");
-    report_path("fig4_onset.json", &write_results_file("fig4_onset.json", &json));
-
-    println!("\n== Figure 5: transient to saturation ==");
-    let f5 = fig5::generate(&device).expect("fig5 transient");
-    println!(
-        "  t_sat = {} s, charge at saturation = {:.1} electrons",
-        f5.t_sat.map_or("n/a".into(), |t| format!("{t:.3e}")),
-        f5.charge_at_sat.map_or(f64::NAN, |q| Charge::from_coulombs(q).as_electrons())
-    );
-    check("fig5 saturation", fig5::check(&f5));
-    let mut csv = String::from("t_s,j_in,j_out,vfg,charge\n");
-    for s in &f5.samples {
-        csv.push_str(&format!(
-            "{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}\n",
-            s.t, s.j_in, s.j_out, s.vfg, s.charge
-        ));
+        match &report.check {
+            Ok(()) => println!("  [check] {}: OK", experiment.id()),
+            Err(e) => {
+                failures += 1;
+                println!("  [check] {}: FAILED — {e}", experiment.id());
+            }
+        }
+        for artifact in &report.artifacts {
+            match write_results_file(&artifact.name, &artifact.contents) {
+                Ok(path) => println!("  [data] {} -> {}", artifact.name, path.display()),
+                Err(e) => println!("  [data] {}: write failed ({e})", artifact.name),
+            }
+        }
+        println!();
     }
-    report_path("fig5_transient.csv", &write_results_file("fig5_transient.csv", &csv));
-
-    let sweeps: [(&str, fn() -> gnr_flash::Result<gnr_flash::experiments::FigureData>, fn(&gnr_flash::experiments::FigureData) -> Result<(), String>); 4] = [
-        ("fig6", fig6::generate, fig6::check),
-        ("fig7", fig7::generate, fig7::check),
-        ("fig8", fig8::generate, fig8::check),
-        ("fig9", fig9::generate, fig9::check),
-    ];
-    for (id, generate, check_fn) in sweeps {
-        let fig = generate().expect("sweep generation");
-        println!("\n== {}: {} ==", id.to_uppercase(), fig.title);
-        print!("{}", format_series_summary(&fig));
-        check(id, check_fn(&fig));
-        report_path(
-            &format!("{id}.csv"),
-            &write_results_file(&format!("{id}.csv"), &fig.to_csv()),
-        );
-    }
-
-    println!("\n== Extension: FN-plot parameter extraction (§IV, ref. [9]) ==");
-    let fp = fn_plot_fig::generate(&device).expect("fn plot");
-    println!(
-        "  extracted B = {:.4e} V/m (true {:.4e}); barrier {:.3} eV (true {:.3}); R² = {:.6}",
-        fp.extracted_b, fp.true_b, fp.recovered_barrier_ev, fp.true_barrier_ev, fp.r_squared
-    );
-    check("fn-plot extraction", fn_plot_fig::check(&fp));
-    let json = serde_json::to_string_pretty(&fp).expect("serializable");
-    report_path("fn_plot.json", &write_results_file("fn_plot.json", &json));
-
-    println!("\n== Extension: temperature study 250-400 K ==");
-    let tf = temperature_fig::generate(&device).expect("temperature fig");
-    print!("{}", format_series_summary(&tf));
-    check("temperature study", temperature_fig::check(&tf, &device));
-    report_path(
-        "temperature.csv",
-        &write_results_file("temperature.csv", &tf.to_csv()),
-    );
-
-    println!("\n== Extension: erase transient (the §IV.b mirror of Figure 5) ==");
-    let et = erase_transient::generate(&device).expect("erase transient");
-    println!(
-        "  from {:.1} electrons at {} V: t_sat = {} s, final depletion = {:.1} electrons",
-        Charge::from_coulombs(et.initial_charge).as_electrons(),
-        et.vgs,
-        et.t_sat.map_or("n/a".into(), |t| format!("{t:.3e}")),
-        et.charge_at_sat
-            .map_or(f64::NAN, |q| Charge::from_coulombs(q).as_electrons())
-    );
-    check("erase transient", erase_transient::check(&et));
-    let mut csv = String::from("t_s,j_tunnel,j_control,vfg,charge\n");
-    for s in &et.samples {
-        csv.push_str(&format!(
-            "{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}\n",
-            s.t, s.j_in, s.j_out, s.vfg, s.charge
-        ));
-    }
-    report_path(
-        "erase_transient.csv",
-        &write_results_file("erase_transient.csv", &csv),
-    );
-
-    println!("\n== Extension: t_sat vs VGS (the conclusion, quantified) ==");
-    let ss = saturation_sweep::generate(&device, &saturation_sweep::default_grid())
-        .expect("saturation sweep");
-    let rows: Vec<Vec<String>> = ss
-        .points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:.1}", p.vgs),
-                format!("{:.3e}", p.t_sat),
-                format!("{:.1}", Charge::from_coulombs(p.charge_at_sat).as_electrons()),
-                format!("{:.2}", p.window),
-            ]
-        })
-        .collect();
-    print!("{}", ascii_table(&["VGS (V)", "t_sat (s)", "electrons", "window (V)"], &rows));
-    check("saturation sweep", saturation_sweep::check(&ss));
-    let json = serde_json::to_string_pretty(&ss).expect("serializable");
-    report_path(
-        "saturation_sweep.json",
-        &write_results_file("saturation_sweep.json", &json),
-    );
 
     // Headline comparison table: the worked example of §III.
-    println!("\n== Worked example (§III) ==");
+    println!("== Worked example (§III) ==");
+    let device = &ctx.device;
+    let vfg = device
+        .floating_gate_voltage(presets::program_vgs(), Charge::ZERO)
+        .as_volts();
     let rows = vec![
         vec!["VGS".into(), "15 V".into(), "15 V".into()],
-        vec!["GCR".into(), "0.6".into(), format!("{:.2}", device.capacitances().gcr())],
         vec![
-            "VFG (QFG=0)".into(),
-            "9 V".into(),
-            format!(
-                "{:.2} V",
-                device
-                    .floating_gate_voltage(presets::program_vgs(), Charge::ZERO)
-                    .as_volts()
-            ),
+            "GCR".into(),
+            "0.6".into(),
+            format!("{:.2}", device.capacitances().gcr()),
         ],
+        vec!["VFG (QFG=0)".into(), "9 V".into(), format!("{vfg:.2} V")],
         vec![
             "control-oxide drop".into(),
             "6 V".into(),
-            format!("{:.2} V", 15.0 - bd.vfg),
+            format!("{:.2} V", 15.0 - vfg),
         ],
     ];
-    print!("{}", ascii_table(&["quantity", "paper", "simulated"], &rows));
+    print!(
+        "{}",
+        ascii_table(&["quantity", "paper", "simulated"], &rows)
+    );
 
     if failures > 0 {
         eprintln!("\n{failures} figure check(s) FAILED");
         std::process::exit(1);
     }
     println!("\nAll figure checks passed. CSVs under results/.");
-}
-
-fn report_path(name: &str, result: &std::io::Result<std::path::PathBuf>) {
-    match result {
-        Ok(p) => println!("  [data] {} -> {}", name, p.display()),
-        Err(e) => println!("  [data] {name}: write failed ({e})"),
-    }
 }

@@ -76,8 +76,7 @@ impl CapacitanceNetwork {
         control_oxide: &Oxide,
     ) -> Self {
         let area = geometry.gate_area();
-        let cfc =
-            control_oxide.capacitance_per_area(geometry.control_oxide_thickness()) * area;
+        let cfc = control_oxide.capacitance_per_area(geometry.control_oxide_thickness()) * area;
         let c_tox = tunnel_oxide.capacitance_per_area(geometry.tunnel_oxide_thickness()) * area;
         Self {
             cfc,
@@ -113,7 +112,12 @@ impl CapacitanceNetwork {
         }
         let cfc = total * gcr;
         let rest = total * (1.0 - gcr);
-        Ok(Self { cfc, cfs: rest * 0.1, cfb: rest * 0.8, cfd: rest * 0.1 })
+        Ok(Self {
+            cfc,
+            cfs: rest * 0.1,
+            cfb: rest * 0.8,
+            cfd: rest * 0.1,
+        })
     }
 
     /// Floating gate ↔ control gate capacitance `CFC`.
@@ -173,9 +177,7 @@ impl CapacitanceNetwork {
         qfg: Charge,
     ) -> Voltage {
         let num = self.cfc * vgs + self.cfs * vs + self.cfb * vb + self.cfd * vd;
-        Voltage::from_volts(
-            (num.as_coulombs() + qfg.as_coulombs()) / self.total().as_farads(),
-        )
+        Voltage::from_volts((num.as_coulombs() + qfg.as_coulombs()) / self.total().as_farads())
     }
 }
 
@@ -218,8 +220,7 @@ mod tests {
     #[test]
     fn from_gcr_round_trips() {
         for gcr in [0.3, 0.5, 0.6, 0.8] {
-            let net =
-                CapacitanceNetwork::from_gcr(gcr, Capacitance::from_attofarads(4.0)).unwrap();
+            let net = CapacitanceNetwork::from_gcr(gcr, Capacitance::from_attofarads(4.0)).unwrap();
             assert!((net.gcr() - gcr).abs() < 1e-12);
             assert!((net.total().as_attofarads() - 4.0).abs() < 1e-12);
         }
@@ -239,13 +240,8 @@ mod tests {
         let vgs = Voltage::from_volts(12.0);
         let q = Charge::from_electrons(-20.0);
         let simple = net.floating_gate_voltage(vgs, q);
-        let full = net.floating_gate_voltage_full(
-            vgs,
-            Voltage::ZERO,
-            Voltage::ZERO,
-            Voltage::ZERO,
-            q,
-        );
+        let full =
+            net.floating_gate_voltage_full(vgs, Voltage::ZERO, Voltage::ZERO, Voltage::ZERO, q);
         assert!((simple.as_volts() - full.as_volts()).abs() < 1e-12);
     }
 

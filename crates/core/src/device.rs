@@ -23,13 +23,53 @@ use gnr_materials::mlgnr::MultilayerGnr;
 use gnr_materials::oxide::Oxide;
 use gnr_materials::silicon;
 use gnr_tunneling::fn_model::FnModel;
-use gnr_units::{
-    Capacitance, Charge, CurrentDensity, ElectricField, Energy, Temperature, Voltage,
-};
+use gnr_units::{Capacitance, Charge, CurrentDensity, ElectricField, Energy, Temperature, Voltage};
 
 use crate::capacitance::CapacitanceNetwork;
 use crate::geometry::FgtGeometry;
 use crate::Result;
+
+/// Directional signed flow through one oxide: the emitting electrode —
+/// and therefore the model — switches with the field sign, and the
+/// magnitude is evaluated at `|E|` so every model's odd symmetry is
+/// applied consistently.
+///
+/// This is the single home of the sign convention shared by the exact
+/// device paths and the engine's tabulated paths; keep them from
+/// diverging by routing both through here.
+pub(crate) fn signed_flow(
+    field: ElectricField,
+    forward: &dyn gnr_tunneling::TunnelingModel,
+    reverse: &dyn gnr_tunneling::TunnelingModel,
+) -> CurrentDensity {
+    signed_flow_by(
+        field,
+        |e| forward.current_density(e),
+        |e| reverse.current_density(e),
+    )
+}
+
+/// Closure-general form of [`signed_flow`] for evaluations that carry
+/// extra parameters (e.g. the Lenzlinger–Snow temperature correction of
+/// [`FloatingGateTransistor::tunnel_flow_at`]). Each closure receives
+/// `|E|` and returns the current-density magnitude of its emitter.
+pub(crate) fn signed_flow_by(
+    field: ElectricField,
+    forward: impl FnOnce(ElectricField) -> CurrentDensity,
+    reverse: impl FnOnce(ElectricField) -> CurrentDensity,
+) -> CurrentDensity {
+    let ev = field.as_volts_per_meter();
+    if ev == 0.0 {
+        return CurrentDensity::ZERO;
+    }
+    let mag = if ev > 0.0 {
+        forward(field.abs())
+    } else {
+        reverse(field.abs())
+    }
+    .as_amps_per_square_meter();
+    CurrentDensity::from_amps_per_square_meter(ev.signum() * mag)
+}
 
 /// Instantaneous tunneling state of the cell at one bias point.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -80,7 +120,9 @@ impl FloatingGateTransistor {
     /// geometry.
     #[must_use]
     pub fn mlgnr_cnt_paper() -> Self {
-        FgtBuilder::default().build().expect("paper preset is valid")
+        FgtBuilder::default()
+            .build()
+            .expect("paper preset is valid")
     }
 
     /// The conventional silicon baseline the paper compares against:
@@ -140,6 +182,20 @@ impl FloatingGateTransistor {
         &self.fn_fg_emit_tunnel
     }
 
+    /// The FN model for FG-emitted tunneling through the control oxide
+    /// (programming `Jout`).
+    #[must_use]
+    pub fn fg_control_emission_model(&self) -> &FnModel {
+        &self.fn_fg_emit_control
+    }
+
+    /// The FN model for control-gate-emitted tunneling through the
+    /// control oxide (erase-side parasitic).
+    #[must_use]
+    pub fn gate_emission_model(&self) -> &FnModel {
+        &self.fn_gate_emit
+    }
+
     /// Floating-gate potential at a bias point — eq. (3).
     #[must_use]
     pub fn floating_gate_voltage(&self, vgs: Voltage, qfg: Charge) -> Voltage {
@@ -165,28 +221,22 @@ impl FloatingGateTransistor {
     /// the field direction.
     #[must_use]
     pub fn tunnel_flow(&self, vfg: Voltage, vs: Voltage) -> CurrentDensity {
-        let e = self.tunnel_oxide_field(vfg, vs);
-        let ev = e.as_volts_per_meter();
-        if ev == 0.0 {
-            return CurrentDensity::ZERO;
-        }
-        let model = if ev > 0.0 { &self.fn_channel_emit } else { &self.fn_fg_emit_tunnel };
-        let mag = model.current_density(e.abs()).as_amps_per_square_meter();
-        CurrentDensity::from_amps_per_square_meter(ev.signum() * mag)
+        signed_flow(
+            self.tunnel_oxide_field(vfg, vs),
+            &self.fn_channel_emit,
+            &self.fn_fg_emit_tunnel,
+        )
     }
 
     /// Signed electron flow through the control oxide
     /// (positive = electrons moving FG → control gate, i.e. `VGS > VFG`).
     #[must_use]
     pub fn control_flow(&self, vgs: Voltage, vfg: Voltage) -> CurrentDensity {
-        let e = self.control_oxide_field(vgs, vfg);
-        let ev = e.as_volts_per_meter();
-        if ev == 0.0 {
-            return CurrentDensity::ZERO;
-        }
-        let model = if ev > 0.0 { &self.fn_fg_emit_control } else { &self.fn_gate_emit };
-        let mag = model.current_density(e.abs()).as_amps_per_square_meter();
-        CurrentDensity::from_amps_per_square_meter(ev.signum() * mag)
+        signed_flow(
+            self.control_oxide_field(vgs, vfg),
+            &self.fn_fg_emit_control,
+            &self.fn_gate_emit,
+        )
     }
 
     /// Full tunneling state at a bias point: eq. (3) + both oxide flows +
@@ -201,7 +251,12 @@ impl FloatingGateTransistor {
         let area = self.geometry.gate_area();
         let dq_dt = area.as_square_meters()
             * (jc.as_amps_per_square_meter() - jt.as_amps_per_square_meter());
-        TunnelingState { vfg, tunnel_flow: jt, control_flow: jc, charge_rate_amps: dq_dt }
+        TunnelingState {
+            vfg,
+            tunnel_flow: jt,
+            control_flow: jc,
+            charge_rate_amps: dq_dt,
+        }
     }
 
     /// Like [`Self::tunnel_flow`] but with the Lenzlinger–Snow
@@ -213,16 +268,11 @@ impl FloatingGateTransistor {
         vs: Voltage,
         temperature: Temperature,
     ) -> CurrentDensity {
-        let e = self.tunnel_oxide_field(vfg, vs);
-        let ev = e.as_volts_per_meter();
-        if ev == 0.0 {
-            return CurrentDensity::ZERO;
-        }
-        let model = if ev > 0.0 { &self.fn_channel_emit } else { &self.fn_fg_emit_tunnel };
-        let mag = model
-            .current_density_at(e.abs(), temperature)
-            .as_amps_per_square_meter();
-        CurrentDensity::from_amps_per_square_meter(ev.signum() * mag)
+        signed_flow_by(
+            self.tunnel_oxide_field(vfg, vs),
+            |e| self.fn_channel_emit.current_density_at(e, temperature),
+            |e| self.fn_fg_emit_tunnel.current_density_at(e, temperature),
+        )
     }
 
     /// Oxide stress ratios (|field| / breakdown) at a bias point — the
@@ -231,8 +281,10 @@ impl FloatingGateTransistor {
     pub fn stress_ratios(&self, vgs: Voltage, vs: Voltage, qfg: Charge) -> (f64, f64) {
         let vfg = self.floating_gate_voltage(vgs, qfg);
         (
-            self.tunnel_oxide.field_stress_ratio(self.tunnel_oxide_field(vfg, vs)),
-            self.control_oxide.field_stress_ratio(self.control_oxide_field(vgs, vfg)),
+            self.tunnel_oxide
+                .field_stress_ratio(self.tunnel_oxide_field(vfg, vs)),
+            self.control_oxide
+                .field_stress_ratio(self.control_oxide_field(vgs, vfg)),
         )
     }
 }
@@ -356,14 +408,10 @@ impl FgtBuilder {
 
         let if_channel =
             TunnelInterface::new(self.channel_work_function, self.tunnel_oxide.clone())?;
-        let if_fg_tunnel = TunnelInterface::new(
-            self.floating_gate_work_function,
-            self.tunnel_oxide.clone(),
-        )?;
-        let if_fg_control = TunnelInterface::new(
-            self.floating_gate_work_function,
-            self.control_oxide.clone(),
-        )?;
+        let if_fg_tunnel =
+            TunnelInterface::new(self.floating_gate_work_function, self.tunnel_oxide.clone())?;
+        let if_fg_control =
+            TunnelInterface::new(self.floating_gate_work_function, self.control_oxide.clone())?;
         let if_gate =
             TunnelInterface::new(self.control_gate_work_function, self.control_oxide.clone())?;
 
@@ -409,7 +457,10 @@ mod tests {
         let jout = s.control_flow.as_amps_per_square_meter();
         assert!(jin > 0.0);
         assert!(jout >= 0.0);
-        assert!(jin > 1e3 * jout.max(1e-300), "Jin = {jin:e}, Jout = {jout:e}");
+        assert!(
+            jin > 1e3 * jout.max(1e-300),
+            "Jin = {jin:e}, Jout = {jout:e}"
+        );
         // Electrons accumulate: dQ/dt < 0.
         assert!(s.charge_rate_amps < 0.0);
     }
@@ -423,8 +474,7 @@ mod tests {
         let q = Charge::from_coulombs(-2.0 * d.capacitances().total().as_farads()); // −2 V worth
         let s1 = d.tunneling_state(vgs, Voltage::ZERO, q);
         assert!(
-            s1.tunnel_flow.as_amps_per_square_meter()
-                < s0.tunnel_flow.as_amps_per_square_meter()
+            s1.tunnel_flow.as_amps_per_square_meter() < s0.tunnel_flow.as_amps_per_square_meter()
         );
         assert!(
             s1.control_flow.as_amps_per_square_meter()
@@ -514,8 +564,6 @@ mod tests {
         let vfg = Voltage::from_volts(9.0);
         let cold = d.tunnel_flow_at(vfg, Voltage::ZERO, Temperature::from_kelvin(250.0));
         let hot = d.tunnel_flow_at(vfg, Voltage::ZERO, Temperature::from_kelvin(400.0));
-        assert!(
-            hot.as_amps_per_square_meter() > cold.as_amps_per_square_meter()
-        );
+        assert!(hot.as_amps_per_square_meter() > cold.as_amps_per_square_meter());
     }
 }

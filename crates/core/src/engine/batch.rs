@@ -1,0 +1,162 @@
+//! Rayon fan-out of independent charge-balance runs.
+//!
+//! A NAND page program, a block erase, an ISPP ladder per cell, a
+//! `t_sat(VGS)` sweep — all are embarrassingly parallel collections of
+//! independent transients. [`BatchSimulator`] fans them out across
+//! cores while sharing the process-wide `J(E)` table cache, and its
+//! output order always matches input order, so a batched run is
+//! bit-identical to the equivalent sequential loop (asserted by
+//! `tests/batch_parity.rs`).
+
+use rayon::prelude::*;
+
+use crate::device::FloatingGateTransistor;
+use crate::transient::{ProgramPulseSpec, TransientResult};
+use crate::Result;
+
+use super::ChargeBalanceEngine;
+
+/// Fan-out executor for independent simulation work.
+///
+/// Construction is cheap; the expensive state (the `J(E)` tables) lives
+/// in the process-wide cache and is shared by every batch and thread.
+#[derive(Debug, Clone)]
+pub struct BatchSimulator {
+    parallel: bool,
+    saturation_fraction: Option<f64>,
+}
+
+impl Default for BatchSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchSimulator {
+    /// A parallel batch simulator with the engine's default tolerances.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            parallel: true,
+            saturation_fraction: None,
+        }
+    }
+
+    /// Forces sequential execution (parity testing, profiling baselines).
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self {
+            parallel: false,
+            saturation_fraction: None,
+        }
+    }
+
+    /// Whether this batch fans out across threads.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Overrides the saturation detection fraction of every engine this
+    /// batch builds.
+    #[must_use]
+    pub fn with_saturation_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "saturation fraction must be in (0, 1)"
+        );
+        self.saturation_fraction = Some(fraction);
+        self
+    }
+
+    /// Builds the engine this batch would use for `device`, with every
+    /// configured override applied. Consumers that fan out stateful work
+    /// (the ISPP ladders) build one engine per unit of work through this
+    /// so the batch configuration reaches every transient.
+    #[must_use]
+    pub fn engine_for(&self, device: &FloatingGateTransistor) -> ChargeBalanceEngine {
+        let mut engine = ChargeBalanceEngine::new(device);
+        if let Some(fraction) = self.saturation_fraction {
+            engine = engine.with_saturation_fraction(fraction);
+        }
+        engine
+    }
+
+    /// Runs every spec against one shared device, in input order.
+    ///
+    /// Each element of the output corresponds to the spec at the same
+    /// index; failures are per-spec, not batch-wide.
+    #[must_use]
+    pub fn run(
+        &self,
+        device: &FloatingGateTransistor,
+        specs: &[ProgramPulseSpec],
+    ) -> Vec<Result<TransientResult>> {
+        let engine = self.engine_for(device);
+        self.scatter(specs.to_vec(), |spec| engine.run(&spec))
+    }
+
+    /// Generic order-preserving fan-out of `op` over independent work
+    /// items — the primitive the array layer (ISPP, page program, block
+    /// erase) routes through.
+    pub fn scatter<T, R, F>(&self, items: Vec<T>, op: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.parallel {
+            items.into_par_iter().map(op).collect()
+        } else {
+            items.into_iter().map(op).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use gnr_units::Voltage;
+
+    #[test]
+    fn batched_specs_match_sequential_exactly() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let specs: Vec<ProgramPulseSpec> = (0..6)
+            .map(|i| ProgramPulseSpec::program(Voltage::from_volts(13.0 + 0.5 * f64::from(i))))
+            .collect();
+        let parallel = BatchSimulator::new().run(&device, &specs);
+        let sequential = BatchSimulator::sequential().run(&device, &specs);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(
+                p.samples(),
+                s.samples(),
+                "batched trace must be bit-identical"
+            );
+            assert_eq!(p.saturation_time(), s.saturation_time());
+        }
+    }
+
+    #[test]
+    fn per_spec_failures_stay_local() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let specs = vec![
+            ProgramPulseSpec::program(Voltage::from_volts(1.0)), // no tunneling
+            ProgramPulseSpec::program(presets::program_vgs()),
+        ];
+        let results = BatchSimulator::new().run(&device, &specs);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn scatter_preserves_order() {
+        let batch = BatchSimulator::new();
+        let doubled = batch.scatter((0..100).collect::<Vec<i64>>(), |x| x * 2);
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, 2 * i as i64);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Process-wide cache of [`TabulatedJ`] tables.
+//!
+//! Two devices with the same emitting barrier and oxide mass share the
+//! same FN law regardless of geometry or GCR, so their tables are
+//! interchangeable. The cache keys on the `(A, B)` coefficient bits of
+//! the [`FnModel`] and hands out `Arc`s: a NAND array of thousands of
+//! nominally identical cells builds each of its four tunneling-path
+//! tables exactly once, and every simulator thread reads them without
+//! further synchronisation.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use gnr_tunneling::fn_model::FnModel;
+
+use super::table::TabulatedJ;
+
+/// Cache key: the exact bit patterns of the FN `(A, B)` coefficients.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct FnKey {
+    a_bits: u64,
+    b_bits: u64,
+}
+
+static TABLES: OnceLock<Mutex<HashMap<FnKey, Arc<TabulatedJ>>>> = OnceLock::new();
+
+/// Upper bound on retained tables. Real workloads use a handful of
+/// distinct `(A, B)` pairs (one per electrode/oxide interface), but a
+/// Monte-Carlo sweep over continuously perturbed barriers would otherwise
+/// grow the cache without bound — at the cap the cache is cleared
+/// wholesale (outstanding `Arc`s stay valid; tables rebuild on demand in
+/// microseconds).
+const MAX_TABLES: usize = 256;
+
+/// Returns the shared table for `model`, building it on first use.
+#[must_use]
+pub fn tabulated(model: &FnModel) -> Arc<TabulatedJ> {
+    let coeffs = model.coefficients();
+    let key = FnKey {
+        a_bits: coeffs.a.to_bits(),
+        b_bits: coeffs.b.to_bits(),
+    };
+    let cache = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock();
+    if map.len() >= MAX_TABLES && !map.contains_key(&key) {
+        map.clear();
+    }
+    Arc::clone(
+        map.entry(key)
+            .or_insert_with(|| Arc::new(TabulatedJ::new(Arc::new(*model)))),
+    )
+}
+
+/// Number of distinct tables currently cached (observability hook).
+#[must_use]
+pub fn cached_tables() -> usize {
+    TABLES.get().map_or(0, |cache| cache.lock().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnr_units::{Energy, Mass};
+
+    #[test]
+    fn identical_models_share_one_table() {
+        let m1 = FnModel::new(Energy::from_ev(3.31), Mass::from_electron_masses(0.42));
+        let m2 = FnModel::new(Energy::from_ev(3.31), Mass::from_electron_masses(0.42));
+        let t1 = tabulated(&m1);
+        let t2 = tabulated(&m2);
+        assert!(
+            Arc::ptr_eq(&t1, &t2),
+            "same coefficients must share a table"
+        );
+    }
+
+    #[test]
+    fn distinct_models_get_distinct_tables() {
+        let m1 = FnModel::new(Energy::from_ev(3.32), Mass::from_electron_masses(0.42));
+        let m2 = FnModel::new(Energy::from_ev(3.87), Mass::from_electron_masses(0.42));
+        assert!(!Arc::ptr_eq(&tabulated(&m1), &tabulated(&m2)));
+        assert!(cached_tables() >= 2);
+    }
+}

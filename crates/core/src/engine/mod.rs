@@ -1,0 +1,393 @@
+//! The batched, cache-backed charge-balance simulation engine.
+//!
+//! # Why this layer exists
+//!
+//! The paper's central computation is the charge balance
+//! `dQFG/dt = A·(J_control − J_tunnel)` (Figures 4–9 are all views of
+//! it). The seed implementation evaluated both FN exponentials inside
+//! the ODE right-hand side on every step of every pulse of every cell —
+//! an array-level operation (page program, block erase, ISPP ladder)
+//! re-derived the same `J(E)` curves thousands of times, serially.
+//!
+//! This module splits the computation into three reusable pieces:
+//!
+//! * **[`table::TabulatedJ`]** — a tunneling model memoized as a
+//!   log-space `J(E)` lookup on `gnr_numerics::interp`: `ln J` sampled
+//!   over a uniform `ln E` grid, two array reads + one `exp` per query,
+//!   exact-model fallback outside the tabulated range. Relative error
+//!   is bounded by the grid curvature (`≲0.1 %`, pinned by a proptest).
+//! * **[`cache`]** — a process-wide table cache keyed on the FN
+//!   `(A, B)` coefficient bits. Every cell of an array, every GCR/XTO
+//!   variant of a sweep, and every worker thread share the same four
+//!   path tables, built once.
+//! * **[`ChargeBalanceEngine`]** — owns a device plus four pluggable
+//!   [`TunnelingModel`] paths (channel→FG, FG→channel, FG→gate,
+//!   gate→FG) and runs the adaptive Dopri45 charge-balance loop that
+//!   used to live inside `transient.rs`. `TransientSimulator` is now a
+//!   thin facade over this type, so the sequential and batched paths
+//!   execute byte-for-byte the same code.
+//! * **[`batch::BatchSimulator`]** — rayon fan-out of independent
+//!   engine runs (one per [`ProgramPulseSpec`] or per array cell),
+//!   order-preserving and deterministic, which is what makes the
+//!   "many cells are programmed at a time" NAND story (§II of the
+//!   paper) actually parallel in this codebase.
+//!
+//! # Determinism
+//!
+//! A batched run is *bit-identical* to the equivalent sequential run:
+//! each unit of work owns its integration state, the shared tables are
+//! immutable after construction, and the fan-out preserves input order.
+//! `tests/batch_parity.rs` asserts this end to end.
+
+pub mod batch;
+pub mod cache;
+pub mod table;
+
+use std::fmt;
+use std::sync::Arc;
+
+use gnr_numerics::ode::{CrossingDirection, Dopri45, Event, OdeOptions};
+use gnr_tunneling::TunnelingModel;
+use gnr_units::{Charge, CurrentDensity, Voltage};
+
+use crate::device::{FloatingGateTransistor, TunnelingState};
+use crate::transient::{ProgramPulseSpec, TransientResult, TransientSample};
+use crate::{DeviceError, Result};
+
+pub use batch::BatchSimulator;
+pub use table::TabulatedJ;
+
+/// The four directional tunneling paths of the cell (paper Figure 3/4),
+/// as pluggable current models.
+#[derive(Clone)]
+pub struct TunnelPaths {
+    /// Channel → floating gate through the tunnel oxide (program `Jin`).
+    pub channel_emit: Arc<dyn TunnelingModel>,
+    /// Floating gate → channel through the tunnel oxide (erase).
+    pub fg_emit_tunnel: Arc<dyn TunnelingModel>,
+    /// Floating gate → control gate through the control oxide (`Jout`).
+    pub fg_emit_control: Arc<dyn TunnelingModel>,
+    /// Control gate → floating gate through the control oxide.
+    pub gate_emit: Arc<dyn TunnelingModel>,
+}
+
+impl TunnelPaths {
+    /// Cache-backed tables for the device's four FN paths (the default).
+    #[must_use]
+    pub fn cached(device: &FloatingGateTransistor) -> Self {
+        Self {
+            channel_emit: cache::tabulated(device.channel_emission_model()),
+            fg_emit_tunnel: cache::tabulated(device.fg_emission_model()),
+            fg_emit_control: cache::tabulated(device.fg_control_emission_model()),
+            gate_emit: cache::tabulated(device.gate_emission_model()),
+        }
+    }
+
+    /// Exact (untabulated) FN evaluation — the seed behaviour, kept for
+    /// accuracy cross-checks.
+    #[must_use]
+    pub fn exact(device: &FloatingGateTransistor) -> Self {
+        Self {
+            channel_emit: Arc::new(*device.channel_emission_model()),
+            fg_emit_tunnel: Arc::new(*device.fg_emission_model()),
+            fg_emit_control: Arc::new(*device.fg_control_emission_model()),
+            gate_emit: Arc::new(*device.gate_emission_model()),
+        }
+    }
+}
+
+impl fmt::Debug for TunnelPaths {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TunnelPaths")
+            .field("channel_emit", &self.channel_emit.name())
+            .field("fg_emit_tunnel", &self.fg_emit_tunnel.name())
+            .field("fg_emit_control", &self.fg_emit_control.name())
+            .field("gate_emit", &self.gate_emit.name())
+            .finish()
+    }
+}
+
+/// The charge-balance engine: a device, four pluggable tunneling paths
+/// and the adaptive integration loop behind every transient in the
+/// workspace.
+#[derive(Debug, Clone)]
+pub struct ChargeBalanceEngine {
+    device: FloatingGateTransistor,
+    paths: TunnelPaths,
+    ode_options: OdeOptions,
+    saturation_fraction: f64,
+}
+
+impl ChargeBalanceEngine {
+    /// Builds the engine with cache-backed `J(E)` tables and default
+    /// tolerances (rtol 1e-8, atol 1e-10, saturation at 1 % of the
+    /// initial net current).
+    #[must_use]
+    pub fn new(device: &FloatingGateTransistor) -> Self {
+        let paths = TunnelPaths::cached(device);
+        Self::with_paths(device, paths)
+    }
+
+    /// Builds the engine around explicit current models (exact FN, WKB,
+    /// image-force FN, CHE surrogates, …).
+    #[must_use]
+    pub fn with_paths(device: &FloatingGateTransistor, paths: TunnelPaths) -> Self {
+        Self {
+            device: device.clone(),
+            paths,
+            ode_options: OdeOptions::with_tolerances(1.0e-8, 1.0e-10),
+            saturation_fraction: 0.01,
+        }
+    }
+
+    /// Overrides the ODE solver options.
+    #[must_use]
+    pub fn with_ode_options(mut self, opts: OdeOptions) -> Self {
+        self.ode_options = opts;
+        self
+    }
+
+    /// Overrides the saturation detection fraction: `t_sat` fires when
+    /// `|Jout|` reaches `(1 − fraction)·|Jin|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    #[must_use]
+    pub fn with_saturation_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "saturation fraction must be in (0, 1)"
+        );
+        self.saturation_fraction = fraction;
+        self
+    }
+
+    /// The device this engine simulates.
+    #[must_use]
+    pub fn device(&self) -> &FloatingGateTransistor {
+        &self.device
+    }
+
+    /// The current models on the four tunneling paths.
+    #[must_use]
+    pub fn paths(&self) -> &TunnelPaths {
+        &self.paths
+    }
+
+    /// Signed electron flow through the tunnel oxide via the engine's
+    /// path models (table-backed by default).
+    #[must_use]
+    pub fn tunnel_flow(&self, vfg: Voltage, vs: Voltage) -> CurrentDensity {
+        crate::device::signed_flow(
+            self.device.tunnel_oxide_field(vfg, vs),
+            self.paths.channel_emit.as_ref(),
+            self.paths.fg_emit_tunnel.as_ref(),
+        )
+    }
+
+    /// Signed electron flow through the control oxide via the engine's
+    /// path models.
+    #[must_use]
+    pub fn control_flow(&self, vgs: Voltage, vfg: Voltage) -> CurrentDensity {
+        crate::device::signed_flow(
+            self.device.control_oxide_field(vgs, vfg),
+            self.paths.fg_emit_control.as_ref(),
+            self.paths.gate_emit.as_ref(),
+        )
+    }
+
+    /// Full tunneling state at a bias point — the engine-side mirror of
+    /// [`FloatingGateTransistor::tunneling_state`].
+    #[must_use]
+    pub fn tunneling_state(&self, vgs: Voltage, vs: Voltage, qfg: Charge) -> TunnelingState {
+        let vfg = self.device.floating_gate_voltage(vgs, qfg);
+        let jt = self.tunnel_flow(vfg, vs);
+        let jc = self.control_flow(vgs, vfg);
+        let area = self.device.geometry().gate_area();
+        let dq_dt = area.as_square_meters()
+            * (jc.as_amps_per_square_meter() - jt.as_amps_per_square_meter());
+        TunnelingState {
+            vfg,
+            tunnel_flow: jt,
+            control_flow: jc,
+            charge_rate_amps: dq_dt,
+        }
+    }
+
+    /// Runs one transient (the charge-balance loop formerly inside
+    /// `TransientSimulator::run`).
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::NoTunneling`] when the bias point produces no
+    /// measurable charging current; [`DeviceError::Numerics`] if the
+    /// integrator fails.
+    pub fn run(&self, spec: &ProgramPulseSpec) -> Result<TransientResult> {
+        let ct = self.device.capacitances().total();
+        let y0 = spec.initial_charge.as_coulombs() / ct.as_farads();
+
+        let s0 = self.tunneling_state(spec.vgs, spec.vs, spec.initial_charge);
+        let i0 = s0.charge_rate_amps.abs();
+        if i0 < 1.0e-32 {
+            return Err(DeviceError::NoTunneling {
+                vgs: spec.vgs.as_volts(),
+            });
+        }
+        // Initial time constant: move CT·1V at the initial rate.
+        let tau0 = ct.as_farads() / i0;
+
+        match spec.duration {
+            Some(d) => self.run_window(spec, y0, d.as_seconds(), false),
+            None => {
+                // Find t_sat with a terminal event, widening the window
+                // geometrically: the flows approach each other over many
+                // decades of time.
+                let mut t_end = 1.0e4 * tau0;
+                for _ in 0..5 {
+                    let probe = self.run_window(spec, y0, t_end, true)?;
+                    if let Some(ts) = probe.saturation_time() {
+                        return self.run_window(spec, y0, 1.5 * ts.as_seconds(), false);
+                    }
+                    t_end *= 1.0e3;
+                }
+                // No balance within 1e19·τ0 — report the longest trace.
+                self.run_window(spec, y0, t_end / 1.0e3, false)
+            }
+        }
+    }
+
+    fn run_window(
+        &self,
+        spec: &ProgramPulseSpec,
+        y0: f64,
+        t_end: f64,
+        terminal: bool,
+    ) -> Result<TransientResult> {
+        let ct = self.device.capacitances().total().as_farads();
+        let vgs = spec.vgs;
+        let vs = spec.vs;
+
+        let rhs = |_t: f64, y: &[f64], dydt: &mut [f64]| {
+            let q = Charge::from_coulombs(y[0] * ct);
+            let state = self.tunneling_state(vgs, vs, q);
+            dydt[0] = state.charge_rate_amps / ct;
+        };
+
+        // Saturation = the paper's Jin/Jout crossing: fires when the
+        // smaller flow reaches (1 − fraction) of the larger one.
+        let balance = 1.0 - self.saturation_fraction;
+        let sat_condition = move |_t: f64, y: &[f64]| {
+            let q = Charge::from_coulombs(y[0] * ct);
+            let state = self.tunneling_state(vgs, vs, q);
+            let j_in = state.tunnel_flow.abs().as_amps_per_square_meter();
+            let j_out = state.control_flow.abs().as_amps_per_square_meter();
+            balance * j_in - j_out
+        };
+        let event = Event {
+            label: "saturation",
+            condition: &sat_condition,
+            direction: CrossingDirection::Falling,
+            terminal,
+        };
+
+        let (sol, hits) = Dopri45::new(self.ode_options.clone())
+            .integrate_with_events(rhs, 0.0, &[y0], t_end, &[event])
+            .map_err(DeviceError::from)?;
+
+        let samples: Vec<TransientSample> = sol
+            .times()
+            .iter()
+            .zip(sol.states())
+            .map(|(&t, y)| {
+                let q = Charge::from_coulombs(y[0] * ct);
+                let state = self.tunneling_state(vgs, vs, q);
+                TransientSample {
+                    t,
+                    charge: q.as_coulombs(),
+                    vfg: state.vfg.as_volts(),
+                    j_in: state.tunnel_flow.abs().as_amps_per_square_meter(),
+                    j_out: state.control_flow.abs().as_amps_per_square_meter(),
+                }
+            })
+            .collect();
+
+        let first_hit = hits.first();
+        Ok(TransientResult::from_parts(
+            *spec,
+            samples,
+            first_hit.map(|h| h.t),
+            first_hit.map(|h| h.state[0] * ct),
+            sol.accepted_steps(),
+            sol.rhs_evaluations(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use gnr_units::Time;
+
+    #[test]
+    fn engine_matches_device_state_to_table_accuracy() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device);
+        let vgs = presets::program_vgs();
+        let exact = device.tunneling_state(vgs, Voltage::ZERO, Charge::ZERO);
+        let tabbed = engine.tunneling_state(vgs, Voltage::ZERO, Charge::ZERO);
+        assert_eq!(exact.vfg, tabbed.vfg, "eq. (3) is not interpolated");
+        let rel = ((tabbed.tunnel_flow.as_amps_per_square_meter()
+            - exact.tunnel_flow.as_amps_per_square_meter())
+            / exact.tunnel_flow.as_amps_per_square_meter())
+        .abs();
+        assert!(rel < 1.0e-3, "table error {rel:e}");
+    }
+
+    #[test]
+    fn exact_paths_reproduce_device_flows_bitwise() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::with_paths(&device, TunnelPaths::exact(&device));
+        let vgs = presets::program_vgs();
+        for q_e in [-50.0, 0.0, 25.0] {
+            let q = Charge::from_electrons(q_e);
+            let a = device.tunneling_state(vgs, Voltage::ZERO, q);
+            let b = engine.tunneling_state(vgs, Voltage::ZERO, q);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn engine_run_reaches_saturation_like_the_seed() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device);
+        let result = engine
+            .run(&ProgramPulseSpec::program(presets::program_vgs()))
+            .unwrap();
+        assert!(result.saturation_time().is_some());
+        assert!(result.final_charge().as_coulombs() < 0.0);
+    }
+
+    #[test]
+    fn engine_rejects_sub_threshold_bias() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device);
+        let err = engine.run(&ProgramPulseSpec::program(Voltage::from_volts(1.0)));
+        assert!(matches!(err, Err(DeviceError::NoTunneling { .. })));
+    }
+
+    #[test]
+    fn fixed_duration_windows_are_respected() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device);
+        let result = engine
+            .run(
+                &ProgramPulseSpec::program(presets::program_vgs())
+                    .with_duration(Time::from_microseconds(10.0)),
+            )
+            .unwrap();
+        let t_last = result.samples().last().unwrap().t;
+        assert!((t_last - 1.0e-5).abs() / 1.0e-5 < 1e-6);
+    }
+}

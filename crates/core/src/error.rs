@@ -30,7 +30,11 @@ pub enum DeviceError {
 impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InvalidParameter { name, value, constraint } => {
+            Self::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "invalid {name} = {value}: {constraint}")
             }
             Self::Material(e) => write!(f, "material error: {e}"),

@@ -65,7 +65,10 @@ pub fn generate(device: &FloatingGateTransistor, vgs: Voltage, qfg: Charge) -> B
         let s = i as f64 / OXIDE_SAMPLES as f64;
         tox.push((s * xto, phi_ch - v_fg * s));
     }
-    regions.push(Region { name: "tunnel-oxide".into(), points: tox });
+    regions.push(Region {
+        name: "tunnel-oxide".into(),
+        points: tox,
+    });
 
     // Floating gate: Fermi at −VFG.
     regions.push(Region {
@@ -78,9 +81,15 @@ pub fn generate(device: &FloatingGateTransistor, vgs: Voltage, qfg: Charge) -> B
     let mut cox = Vec::with_capacity(OXIDE_SAMPLES + 1);
     for i in 0..=OXIDE_SAMPLES {
         let s = i as f64 / OXIDE_SAMPLES as f64;
-        cox.push((xto + fg_width + s * xco, -v_fg + phi_fg_cox - (v_gs - v_fg) * s));
+        cox.push((
+            xto + fg_width + s * xco,
+            -v_fg + phi_fg_cox - (v_gs - v_fg) * s,
+        ));
     }
-    regions.push(Region { name: "control-oxide".into(), points: cox });
+    regions.push(Region {
+        name: "control-oxide".into(),
+        points: cox,
+    });
 
     // Control gate: Fermi at −VGS.
     regions.push(Region {
@@ -91,7 +100,11 @@ pub fn generate(device: &FloatingGateTransistor, vgs: Voltage, qfg: Charge) -> B
         ],
     });
 
-    BandDiagramData { vgs: v_gs, vfg: v_fg, regions }
+    BandDiagramData {
+        vgs: v_gs,
+        vfg: v_fg,
+        regions,
+    }
 }
 
 /// Checks the Figure 2 shape: a triangular tunnel barrier starting at the
@@ -113,7 +126,9 @@ pub fn check(data: &BandDiagramData) -> core::result::Result<(), String> {
     }
     let peak = energies.first().copied().unwrap_or(0.0);
     if !(2.0..=5.0).contains(&peak) {
-        return Err(format!("barrier peak {peak} eV outside the plausible 2–5 eV range"));
+        return Err(format!(
+            "barrier peak {peak} eV outside the plausible 2–5 eV range"
+        ));
     }
     if data.vfg > peak && energies.last().copied().unwrap_or(0.0) > 0.0 {
         return Err("at FN bias the oxide band must dip below the emitter Fermi level".into());
@@ -177,11 +192,7 @@ mod tests {
         let d = FloatingGateTransistor::mlgnr_cnt_paper();
         let neutral = generate(&d, presets::program_vgs(), Charge::ZERO);
         let ct = d.capacitances().total().as_farads();
-        let charged = generate(
-            &d,
-            presets::program_vgs(),
-            Charge::from_coulombs(-2.0 * ct),
-        );
+        let charged = generate(&d, presets::program_vgs(), Charge::from_coulombs(-2.0 * ct));
         // VFG is 2 V lower with the stored electrons.
         assert!((neutral.vfg - charged.vfg - 2.0).abs() < 1e-9);
     }

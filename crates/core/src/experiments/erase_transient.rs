@@ -54,8 +54,7 @@ pub fn generate_from(
     vgs: Voltage,
     initial: Charge,
 ) -> Result<EraseTransientData> {
-    let result =
-        TransientSimulator::new(device).run(&ProgramPulseSpec::erase(vgs, initial))?;
+    let result = TransientSimulator::new(device).run(&ProgramPulseSpec::erase(vgs, initial))?;
     Ok(EraseTransientData {
         vgs: vgs.as_volts(),
         initial_charge: initial.as_coulombs(),
@@ -136,8 +135,7 @@ mod tests {
             .run(&ProgramPulseSpec::program(presets::program_vgs()))
             .unwrap()
             .final_charge();
-        let shallow =
-            generate_from(&device, Voltage::from_volts(-14.0), programmed).unwrap();
+        let shallow = generate_from(&device, Voltage::from_volts(-14.0), programmed).unwrap();
         let deep = generate_from(&device, Voltage::from_volts(-16.0), programmed).unwrap();
         assert!(deep.charge_at_sat.unwrap() > shallow.charge_at_sat.unwrap());
     }

@@ -55,9 +55,10 @@ pub fn generate(device: &FloatingGateTransistor) -> Result<Fig4Data> {
 /// Propagates transient-simulation failures.
 pub fn generate_at(device: &FloatingGateTransistor, vgs: Voltage) -> Result<Fig4Data> {
     let result = TransientSimulator::new(device).run(&ProgramPulseSpec::program(vgs))?;
-    let t_sat = result
-        .saturation_time()
-        .map_or_else(|| result.samples().last().expect("non-empty").t, |t| t.as_seconds());
+    let t_sat = result.saturation_time().map_or_else(
+        || result.samples().last().expect("non-empty").t,
+        |t| t.as_seconds(),
+    );
     let window = 0.1 * t_sat;
     let samples: Vec<TransientSample> = result
         .samples()

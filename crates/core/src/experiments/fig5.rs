@@ -88,7 +88,9 @@ pub fn check(data: &Fig5Data) -> core::result::Result<(), String> {
     let last = data.samples.last().expect("non-empty");
     let mismatch = (last.j_in - last.j_out).abs() / last.j_in.max(1e-300);
     if mismatch > 0.05 {
-        return Err(format!("Jin and Jout must converge at saturation ({mismatch:e})"));
+        return Err(format!(
+            "Jin and Jout must converge at saturation ({mismatch:e})"
+        ));
     }
     Ok(())
 }

@@ -29,7 +29,8 @@ pub fn generate() -> Result<FigureData> {
     for gcr in presets::GCR_SWEEP {
         let device = device_with_gcr(gcr)?;
         let y = j_vs_vgs(&device, &grid);
-        fig.series.push(series(format!("GCR={:.0}%", gcr * 100.0), &grid, y));
+        fig.series
+            .push(series(format!("GCR={:.0}%", gcr * 100.0), &grid, y));
     }
     Ok(fig)
 }
@@ -59,7 +60,9 @@ pub fn check(fig: &FigureData) -> core::result::Result<(), String> {
     let s = &fig.series[1]; // GCR = 60 %, the paper's nominal
     let growth = s.y.last().unwrap() / s.y.first().unwrap().max(1e-300);
     if growth < 1e3 {
-        return Err(format!("expected decades of growth over the sweep, got {growth:e}"));
+        return Err(format!(
+            "expected decades of growth over the sweep, got {growth:e}"
+        ));
     }
     Ok(())
 }

@@ -43,7 +43,10 @@ pub fn generate() -> Result<FigureData> {
 /// Returns a description of the first violated property.
 pub fn check(fig: &FigureData) -> core::result::Result<(), String> {
     if fig.series.len() != presets::XTO_SWEEP_NM.len() {
-        return Err(format!("expected {} XTO curves", presets::XTO_SWEEP_NM.len()));
+        return Err(format!(
+            "expected {} XTO curves",
+            presets::XTO_SWEEP_NM.len()
+        ));
     }
     for s in &fig.series {
         if !monotone_increasing(&s.y) {

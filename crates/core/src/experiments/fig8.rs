@@ -29,7 +29,8 @@ pub fn generate() -> Result<FigureData> {
     for gcr in presets::GCR_SWEEP {
         let device = device_with_gcr(gcr)?;
         let y = j_vs_vgs(&device, &grid);
-        fig.series.push(series(format!("GCR={:.0}%", gcr * 100.0), &grid, y));
+        fig.series
+            .push(series(format!("GCR={:.0}%", gcr * 100.0), &grid, y));
     }
     Ok(fig)
 }

@@ -44,7 +44,10 @@ pub fn generate() -> Result<FigureData> {
 /// Returns a description of the first violated property.
 pub fn check(fig: &FigureData) -> core::result::Result<(), String> {
     if fig.series.len() != presets::XTO_SWEEP_NM.len() {
-        return Err(format!("expected {} XTO curves", presets::XTO_SWEEP_NM.len()));
+        return Err(format!(
+            "expected {} XTO curves",
+            presets::XTO_SWEEP_NM.len()
+        ));
     }
     for s in &fig.series {
         if !monotone_decreasing(&s.y) {
@@ -88,8 +91,7 @@ mod tests {
         // Contrast between thinnest and thickest curve, both figures.
         let c9 = fig9.series.last().unwrap().y[0] / fig9.series.first().unwrap().y[0];
         let n7 = fig7.series[0].y.len();
-        let c7 =
-            fig7.series.last().unwrap().y[n7 - 1] / fig7.series.first().unwrap().y[n7 - 1];
+        let c7 = fig7.series.last().unwrap().y[n7 - 1] / fig7.series.first().unwrap().y[n7 - 1];
         assert!(c9 > 1e2 && c7 > 1e2, "c9 = {c9:e}, c7 = {c7:e}");
     }
 }

@@ -114,7 +114,8 @@ mod tests {
         // ln(J/E²) = ln A − B/E: strictly decreasing in 1/E.
         let device = FloatingGateTransistor::mlgnr_cnt_paper();
         let mut fig = generate(&device).unwrap();
-        fig.points.sort_by(|a, b| a.inverse_field.total_cmp(&b.inverse_field));
+        fig.points
+            .sort_by(|a, b| a.inverse_field.total_cmp(&b.inverse_field));
         for pair in fig.points.windows(2) {
             assert!(pair[1].ln_j_over_e2 < pair[0].ln_j_over_e2);
         }

@@ -26,12 +26,14 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fn_plot_fig;
+pub mod registry;
 pub mod saturation_sweep;
 pub mod temperature_fig;
 
 mod shape;
 mod sweep_util;
 
+pub use registry::{registry, Artifact, Experiment, ExperimentContext, ExperimentReport};
 pub use shape::{monotone_decreasing, monotone_increasing, series_ordered_at};
 
 /// One labelled data series (a curve of a figure).
@@ -105,8 +107,16 @@ mod tests {
             x_label: "x".into(),
             y_label: "y".into(),
             series: vec![
-                SweepSeries { label: "a".into(), x: vec![1.0, 2.0], y: vec![10.0, 20.0] },
-                SweepSeries { label: "b".into(), x: vec![1.0, 2.0], y: vec![30.0, 40.0] },
+                SweepSeries {
+                    label: "a".into(),
+                    x: vec![1.0, 2.0],
+                    y: vec![10.0, 20.0],
+                },
+                SweepSeries {
+                    label: "b".into(),
+                    x: vec![1.0, 2.0],
+                    y: vec![30.0, 40.0],
+                },
             ],
         };
         let csv = fig.to_csv();
@@ -123,7 +133,11 @@ mod tests {
             title: "t".into(),
             x_label: "x".into(),
             y_label: "y".into(),
-            series: vec![SweepSeries { label: "a,b".into(), x: vec![1.0], y: vec![2.0] }],
+            series: vec![SweepSeries {
+                label: "a,b".into(),
+                x: vec![1.0],
+                y: vec![2.0],
+            }],
         };
         assert!(fig.to_csv().starts_with("x,a;b\n"));
     }

@@ -1,0 +1,465 @@
+//! The unified [`Experiment`] trait and registry.
+//!
+//! Every reproduction target — Figure 2 and Figures 4–9 of the paper
+//! plus the extension studies — implements one trait and is listed in
+//! [`registry`]. A driver (the `figures` binary of `gnr-bench`) iterates
+//! the registry instead of hard-coding per-figure dispatch: printing the
+//! summaries, asserting the paper-shape checks and writing the CSV/JSON
+//! artifacts is the same loop for all of them, and a new experiment is
+//! one new `Box` in the list.
+//!
+//! Experiments receive an [`ExperimentContext`] carrying the device
+//! under test and a [`BatchSimulator`], so multi-transient experiments
+//! (the saturation sweep, and any future ones) fan out through the
+//! batched engine rather than looping serially.
+//!
+//! One scoping rule: the J–V sweep figures (fig6–fig9) reproduce the
+//! paper's *device families* — four GCR variants, five XTO variants of
+//! the nominal cell — so they construct those devices themselves and do
+//! **not** read `ctx.device`. Every single-device experiment (fig2,
+//! fig4, fig5, FN-plot, temperature, erase transient, saturation sweep)
+//! honours the context.
+
+use gnr_units::fmt_eng::sci;
+use gnr_units::Charge;
+
+use crate::device::FloatingGateTransistor;
+use crate::engine::BatchSimulator;
+use crate::experiments::{
+    band_diagram, erase_transient, fig4, fig5, fig6, fig7, fig8, fig9, fn_plot_fig,
+    saturation_sweep, temperature_fig, FigureData,
+};
+use crate::{presets, Result};
+
+/// Shared inputs of a registry run.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// The device under test.
+    pub device: FloatingGateTransistor,
+    /// The fan-out executor for multi-transient experiments.
+    pub batch: BatchSimulator,
+}
+
+impl ExperimentContext {
+    /// Context for the paper's nominal MLGNR-CNT cell with a parallel
+    /// batch executor.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(FloatingGateTransistor::mlgnr_cnt_paper())
+    }
+
+    /// Context for an arbitrary device.
+    #[must_use]
+    pub fn new(device: FloatingGateTransistor) -> Self {
+        Self {
+            device,
+            batch: BatchSimulator::new(),
+        }
+    }
+
+    /// Replaces the batch executor.
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchSimulator) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// One output file of an experiment.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// File name including extension (`fig6.csv`, `fn_plot.json`, …).
+    pub name: String,
+    /// File contents.
+    pub contents: String,
+}
+
+/// What an experiment produced: log lines, files and its shape check.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Human-readable result lines (printed under the experiment header).
+    pub summary: Vec<String>,
+    /// Files to persist under `results/`.
+    pub artifacts: Vec<Artifact>,
+    /// The paper-shape check verdict.
+    pub check: core::result::Result<(), String>,
+}
+
+/// A runnable reproduction target.
+pub trait Experiment: Sync {
+    /// Stable identifier (`fig6`, `band-diagram`, …).
+    fn id(&self) -> &'static str;
+    /// Human-readable title (matches the paper caption where one exists).
+    fn title(&self) -> &'static str;
+    /// Runs the experiment against a context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/simulation failures; shape-check *violations*
+    /// are reported in [`ExperimentReport::check`], not as errors.
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport>;
+}
+
+/// Every experiment of the reproduction, in presentation order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(BandDiagramExperiment),
+        Box::new(Fig4Experiment),
+        Box::new(Fig5Experiment),
+        Box::new(SweepFigureExperiment {
+            id: "fig6",
+            title: "[Program] FN current density vs VGS, four GCR",
+            artifact: "fig6.csv",
+            generate: fig6::generate,
+            check: fig6::check,
+        }),
+        Box::new(SweepFigureExperiment {
+            id: "fig7",
+            title: "[Program] FN current density vs VGS, five XTO",
+            artifact: "fig7.csv",
+            generate: fig7::generate,
+            check: fig7::check,
+        }),
+        Box::new(SweepFigureExperiment {
+            id: "fig8",
+            title: "[Erase] FN current density vs VGS, four GCR",
+            artifact: "fig8.csv",
+            generate: fig8::generate,
+            check: fig8::check,
+        }),
+        Box::new(SweepFigureExperiment {
+            id: "fig9",
+            title: "[Erase] FN current density vs VGS, five XTO",
+            artifact: "fig9.csv",
+            generate: fig9::generate,
+            check: fig9::check,
+        }),
+        Box::new(FnPlotExperiment),
+        Box::new(TemperatureExperiment),
+        Box::new(EraseTransientExperiment),
+        Box::new(SaturationSweepExperiment),
+    ]
+}
+
+/// Looks an experiment up by id.
+#[must_use]
+pub fn find(id: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.id() == id)
+}
+
+fn figure_summary(fig: &FigureData) -> Vec<String> {
+    fig.series
+        .iter()
+        .map(|s| {
+            let first = s.y.first().copied().unwrap_or(f64::NAN);
+            let last = s.y.last().copied().unwrap_or(f64::NAN);
+            format!(
+                "{}: {} -> {} over {} points",
+                s.label,
+                sci(first, &fig.y_label),
+                sci(last, &fig.y_label),
+                s.x.len()
+            )
+        })
+        .collect()
+}
+
+fn transient_csv(header: &str, samples: &[crate::transient::TransientSample]) -> String {
+    let mut csv = String::from(header);
+    csv.push('\n');
+    for s in samples {
+        csv.push_str(&format!(
+            "{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}\n",
+            s.t, s.j_in, s.j_out, s.vfg, s.charge
+        ));
+    }
+    csv
+}
+
+struct BandDiagramExperiment;
+
+impl Experiment for BandDiagramExperiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+    fn title(&self) -> &'static str {
+        "FN band diagram at the programming bias"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let data = band_diagram::generate(&ctx.device, presets::program_vgs(), Charge::ZERO);
+        let summary = vec![format!(
+            "VFG = {:.2} V; tunnel barrier peak = {:.2} eV",
+            data.vfg,
+            data.regions[1].points.first().map_or(f64::NAN, |p| p.1)
+        )];
+        Ok(ExperimentReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "fig2_band_diagram.json".into(),
+                contents: serde_json::to_string_pretty(&data).expect("serializable"),
+            }],
+            check: band_diagram::check(&data),
+        })
+    }
+}
+
+struct Fig4Experiment;
+
+impl Experiment for Fig4Experiment {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+    fn title(&self) -> &'static str {
+        "Programming onset (Jin vs Jout)"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let data = fig4::generate(&ctx.device)?;
+        let summary = vec![
+            format!(
+                "Jin(0) = {}, Jout(0) = {}, ratio = {:.1e}",
+                sci(data.j_in_onset, "A/m^2"),
+                sci(data.j_out_onset, "A/m^2"),
+                data.onset_ratio()
+            ),
+            format!(
+                "oxide drops at t=0: tunnel {:.1} V, control {:.1} V (paper: 9 V / 6 V)",
+                data.tunnel_drop, data.control_drop
+            ),
+        ];
+        Ok(ExperimentReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "fig4_onset.json".into(),
+                contents: serde_json::to_string_pretty(&data).expect("serializable"),
+            }],
+            check: fig4::check(&data),
+        })
+    }
+}
+
+struct Fig5Experiment;
+
+impl Experiment for Fig5Experiment {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+    fn title(&self) -> &'static str {
+        "Transient to saturation"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let data = fig5::generate(&ctx.device)?;
+        let summary = vec![format!(
+            "t_sat = {} s, charge at saturation = {:.1} electrons",
+            data.t_sat.map_or("n/a".into(), |t| format!("{t:.3e}")),
+            data.charge_at_sat
+                .map_or(f64::NAN, |q| Charge::from_coulombs(q).as_electrons())
+        )];
+        Ok(ExperimentReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "fig5_transient.csv".into(),
+                contents: transient_csv("t_s,j_in,j_out,vfg,charge", &data.samples),
+            }],
+            check: fig5::check(&data),
+        })
+    }
+}
+
+struct SweepFigureExperiment {
+    id: &'static str,
+    title: &'static str,
+    artifact: &'static str,
+    generate: fn() -> Result<FigureData>,
+    check: fn(&FigureData) -> core::result::Result<(), String>,
+}
+
+impl Experiment for SweepFigureExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn title(&self) -> &'static str {
+        self.title
+    }
+    fn run(&self, _ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        // Sweep figures reproduce the paper's GCR/XTO device *families*,
+        // not the context device — see the module docs.
+        let fig = (self.generate)()?;
+        Ok(ExperimentReport {
+            summary: figure_summary(&fig),
+            artifacts: vec![Artifact {
+                name: self.artifact.to_string(),
+                contents: fig.to_csv(),
+            }],
+            check: (self.check)(&fig),
+        })
+    }
+}
+
+struct FnPlotExperiment;
+
+impl Experiment for FnPlotExperiment {
+    fn id(&self) -> &'static str {
+        "fn-plot"
+    }
+    fn title(&self) -> &'static str {
+        "FN-plot parameter extraction (§IV, ref. [9])"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let data = fn_plot_fig::generate(&ctx.device)?;
+        let summary = vec![format!(
+            "extracted B = {:.4e} V/m (true {:.4e}); barrier {:.3} eV (true {:.3}); R² = {:.6}",
+            data.extracted_b,
+            data.true_b,
+            data.recovered_barrier_ev,
+            data.true_barrier_ev,
+            data.r_squared
+        )];
+        Ok(ExperimentReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "fn_plot.json".into(),
+                contents: serde_json::to_string_pretty(&data).expect("serializable"),
+            }],
+            check: fn_plot_fig::check(&data),
+        })
+    }
+}
+
+struct TemperatureExperiment;
+
+impl Experiment for TemperatureExperiment {
+    fn id(&self) -> &'static str {
+        "temperature"
+    }
+    fn title(&self) -> &'static str {
+        "Temperature study 250-400 K (Lenzlinger-Snow)"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let fig = temperature_fig::generate(&ctx.device)?;
+        Ok(ExperimentReport {
+            summary: figure_summary(&fig),
+            artifacts: vec![Artifact {
+                name: "temperature.csv".into(),
+                contents: fig.to_csv(),
+            }],
+            check: temperature_fig::check(&fig, &ctx.device),
+        })
+    }
+}
+
+struct EraseTransientExperiment;
+
+impl Experiment for EraseTransientExperiment {
+    fn id(&self) -> &'static str {
+        "erase-transient"
+    }
+    fn title(&self) -> &'static str {
+        "Erase transient (the §IV.b mirror of Figure 5)"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let data = erase_transient::generate(&ctx.device)?;
+        let summary = vec![format!(
+            "from {:.1} electrons at {} V: t_sat = {} s, final depletion = {:.1} electrons",
+            Charge::from_coulombs(data.initial_charge).as_electrons(),
+            data.vgs,
+            data.t_sat.map_or("n/a".into(), |t| format!("{t:.3e}")),
+            data.charge_at_sat
+                .map_or(f64::NAN, |q| Charge::from_coulombs(q).as_electrons())
+        )];
+        Ok(ExperimentReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "erase_transient.csv".into(),
+                contents: transient_csv("t_s,j_tunnel,j_control,vfg,charge", &data.samples),
+            }],
+            check: erase_transient::check(&data),
+        })
+    }
+}
+
+struct SaturationSweepExperiment;
+
+impl Experiment for SaturationSweepExperiment {
+    fn id(&self) -> &'static str {
+        "saturation-sweep"
+    }
+    fn title(&self) -> &'static str {
+        "t_sat vs VGS (the conclusion, quantified)"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let sweep = saturation_sweep::generate_with(
+            &ctx.batch,
+            &ctx.device,
+            &saturation_sweep::default_grid(),
+        )?;
+        let summary = sweep
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "VGS = {:.1} V: t_sat = {:.3e} s, {:.1} electrons, window {:.2} V",
+                    p.vgs,
+                    p.t_sat,
+                    Charge::from_coulombs(p.charge_at_sat).as_electrons(),
+                    p.window
+                )
+            })
+            .collect();
+        Ok(ExperimentReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "saturation_sweep.json".into(),
+                contents: serde_json::to_string_pretty(&sweep).expect("serializable"),
+            }],
+            check: saturation_sweep::check(&sweep),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_every_figure_once() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+        for expected in [
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fn-plot",
+            "temperature",
+            "erase-transient",
+            "saturation-sweep",
+        ] {
+            assert_eq!(
+                ids.iter().filter(|id| **id == expected).count(),
+                1,
+                "{expected} must appear exactly once"
+            );
+        }
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn find_resolves_known_ids() {
+        assert!(find("fig6").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn sweep_figures_run_and_pass_their_checks() {
+        let ctx = ExperimentContext::paper();
+        for id in ["fig2", "fig6", "fig8"] {
+            let report = find(id).unwrap().run(&ctx).unwrap();
+            assert!(report.check.is_ok(), "{id}: {:?}", report.check);
+            assert!(!report.artifacts.is_empty());
+            assert!(!report.summary.is_empty());
+        }
+    }
+}

@@ -9,8 +9,9 @@
 use gnr_units::Voltage;
 
 use crate::device::FloatingGateTransistor;
+use crate::engine::BatchSimulator;
 use crate::threshold::vt_shift;
-use crate::transient::{ProgramPulseSpec, TransientSimulator};
+use crate::transient::ProgramPulseSpec;
 use crate::Result;
 
 /// One point of the saturation sweep.
@@ -45,10 +46,27 @@ pub fn default_grid() -> Vec<f64> {
 ///
 /// Propagates transient failures (all preset grid points saturate).
 pub fn generate(device: &FloatingGateTransistor, grid: &[f64]) -> Result<SaturationSweep> {
-    let sim = TransientSimulator::new(device);
+    generate_with(&BatchSimulator::new(), device, grid)
+}
+
+/// Runs the sweep through an explicit batch executor: every grid point
+/// is an independent transient, fanned out across cores.
+///
+/// # Errors
+///
+/// Propagates the first transient failure in grid order.
+pub fn generate_with(
+    batch: &BatchSimulator,
+    device: &FloatingGateTransistor,
+    grid: &[f64],
+) -> Result<SaturationSweep> {
+    let specs: Vec<ProgramPulseSpec> = grid
+        .iter()
+        .map(|&vgs| ProgramPulseSpec::program(Voltage::from_volts(vgs)))
+        .collect();
     let mut points = Vec::with_capacity(grid.len());
-    for &vgs in grid {
-        let result = sim.run(&ProgramPulseSpec::program(Voltage::from_volts(vgs)))?;
+    for (&vgs, result) in grid.iter().zip(batch.run(device, &specs)) {
+        let result = result?;
         let t_sat = result
             .saturation_time()
             .map_or(f64::INFINITY, |t| t.as_seconds());

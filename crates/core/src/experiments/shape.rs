@@ -6,13 +6,15 @@ use super::FigureData;
 /// floating-point noise).
 #[must_use]
 pub fn monotone_increasing(v: &[f64]) -> bool {
-    v.windows(2).all(|w| w[1] >= w[0] - 1e-300 - 1e-12 * w[0].abs())
+    v.windows(2)
+        .all(|w| w[1] >= w[0] - 1e-300 - 1e-12 * w[0].abs())
 }
 
 /// `true` when the slice is non-increasing (with a tiny tolerance).
 #[must_use]
 pub fn monotone_decreasing(v: &[f64]) -> bool {
-    v.windows(2).all(|w| w[1] <= w[0] + 1e-300 + 1e-12 * w[0].abs())
+    v.windows(2)
+        .all(|w| w[1] <= w[0] + 1e-300 + 1e-12 * w[0].abs())
 }
 
 /// `true` when, at grid index `x_index`, the series of the figure are in
@@ -47,8 +49,16 @@ mod tests {
             x_label: "x".into(),
             y_label: "y".into(),
             series: vec![
-                SweepSeries { label: "lo".into(), x: vec![0.0], y: vec![1.0] },
-                SweepSeries { label: "hi".into(), x: vec![0.0], y: vec![2.0] },
+                SweepSeries {
+                    label: "lo".into(),
+                    x: vec![0.0],
+                    y: vec![1.0],
+                },
+                SweepSeries {
+                    label: "hi".into(),
+                    x: vec![0.0],
+                    y: vec![2.0],
+                },
             ],
         };
         assert!(series_ordered_at(&fig, 0));

@@ -9,19 +9,26 @@
 use gnr_units::{Charge, Length, Voltage};
 
 use crate::device::{FgtBuilder, FloatingGateTransistor};
+use crate::engine::ChargeBalanceEngine;
 use crate::experiments::SweepSeries;
 use crate::Result;
 
 /// Evaluates `|JFN|(VGS)` (A/m²) for one device over a VGS grid with
 /// `QFG = 0`, exactly as the paper's Figures 6–9 are generated "from
 /// equations (3) and (7)".
+///
+/// Since the engine extraction this goes through the cache-backed
+/// `J(E)` tables: the four sweep figures share one table per tunneling
+/// path across all their GCR/XTO variants (the FN law depends only on
+/// the barrier, not the geometry).
 #[must_use]
 pub fn j_vs_vgs(device: &FloatingGateTransistor, vgs_grid: &[f64]) -> Vec<f64> {
+    let engine = ChargeBalanceEngine::new(device);
     vgs_grid
         .iter()
         .map(|&v| {
             let vfg = device.floating_gate_voltage(Voltage::from_volts(v), Charge::ZERO);
-            device
+            engine
                 .tunnel_flow(vfg, Voltage::ZERO)
                 .abs()
                 .as_amps_per_square_meter()
@@ -35,7 +42,10 @@ pub fn j_vs_vgs(device: &FloatingGateTransistor, vgs_grid: &[f64]) -> Vec<f64> {
 ///
 /// Propagates builder validation (GCR out of range).
 pub fn device_with_gcr(gcr: f64) -> Result<FloatingGateTransistor> {
-    FgtBuilder::default().name(format!("paper-gcr-{gcr}")).gcr(gcr).build()
+    FgtBuilder::default()
+        .name(format!("paper-gcr-{gcr}"))
+        .gcr(gcr)
+        .build()
 }
 
 /// Builds the paper device with an overridden tunnel-oxide thickness.
@@ -55,7 +65,11 @@ pub fn device_with_xto(xto_nm: f64) -> Result<FloatingGateTransistor> {
 /// Assembles one labelled series.
 #[must_use]
 pub fn series(label: impl Into<String>, x: &[f64], y: Vec<f64>) -> SweepSeries {
-    SweepSeries { label: label.into(), x: x.to_vec(), y }
+    SweepSeries {
+        label: label.into(),
+        x: x.to_vec(),
+        y,
+    }
 }
 
 #[cfg(test)]
@@ -80,7 +94,10 @@ mod tests {
         let grid = presets::vgs_grid(presets::FIG8_VGS_RANGE);
         let j = j_vs_vgs(&d, &grid);
         assert!(j.iter().all(|v| v.is_finite() && *v >= 0.0));
-        assert!(j[0] > *j.last().unwrap(), "more negative VGS → more current");
+        assert!(
+            j[0] > *j.last().unwrap(),
+            "more negative VGS → more current"
+        );
     }
 
     #[test]

@@ -36,15 +36,18 @@ pub fn generate(device: &FloatingGateTransistor) -> Result<FigureData> {
         let y: Vec<f64> = grid
             .iter()
             .map(|&vgs| {
-                let vfg = device
-                    .floating_gate_voltage(Voltage::from_volts(vgs), Charge::ZERO);
+                let vfg = device.floating_gate_voltage(Voltage::from_volts(vgs), Charge::ZERO);
                 device
                     .tunnel_flow_at(vfg, Voltage::ZERO, t)
                     .abs()
                     .as_amps_per_square_meter()
             })
             .collect();
-        fig.series.push(SweepSeries { label: format!("T={t_k:.0}K"), x: grid.clone(), y });
+        fig.series.push(SweepSeries {
+            label: format!("T={t_k:.0}K"),
+            x: grid.clone(),
+            y,
+        });
     }
     Ok(fig)
 }
@@ -56,7 +59,10 @@ pub fn generate(device: &FloatingGateTransistor) -> Result<FigureData> {
 /// # Errors
 ///
 /// Returns a description of the first violated property.
-pub fn check(fig: &FigureData, device: &FloatingGateTransistor) -> core::result::Result<(), String> {
+pub fn check(
+    fig: &FigureData,
+    device: &FloatingGateTransistor,
+) -> core::result::Result<(), String> {
     if fig.series.len() != TEMPERATURES_K.len() {
         return Err("wrong number of temperature curves".into());
     }
@@ -69,7 +75,10 @@ pub fn check(fig: &FigureData, device: &FloatingGateTransistor) -> core::result:
     // Room-temperature curve vs the 0 K analytic law at the nominal point.
     let vgs = Voltage::from_volts(15.0);
     let vfg = device.floating_gate_voltage(vgs, Charge::ZERO);
-    let j0 = device.tunnel_flow(vfg, Voltage::ZERO).abs().as_amps_per_square_meter();
+    let j0 = device
+        .tunnel_flow(vfg, Voltage::ZERO)
+        .abs()
+        .as_amps_per_square_meter();
     let idx_300 = 1; // TEMPERATURES_K[1] = 300
     let series = &fig.series[idx_300];
     // Locate 15 V on the grid.

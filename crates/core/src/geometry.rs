@@ -82,7 +82,12 @@ impl FgtGeometry {
     ///
     /// As for [`Self::new`].
     pub fn with_tunnel_oxide(&self, xto: Length) -> Result<Self> {
-        Self::new(self.gate_length, self.gate_width, xto, self.control_oxide_thickness)
+        Self::new(
+            self.gate_length,
+            self.gate_width,
+            xto,
+            self.control_oxide_thickness,
+        )
     }
 
     /// Gate length.

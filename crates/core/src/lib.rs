@@ -48,6 +48,7 @@
 
 pub mod capacitance;
 pub mod device;
+pub mod engine;
 pub mod experiments;
 pub mod geometry;
 pub mod optimize;

@@ -64,7 +64,11 @@ fn evaluate(spec: &DesignSpec, vgs: f64, xto_nm: f64) -> Option<(f64, f64)> {
     let geometry = FgtGeometry::paper_nominal()
         .with_tunnel_oxide(Length::from_nanometers(xto_nm))
         .ok()?;
-    let device = FgtBuilder::default().geometry(geometry).gcr(spec.gcr).build().ok()?;
+    let device = FgtBuilder::default()
+        .geometry(geometry)
+        .gcr(spec.gcr)
+        .build()
+        .ok()?;
     let v = Voltage::from_volts(vgs);
     let state = device.tunneling_state(v, Voltage::ZERO, Charge::ZERO);
     let (stress, _) = device.stress_ratios(v, Voltage::ZERO, Charge::ZERO);
@@ -145,14 +149,17 @@ pub fn fastest_reliable_program(spec: &DesignSpec) -> Result<OptimalDesign> {
 
     let vgs = result.x[0].clamp(v_lo, v_hi);
     let xto = result.x[1].clamp(x_lo, x_hi);
-    let (j_program, stress) = evaluate(spec, vgs, xto).ok_or(
-        DeviceError::InvalidParameter {
-            name: "optimum",
-            value: xto,
-            constraint: "optimiser left the buildable region",
-        },
-    )?;
-    Ok(OptimalDesign { vgs, xto_nm: xto, j_program, stress })
+    let (j_program, stress) = evaluate(spec, vgs, xto).ok_or(DeviceError::InvalidParameter {
+        name: "optimum",
+        value: xto,
+        constraint: "optimiser left the buildable region",
+    })?;
+    Ok(OptimalDesign {
+        vgs,
+        xto_nm: xto,
+        j_program,
+        stress,
+    })
 }
 
 #[cfg(test)]
@@ -163,7 +170,11 @@ mod tests {
     fn optimum_is_feasible_and_on_the_stress_boundary() {
         let spec = DesignSpec::default();
         let opt = fastest_reliable_program(&spec).unwrap();
-        assert!(opt.stress <= spec.max_stress + 1e-3, "stress {}", opt.stress);
+        assert!(
+            opt.stress <= spec.max_stress + 1e-3,
+            "stress {}",
+            opt.stress
+        );
         // The FN objective is monotone in field, so the optimum pushes
         // against the stress budget.
         assert!(opt.stress > 0.85 * spec.max_stress, "stress {}", opt.stress);
@@ -174,8 +185,14 @@ mod tests {
 
     #[test]
     fn tighter_stress_budget_means_slower_programming() {
-        let strict = DesignSpec { max_stress: 0.7, ..DesignSpec::default() };
-        let loose = DesignSpec { max_stress: 0.95, ..DesignSpec::default() };
+        let strict = DesignSpec {
+            max_stress: 0.7,
+            ..DesignSpec::default()
+        };
+        let loose = DesignSpec {
+            max_stress: 0.95,
+            ..DesignSpec::default()
+        };
         let s = fastest_reliable_program(&strict).unwrap();
         let l = fastest_reliable_program(&loose).unwrap();
         assert!(
@@ -190,7 +207,10 @@ mod tests {
     fn infeasible_budget_is_reported() {
         // A stress budget of 1e-6 cannot be met anywhere in the range
         // where tunneling is on.
-        let spec = DesignSpec { max_stress: 1.0e-6, ..DesignSpec::default() };
+        let spec = DesignSpec {
+            max_stress: 1.0e-6,
+            ..DesignSpec::default()
+        };
         assert!(matches!(
             fastest_reliable_program(&spec),
             Err(DeviceError::InvalidParameter { .. })
@@ -199,7 +219,10 @@ mod tests {
 
     #[test]
     fn degenerate_bounds_rejected() {
-        let spec = DesignSpec { vgs_range: (10.0, 10.0), ..DesignSpec::default() };
+        let spec = DesignSpec {
+            vgs_range: (10.0, 10.0),
+            ..DesignSpec::default()
+        };
         assert!(fastest_reliable_program(&spec).is_err());
     }
 
@@ -207,10 +230,16 @@ mod tests {
     fn higher_gcr_allows_lower_voltage_at_same_stress() {
         // More coupling means the same oxide field at lower VGS: the
         // optimum VGS must not increase with GCR.
-        let lo = fastest_reliable_program(&DesignSpec { gcr: 0.5, ..DesignSpec::default() })
-            .unwrap();
-        let hi = fastest_reliable_program(&DesignSpec { gcr: 0.7, ..DesignSpec::default() })
-            .unwrap();
+        let lo = fastest_reliable_program(&DesignSpec {
+            gcr: 0.5,
+            ..DesignSpec::default()
+        })
+        .unwrap();
+        let hi = fastest_reliable_program(&DesignSpec {
+            gcr: 0.7,
+            ..DesignSpec::default()
+        })
+        .unwrap();
         assert!(hi.vgs <= lo.vgs + 1e-6, "hi {} vs lo {}", hi.vgs, lo.vgs);
     }
 }

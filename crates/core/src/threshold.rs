@@ -68,9 +68,7 @@ impl MemoryWindow {
     /// The midpoint decision level for reads.
     #[must_use]
     pub fn decision_level(&self) -> Voltage {
-        Voltage::from_volts(
-            0.5 * (self.programmed_shift.as_volts() + self.erased_shift.as_volts()),
-        )
+        Voltage::from_volts(0.5 * (self.programmed_shift.as_volts() + self.erased_shift.as_volts()))
     }
 }
 
@@ -109,9 +107,7 @@ impl ReadModel {
     #[must_use]
     pub fn drain_current(&self, v_read: Voltage, shift: Voltage) -> Current {
         let overdrive = v_read.as_volts() - self.dirac_voltage.as_volts() - shift.as_volts();
-        Current::from_amps(
-            self.leakage.as_amps() + self.transconductance * overdrive.max(0.0),
-        )
+        Current::from_amps(self.leakage.as_amps() + self.transconductance * overdrive.max(0.0))
     }
 
     /// Read decision: programmed cells (large positive shift) conduct
@@ -164,7 +160,10 @@ mod tests {
     #[test]
     fn classify_by_decision_level() {
         let dl = Voltage::from_volts(1.5);
-        assert_eq!(classify(Voltage::from_volts(4.0), dl), LogicState::Programmed0);
+        assert_eq!(
+            classify(Voltage::from_volts(4.0), dl),
+            LogicState::Programmed0
+        );
         assert_eq!(classify(Voltage::from_volts(-1.0), dl), LogicState::Erased1);
     }
 

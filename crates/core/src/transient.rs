@@ -15,13 +15,20 @@
 //! of `Jin` — the paper's `Jin = Jout` crossing. Because the two flows
 //! span many decades before meeting, the simulator widens its
 //! integration window geometrically until the balance event fires.
+//!
+//! Since the engine extraction, [`TransientSimulator`] is a thin facade
+//! over [`crate::engine::ChargeBalanceEngine`]: the integration loop,
+//! the cached `J(E)` tables and the batching layer all live in
+//! [`crate::engine`], and sequential and batched runs share one code
+//! path.
 
-use gnr_numerics::ode::{CrossingDirection, Dopri45, Event, OdeOptions};
+use gnr_numerics::ode::OdeOptions;
 use gnr_units::{Charge, Time, Voltage};
 
 use crate::device::FloatingGateTransistor;
+use crate::engine::ChargeBalanceEngine;
 use crate::pulse::SquarePulse;
-use crate::{DeviceError, Result};
+use crate::Result;
 
 /// Specification of one transient run.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -41,13 +48,23 @@ impl ProgramPulseSpec {
     /// A programming pulse from the neutral state (`QFG = 0`, §III).
     #[must_use]
     pub fn program(vgs: Voltage) -> Self {
-        Self { vgs, vs: Voltage::ZERO, initial_charge: Charge::ZERO, duration: None }
+        Self {
+            vgs,
+            vs: Voltage::ZERO,
+            initial_charge: Charge::ZERO,
+            duration: None,
+        }
     }
 
     /// An erase pulse applied to a cell holding `initial_charge`.
     #[must_use]
     pub fn erase(vgs: Voltage, initial_charge: Charge) -> Self {
-        Self { vgs, vs: Voltage::ZERO, initial_charge, duration: None }
+        Self {
+            vgs,
+            vs: Voltage::ZERO,
+            initial_charge,
+            duration: None,
+        }
     }
 
     /// Builds a spec from a [`SquarePulse`] and an initial charge.
@@ -103,6 +120,25 @@ pub struct TransientResult {
 }
 
 impl TransientResult {
+    /// Assembles a result from the engine's integration output.
+    pub(crate) fn from_parts(
+        spec: ProgramPulseSpec,
+        samples: Vec<TransientSample>,
+        t_sat: Option<f64>,
+        charge_at_sat: Option<f64>,
+        accepted_steps: usize,
+        rhs_evaluations: usize,
+    ) -> Self {
+        Self {
+            spec,
+            samples,
+            t_sat,
+            charge_at_sat,
+            accepted_steps,
+            rhs_evaluations,
+        }
+    }
+
     /// The spec that produced this trace.
     #[must_use]
     pub fn spec(&self) -> &ProgramPulseSpec {
@@ -167,11 +203,14 @@ impl TransientResult {
 /// Integrates the charge balance with the adaptive Dormand–Prince 5(4)
 /// solver; the state variable is `QFG/CT` (volts) so tolerances are
 /// scale-free.
+///
+/// This type is a facade over [`ChargeBalanceEngine`] (cache-backed
+/// `J(E)` tables, pluggable tunneling paths); it exists so single-shot
+/// call sites keep their borrow-based API.
 #[derive(Debug, Clone)]
 pub struct TransientSimulator<'d> {
     device: &'d FloatingGateTransistor,
-    ode_options: OdeOptions,
-    saturation_fraction: f64,
+    engine: ChargeBalanceEngine,
 }
 
 impl<'d> TransientSimulator<'d> {
@@ -181,15 +220,26 @@ impl<'d> TransientSimulator<'d> {
     pub fn new(device: &'d FloatingGateTransistor) -> Self {
         Self {
             device,
-            ode_options: OdeOptions::with_tolerances(1.0e-8, 1.0e-10),
-            saturation_fraction: 0.01,
+            engine: ChargeBalanceEngine::new(device),
         }
+    }
+
+    /// The device being simulated.
+    #[must_use]
+    pub fn device(&self) -> &'d FloatingGateTransistor {
+        self.device
+    }
+
+    /// The engine backing this simulator.
+    #[must_use]
+    pub fn engine(&self) -> &ChargeBalanceEngine {
+        &self.engine
     }
 
     /// Overrides the ODE solver options.
     #[must_use]
     pub fn with_ode_options(mut self, opts: OdeOptions) -> Self {
-        self.ode_options = opts;
+        self.engine = self.engine.with_ode_options(opts);
         self
     }
 
@@ -201,11 +251,7 @@ impl<'d> TransientSimulator<'d> {
     /// Panics unless `0 < fraction < 1`.
     #[must_use]
     pub fn with_saturation_fraction(mut self, fraction: f64) -> Self {
-        assert!(
-            fraction > 0.0 && fraction < 1.0,
-            "saturation fraction must be in (0, 1)"
-        );
-        self.saturation_fraction = fraction;
+        self.engine = self.engine.with_saturation_fraction(fraction);
         self
     }
 
@@ -213,106 +259,11 @@ impl<'d> TransientSimulator<'d> {
     ///
     /// # Errors
     ///
-    /// [`DeviceError::NoTunneling`] when the bias point produces no
-    /// measurable charging current; [`DeviceError::Numerics`] if the
-    /// integrator fails.
+    /// [`crate::DeviceError::NoTunneling`] when the bias point produces
+    /// no measurable charging current; [`crate::DeviceError::Numerics`]
+    /// if the integrator fails.
     pub fn run(&self, spec: &ProgramPulseSpec) -> Result<TransientResult> {
-        let ct = self.device.capacitances().total();
-        let y0 = spec.initial_charge.as_coulombs() / ct.as_farads();
-
-        let s0 = self.device.tunneling_state(spec.vgs, spec.vs, spec.initial_charge);
-        let i0 = s0.charge_rate_amps.abs();
-        if i0 < 1.0e-32 {
-            return Err(DeviceError::NoTunneling { vgs: spec.vgs.as_volts() });
-        }
-        // Initial time constant: move CT·1V at the initial rate.
-        let tau0 = ct.as_farads() / i0;
-
-        match spec.duration {
-            Some(d) => self.run_window(spec, y0, d.as_seconds(), false),
-            None => {
-                // Find t_sat with a terminal event, widening the window
-                // geometrically: the flows approach each other over many
-                // decades of time.
-                let mut t_end = 1.0e4 * tau0;
-                for _ in 0..5 {
-                    let probe = self.run_window(spec, y0, t_end, true)?;
-                    if let Some(ts) = probe.t_sat {
-                        return self.run_window(spec, y0, 1.5 * ts, false);
-                    }
-                    t_end *= 1.0e3;
-                }
-                // No balance within 1e19·τ0 — report the longest trace.
-                self.run_window(spec, y0, t_end / 1.0e3, false)
-            }
-        }
-    }
-
-    fn run_window(
-        &self,
-        spec: &ProgramPulseSpec,
-        y0: f64,
-        t_end: f64,
-        terminal: bool,
-    ) -> Result<TransientResult> {
-        let device = self.device;
-        let ct = device.capacitances().total().as_farads();
-        let vgs = spec.vgs;
-        let vs = spec.vs;
-
-        let rhs = |_t: f64, y: &[f64], dydt: &mut [f64]| {
-            let q = Charge::from_coulombs(y[0] * ct);
-            let state = device.tunneling_state(vgs, vs, q);
-            dydt[0] = state.charge_rate_amps / ct;
-        };
-
-        // Saturation = the paper's Jin/Jout crossing: fires when the
-        // smaller flow reaches (1 − fraction) of the larger one.
-        let balance = 1.0 - self.saturation_fraction;
-        let sat_condition = move |_t: f64, y: &[f64]| {
-            let q = Charge::from_coulombs(y[0] * ct);
-            let state = device.tunneling_state(vgs, vs, q);
-            let j_in = state.tunnel_flow.abs().as_amps_per_square_meter();
-            let j_out = state.control_flow.abs().as_amps_per_square_meter();
-            balance * j_in - j_out
-        };
-        let event = Event {
-            label: "saturation",
-            condition: &sat_condition,
-            direction: CrossingDirection::Falling,
-            terminal,
-        };
-
-        let (sol, hits) = Dopri45::new(self.ode_options.clone())
-            .integrate_with_events(rhs, 0.0, &[y0], t_end, &[event])
-            .map_err(DeviceError::from)?;
-
-        let samples: Vec<TransientSample> = sol
-            .times()
-            .iter()
-            .zip(sol.states())
-            .map(|(&t, y)| {
-                let q = Charge::from_coulombs(y[0] * ct);
-                let state = device.tunneling_state(vgs, vs, q);
-                TransientSample {
-                    t,
-                    charge: q.as_coulombs(),
-                    vfg: state.vfg.as_volts(),
-                    j_in: state.tunnel_flow.abs().as_amps_per_square_meter(),
-                    j_out: state.control_flow.abs().as_amps_per_square_meter(),
-                }
-            })
-            .collect();
-
-        let first_hit = hits.first();
-        Ok(TransientResult {
-            spec: *spec,
-            t_sat: first_hit.map(|h| h.t),
-            charge_at_sat: first_hit.map(|h| h.state[0] * ct),
-            samples,
-            accepted_steps: sol.accepted_steps(),
-            rhs_evaluations: sol.rhs_evaluations(),
-        })
+        self.engine.run(spec)
     }
 }
 
@@ -401,9 +352,9 @@ mod tests {
     #[test]
     fn low_bias_reports_no_tunneling() {
         let d = device();
-        let r = TransientSimulator::new(&d)
-            .run(&ProgramPulseSpec::program(Voltage::from_volts(1.0)));
-        assert!(matches!(r, Err(DeviceError::NoTunneling { .. })));
+        let r =
+            TransientSimulator::new(&d).run(&ProgramPulseSpec::program(Voltage::from_volts(1.0)));
+        assert!(matches!(r, Err(crate::DeviceError::NoTunneling { .. })));
     }
 
     #[test]
@@ -442,6 +393,11 @@ mod tests {
     fn saturation_fraction_bounds_enforced() {
         let d = device();
         let sim = TransientSimulator::new(&d);
-        assert!(std::panic::catch_unwind(move || sim.with_saturation_fraction(1.5)).is_err());
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                sim.with_saturation_fraction(1.5)
+            }))
+            .is_err()
+        );
     }
 }

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn variation_is_reproducible() {
         let d = FloatingGateTransistor::mlgnr_cnt_paper();
-        let spec = VariationSpec { samples: 100, ..VariationSpec::default() };
+        let spec = VariationSpec {
+            samples: 100,
+            ..VariationSpec::default()
+        };
         let a = run_variation(&d, presets::program_vgs(), &spec).unwrap();
         let b = run_variation(&d, presets::program_vgs(), &spec).unwrap();
         assert_eq!(a, b);
@@ -156,7 +159,10 @@ mod tests {
     #[test]
     fn median_matches_nominal_device() {
         let d = FloatingGateTransistor::mlgnr_cnt_paper();
-        let spec = VariationSpec { samples: 400, ..VariationSpec::default() };
+        let spec = VariationSpec {
+            samples: 400,
+            ..VariationSpec::default()
+        };
         let report = run_variation(&d, presets::program_vgs(), &spec).unwrap();
         let nominal = d
             .tunneling_state(presets::program_vgs(), Voltage::ZERO, Charge::ZERO)
@@ -178,13 +184,21 @@ mod tests {
         let tight = run_variation(
             &d,
             presets::program_vgs(),
-            &VariationSpec { samples: 300, xto_sigma_fraction: 0.01, ..VariationSpec::default() },
+            &VariationSpec {
+                samples: 300,
+                xto_sigma_fraction: 0.01,
+                ..VariationSpec::default()
+            },
         )
         .unwrap();
         let wide = run_variation(
             &d,
             presets::program_vgs(),
-            &VariationSpec { samples: 300, xto_sigma_fraction: 0.08, ..VariationSpec::default() },
+            &VariationSpec {
+                samples: 300,
+                xto_sigma_fraction: 0.08,
+                ..VariationSpec::default()
+            },
         )
         .unwrap();
         assert!(wide.log10_j_in.std_dev > tight.log10_j_in.std_dev);
@@ -196,7 +210,10 @@ mod tests {
         let r = run_variation(
             &d,
             presets::program_vgs(),
-            &VariationSpec { samples: 0, ..VariationSpec::default() },
+            &VariationSpec {
+                samples: 0,
+                ..VariationSpec::default()
+            },
         );
         assert!(r.is_err());
     }

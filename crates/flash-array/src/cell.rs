@@ -1,9 +1,10 @@
 //! A stateful flash cell: the device model plus its stored charge.
 
 use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::engine::ChargeBalanceEngine;
 use gnr_flash::pulse::SquarePulse;
 use gnr_flash::threshold::{LogicState, ReadModel};
-use gnr_flash::transient::{ProgramPulseSpec, TransientSimulator};
+use gnr_flash::transient::ProgramPulseSpec;
 use gnr_units::{Charge, Time, Voltage};
 
 use crate::Result;
@@ -101,8 +102,29 @@ impl FlashCell {
     /// unchanged and is *not* an error here — sub-threshold pulses are
     /// legitimate array biases (inhibit levels).
     pub fn apply_pulse(&mut self, pulse: SquarePulse) -> Result<()> {
+        let engine = ChargeBalanceEngine::new(&self.device);
+        self.apply_pulse_with(&engine, pulse)
+    }
+
+    /// Like [`Self::apply_pulse`] but reusing a prepared engine — the
+    /// hot path for ISPP ladders, which apply many pulses to one cell
+    /// and should pay the engine setup (device clone + table-cache
+    /// lookups) once, not per rung.
+    ///
+    /// The engine must have been built for this cell's device (e.g. via
+    /// [`ChargeBalanceEngine::new`] or
+    /// [`gnr_flash::engine::BatchSimulator::engine_for`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::apply_pulse`].
+    pub fn apply_pulse_with(
+        &mut self,
+        engine: &ChargeBalanceEngine,
+        pulse: SquarePulse,
+    ) -> Result<()> {
         let spec = ProgramPulseSpec::from_pulse(pulse, self.charge);
-        match TransientSimulator::new(&self.device).run(&spec) {
+        match engine.run(&spec) {
             Ok(result) => {
                 let q_new = result.final_charge();
                 self.stats.injected_charge +=
@@ -135,10 +157,24 @@ impl FlashCell {
     ///
     /// Propagates transient failures.
     pub fn erase_default(&mut self) -> Result<()> {
-        self.apply_pulse(SquarePulse::new(
-            gnr_flash::presets::erase_vgs(),
-            Time::from_seconds(DEFAULT_PULSE_WIDTH_S),
-        ))?;
+        let engine = ChargeBalanceEngine::new(&self.device);
+        self.erase_default_with(&engine)
+    }
+
+    /// [`Self::erase_default`] with a prepared engine (block-erase hot
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient failures.
+    pub fn erase_default_with(&mut self, engine: &ChargeBalanceEngine) -> Result<()> {
+        self.apply_pulse_with(
+            engine,
+            SquarePulse::new(
+                gnr_flash::presets::erase_vgs(),
+                Time::from_seconds(DEFAULT_PULSE_WIDTH_S),
+            ),
+        )?;
         self.stats.erase_ops += 1;
         Ok(())
     }
@@ -152,7 +188,8 @@ impl FlashCell {
     /// Drain current at the read point (sense-amp input).
     #[must_use]
     pub fn read_current(&self) -> gnr_units::Current {
-        self.read_model.drain_current(self.read_voltage, self.vt_shift())
+        self.read_model
+            .drain_current(self.read_voltage, self.vt_shift())
     }
 
     /// Verify comparison used by ISPP: `true` when the threshold shift

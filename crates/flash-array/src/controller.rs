@@ -39,7 +39,10 @@ impl FlashController {
     /// Creates a controller over a fresh array.
     #[must_use]
     pub fn new(config: NandConfig) -> Self {
-        Self { array: NandArray::new(config), next: PageAddress { block: 0, page: 0 } }
+        Self {
+            array: NandArray::new(config),
+            next: PageAddress { block: 0, page: 0 },
+        }
     }
 
     /// The underlying array (for analyses).
@@ -65,9 +68,15 @@ impl FlashController {
         // Advance sequentially: pages within a block, then next block —
         // round-robin over blocks levels wear.
         self.next = if addr.page + 1 < cfg.pages_per_block {
-            PageAddress { block: addr.block, page: addr.page + 1 }
+            PageAddress {
+                block: addr.block,
+                page: addr.page + 1,
+            }
         } else {
-            PageAddress { block: (addr.block + 1) % cfg.blocks, page: 0 }
+            PageAddress {
+                block: (addr.block + 1) % cfg.blocks,
+                page: 0,
+            }
         };
         Ok(addr)
     }
@@ -106,7 +115,11 @@ impl FlashController {
             max = max.max(e);
             total += e;
         }
-        Ok(WearStats { min_erases: min, max_erases: max, total_erases: total })
+        Ok(WearStats {
+            min_erases: min,
+            max_erases: max,
+            total_erases: total,
+        })
     }
 }
 
@@ -116,7 +129,11 @@ mod tests {
     use crate::ArrayError;
 
     fn controller() -> FlashController {
-        FlashController::new(NandConfig { blocks: 2, pages_per_block: 2, page_width: 4 })
+        FlashController::new(NandConfig {
+            blocks: 2,
+            pages_per_block: 2,
+            page_width: 4,
+        })
     }
 
     #[test]

@@ -93,7 +93,11 @@ mod tests {
         let bias = DisturbBias::default();
         let dq = disturb_charge(&d, Charge::ZERO, bias.v_pass_program, bias.program_exposure);
         // Far less than one electron per exposure.
-        assert!(dq.as_electrons().abs() < 1.0, "dq = {} e", dq.as_electrons());
+        assert!(
+            dq.as_electrons().abs() < 1.0,
+            "dq = {} e",
+            dq.as_electrons()
+        );
     }
 
     #[test]
@@ -128,8 +132,7 @@ mod tests {
     fn read_disturb_weaker_than_pass_disturb() {
         let d = FloatingGateTransistor::mlgnr_cnt_paper();
         let bias = DisturbBias::default();
-        let dq_pass =
-            disturb_charge(&d, Charge::ZERO, bias.v_pass_program, bias.program_exposure);
+        let dq_pass = disturb_charge(&d, Charge::ZERO, bias.v_pass_program, bias.program_exposure);
         let dq_read = disturb_charge(&d, Charge::ZERO, bias.v_pass_read, bias.program_exposure);
         assert!(dq_read.as_coulombs().abs() < dq_pass.as_coulombs().abs());
     }

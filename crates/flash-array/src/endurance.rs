@@ -119,7 +119,12 @@ impl EnduranceModel {
             let vt_p = vt_prog0 + self.programmed_state_fraction * offset;
             let vt_e = vt_erased0 + offset;
             let window = vt_p - vt_e;
-            points.push(EndurancePoint { cycle, vt_programmed: vt_p, vt_erased: vt_e, window });
+            points.push(EndurancePoint {
+                cycle,
+                vt_programmed: vt_p,
+                vt_erased: vt_e,
+                window,
+            });
             if window_close.is_none() && window < window_margin.as_volts() {
                 window_close = Some(cycle);
             }
@@ -163,7 +168,11 @@ mod tests {
     #[test]
     fn window_closes_monotonically() {
         let report = EnduranceModel::default()
-            .simulate(&FlashCell::paper_cell(), 1_000_000, Voltage::from_volts(1.0))
+            .simulate(
+                &FlashCell::paper_cell(),
+                1_000_000,
+                Voltage::from_volts(1.0),
+            )
             .unwrap();
         for pair in report.points.windows(2) {
             assert!(pair[1].window <= pair[0].window + 1e-9);
@@ -173,19 +182,25 @@ mod tests {
     #[test]
     fn default_cell_survives_nand_class_cycling() {
         let report = EnduranceModel::default()
-            .simulate(&FlashCell::paper_cell(), 10_000_000, Voltage::from_volts(1.0))
+            .simulate(
+                &FlashCell::paper_cell(),
+                10_000_000,
+                Voltage::from_volts(1.0),
+            )
             .unwrap();
-        let close = report.cycles_to_window_close.expect("window closes eventually");
-        assert!(
-            close > 10_000,
-            "window closed too early: {close} cycles"
-        );
+        let close = report
+            .cycles_to_window_close
+            .expect("window closes eventually");
+        assert!(close > 10_000, "window closed too early: {close} cycles");
     }
 
     #[test]
     fn harsher_trapping_closes_window_sooner() {
         let gentle = EnduranceModel::default();
-        let harsh = EnduranceModel { trap_sqrt_coefficient: 3.5, ..gentle };
+        let harsh = EnduranceModel {
+            trap_sqrt_coefficient: 3.5,
+            ..gentle
+        };
         let cell = FlashCell::paper_cell();
         let margin = Voltage::from_volts(1.0);
         let g = gentle.simulate(&cell, 10_000_000, margin).unwrap();
@@ -199,9 +214,16 @@ mod tests {
 
     #[test]
     fn breakdown_tracks_fluence() {
-        let model = EnduranceModel { breakdown_charge: 1.0e-15, ..EnduranceModel::default() };
+        let model = EnduranceModel {
+            breakdown_charge: 1.0e-15,
+            ..EnduranceModel::default()
+        };
         let report = model
-            .simulate(&FlashCell::paper_cell(), 1_000_000, Voltage::from_volts(0.5))
+            .simulate(
+                &FlashCell::paper_cell(),
+                1_000_000,
+                Voltage::from_volts(0.5),
+            )
             .unwrap();
         assert!(report.cycles_to_breakdown.is_some());
         // Q_BD threshold: fluence per cycle × cycles > 1e-15.

@@ -50,13 +50,20 @@ impl fmt::Display for ArrayError {
             Self::AddressOutOfRange { kind, index, len } => {
                 write!(f, "{kind} index {index} out of range (len {len})")
             }
-            Self::VerifyFailed { pulses, reached_volts, target_volts } => write!(
+            Self::VerifyFailed {
+                pulses,
+                reached_volts,
+                target_volts,
+            } => write!(
                 f,
                 "verify failed after {pulses} pulses: reached {reached_volts:.2} V of \
                  {target_volts:.2} V"
             ),
             Self::PageNotErased { block, page } => {
-                write!(f, "page {page} of block {block} must be erased before writing")
+                write!(
+                    f,
+                    "page {page} of block {block} must be erased before writing"
+                )
             }
             Self::WrongPageWidth { got, expected } => {
                 write!(f, "page data has {got} bits, page width is {expected}")
@@ -86,7 +93,11 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = ArrayError::VerifyFailed { pulses: 5, reached_volts: 2.1, target_volts: 3.0 };
+        let e = ArrayError::VerifyFailed {
+            pulses: 5,
+            reached_volts: 2.1,
+            target_volts: 3.0,
+        };
         assert!(e.to_string().contains("5 pulses"));
     }
 

@@ -5,6 +5,7 @@
 //! This realises the paper's §II point that FN programming allows tight
 //! threshold placement with tiny per-cell current.
 
+use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
 use gnr_flash::pulse::IsppLadder;
 use gnr_units::Voltage;
 
@@ -64,11 +65,27 @@ impl IsppProgrammer {
     /// [`ArrayError::VerifyFailed`] when the ladder is exhausted before
     /// the target is reached; device errors propagate.
     pub fn program(&self, cell: &mut FlashCell) -> Result<IsppReport> {
+        let engine = ChargeBalanceEngine::new(cell.device());
+        self.program_with(cell, &engine)
+    }
+
+    /// [`Self::program`] with a prepared engine, so the whole verify
+    /// ladder pays the engine setup once (the per-cell unit of work the
+    /// batch layer fans out).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::program`].
+    pub fn program_with(
+        &self,
+        cell: &mut FlashCell,
+        engine: &ChargeBalanceEngine,
+    ) -> Result<IsppReport> {
         let mut pulses = 0;
         #[allow(unused_assignments)]
         let mut last_amp = f64::NAN;
         for pulse in self.ladder {
-            cell.apply_pulse(pulse)?;
+            cell.apply_pulse_with(engine, pulse)?;
             pulses += 1;
             last_amp = pulse.amplitude.as_volts();
             if cell.verify_program(self.target) {
@@ -83,6 +100,21 @@ impl IsppProgrammer {
             pulses,
             reached_volts: cell.vt_shift().as_volts(),
             target_volts: self.target.as_volts(),
+        })
+    }
+
+    /// Programs many independent cells through the batch engine, one
+    /// full verify ladder per cell, fanned out across cores. Results are
+    /// in cell order and failures are per-cell.
+    #[must_use]
+    pub fn program_batch(
+        &self,
+        cells: Vec<&mut FlashCell>,
+        batch: &BatchSimulator,
+    ) -> Vec<Result<IsppReport>> {
+        batch.scatter(cells, |cell| {
+            let engine = batch.engine_for(cell.device());
+            self.program_with(cell, &engine)
         })
     }
 }
@@ -123,11 +155,26 @@ impl IsppEraser {
     /// [`ArrayError::VerifyFailed`] when the ladder is exhausted before
     /// the threshold falls to the target; device errors propagate.
     pub fn erase(&self, cell: &mut FlashCell) -> Result<IsppReport> {
+        let engine = ChargeBalanceEngine::new(cell.device());
+        self.erase_with(cell, &engine)
+    }
+
+    /// [`Self::erase`] with a prepared engine (see
+    /// [`IsppProgrammer::program_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::erase`].
+    pub fn erase_with(
+        &self,
+        cell: &mut FlashCell,
+        engine: &ChargeBalanceEngine,
+    ) -> Result<IsppReport> {
         let mut pulses = 0;
         #[allow(unused_assignments)]
         let mut last_amp = f64::NAN;
         for pulse in self.ladder {
-            cell.apply_pulse(pulse)?;
+            cell.apply_pulse_with(engine, pulse)?;
             pulses += 1;
             last_amp = pulse.amplitude.as_volts();
             if cell.verify_erase(self.target) {
@@ -142,6 +189,20 @@ impl IsppEraser {
             pulses,
             reached_volts: cell.vt_shift().as_volts(),
             target_volts: self.target.as_volts(),
+        })
+    }
+
+    /// Erases many independent cells through the batch engine (the
+    /// block-erase fan-out). Results are in cell order.
+    #[must_use]
+    pub fn erase_batch(
+        &self,
+        cells: Vec<&mut FlashCell>,
+        batch: &BatchSimulator,
+    ) -> Vec<Result<IsppReport>> {
+        batch.scatter(cells, |cell| {
+            let engine = batch.engine_for(cell.device());
+            self.erase_with(cell, &engine)
         })
     }
 }

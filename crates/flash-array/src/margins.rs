@@ -102,8 +102,7 @@ pub fn vt_histogram(array: &NandArray, lo: f64, hi: f64, bins: usize) -> Result<
             }
         }
     }
-    Histogram::new(&samples, lo, hi, bins)
-        .map_err(|e| gnr_flash::DeviceError::from(e).into())
+    Histogram::new(&samples, lo, hi, bins).map_err(|e| gnr_flash::DeviceError::from(e).into())
 }
 
 #[cfg(test)]
@@ -112,8 +111,11 @@ mod tests {
     use crate::nand::NandConfig;
 
     fn half_programmed_array() -> NandArray {
-        let mut array =
-            NandArray::new(NandConfig { blocks: 1, pages_per_block: 2, page_width: 8 });
+        let mut array = NandArray::new(NandConfig {
+            blocks: 1,
+            pages_per_block: 2,
+            page_width: 8,
+        });
         // Alternate bits on page 0; page 1 stays erased.
         let bits: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
         array.program_page(0, 0, &bits).unwrap();
@@ -142,7 +144,11 @@ mod tests {
 
     #[test]
     fn fresh_array_has_single_population() {
-        let array = NandArray::new(NandConfig { blocks: 1, pages_per_block: 1, page_width: 4 });
+        let array = NandArray::new(NandConfig {
+            blocks: 1,
+            pages_per_block: 1,
+            page_width: 4,
+        });
         let report = analyze(&array).unwrap();
         assert!(report.programmed.is_none());
         assert!(report.erased.is_some());

@@ -76,7 +76,10 @@ pub struct MlcLevels {
 
 impl Default for MlcLevels {
     fn default() -> Self {
-        Self { verify: [1.2, 2.4, 3.6], read_refs: [0.6, 1.8, 3.0] }
+        Self {
+            verify: [1.2, 2.4, 3.6],
+            read_refs: [0.6, 1.8, 3.0],
+        }
     }
 }
 
@@ -295,7 +298,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "interleave")]
     fn bad_level_placement_panics() {
-        let levels = MlcLevels { verify: [1.0, 2.0, 3.0], read_refs: [1.5, 1.8, 2.5] };
+        let levels = MlcLevels {
+            verify: [1.0, 2.0, 3.0],
+            read_refs: [1.5, 1.8, 2.5],
+        };
         let _ = MlcCell::new(FlashCell::paper_cell(), levels);
     }
 }

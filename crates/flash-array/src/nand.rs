@@ -10,6 +10,7 @@
 //! Bit convention: `true` = erased = logic '1'; `false` = programmed =
 //! logic '0' (matching the paper's state naming).
 
+use gnr_flash::engine::BatchSimulator;
 use gnr_flash::threshold::LogicState;
 use gnr_units::Voltage;
 
@@ -31,7 +32,11 @@ pub struct NandConfig {
 
 impl Default for NandConfig {
     fn default() -> Self {
-        Self { blocks: 4, pages_per_block: 4, page_width: 16 }
+        Self {
+            blocks: 4,
+            pages_per_block: 4,
+            page_width: 16,
+        }
     }
 }
 
@@ -51,6 +56,7 @@ pub struct NandArray {
     bias: DisturbBias,
     programmer: IsppProgrammer,
     eraser: IsppEraser,
+    batch: BatchSimulator,
 }
 
 impl NandArray {
@@ -67,7 +73,11 @@ impl NandArray {
         );
         let make_block = || Block {
             pages: (0..config.pages_per_block)
-                .map(|_| (0..config.page_width).map(|_| FlashCell::paper_cell()).collect())
+                .map(|_| {
+                    (0..config.page_width)
+                        .map(|_| FlashCell::paper_cell())
+                        .collect()
+                })
                 .collect(),
             page_erased: vec![true; config.pages_per_block],
             erase_count: 0,
@@ -78,6 +88,7 @@ impl NandArray {
             bias: DisturbBias::default(),
             programmer: IsppProgrammer::nominal(),
             eraser: IsppEraser::nominal(),
+            batch: BatchSimulator::new(),
         }
     }
 
@@ -85,6 +96,20 @@ impl NandArray {
     #[must_use]
     pub fn config(&self) -> NandConfig {
         self.config
+    }
+
+    /// Replaces the batch executor (e.g. [`BatchSimulator::sequential`]
+    /// for parity testing or single-core profiling baselines).
+    #[must_use]
+    pub fn with_batch(mut self, batch: BatchSimulator) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The batch executor driving page programs and block erases.
+    #[must_use]
+    pub fn batch(&self) -> &BatchSimulator {
+        &self.batch
     }
 
     /// Erase count of a block (wear metric).
@@ -135,14 +160,23 @@ impl NandArray {
         let programmer = self.programmer;
         let bias = self.bias;
         let pages_per_block = self.config.pages_per_block;
+        let batch = self.batch.clone();
         let b = self.block_mut(block)?;
-        for (cell, &bit) in b.pages[page].iter_mut().zip(bits) {
-            if !bit {
-                programmer.program(cell)?;
-            }
-        }
+        // FN programming "allows many cells to be programmed at a time"
+        // (§II): fan the selected cells of the page out through the batch
+        // engine. Cells run their full ISPP ladders independently; the
+        // first failure (if any) is reported after the whole page ran.
+        let selected: Vec<&mut FlashCell> = b.pages[page]
+            .iter_mut()
+            .zip(bits)
+            .filter_map(|(cell, &bit)| (!bit).then_some(cell))
+            .collect();
+        let reports = programmer.program_batch(selected, &batch);
+        // Pulses were applied whether or not every verify passed: the
+        // page is no longer erased, and the unselected pages of the
+        // block saw their pass-voltage exposure. Record both before
+        // propagating the first error.
         b.page_erased[page] = false;
-        // Pass-disturb on unselected pages of the same block.
         for p in 0..pages_per_block {
             if p == page {
                 continue;
@@ -150,6 +184,9 @@ impl NandArray {
             for cell in &mut b.pages[p] {
                 apply_disturb(cell, bias.v_pass_program, bias.program_exposure, 1);
             }
+        }
+        for report in reports {
+            report?;
         }
         Ok(())
     }
@@ -193,20 +230,31 @@ impl NandArray {
     /// Address errors and ISPP verify failures.
     pub fn erase_block(&mut self, block: usize) -> Result<()> {
         let eraser = self.eraser;
+        let batch = self.batch.clone();
         let b = self.block_mut(block)?;
-        for page in &mut b.pages {
-            for cell in page {
-                // Already-erased cells pass verify on the first rung.
-                if !cell.verify_erase(Voltage::from_volts(0.3)) {
-                    eraser.erase(cell)?;
-                } else {
-                    // Erase pulses hit every cell of the block regardless.
-                    cell.erase_default()?;
-                }
+        // Block erase hits every cell of the block at once — the batch
+        // engine runs one erase transient (or ISPP ladder) per cell in
+        // parallel.
+        let cells: Vec<&mut FlashCell> = b.pages.iter_mut().flatten().collect();
+        let results = batch.scatter(cells, |cell| {
+            let engine = batch.engine_for(cell.device());
+            // Already-erased cells pass verify on the first rung.
+            if !cell.verify_erase(Voltage::from_volts(0.3)) {
+                eraser.erase_with(cell, &engine).map(|_| ())
+            } else {
+                // Erase pulses hit every cell of the block regardless.
+                cell.erase_default_with(&engine)
             }
+        });
+        // The erase stress hit every cell of the block whether or not
+        // every ladder verified, so the wear counter advances before any
+        // error propagates; `page_erased` stays false on failure, which
+        // forces a retry before the pages can be programmed again.
+        b.erase_count += 1;
+        for result in results {
+            result?;
         }
         b.page_erased.fill(true);
-        b.erase_count += 1;
         Ok(())
     }
 
@@ -239,11 +287,13 @@ impl NandArray {
 
     fn block_mut(&mut self, idx: usize) -> Result<&mut Block> {
         let len = self.config.blocks;
-        self.blocks.get_mut(idx).ok_or(ArrayError::AddressOutOfRange {
-            kind: "block",
-            index: idx,
-            len,
-        })
+        self.blocks
+            .get_mut(idx)
+            .ok_or(ArrayError::AddressOutOfRange {
+                kind: "block",
+                index: idx,
+                len,
+            })
     }
 }
 
@@ -252,7 +302,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> NandArray {
-        NandArray::new(NandConfig { blocks: 2, pages_per_block: 2, page_width: 4 })
+        NandArray::new(NandConfig {
+            blocks: 2,
+            pages_per_block: 2,
+            page_width: 4,
+        })
     }
 
     #[test]

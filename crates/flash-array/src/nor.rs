@@ -46,7 +46,10 @@ impl NorCell {
     /// Wraps a cell with the silicon NOR CHE preset.
     #[must_use]
     pub fn new(cell: FlashCell) -> Self {
-        Self { cell, che: CheModel::silicon_nor_cell() }
+        Self {
+            cell,
+            che: CheModel::silicon_nor_cell(),
+        }
     }
 
     /// The wrapped flash cell.
@@ -71,7 +74,9 @@ impl NorCell {
     /// one healthy CHE pulse is enough to saturate a nanoscale gate (the
     /// reason CHE programming is fast *and* power-hungry, §II).
     pub fn program_che(&mut self, bias: &CheBias) {
-        let i_gate = self.che.gate_current(bias.drain_current, bias.lateral_field);
+        let i_gate = self
+            .che
+            .gate_current(bias.drain_current, bias.lateral_field);
         let raw = (i_gate * bias.width).as_coulombs();
         let ct = self.cell.device().capacitances().total().as_farads();
         let floor = -ct * bias.drain_voltage.as_volts().abs();
@@ -127,7 +132,10 @@ mod tests {
         let q11 = nor.cell().charge().as_coulombs();
         assert!(q11 <= q1); // monotone toward the floor
         assert!(q11 >= floor - 1e-30); // never past it
-        assert!((q11 - floor).abs() / floor.abs() < 0.05, "q = {q11:e}, floor = {floor:e}");
+        assert!(
+            (q11 - floor).abs() / floor.abs() < 0.05,
+            "q = {q11:e}, floor = {floor:e}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct RetentionModel {
 
 impl Default for RetentionModel {
     fn default() -> Self {
-        Self { activation_energy_ev: 0.6, reference: Temperature::room() }
+        Self {
+            activation_energy_ev: 0.6,
+            reference: Temperature::room(),
+        }
     }
 }
 
@@ -107,8 +110,7 @@ impl RetentionModel {
         let record = |q: f64, t: f64| RetentionPoint {
             t,
             charge: q,
-            vt_shift: gnr_flash::threshold::vt_shift(device, Charge::from_coulombs(q))
-                .as_volts(),
+            vt_shift: gnr_flash::threshold::vt_shift(device, Charge::from_coulombs(q)).as_volts(),
         };
         out.push(record(q, 0.0));
         let mut t_prev = 0.0;
@@ -117,7 +119,9 @@ impl RetentionModel {
             let vfg = Charge::from_coulombs(q) / ct;
             // Electron flow channel→FG (positive) through the tunnel oxide.
             let j_t = if vfg.as_volts() >= 0.0 {
-                tunnel.current_density_for_drop(vfg).as_amps_per_square_meter()
+                tunnel
+                    .current_density_for_drop(vfg)
+                    .as_amps_per_square_meter()
             } else {
                 -tunnel_rev
                     .current_density_for_drop(-vfg)
@@ -157,7 +161,12 @@ impl RetentionModel {
         let trace = self.trace(device, programmed, horizon, t);
         let initial_vt = trace.first().map_or(0.0, |p| p.vt_shift);
         let final_vt = trace.last().map_or(0.0, |p| p.vt_shift);
-        RetentionReport { initial_vt, final_vt, pass: final_vt >= margin.as_volts(), trace }
+        RetentionReport {
+            initial_vt,
+            final_vt,
+            pass: final_vt >= margin.as_volts(),
+            trace,
+        }
     }
 }
 

@@ -50,7 +50,7 @@ impl Chirality {
     /// Metallic when `(n − m) mod 3 == 0` (armchair and 1/3 of the rest).
     #[must_use]
     pub fn is_metallic(&self) -> bool {
-        (self.n - self.m) % 3 == 0
+        (self.n - self.m).is_multiple_of(3)
     }
 
     /// Tube diameter `d = a·√(n² + nm + m²)/π` with `a` the graphene
@@ -105,8 +105,8 @@ impl Cnt {
             return Energy::from_ev(0.0);
         }
         let d_nm = self.diameter().as_nanometers();
-        let prefactor_ev_nm = 2.0 * graphene::hopping_energy().as_ev()
-            * graphene::bond_length().as_nanometers();
+        let prefactor_ev_nm =
+            2.0 * graphene::hopping_energy().as_ev() * graphene::bond_length().as_nanometers();
         Energy::from_ev(prefactor_ev_nm / d_nm)
     }
 

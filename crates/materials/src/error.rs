@@ -29,10 +29,17 @@ pub enum MaterialError {
 impl fmt::Display for MaterialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InvalidParameter { name, value, constraint } => {
+            Self::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "invalid {name} = {value}: {constraint}")
             }
-            Self::NonPositiveBarrier { emitter_work_function_ev, oxide_affinity_ev } => {
+            Self::NonPositiveBarrier {
+                emitter_work_function_ev,
+                oxide_affinity_ev,
+            } => {
                 write!(
                     f,
                     "non-positive tunnel barrier: work function {emitter_work_function_ev} eV \

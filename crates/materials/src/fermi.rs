@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn occupation_is_half_at_mu() {
-        let f = fermi_dirac(Energy::from_ev(1.0), Energy::from_ev(1.0), Temperature::room());
+        let f = fermi_dirac(
+            Energy::from_ev(1.0),
+            Energy::from_ev(1.0),
+            Temperature::room(),
+        );
         assert!((f - 0.5).abs() < 1e-12);
     }
 
@@ -96,8 +100,14 @@ mod tests {
     #[test]
     fn zero_temperature_is_step() {
         let t = Temperature::from_kelvin(0.0);
-        assert_eq!(fermi_dirac(Energy::from_ev(0.5), Energy::from_ev(1.0), t), 1.0);
-        assert_eq!(fermi_dirac(Energy::from_ev(1.5), Energy::from_ev(1.0), t), 0.0);
+        assert_eq!(
+            fermi_dirac(Energy::from_ev(0.5), Energy::from_ev(1.0), t),
+            1.0
+        );
+        assert_eq!(
+            fermi_dirac(Energy::from_ev(1.5), Energy::from_ev(1.0), t),
+            0.0
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl AgnrBands {
         let cos_theta = (1..=n)
             .map(|i| (f64::from(i) * core::f64::consts::PI / f64::from(n + 1)).cos())
             .collect();
-        Ok(Self { dimer_lines: n, hopping, cos_theta })
+        Ok(Self {
+            dimer_lines: n,
+            hopping,
+            cos_theta,
+        })
     }
 
     /// Number of subbands (= dimer lines).
@@ -201,8 +205,10 @@ mod tests {
     #[test]
     fn gap_decreases_with_width_within_family() {
         // 3p+1 family: N = 7, 13, 19, 25.
-        let gaps: Vec<f64> =
-            [7u32, 13, 19, 25].iter().map(|&n| bands(n).band_gap().as_ev()).collect();
+        let gaps: Vec<f64> = [7u32, 13, 19, 25]
+            .iter()
+            .map(|&n| bands(n).band_gap().as_ev())
+            .collect();
         for pair in gaps.windows(2) {
             assert!(pair[1] < pair[0], "{gaps:?}");
         }
@@ -229,7 +235,9 @@ mod tests {
         let e0 = b.dispersion(n, 0.0).as_joules();
         assert_eq!(b.edge_wavevector(n), 0.0);
         for k in [1e8, 2e8, 4e8] {
-            assert!((b.dispersion(n, k).as_joules() - b.dispersion(n, -k).as_joules()).abs() < 1e-30);
+            assert!(
+                (b.dispersion(n, k).as_joules() - b.dispersion(n, -k).as_joules()).abs() < 1e-30
+            );
             assert!(b.dispersion(n, k).as_joules() >= e0 - 1e-25);
         }
     }
@@ -252,7 +260,9 @@ mod tests {
         let b = bands(11);
         let n_min = (1..=b.subband_count())
             .min_by(|&x, &y| {
-                b.subband_edge(x).as_joules().total_cmp(&b.subband_edge(y).as_joules())
+                b.subband_edge(x)
+                    .as_joules()
+                    .total_cmp(&b.subband_edge(y).as_joules())
             })
             .unwrap();
         let k0 = b.edge_wavevector(n_min);

@@ -40,7 +40,10 @@ impl TunnelInterface {
                 oxide_affinity_ev: oxide.electron_affinity().as_ev(),
             });
         }
-        Ok(Self { emitter_work_function, oxide })
+        Ok(Self {
+            emitter_work_function,
+            oxide,
+        })
     }
 
     /// Emitter work function.
@@ -58,9 +61,7 @@ impl TunnelInterface {
     /// Barrier height `ΦB = W_emitter − χ_oxide` (Anderson alignment).
     #[must_use]
     pub fn barrier_height(&self) -> Energy {
-        Energy::from_ev(
-            self.emitter_work_function.as_ev() - self.oxide.electron_affinity().as_ev(),
-        )
+        Energy::from_ev(self.emitter_work_function.as_ev() - self.oxide.electron_affinity().as_ev())
     }
 
     /// Effective tunneling mass in the oxide (`m_ox`).

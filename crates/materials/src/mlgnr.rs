@@ -69,9 +69,7 @@ impl MultilayerGnr {
     /// spacing (a single layer is one atomic sheet ≈ 0.34 nm effective).
     #[must_use]
     pub fn thickness(&self) -> Length {
-        Length::from_meters(
-            f64::from(self.layers) * graphene::interlayer_spacing().as_meters(),
-        )
+        Length::from_meters(f64::from(self.layers) * graphene::interlayer_spacing().as_meters())
     }
 
     /// Work function, interpolating from the monolayer value toward the
@@ -160,8 +158,7 @@ mod tests {
         let pos = ch.quantum_capacitance(Voltage::from_volts(0.3));
         let neg = ch.quantum_capacitance(Voltage::from_volts(-0.3));
         assert!(
-            (pos.as_farads_per_square_meter() - neg.as_farads_per_square_meter()).abs()
-                < 1e-12
+            (pos.as_farads_per_square_meter() - neg.as_farads_per_square_meter()).abs() < 1e-12
         );
     }
 

@@ -245,9 +245,7 @@ mod tests {
         let t = Length::from_nanometers(5.0);
         let c_sio2 = Oxide::silicon_dioxide().capacitance_per_area(t);
         let c_hfo2 = Oxide::hafnium_dioxide().capacitance_per_area(t);
-        assert!(
-            c_hfo2.as_farads_per_square_meter() > 4.0 * c_sio2.as_farads_per_square_meter()
-        );
+        assert!(c_hfo2.as_farads_per_square_meter() > 4.0 * c_sio2.as_farads_per_square_meter());
     }
 
     #[test]

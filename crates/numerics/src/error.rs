@@ -40,7 +40,10 @@ impl fmt::Display for NumericsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NoConvergence { method, iterations } => {
-                write!(f, "{method} did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "{method} did not converge within {iterations} iterations"
+                )
             }
             Self::InvalidBracket { f_lo, f_hi } => write!(
                 f,
@@ -65,8 +68,14 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = NumericsError::NoConvergence { method: "brent", iterations: 100 };
-        assert_eq!(e.to_string(), "brent did not converge within 100 iterations");
+        let e = NumericsError::NoConvergence {
+            method: "brent",
+            iterations: 100,
+        };
+        assert_eq!(
+            e.to_string(),
+            "brent did not converge within 100 iterations"
+        );
     }
 
     #[test]
@@ -77,7 +86,10 @@ mod tests {
 
     #[test]
     fn bracket_error_shows_values() {
-        let e = NumericsError::InvalidBracket { f_lo: 1.0, f_hi: 2.0 };
+        let e = NumericsError::InvalidBracket {
+            f_lo: 1.0,
+            f_hi: 2.0,
+        };
         assert!(e.to_string().contains("does not bracket"));
     }
 }

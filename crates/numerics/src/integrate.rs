@@ -40,7 +40,7 @@ pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
 #[must_use]
 pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
     assert!(n > 0, "simpson requires at least one panel");
-    let n = if n % 2 == 0 { n } else { n + 1 };
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {
@@ -66,7 +66,9 @@ pub fn adaptive_simpson<F: Fn(f64) -> f64>(
     max_depth: usize,
 ) -> Result<f64> {
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidInput(
+            "tolerance must be positive".into(),
+        ));
     }
     if a == b {
         return Ok(0.0);
@@ -116,17 +118,17 @@ fn rec<F: Fn(f64) -> f64>(
 /// Ten-point Gauss–Legendre abscissae on `[-1, 1]` (positive half).
 const GL10_X: [f64; 5] = [
     0.148_874_338_981_631_21,
-    0.433_395_394_129_247_19,
-    0.679_409_568_299_024_41,
-    0.865_063_366_688_984_51,
-    0.973_906_528_517_171_72,
+    0.433_395_394_129_247_2,
+    0.679_409_568_299_024_4,
+    0.865_063_366_688_984_5,
+    0.973_906_528_517_171_7,
 ];
 /// Ten-point Gauss–Legendre weights (matching [`GL10_X`]).
 const GL10_W: [f64; 5] = [
     0.295_524_224_714_752_87,
     0.269_266_719_309_996_36,
     0.219_086_362_515_982_04,
-    0.149_451_349_150_580_59,
+    0.149_451_349_150_580_6,
     0.066_671_344_308_688_14,
 ];
 
@@ -151,13 +153,11 @@ pub fn gauss_legendre_10<F: Fn(f64) -> f64>(f: F, a: f64, b: f64) -> f64 {
 ///
 /// Panics if `panels == 0`.
 #[must_use]
-pub fn gauss_legendre_composite<F: Fn(f64) -> f64>(
-    f: F,
-    a: f64,
-    b: f64,
-    panels: usize,
-) -> f64 {
-    assert!(panels > 0, "gauss_legendre_composite requires at least one panel");
+pub fn gauss_legendre_composite<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, panels: usize) -> f64 {
+    assert!(
+        panels > 0,
+        "gauss_legendre_composite requires at least one panel"
+    );
     let h = (b - a) / panels as f64;
     (0..panels)
         .map(|i| gauss_legendre_10(&f, a + i as f64 * h, a + (i + 1) as f64 * h))
@@ -189,8 +189,14 @@ mod tests {
     #[test]
     fn adaptive_simpson_handles_peaked_integrand() {
         // ∫ exp(-100 (x-0.5)^2) dx over [0,1] = sqrt(π)/10 erf(5) ≈ sqrt(π)/10.
-        let v = adaptive_simpson(|x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp(), 0.0, 1.0, 1e-12, 60)
-            .unwrap();
+        let v = adaptive_simpson(
+            |x: f64| (-100.0 * (x - 0.5) * (x - 0.5)).exp(),
+            0.0,
+            1.0,
+            1e-12,
+            60,
+        )
+        .unwrap();
         let exact = core::f64::consts::PI.sqrt() / 10.0;
         assert!((v - exact).abs() < 1e-9);
     }

@@ -33,7 +33,11 @@ impl Matrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row slices.
@@ -43,7 +47,9 @@ impl Matrix {
     /// [`NumericsError::InvalidInput`] when rows are empty or ragged.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(NumericsError::InvalidInput("matrix must be non-empty".into()));
+            return Err(NumericsError::InvalidInput(
+                "matrix must be non-empty".into(),
+            ));
         }
         let cols = rows[0].len();
         if rows.iter().any(|r| r.len() != cols) {
@@ -165,12 +171,7 @@ impl Matrix {
 ///
 /// [`NumericsError::InvalidInput`] for mismatched lengths;
 /// [`NumericsError::SingularMatrix`] when elimination breaks down.
-pub fn solve_tridiagonal(
-    sub: &[f64],
-    diag: &[f64],
-    sup: &[f64],
-    rhs: &[f64],
-) -> Result<Vec<f64>> {
+pub fn solve_tridiagonal(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Result<Vec<f64>> {
     let n = diag.len();
     if n == 0 {
         return Err(NumericsError::InvalidInput("empty system".into()));
@@ -224,12 +225,8 @@ mod tests {
 
     #[test]
     fn dense_solve_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (xi, ei) in x.iter().zip(&expect) {

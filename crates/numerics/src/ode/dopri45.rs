@@ -40,7 +40,11 @@ impl OdeOptions {
     /// Creates options with the given tolerances and defaults elsewhere.
     #[must_use]
     pub fn with_tolerances(rtol: f64, atol: f64) -> Self {
-        Self { rtol, atol, ..Self::default() }
+        Self {
+            rtol,
+            atol,
+            ..Self::default()
+        }
     }
 }
 
@@ -235,15 +239,18 @@ impl Dopri45 {
                 }
                 y_new[i] = y[i] + h * y5;
                 let e = h * (y5 - y4);
-                let scale =
-                    self.opts.atol + self.opts.rtol * y[i].abs().max(y_new[i].abs());
+                let scale = self.opts.atol + self.opts.rtol * y[i].abs().max(y_new[i].abs());
                 err_sq += (e / scale) * (e / scale);
             }
             // A non-finite error estimate (overflow/NaN in a trial stage)
             // must count as a rejection: f64::max ignores NaN, so a naive
             // `.max()` would silently *accept* a poisoned step.
             let err_rms = (err_sq / n as f64).sqrt();
-            let err = if err_rms.is_finite() { err_rms.max(1.0e-16) } else { f64::INFINITY };
+            let err = if err_rms.is_finite() {
+                err_rms.max(1.0e-16)
+            } else {
+                f64::INFINITY
+            };
 
             if err <= 1.0 {
                 // Accept. PI controller (Gustafsson): h *= s * err^-a * prev^b.
@@ -256,9 +263,7 @@ impl Dopri45 {
                 for (ei, ev) in events.iter().enumerate() {
                     let g_hi = (ev.condition)(t_new, &y_new);
                     if ev.direction.matches(g_prev[ei], g_hi) {
-                        let (te, ye) = locate_crossing(
-                            ev, t, t_new, &y, &y_new, &k[0], &k_last,
-                        );
+                        let (te, ye) = locate_crossing(ev, t, t_new, &y, &y_new, &k[0], &k_last);
                         occurrences.push(EventOccurrence {
                             label: ev.label.to_string(),
                             t: te,
@@ -290,9 +295,7 @@ impl Dopri45 {
                 sol.record_accept();
                 sol.push(t, &y, &k[0]);
 
-                let factor = self.opts.safety
-                    * err.powf(-0.7 / 5.0)
-                    * err_prev.powf(0.4 / 5.0);
+                let factor = self.opts.safety * err.powf(-0.7 / 5.0) * err_prev.powf(0.4 / 5.0);
                 h *= factor.clamp(0.2, 5.0);
                 err_prev = err;
             } else {
@@ -322,7 +325,11 @@ impl Dopri45 {
             .collect();
         let d0 = rms(y0, &sc);
         let d1 = rms(f0, &sc);
-        let h0 = if d0 < 1e-5 || d1 < 1e-5 { 1e-6 } else { 0.01 * (d0 / d1) };
+        let h0 = if d0 < 1e-5 || d1 < 1e-5 {
+            1e-6
+        } else {
+            0.01 * (d0 / d1)
+        };
         let h0 = h0.min(t_end - t0);
 
         // One explicit Euler probe to estimate the second derivative.
@@ -344,7 +351,11 @@ impl Dopri45 {
         // by tens of orders of magnitude, underflowing the very first
         // step. Never let it suppress `h1` by more than 1000x.
         let h = (100.0 * h0).min(h1);
-        let h = if h1.is_finite() && h1 > 0.0 { h.max(1e-3 * h1) } else { h };
+        let h = if h1.is_finite() && h1 > 0.0 {
+            h.max(1e-3 * h1)
+        } else {
+            h
+        };
         h.min(t_end - t0)
     }
 }
@@ -401,7 +412,12 @@ mod tests {
     #[test]
     fn exponential_decay_high_accuracy() {
         let sol = Dopri45::new(OdeOptions::with_tolerances(1e-12, 1e-14))
-            .integrate(|_t, y: &[f64], d: &mut [f64]| d[0] = -y[0], 0.0, &[1.0], 5.0)
+            .integrate(
+                |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0],
+                0.0,
+                &[1.0],
+                5.0,
+            )
             .unwrap();
         assert!((sol.final_state()[0] - (-5.0f64).exp()).abs() < 1e-11);
     }
@@ -499,7 +515,10 @@ mod tests {
 
     #[test]
     fn max_steps_is_enforced() {
-        let opts = OdeOptions { max_steps: 3, ..OdeOptions::default() };
+        let opts = OdeOptions {
+            max_steps: 3,
+            ..OdeOptions::default()
+        };
         let r = Dopri45::new(opts).integrate(
             |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0],
             0.0,
@@ -533,17 +552,26 @@ mod tests {
         // error test would silently *accept* the poisoned step. The
         // solver must instead reject and shrink.
         let rhs = |_t: f64, y: &[f64], d: &mut [f64]| {
-            d[0] = if y[0].abs() > 100.0 { f64::NAN } else { -1.0e6 * y[0] };
+            d[0] = if y[0].abs() > 100.0 {
+                f64::NAN
+            } else {
+                -1.0e6 * y[0]
+            };
         };
         let opts = OdeOptions {
             h_init: Some(1.0e-3), // ~1000x the stable step for λ = 1e6
             ..OdeOptions::with_tolerances(1e-8, 1e-10)
         };
-        let sol = Dopri45::new(opts).integrate(rhs, 0.0, &[1.0], 1.0e-3).unwrap();
+        let sol = Dopri45::new(opts)
+            .integrate(rhs, 0.0, &[1.0], 1.0e-3)
+            .unwrap();
         let y = sol.final_state()[0];
         assert!(y.is_finite(), "solution must stay finite, got {y}");
         assert!(y.abs() < 1e-10, "fast decay must reach ~0, got {y}");
-        assert!(sol.rejected_steps() > 0, "the oversized step must be rejected");
+        assert!(
+            sol.rejected_steps() > 0,
+            "the oversized step must be rejected"
+        );
     }
 
     #[test]
@@ -562,7 +590,12 @@ mod tests {
     #[test]
     fn solver_statistics_are_recorded() {
         let sol = Dopri45::new(OdeOptions::default())
-            .integrate(|_t, y: &[f64], d: &mut [f64]| d[0] = -y[0], 0.0, &[1.0], 1.0)
+            .integrate(
+                |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0],
+                0.0,
+                &[1.0],
+                1.0,
+            )
             .unwrap();
         assert!(sol.accepted_steps() > 0);
         assert!(sol.rhs_evaluations() >= 6 * sol.accepted_steps());

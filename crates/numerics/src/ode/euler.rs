@@ -91,7 +91,9 @@ mod tests {
         let rhs = |_t: f64, y: &[f64], d: &mut [f64]| d[0] = -y[0];
         let exact = (-1.0f64).exp();
         let err = |steps: usize| {
-            let sol = ExplicitEuler::new(steps).integrate(rhs, 0.0, &[1.0], 1.0).unwrap();
+            let sol = ExplicitEuler::new(steps)
+                .integrate(rhs, 0.0, &[1.0], 1.0)
+                .unwrap();
             (sol.final_state()[0] - exact).abs()
         };
         let ratio = err(100) / err(200);

@@ -78,7 +78,9 @@ mod tests {
         let exact = (-2.0f64).exp();
 
         let rk4 = Rk4::new(1000).integrate(rhs, 0.0, &[1.0], 1.0).unwrap();
-        let euler = ExplicitEuler::new(200_000).integrate(rhs, 0.0, &[1.0], 1.0).unwrap();
+        let euler = ExplicitEuler::new(200_000)
+            .integrate(rhs, 0.0, &[1.0], 1.0)
+            .unwrap();
         let adaptive = Dopri45::new(OdeOptions::default())
             .integrate(rhs, 0.0, &[1.0], 1.0)
             .unwrap();

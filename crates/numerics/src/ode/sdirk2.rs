@@ -32,7 +32,10 @@ impl Sdirk2 {
     #[must_use]
     pub fn new(steps: usize) -> Self {
         assert!(steps > 0, "Sdirk2 requires at least one step");
-        Self { steps, newton_iterations: 25 }
+        Self {
+            steps,
+            newton_iterations: 25,
+        }
     }
 
     /// Integrates `dy/dt = rhs(t, y)` from `(t0, y0)` to `t_end`.
@@ -75,8 +78,7 @@ impl Sdirk2 {
             // Stage 1: k1 = f(t + γh, y + γh·k1).
             self.solve_stage(&rhs, t + GAMMA * h, &y, &[], h, &mut k1, &mut sol)?;
             // Stage 2: k2 = f(t + h, y + (1−γ)h·k1 + γh·k2).
-            let base: Vec<f64> =
-                (0..n).map(|i| y[i] + (1.0 - GAMMA) * h * k1[i]).collect();
+            let base: Vec<f64> = (0..n).map(|i| y[i] + (1.0 - GAMMA) * h * k1[i]).collect();
             self.solve_stage(&rhs, t + h, &base, &[], h, &mut k2, &mut sol)?;
 
             for i in 0..n {
@@ -158,8 +160,7 @@ impl Sdirk2 {
             let mut lambda = 1.0f64;
             let mut improved = false;
             for _ in 0..10 {
-                let trial: Vec<f64> =
-                    (0..n).map(|i| k[i] - lambda * dk[i]).collect();
+                let trial: Vec<f64> = (0..n).map(|i| k[i] - lambda * dk[i]).collect();
                 for i in 0..n {
                     y_stage[i] = base[i] + gh * trial[i];
                 }
@@ -167,8 +168,8 @@ impl Sdirk2 {
                 sol.record_rhs_evals(1);
                 let mut trial_norm = 0.0f64;
                 for i in 0..n {
-                    trial_norm = trial_norm
-                        .max((trial[i] - f_val[i]).abs() / (1.0 + trial[i].abs()));
+                    trial_norm =
+                        trial_norm.max((trial[i] - f_val[i]).abs() / (1.0 + trial[i].abs()));
                 }
                 if trial_norm < norm {
                     k.copy_from_slice(&trial);

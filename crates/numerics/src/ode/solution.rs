@@ -145,9 +145,10 @@ impl OdeSolution {
         assert!(!self.is_empty(), "cannot sample an empty solution");
         let t = t.clamp(self.times[0], self.final_time());
         // Binary search for the bracketing segment.
-        let idx = match self.times.binary_search_by(|probe| {
-            probe.partial_cmp(&t).expect("times are finite")
-        }) {
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("times are finite"))
+        {
             Ok(i) => return self.states[i].clone(),
             Err(i) => i,
         };

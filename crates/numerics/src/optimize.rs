@@ -62,7 +62,9 @@ pub fn golden_section<F: Fn(f64) -> f64>(
         )));
     }
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidInput(
+            "tolerance must be positive".into(),
+        ));
     }
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
     let mut a = lo;
@@ -74,7 +76,11 @@ pub fn golden_section<F: Fn(f64) -> f64>(
     for i in 0..max_iter {
         if (b - a).abs() < tol {
             let x = 0.5 * (a + b);
-            return Ok(Minimum { x, value: f(x), iterations: i });
+            return Ok(Minimum {
+                x,
+                value: f(x),
+                iterations: i,
+            });
         }
         if fc < fd {
             b = d;
@@ -90,7 +96,10 @@ pub fn golden_section<F: Fn(f64) -> f64>(
             fd = f(d);
         }
     }
-    Err(NumericsError::NoConvergence { method: "golden_section", iterations: max_iter })
+    Err(NumericsError::NoConvergence {
+        method: "golden_section",
+        iterations: max_iter,
+    })
 }
 
 /// Nelder–Mead simplex minimisation from a starting point with initial
@@ -122,7 +131,9 @@ pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
         )));
     }
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidInput(
+            "tolerance must be positive".into(),
+        ));
     }
 
     // Initial simplex: start + per-coordinate offsets.
@@ -172,7 +183,11 @@ pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
             // Expand.
             let expanded = blend(2.0);
             let fe = f(&expanded);
-            simplex[n] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+            simplex[n] = if fe < fr {
+                (expanded, fe)
+            } else {
+                (reflected, fr)
+            };
             continue;
         }
         if fr < second_worst {
@@ -195,7 +210,10 @@ pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
             entry.1 = f(&entry.0);
         }
     }
-    Err(NumericsError::NoConvergence { method: "nelder_mead", iterations: max_iter })
+    Err(NumericsError::NoConvergence {
+        method: "nelder_mead",
+        iterations: max_iter,
+    })
 }
 
 #[cfg(test)]
@@ -250,9 +268,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_exhausts_iterations_on_hard_problem() {
-        let rosen = |p: &[f64]| {
-            (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2)
-        };
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
         let r = nelder_mead(rosen, &[-1.2, 1.0], &[0.5, 0.5], 1e-14, 5);
         assert!(matches!(r, Err(NumericsError::NoConvergence { .. })));
     }

@@ -60,7 +60,9 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
     }
     let n = xs.len();
     if n < 2 {
-        return Err(NumericsError::InvalidInput("need at least two points".into()));
+        return Err(NumericsError::InvalidInput(
+            "need at least two points".into(),
+        ));
     }
     if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
         return Err(NumericsError::InvalidInput("data must be finite".into()));
@@ -99,7 +101,13 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
     let slope_stderr = (sigma2 / sxx).sqrt();
     let intercept_stderr = (sigma2 * (1.0 / nf + mean_x * mean_x / sxx)).sqrt();
 
-    Ok(LinearFit { slope, intercept, r_squared, slope_stderr, intercept_stderr })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_stderr,
+        intercept_stderr,
+    })
 }
 
 /// Least-squares polynomial fit of the given `degree`; returns coefficients
@@ -198,7 +206,10 @@ mod tests {
     #[test]
     fn polyfit_recovers_cubic() {
         let xs: Vec<f64> = (-5..=5).map(f64::from).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - 2.0 * x + 0.5 * x * x * x).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 1.0 - 2.0 * x + 0.5 * x * x * x)
+            .collect();
         let c = polyfit(&xs, &ys, 3).unwrap();
         let expect = [1.0, -2.0, 0.0, 0.5];
         for (ci, ei) in c.iter().zip(&expect) {

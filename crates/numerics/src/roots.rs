@@ -26,20 +26,16 @@ use crate::{NumericsError, Result};
 /// sign, [`NumericsError::NoConvergence`] if `max_iter` is exhausted before
 /// the interval shrinks below `tol`, and [`NumericsError::InvalidInput`] for
 /// a degenerate interval or non-positive tolerance.
-pub fn bisect<F: Fn(f64) -> f64>(
-    f: F,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-    max_iter: usize,
-) -> Result<f64> {
+pub fn bisect<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
     if !(lo < hi) {
         return Err(NumericsError::InvalidInput(format!(
             "bisect requires lo < hi, got [{lo}, {hi}]"
         )));
     }
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidInput(
+            "tolerance must be positive".into(),
+        ));
     }
     let mut a = lo;
     let mut b = hi;
@@ -67,7 +63,10 @@ pub fn bisect<F: Fn(f64) -> f64>(
             b = mid;
         }
     }
-    Err(NumericsError::NoConvergence { method: "bisect", iterations: max_iter })
+    Err(NumericsError::NoConvergence {
+        method: "bisect",
+        iterations: max_iter,
+    })
 }
 
 /// Brent's method (inverse quadratic interpolation + secant + bisection).
@@ -78,20 +77,16 @@ pub fn bisect<F: Fn(f64) -> f64>(
 /// # Errors
 ///
 /// As for [`bisect`].
-pub fn brent<F: Fn(f64) -> f64>(
-    f: F,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-    max_iter: usize,
-) -> Result<f64> {
+pub fn brent<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
     if !(lo < hi) {
         return Err(NumericsError::InvalidInput(format!(
             "brent requires lo < hi, got [{lo}, {hi}]"
         )));
     }
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidInput(
+            "tolerance must be positive".into(),
+        ));
     }
     let mut a = lo;
     let mut b = hi;
@@ -158,7 +153,10 @@ pub fn brent<F: Fn(f64) -> f64>(
             core::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(NumericsError::NoConvergence { method: "brent", iterations: max_iter })
+    Err(NumericsError::NoConvergence {
+        method: "brent",
+        iterations: max_iter,
+    })
 }
 
 /// Damped Newton–Raphson with a numerically differenced derivative.
@@ -172,7 +170,9 @@ pub fn brent<F: Fn(f64) -> f64>(
 /// non-positive tolerance or a vanishing derivative at an iterate.
 pub fn newton<F: Fn(f64) -> f64>(f: F, x0: f64, tol: f64, max_iter: usize) -> Result<f64> {
     if tol <= 0.0 {
-        return Err(NumericsError::InvalidInput("tolerance must be positive".into()));
+        return Err(NumericsError::InvalidInput(
+            "tolerance must be positive".into(),
+        ));
     }
     let mut x = x0;
     let mut fx = f(x);
@@ -202,10 +202,16 @@ pub fn newton<F: Fn(f64) -> f64>(f: F, x0: f64, tol: f64, max_iter: usize) -> Re
             step *= 0.5;
         }
         if !accepted {
-            return Err(NumericsError::NoConvergence { method: "newton", iterations: max_iter });
+            return Err(NumericsError::NoConvergence {
+                method: "newton",
+                iterations: max_iter,
+            });
         }
     }
-    Err(NumericsError::NoConvergence { method: "newton", iterations: max_iter })
+    Err(NumericsError::NoConvergence {
+        method: "newton",
+        iterations: max_iter,
+    })
 }
 
 #[cfg(test)]
@@ -250,7 +256,10 @@ mod tests {
         count.set(0);
         let _ = bisect(f, -5.0, 5.0, 1e-13, 200).unwrap();
         let bisect_evals = count.get();
-        assert!(brent_evals < bisect_evals, "{brent_evals} !< {bisect_evals}");
+        assert!(
+            brent_evals < bisect_evals,
+            "{brent_evals} !< {bisect_evals}"
+        );
     }
 
     #[test]

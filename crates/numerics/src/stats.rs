@@ -50,7 +50,11 @@ impl Summary {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+            samples
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n - 1) as f64
         } else {
             0.0
         };
@@ -77,7 +81,10 @@ impl Summary {
 #[must_use]
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be within [0, 100]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -28,15 +28,14 @@ where
 {
     const SEQUENTIAL_CUTOFF: usize = 8;
     if items.len() <= SEQUENTIAL_CUTOFF {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(items.len());
 
-    let results: Mutex<Vec<Option<U>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {

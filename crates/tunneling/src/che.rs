@@ -39,12 +39,19 @@ impl CheModel {
     #[must_use]
     pub fn new(barrier: Energy, mean_free_path: Length, collection_efficiency: f64) -> Self {
         assert!(barrier.as_joules() > 0.0, "barrier must be positive");
-        assert!(mean_free_path.as_meters() > 0.0, "mean free path must be positive");
+        assert!(
+            mean_free_path.as_meters() > 0.0,
+            "mean free path must be positive"
+        );
         assert!(
             collection_efficiency > 0.0 && collection_efficiency <= 1.0,
             "collection efficiency must be in (0, 1]"
         );
-        Self { barrier, mean_free_path, collection_efficiency }
+        Self {
+            barrier,
+            mean_free_path,
+            collection_efficiency,
+        }
     }
 
     /// A conventional NOR-cell preset: Si/SiO₂ barrier 3.15 eV, hot-electron
@@ -61,8 +68,8 @@ impl CheModel {
         if e == 0.0 {
             return 0.0;
         }
-        let exponent = self.barrier.as_joules()
-            / (ELEMENTARY_CHARGE * self.mean_free_path.as_meters() * e);
+        let exponent =
+            self.barrier.as_joules() / (ELEMENTARY_CHARGE * self.mean_free_path.as_meters() * e);
         (-exponent).exp()
     }
 

@@ -40,7 +40,10 @@ impl DirectTunnelingModel {
     #[must_use]
     pub fn new(barrier: Energy, m_ox: Mass, thickness: Length) -> Self {
         assert!(thickness.as_meters() > 0.0, "thickness must be positive");
-        Self { base: FnModel::new(barrier, m_ox), thickness }
+        Self {
+            base: FnModel::new(barrier, m_ox),
+            thickness,
+        }
     }
 
     /// Creates the model from an interface and the film thickness.
@@ -50,7 +53,11 @@ impl DirectTunnelingModel {
     /// Panics when `thickness` is not positive.
     #[must_use]
     pub fn from_interface(interface: &TunnelInterface, thickness: Length) -> Self {
-        Self::new(interface.barrier_height(), interface.effective_mass(), thickness)
+        Self::new(
+            interface.barrier_height(),
+            interface.effective_mass(),
+            thickness,
+        )
     }
 
     /// Film thickness.
@@ -81,8 +88,8 @@ impl TunnelingModel for DirectTunnelingModel {
             return CurrentDensity::ZERO;
         }
         let phi = self.base.barrier().as_joules();
-        let q_vox = gnr_units::constants::ELEMENTARY_CHARGE
-            * (e.abs() * self.thickness.as_meters());
+        let q_vox =
+            gnr_units::constants::ELEMENTARY_CHARGE * (e.abs() * self.thickness.as_meters());
         let c = self.base.coefficients();
         let mag = if q_vox >= phi {
             // Triangular barrier: exact FN.
@@ -134,7 +141,10 @@ mod tests {
         let above = m
             .current_density(ElectricField::from_volts_per_meter(e_star * 1.001))
             .as_amps_per_square_meter();
-        assert!((below / above - 1.0).abs() < 0.2, "jump: {below:e} vs {above:e}");
+        assert!(
+            (below / above - 1.0).abs() < 0.2,
+            "jump: {below:e} vs {above:e}"
+        );
     }
 
     #[test]

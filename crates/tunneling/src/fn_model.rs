@@ -20,9 +20,7 @@
 //! (with ħ in `B`).
 
 use gnr_materials::interface::TunnelInterface;
-use gnr_units::constants::{
-    BOLTZMANN, ELEMENTARY_CHARGE, ELECTRON_MASS, PLANCK, REDUCED_PLANCK,
-};
+use gnr_units::constants::{BOLTZMANN, ELECTRON_MASS, ELEMENTARY_CHARGE, PLANCK, REDUCED_PLANCK};
 use gnr_units::{CurrentDensity, ElectricField, Energy, Mass, Temperature};
 
 use crate::models::TunnelingModel;
@@ -50,8 +48,7 @@ impl FnCoefficients {
         assert!(phi > 0.0, "barrier must be positive");
         assert!(m > 0.0, "effective mass must be positive");
         let q = ELEMENTARY_CHARGE;
-        let a = q.powi(3) * ELECTRON_MASS
-            / (8.0 * core::f64::consts::PI * PLANCK * m * phi);
+        let a = q.powi(3) * ELECTRON_MASS / (8.0 * core::f64::consts::PI * PLANCK * m * phi);
         let b = 4.0 * (2.0 * m).sqrt() * phi.powf(1.5) / (3.0 * REDUCED_PLANCK * q);
         Self { a, b }
     }
@@ -128,7 +125,11 @@ impl FnModel {
     /// Panics when the barrier or mass is non-positive.
     #[must_use]
     pub fn paper_form(barrier: Energy, m_ox: Mass) -> Self {
-        Self { barrier, m_ox, coeffs: FnCoefficients::paper_form(barrier, m_ox) }
+        Self {
+            barrier,
+            m_ox,
+            coeffs: FnCoefficients::paper_form(barrier, m_ox),
+        }
     }
 
     /// The barrier height `ΦB`.
@@ -261,14 +262,10 @@ mod tests {
 
     #[test]
     fn paper_form_omits_mass_correction() {
-        let full = FnCoefficients::lenzlinger_snow(
-            Energy::from_ev(3.2),
-            Mass::from_electron_masses(0.42),
-        );
-        let paper = FnCoefficients::paper_form(
-            Energy::from_ev(3.2),
-            Mass::from_electron_masses(0.42),
-        );
+        let full =
+            FnCoefficients::lenzlinger_snow(Energy::from_ev(3.2), Mass::from_electron_masses(0.42));
+        let paper =
+            FnCoefficients::paper_form(Energy::from_ev(3.2), Mass::from_electron_masses(0.42));
         // Same B, A differs by exactly m0/m_ox.
         assert!((full.b - paper.b).abs() / full.b < 1e-12);
         assert!((full.a / paper.a - 1.0 / 0.42).abs() < 1e-9);
@@ -278,8 +275,7 @@ mod tests {
     fn current_at_10mv_per_cm_is_physical() {
         // FN current of Si/SiO2 at 10 MV/cm is ~1e-5..1e-3 A/cm² in the
         // literature; the analytic model should land in that window.
-        let j = si_sio2()
-            .current_density(ElectricField::from_megavolts_per_centimeter(10.0));
+        let j = si_sio2().current_density(ElectricField::from_megavolts_per_centimeter(10.0));
         let j_acm2 = j.as_amps_per_square_centimeter();
         assert!(j_acm2 > 1e-6 && j_acm2 < 1e-2, "J = {j_acm2:e} A/cm²");
     }
@@ -291,15 +287,15 @@ mod tests {
         let fwd = m.current_density(e);
         let rev = m.current_density(-e);
         assert!(fwd.as_amps_per_square_meter() > 0.0);
-        assert!(
-            (fwd.as_amps_per_square_meter() + rev.as_amps_per_square_meter()).abs() < 1e-20
-        );
+        assert!((fwd.as_amps_per_square_meter() + rev.as_amps_per_square_meter()).abs() < 1e-20);
     }
 
     #[test]
     fn zero_field_zero_current() {
         assert_eq!(
-            si_sio2().current_density(ElectricField::ZERO).as_amps_per_square_meter(),
+            si_sio2()
+                .current_density(ElectricField::ZERO)
+                .as_amps_per_square_meter(),
             0.0
         );
     }

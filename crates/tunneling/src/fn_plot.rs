@@ -58,7 +58,10 @@ pub fn generate_plot<M: TunnelingModel + ?Sized>(
             if j <= 0.0 {
                 return None;
             }
-            Some(FnPlotPoint { inverse_field: 1.0 / ev, ln_j_over_e2: (j / (ev * ev)).ln() })
+            Some(FnPlotPoint {
+                inverse_field: 1.0 / ev,
+                ln_j_over_e2: (j / (ev * ev)).ln(),
+            })
         })
         .collect()
 }
@@ -75,7 +78,11 @@ pub fn extract_params(
     let xs: Vec<f64> = points.iter().map(|p| p.inverse_field).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.ln_j_over_e2).collect();
     let fit = fit_line(&xs, &ys)?;
-    Ok(ExtractedFnParams { a: fit.intercept.exp(), b: -fit.slope, fit })
+    Ok(ExtractedFnParams {
+        a: fit.intercept.exp(),
+        b: -fit.slope,
+        fit,
+    })
 }
 
 /// Infers the barrier height from an extracted `B` and a known effective
@@ -162,7 +169,10 @@ mod tests {
 
     #[test]
     fn too_few_points_is_an_error() {
-        let pts = vec![FnPlotPoint { inverse_field: 1e-9, ln_j_over_e2: -40.0 }];
+        let pts = vec![FnPlotPoint {
+            inverse_field: 1e-9,
+            ln_j_over_e2: -40.0,
+        }];
         assert!(extract_params(&pts).is_err());
     }
 

@@ -28,8 +28,7 @@ pub fn schottky_lowering(field: ElectricField, relative_permittivity: f64) -> En
     let e = field.as_volts_per_meter().abs();
     let eps = VACUUM_PERMITTIVITY * relative_permittivity;
     Energy::from_joules(
-        ELEMENTARY_CHARGE
-            * (ELEMENTARY_CHARGE * e / (4.0 * core::f64::consts::PI * eps)).sqrt(),
+        ELEMENTARY_CHARGE * (ELEMENTARY_CHARGE * e / (4.0 * core::f64::consts::PI * eps)).sqrt(),
     )
 }
 
@@ -83,7 +82,10 @@ impl ImageForceFnModel {
             relative_permittivity >= 1.0,
             "relative permittivity must be at least 1"
         );
-        Self { base, relative_permittivity }
+        Self {
+            base,
+            relative_permittivity,
+        }
     }
 
     /// Creates the corrected model directly from an interface.
@@ -169,10 +171,7 @@ mod tests {
     #[test]
     fn schottky_lowering_magnitude() {
         // SiO2 at 10 MV/cm: Δφ = 3.79e-4·sqrt(E[V/cm]/εr) ≈ 0.61 eV.
-        let d = schottky_lowering(
-            ElectricField::from_megavolts_per_centimeter(10.0),
-            3.9,
-        );
+        let d = schottky_lowering(ElectricField::from_megavolts_per_centimeter(10.0), 3.9);
         assert!((d.as_ev() - 0.607).abs() < 0.01, "Δφ = {} eV", d.as_ev());
     }
 
@@ -196,7 +195,11 @@ mod tests {
         let sum = m.current_density(e).as_amps_per_square_meter()
             + m.current_density(-e).as_amps_per_square_meter();
         assert!(sum.abs() < 1e-18);
-        assert_eq!(m.current_density(ElectricField::ZERO).as_amps_per_square_meter(), 0.0);
+        assert_eq!(
+            m.current_density(ElectricField::ZERO)
+                .as_amps_per_square_meter(),
+            0.0
+        );
     }
 
     #[test]

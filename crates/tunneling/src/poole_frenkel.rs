@@ -44,10 +44,21 @@ impl PooleFrenkelModel {
         temperature: Temperature,
     ) -> Self {
         assert!(trap_depth.as_joules() > 0.0, "trap depth must be positive");
-        assert!(relative_permittivity >= 1.0, "permittivity must be at least 1");
+        assert!(
+            relative_permittivity >= 1.0,
+            "permittivity must be at least 1"
+        );
         assert!(prefactor > 0.0, "prefactor must be positive");
-        assert!(temperature.as_kelvin() > 0.0, "temperature must be positive");
-        Self { trap_depth, relative_permittivity, prefactor, temperature }
+        assert!(
+            temperature.as_kelvin() > 0.0,
+            "temperature must be positive"
+        );
+        Self {
+            trap_depth,
+            relative_permittivity,
+            prefactor,
+            temperature,
+        }
     }
 
     /// A damaged-SiO₂ preset: 1.0 eV traps, ε_r = 3.9, prefactor scaled
@@ -70,8 +81,7 @@ impl PooleFrenkelModel {
         let e = field.as_volts_per_meter().abs();
         let eps = VACUUM_PERMITTIVITY * self.relative_permittivity;
         Energy::from_joules(
-            ELEMENTARY_CHARGE
-                * (ELEMENTARY_CHARGE * e / (core::f64::consts::PI * eps)).sqrt(),
+            ELEMENTARY_CHARGE * (ELEMENTARY_CHARGE * e / (core::f64::consts::PI * eps)).sqrt(),
         )
     }
 }
@@ -129,7 +139,11 @@ mod tests {
         let field = ElectricField::from_volts_per_meter(1.0e9);
         let pf = model().barrier_lowering(field).as_ev();
         let schottky = crate::nordheim::schottky_lowering(field, 3.9).as_ev();
-        assert!((pf / schottky - 2.0).abs() < 1e-9, "ratio {}", pf / schottky);
+        assert!(
+            (pf / schottky - 2.0).abs() < 1e-9,
+            "ratio {}",
+            pf / schottky
+        );
     }
 
     #[test]
@@ -180,7 +194,11 @@ mod tests {
         let sum = m.current_density(e).as_amps_per_square_meter()
             + m.current_density(-e).as_amps_per_square_meter();
         assert!(sum.abs() < 1e-18);
-        assert_eq!(m.current_density(ElectricField::ZERO).as_amps_per_square_meter(), 0.0);
+        assert_eq!(
+            m.current_density(ElectricField::ZERO)
+                .as_amps_per_square_meter(),
+            0.0
+        );
     }
 
     #[test]

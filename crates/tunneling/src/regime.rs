@@ -32,11 +32,7 @@ pub const DIRECT_THICKNESS_LIMIT_NM: f64 = 4.0;
 
 /// Classifies the regime for a film of `thickness` under a drop `v_ox`.
 #[must_use]
-pub fn classify(
-    interface: &TunnelInterface,
-    thickness: Length,
-    v_ox: Voltage,
-) -> TunnelingRegime {
+pub fn classify(interface: &TunnelInterface, thickness: Length, v_ox: Voltage) -> TunnelingRegime {
     let field = (v_ox.abs() / thickness).as_volts_per_meter();
     if field < NEGLIGIBLE_FIELD {
         return TunnelingRegime::Negligible;
@@ -78,33 +74,53 @@ mod tests {
     #[test]
     fn paper_program_point_is_fn() {
         // 9 V across 5 nm — the paper's worked example.
-        let r = classify(&iface(), Length::from_nanometers(5.0), Voltage::from_volts(9.0));
+        let r = classify(
+            &iface(),
+            Length::from_nanometers(5.0),
+            Voltage::from_volts(9.0),
+        );
         assert_eq!(r, TunnelingRegime::FowlerNordheim);
     }
 
     #[test]
     fn erase_bias_symmetric() {
-        let r = classify(&iface(), Length::from_nanometers(5.0), Voltage::from_volts(-9.0));
+        let r = classify(
+            &iface(),
+            Length::from_nanometers(5.0),
+            Voltage::from_volts(-9.0),
+        );
         assert_eq!(r, TunnelingRegime::FowlerNordheim);
     }
 
     #[test]
     fn sub_barrier_drop_is_direct() {
         // 2 V drop < 3.6 eV barrier.
-        let r = classify(&iface(), Length::from_nanometers(5.0), Voltage::from_volts(2.0));
+        let r = classify(
+            &iface(),
+            Length::from_nanometers(5.0),
+            Voltage::from_volts(2.0),
+        );
         assert_eq!(r, TunnelingRegime::Direct);
     }
 
     #[test]
     fn ultra_thin_film_is_direct_even_at_high_drop() {
-        let r = classify(&iface(), Length::from_nanometers(3.0), Voltage::from_volts(6.0));
+        let r = classify(
+            &iface(),
+            Length::from_nanometers(3.0),
+            Voltage::from_volts(6.0),
+        );
         assert_eq!(r, TunnelingRegime::Direct);
     }
 
     #[test]
     fn low_field_is_negligible() {
         // 0.02 V across 5 nm = 0.04 MV/cm.
-        let r = classify(&iface(), Length::from_nanometers(5.0), Voltage::from_volts(0.02));
+        let r = classify(
+            &iface(),
+            Length::from_nanometers(5.0),
+            Voltage::from_volts(0.02),
+        );
         assert_eq!(r, TunnelingRegime::Negligible);
     }
 

@@ -50,9 +50,21 @@ impl TsuEsakiModel {
         assert!(barrier.as_joules() > 0.0, "barrier must be positive");
         assert!(thickness.as_meters() > 0.0, "thickness must be positive");
         assert!(m_ox.as_kilograms() > 0.0, "oxide mass must be positive");
-        assert!(m_emitter.as_kilograms() > 0.0, "emitter mass must be positive");
-        assert!(temperature.as_kelvin() > 0.0, "temperature must be positive");
-        Self { barrier, thickness, m_ox, m_emitter, temperature }
+        assert!(
+            m_emitter.as_kilograms() > 0.0,
+            "emitter mass must be positive"
+        );
+        assert!(
+            temperature.as_kelvin() > 0.0,
+            "temperature must be positive"
+        );
+        Self {
+            barrier,
+            thickness,
+            m_ox,
+            m_emitter,
+            temperature,
+        }
     }
 
     /// Free-electron emitter at room temperature — the standard
@@ -85,7 +97,7 @@ impl TsuEsakiModel {
             ElectricField::from_volts_per_meter(e_mag),
         );
         let kt = BOLTZMANN * self.temperature.as_kelvin();
-        let lo = -1.0 * ELEMENTARY_CHARGE; // 1 eV below the Fermi level
+        let lo = -ELEMENTARY_CHARGE; // 1 eV below the Fermi level
         let hi = self.barrier.as_joules() + 10.0 * kt;
 
         let integral = gauss_legendre_composite(
@@ -108,10 +120,7 @@ impl TsuEsakiModel {
         );
 
         let prefactor = ELEMENTARY_CHARGE * self.m_emitter.as_kilograms() * kt
-            / (2.0
-                * core::f64::consts::PI
-                * core::f64::consts::PI
-                * REDUCED_PLANCK.powi(3));
+            / (2.0 * core::f64::consts::PI * core::f64::consts::PI * REDUCED_PLANCK.powi(3));
         CurrentDensity::from_amps_per_square_meter(prefactor * integral)
     }
 }
@@ -198,7 +207,9 @@ mod tests {
     #[test]
     fn zero_field_zero_current() {
         assert_eq!(
-            model().current_density(ElectricField::ZERO).as_amps_per_square_meter(),
+            model()
+                .current_density(ElectricField::ZERO)
+                .as_amps_per_square_meter(),
             0.0
         );
     }

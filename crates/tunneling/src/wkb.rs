@@ -68,7 +68,10 @@ impl BarrierProfile {
         field: ElectricField,
         relative_permittivity: f64,
     ) -> Self {
-        assert!(relative_permittivity >= 1.0, "permittivity must be at least 1");
+        assert!(
+            relative_permittivity >= 1.0,
+            "permittivity must be at least 1"
+        );
         let mut p = Self::ideal(barrier, thickness, field);
         p.image_force = true;
         p.relative_permittivity = relative_permittivity;
@@ -96,8 +99,8 @@ impl BarrierProfile {
     pub fn potential(&self, x: f64) -> f64 {
         let t = self.thickness.as_meters();
         let x = x.clamp(0.0, t);
-        let mut u = self.barrier.as_joules()
-            - ELEMENTARY_CHARGE * self.field.as_volts_per_meter() * x;
+        let mut u =
+            self.barrier.as_joules() - ELEMENTARY_CHARGE * self.field.as_volts_per_meter() * x;
         if self.image_force {
             let eps = VACUUM_PERMITTIVITY * self.relative_permittivity;
             // Clamp the singular image term within one ångström of either
@@ -177,11 +180,8 @@ mod tests {
         // For a triangular barrier fully tilted through the film, the WKB
         // exponent at the Fermi level is exactly −B/E.
         let field = ElectricField::from_volts_per_meter(1.8e9);
-        let profile = BarrierProfile::ideal(
-            Energy::from_ev(PHI_EV),
-            Length::from_nanometers(5.0),
-            field,
-        );
+        let profile =
+            BarrierProfile::ideal(Energy::from_ev(PHI_EV), Length::from_nanometers(5.0), field);
         let m_ox = Mass::from_electron_masses(M_RATIO);
         let wkb = profile.fermi_level_exponent(m_ox);
         let b = FnModel::new(Energy::from_ev(PHI_EV), m_ox).coefficients().b;

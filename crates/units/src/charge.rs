@@ -63,9 +63,7 @@ impl core::ops::Div<Capacitance> for Charge {
 impl core::ops::Div<Area> for Charge {
     type Output = ChargeDensity;
     fn div(self, rhs: Area) -> ChargeDensity {
-        ChargeDensity::from_coulombs_per_square_meter(
-            self.as_coulombs() / rhs.as_square_meters(),
-        )
+        ChargeDensity::from_coulombs_per_square_meter(self.as_coulombs() / rhs.as_square_meters())
     }
 }
 

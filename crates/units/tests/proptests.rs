@@ -1,8 +1,8 @@
 //! Property tests for the quantity algebra.
 
 use gnr_units::{
-    Area, Capacitance, Charge, CurrentDensity, ElectricField, Energy, Length, Mass,
-    Temperature, Time, Voltage,
+    Area, Capacitance, Charge, CurrentDensity, ElectricField, Energy, Length, Mass, Temperature,
+    Time, Voltage,
 };
 use proptest::prelude::*;
 

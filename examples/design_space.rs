@@ -39,9 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .gcr(*gcr)
             .build()
             .expect("valid design point");
-        let state =
-            device.tunneling_state(Voltage::from_volts(*vgs), Voltage::ZERO, Charge::ZERO);
-        let (stress, _) = device.stress_ratios(Voltage::from_volts(*vgs), Voltage::ZERO, Charge::ZERO);
+        let state = device.tunneling_state(Voltage::from_volts(*vgs), Voltage::ZERO, Charge::ZERO);
+        let (stress, _) =
+            device.stress_ratios(Voltage::from_volts(*vgs), Voltage::ZERO, Charge::ZERO);
         DesignPoint {
             vgs: *vgs,
             xto_nm: *xto,
@@ -56,9 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut safe: Vec<&DesignPoint> = points.iter().filter(|p| p.stress < 1.0).collect();
     safe.sort_by(|a, b| b.j_fn.total_cmp(&a.j_fn));
 
-    println!("design space: {} points, {} below breakdown stress", points.len(), safe.len());
+    println!(
+        "design space: {} points, {} below breakdown stress",
+        points.len(),
+        safe.len()
+    );
     println!("\nfastest safe operating points (stress < 1.0):");
-    println!("{:>6} {:>7} {:>5} {:>12} {:>7}", "VGS", "XTO", "GCR", "JFN(A/m^2)", "stress");
+    println!(
+        "{:>6} {:>7} {:>5} {:>12} {:>7}",
+        "VGS", "XTO", "GCR", "JFN(A/m^2)", "stress"
+    );
     for p in safe.iter().take(10) {
         println!(
             "{:>6.1} {:>6.1}n {:>5.2} {:>12.3e} {:>7.2}",

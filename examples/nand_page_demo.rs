@@ -13,7 +13,11 @@ fn render(bits: &[bool]) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = NandConfig { blocks: 2, pages_per_block: 4, page_width: 16 };
+    let config = NandConfig {
+        blocks: 2,
+        pages_per_block: 4,
+        page_width: 16,
+    };
     let mut array = NandArray::new(config);
     println!(
         "array: {} blocks x {} pages x {} cells",
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Block erase restores everything to '1'.
     array.erase_block(0)?;
-    println!("\nafter block erase: b0/p1 = {}", render(&array.read_page(0, 1)?));
+    println!(
+        "\nafter block erase: b0/p1 = {}",
+        render(&array.read_page(0, 1)?)
+    );
 
     // The mini controller: sequential writes with erase-before-write.
     let mut ctrl = FlashController::new(config);

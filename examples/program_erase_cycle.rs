@@ -10,7 +10,11 @@ use gnr_flash_array::ispp::{IsppEraser, IsppProgrammer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cell = FlashCell::paper_cell();
-    println!("fresh cell: state = {:?}, VT shift = {}", cell.read(), cell.vt_shift());
+    println!(
+        "fresh cell: state = {:?}, VT shift = {}",
+        cell.read(),
+        cell.vt_shift()
+    );
 
     // Program with the incremental-step ladder (13 -> 16 V, verify +2 V).
     let programmer = IsppProgrammer::nominal();

@@ -17,8 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = FloatingGateTransistor::mlgnr_cnt_paper();
     println!("device: {}", device.name());
     println!("  gate area      : {}", device.geometry().gate_area());
-    println!("  tunnel oxide   : {}", device.geometry().tunnel_oxide_thickness());
-    println!("  control oxide  : {}", device.geometry().control_oxide_thickness());
+    println!(
+        "  tunnel oxide   : {}",
+        device.geometry().tunnel_oxide_thickness()
+    );
+    println!(
+        "  control oxide  : {}",
+        device.geometry().control_oxide_thickness()
+    );
     println!("  CT (eq. 2)     : {}", device.capacitances().total());
     println!("  GCR            : {:.2}", device.capacitances().gcr());
     println!(
@@ -38,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Program to the Jin = Jout balance of Figure 5.
     let result = TransientSimulator::new(&device).run(&ProgramPulseSpec::program(vgs))?;
-    let t_sat = result.saturation_time().expect("the paper device saturates");
+    let t_sat = result
+        .saturation_time()
+        .expect("the paper device saturates");
     let q_sat = result.charge_at_saturation().expect("charge at saturation");
     println!("\nprogramming transient (Figure 5):");
     println!("  t_sat          : {:.3e} s", t_sat.as_seconds());

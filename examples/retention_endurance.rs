@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("endurance (P/E cycling):");
     println!("  charge per cycle : {:.2e} C", report.charge_per_cycle);
-    println!("{:>10} {:>10} {:>10} {:>9}", "cycle", "VT(prog)", "VT(erase)", "window");
+    println!(
+        "{:>10} {:>10} {:>10} {:>9}",
+        "cycle", "VT(prog)", "VT(erase)", "window"
+    );
     for p in report.points.iter().step_by(3) {
         println!(
             "{:>10} {:>9.2}V {:>9.2}V {:>8.2}V",

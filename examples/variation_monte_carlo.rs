@@ -30,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..VariationSpec::default()
             },
         ),
-        ("nominal (4%/50meV/2%)", VariationSpec { samples: 2000, ..VariationSpec::default() }),
+        (
+            "nominal (4%/50meV/2%)",
+            VariationSpec {
+                samples: 2000,
+                ..VariationSpec::default()
+            },
+        ),
         (
             "loose (8%/80meV/4%)",
             VariationSpec {

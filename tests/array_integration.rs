@@ -10,7 +10,11 @@ use gnr_flash_array::retention::RetentionModel;
 use gnr_units::{Temperature, Voltage};
 
 fn config() -> NandConfig {
-    NandConfig { blocks: 2, pages_per_block: 3, page_width: 8 }
+    NandConfig {
+        blocks: 2,
+        pages_per_block: 3,
+        page_width: 8,
+    }
 }
 
 #[test]
@@ -40,7 +44,10 @@ fn controller_survives_many_writes() {
     }
     let wear = ctrl.wear_stats().unwrap();
     assert!(wear.total_erases > 0);
-    assert!(wear.max_erases - wear.min_erases <= 1, "wear levelled: {wear:?}");
+    assert!(
+        wear.max_erases - wear.min_erases <= 1,
+        "wear levelled: {wear:?}"
+    );
 }
 
 #[test]

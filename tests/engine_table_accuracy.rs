@@ -1,0 +1,70 @@
+//! Property test: the engine's memoized `J(E)` tables stay within 0.5 %
+//! relative error of direct FN evaluation across the field range the
+//! paper's Figures 6–9 actually exercise (≈0.7–3.5 GV/m; the sweeps'
+//! extremes are VGS·GCR/XTO = 8·0.5/8 nm to 17·0.8/4 nm).
+
+use std::sync::Arc;
+
+use gnr_flash::engine::TabulatedJ;
+use gnr_tunneling::fn_model::FnModel;
+use gnr_tunneling::TunnelingModel;
+use gnr_units::{ElectricField, Energy, Mass};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random physical barrier/mass pairs, random fields in the
+    /// figures' range: the table tracks the exact law to 0.5 %.
+    #[test]
+    fn table_within_half_percent_of_direct_fn(
+        phi_ev in 2.8f64..4.5,
+        m_ratio in 0.25f64..0.65,
+        fields in proptest::collection::vec(5.0e8f64..3.5e9, 16..48),
+    ) {
+        let exact = FnModel::new(
+            Energy::from_ev(phi_ev),
+            Mass::from_electron_masses(m_ratio),
+        );
+        let table = TabulatedJ::new(Arc::new(exact));
+        for e in fields {
+            let field = ElectricField::from_volts_per_meter(e);
+            let j_exact = exact.current_density(field).as_amps_per_square_meter();
+            if j_exact == 0.0 {
+                continue; // underflow region — table falls through anyway
+            }
+            let j_table = table.current_density(field).as_amps_per_square_meter();
+            let rel = ((j_table - j_exact) / j_exact).abs();
+            prop_assert!(
+                rel < 5.0e-3,
+                "rel err {rel:e} at E = {e:e} V/m (phi = {phi_ev} eV, m = {m_ratio} m0)"
+            );
+        }
+    }
+
+    /// The table preserves the two monotonicities every figure check
+    /// relies on: increasing in |E| and odd in the sign.
+    #[test]
+    fn table_preserves_monotonicity_and_oddness(
+        phi_ev in 2.8f64..4.5,
+        e_base in 7.0e8f64..3.0e9,
+        factor in 1.001f64..1.5,
+    ) {
+        let exact = FnModel::new(
+            Energy::from_ev(phi_ev),
+            Mass::from_electron_masses(0.42),
+        );
+        let table = TabulatedJ::new(Arc::new(exact));
+        let lo = table
+            .current_density(ElectricField::from_volts_per_meter(e_base))
+            .as_amps_per_square_meter();
+        let hi = table
+            .current_density(ElectricField::from_volts_per_meter(e_base * factor))
+            .as_amps_per_square_meter();
+        prop_assert!(hi > lo, "J must increase with |E|: {lo:e} !< {hi:e}");
+        let rev = table
+            .current_density(ElectricField::from_volts_per_meter(-e_base))
+            .as_amps_per_square_meter();
+        prop_assert!((lo + rev).abs() <= 1e-12 * lo.abs());
+    }
+}

@@ -27,7 +27,10 @@ fn logic_states_follow_the_paper() {
     assert_eq!(cell.read(), LogicState::Erased1);
     cell.program_default().unwrap();
     assert_eq!(cell.read(), LogicState::Programmed0);
-    assert!(cell.charge().as_coulombs() < 0.0, "programmed = electrons stored");
+    assert!(
+        cell.charge().as_coulombs() < 0.0,
+        "programmed = electrons stored"
+    );
     cell.erase_default().unwrap();
     assert_eq!(cell.read(), LogicState::Erased1);
 }
@@ -49,9 +52,7 @@ fn repeated_cycles_are_stable() {
 fn baseline_si_device_has_smaller_barrier_and_faster_program() {
     let gnr = FloatingGateTransistor::mlgnr_cnt_paper();
     let si = FloatingGateTransistor::silicon_conventional();
-    assert!(
-        si.channel_emission_model().barrier() < gnr.channel_emission_model().barrier()
-    );
+    assert!(si.channel_emission_model().barrier() < gnr.channel_emission_model().barrier());
     let sim_g = TransientSimulator::new(&gnr);
     let sim_s = TransientSimulator::new(&si);
     let t_g = sim_g
@@ -82,7 +83,10 @@ fn memory_window_scales_with_program_voltage() {
             .final_charge();
         windows.push(vt_shift(&device, q).as_volts());
     }
-    assert!(windows[0] < windows[1] && windows[1] < windows[2], "{windows:?}");
+    assert!(
+        windows[0] < windows[1] && windows[1] < windows[2],
+        "{windows:?}"
+    );
 }
 
 #[test]
@@ -100,7 +104,10 @@ fn erase_depletes_below_initial_charge() {
         .run(&ProgramPulseSpec::erase(presets::erase_vgs(), q_prog))
         .unwrap()
         .final_charge();
-    assert!(q_erased.as_coulombs() > 0.0, "erase ends depleted: {q_erased:?}");
+    assert!(
+        q_erased.as_coulombs() > 0.0,
+        "erase ends depleted: {q_erased:?}"
+    );
 }
 
 #[test]

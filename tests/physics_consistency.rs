@@ -43,9 +43,7 @@ fn device_barrier_comes_from_material_alignment() {
     )
     .unwrap();
     assert!(
-        (device.channel_emission_model().barrier().as_ev()
-            - iface.barrier_height().as_ev())
-        .abs()
+        (device.channel_emission_model().barrier().as_ev() - iface.barrier_height().as_ev()).abs()
             < 1e-12
     );
 }
@@ -53,10 +51,7 @@ fn device_barrier_comes_from_material_alignment() {
 #[test]
 fn wkb_validates_the_analytic_law_at_the_program_point() {
     let device = FloatingGateTransistor::mlgnr_cnt_paper();
-    let vfg = device.floating_gate_voltage(
-        Voltage::from_volts(15.0),
-        Charge::ZERO,
-    );
+    let vfg = device.floating_gate_voltage(Voltage::from_volts(15.0), Charge::ZERO);
     let field = device.tunnel_oxide_field(vfg, Voltage::ZERO);
     let model = device.channel_emission_model();
     let profile = BarrierProfile::ideal(
@@ -83,7 +78,10 @@ fn program_bias_is_fn_regime_read_bias_is_not() {
     let xto = device.geometry().tunnel_oxide_thickness();
     // Program: 9 V drop → FN (the paper's design point).
     let vfg_prog = device.floating_gate_voltage(Voltage::from_volts(15.0), Charge::ZERO);
-    assert_eq!(classify(&iface, xto, vfg_prog), TunnelingRegime::FowlerNordheim);
+    assert_eq!(
+        classify(&iface, xto, vfg_prog),
+        TunnelingRegime::FowlerNordheim
+    );
     // Read: ~1.2 V drop → sub-barrier but measurable field → direct.
     let vfg_read = device.floating_gate_voltage(Voltage::from_volts(2.0), Charge::ZERO);
     assert_eq!(classify(&iface, xto, vfg_read), TunnelingRegime::Direct);

@@ -11,7 +11,11 @@ use gnr_flash_array::retention::RetentionModel;
 use gnr_units::{Charge, Temperature, Voltage};
 
 fn small_array() -> NandArray {
-    NandArray::new(NandConfig { blocks: 1, pages_per_block: 2, page_width: 8 })
+    NandArray::new(NandConfig {
+        blocks: 1,
+        pages_per_block: 2,
+        page_width: 8,
+    })
 }
 
 #[test]
@@ -29,7 +33,11 @@ fn margins_survive_disturb_hammering() {
     assert!(after > 0.5, "margin after hammering = {after} V");
     // Disturb adds electrons everywhere; the *relative* margin loss is
     // what matters and must be small at the design pass voltage.
-    assert!((before - after).abs() < 0.2 * before, "lost {} V", before - after);
+    assert!(
+        (before - after).abs() < 0.2 * before,
+        "lost {} V",
+        before - after
+    );
 }
 
 #[test]
@@ -40,7 +48,7 @@ fn vt_histogram_tracks_programming() {
     let erased_mass: usize = fresh.counts()[..2].iter().sum();
     assert_eq!(erased_mass, fresh.total());
 
-    array.program_page(0, 0, &vec![false; 8]).unwrap();
+    array.program_page(0, 0, &[false; 8]).unwrap();
     let after = vt_histogram(&array, -1.0, 4.0, 8).unwrap();
     let programmed_mass: usize = after.counts()[4..].iter().sum();
     assert_eq!(programmed_mass, 8, "{:?}", after.counts());
@@ -56,7 +64,9 @@ fn midlife_cell_still_passes_retention() {
     // the window.
     let cell = FlashCell::paper_cell();
     let model = EnduranceModel::default();
-    let report = model.simulate(&cell, 10_000, Voltage::from_volts(1.0)).unwrap();
+    let report = model
+        .simulate(&cell, 10_000, Voltage::from_volts(1.0))
+        .unwrap();
     let midpoint = report.points.last().unwrap();
     assert!(midpoint.window > 1.0);
 
@@ -108,7 +118,7 @@ fn pass_voltage_is_the_disturb_design_knob() {
 fn erase_block_restores_margins_after_wearless_cycling() {
     let mut array = small_array();
     for _ in 0..3 {
-        array.program_page(0, 0, &vec![false; 8]).unwrap();
+        array.program_page(0, 0, &[false; 8]).unwrap();
         array.erase_block(0).unwrap();
     }
     let report = analyze(&array).unwrap();

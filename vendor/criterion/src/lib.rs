@@ -1,0 +1,182 @@
+//! Minimal in-repo `criterion` shim for offline builds.
+//!
+//! Provides the call shapes the workspace benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`,
+//! `Bencher::iter`, `black_box` and the `criterion_group!`/
+//! `criterion_main!` macros — measuring plain wall-clock medians instead
+//! of criterion's statistical machinery. Each benchmark prints
+//! `bench <name> ... <median>/iter` so `cargo bench` still yields a
+//! usable perf trace.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Mirror of `Criterion::configure_from_args` (no-op here).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark directly on the top-level handle.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.effective_sample_size(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.effective_sample_size(),
+            _parent: self,
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per invocation of `iter`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / u32::try_from(self.iters_per_sample).unwrap_or(1));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibration pass: choose an iteration count that keeps each sample
+    // fast but above timer resolution.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters_per_sample = if per_iter < Duration::from_micros(50) {
+        (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64
+    } else {
+        1
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("bench {name:<48} {median:>12.3?}/iter ({sample_size} samples)");
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("smoke", |b| {
+            calls += 1;
+            b.iter(|| 1 + 1);
+        });
+        assert!(calls >= 2, "calibration + samples");
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("inner", |b| {
+            calls += 1;
+            b.iter(|| 2 * 2);
+        });
+        group.finish();
+        assert_eq!(calls, 4, "one calibration call + three samples");
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal in-repo `crossbeam` shim for offline builds.
+//!
+//! Only `crossbeam::thread::scope` is provided, backed by
+//! `std::thread::scope` (which did not exist when crossbeam's scoped
+//! threads were written, but has identical semantics for this usage).
+
+/// Scoped threads, matching the `crossbeam::thread` call shape.
+pub mod thread {
+    /// Handle passed to scoped spawns; mirrors `crossbeam`'s `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// matching crossbeam's `|scope|`-style spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic directly
+    /// (std semantics), so the `Result` is always `Ok`; it exists so call
+    /// sites written against crossbeam's API keep their `.expect(..)`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+}

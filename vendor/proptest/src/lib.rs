@@ -1,0 +1,334 @@
+//! Minimal in-repo `proptest` shim for offline builds.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest! { #![proptest_config(..)] #[test] fn name(x in strategy, ..) }`
+//! macro form, `prop_assert!`/`prop_assert_eq!`, half-open primitive
+//! ranges as strategies, `proptest::collection::vec` and
+//! `proptest::num::f64::NORMAL`.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case reports
+//! its inputs and panics. Sampling is deterministic — the RNG seed is a
+//! hash of the test name — so failures reproduce across runs.
+
+use core::fmt;
+use core::ops::Range;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// The RNG handed to strategies (xoshiro-based, deterministic).
+pub type SampleRng = rand::rngs::StdRng;
+
+/// Run-count configuration, matching `ProptestConfig::with_cases`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a configuration running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property, carried out of the test body by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A value generator, the shim's take on proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SampleRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// A constant strategy, proptest's `Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SampleRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SampleRng, Strategy};
+    use core::ops::Range;
+
+    /// A length specification: an exact size or a half-open range,
+    /// mirroring proptest's `SizeRange` conversions.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self(r)
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SampleRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.size.0.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{SampleRng, Strategy};
+
+        /// Generates normal (non-zero, non-subnormal, finite) doubles of
+        /// either sign across the full dynamic range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        /// The shim's `proptest::num::f64::NORMAL`.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn sample(&self, rng: &mut SampleRng) -> f64 {
+                let mantissa = rand::Rng::gen_range(rng, 1.0f64..10.0);
+                let exponent = rand::Rng::gen_range(rng, -300i32..300);
+                let sign = if rand::Rng::gen_range(rng, 0u8..2) == 0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                sign * mantissa * 10f64.powi(exponent)
+            }
+        }
+    }
+}
+
+/// Deterministic per-test seed (FNV-1a over the test name).
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything the `proptest!`-style tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// The shim's `proptest!` macro: expands each `fn name(arg in strategy, ..)`
+/// into a `#[test]` running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( cfg = $cfg:expr; ) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::SampleRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Render the inputs before the body runs: the body may
+                // move the arguments.
+                let inputs = format!(
+                    concat!($(" ", stringify!($arg), " = {:?}"),+),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(error) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\ninputs:{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        error,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Fails the enclosing property when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing property unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the enclosing property unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in -3.0f64..7.0, n in 1usize..9) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(ys in crate::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(ys.len() >= 2 && ys.len() < 5);
+            prop_assert!(ys.iter().all(|y| (0.0..1.0).contains(y)));
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in crate::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+}

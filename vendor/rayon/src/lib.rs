@@ -1,0 +1,238 @@
+//! Minimal in-repo `rayon` shim for offline builds.
+//!
+//! Exposes the `par_iter` / `par_iter_mut` / `into_par_iter` → `map` →
+//! `collect` pipeline the workspace uses, executed on `std::thread::scope`
+//! with contiguous chunking (one chunk per available core). Output order
+//! always matches input order, so parallel results are bit-identical to
+//! the sequential equivalent for deterministic workloads.
+//!
+//! This is not work-stealing: chunks are static. For the simulation
+//! batches this crate serves — many similar-cost ODE integrations — the
+//! static split is within a few percent of ideal.
+
+/// A materialised parallel iterator: the items plus the promise that the
+/// terminal operation fans out across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, eagerly evaluated (order preserved).
+    #[must_use]
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map_vec(self.items, &f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map_vec(self.items, &|item| f(item));
+    }
+
+    /// Collects the already-computed items.
+    #[must_use]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items in the pipeline.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pipeline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Builds the parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `.par_iter()` over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (`&'a T`).
+    type Item: Send;
+    /// Builds the parallel pipeline.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter_mut()` over exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type produced (`&'a mut T`).
+    type Item: Send;
+    /// Builds the parallel pipeline.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Current worker count: one per available core.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn parallel_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(workers);
+
+    // Split into contiguous chunks, fan out one scoped thread per chunk,
+    // then stitch results back in order.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out
+}
+
+/// The traits the workspace imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3, 4, 5];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let sum: f64 = v
+            .par_iter()
+            .map(|x| x * x)
+            .collect::<Vec<f64>>()
+            .iter()
+            .sum();
+        assert!((sum - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<i32> = Vec::new();
+        let out: Vec<i32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return;
+        }
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        let first = ids[0];
+        assert!(
+            ids.iter().any(|id| *id != first),
+            "expected >1 worker thread"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Minimal in-repo `serde_json` shim (serialize-only) for offline builds.
+
+use core::fmt;
+
+pub use serde::Value;
+
+/// Serialization error — never produced by this shim, present so call
+/// sites keep the real `serde_json` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Renders compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Renders pretty JSON with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails in this shim.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_through_value() {
+        let v = vec![1.0f64, 2.5];
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2.5]");
+        assert!(super::to_string_pretty(&v).unwrap().contains('\n'));
+    }
+}
