@@ -8,10 +8,12 @@
 //! figure plus the extension studies — through the batched engine,
 //! writes each experiment's artifacts under `results/`, runs every
 //! shape check and prints the per-figure summaries that EXPERIMENTS.md
-//! quotes. Adding an experiment to the registry adds it here with no
-//! changes to this binary.
+//! quotes. Array-layer experiments (the trace-driven workloads) are
+//! appended from [`gnr_bench::extra_experiments`], since the core
+//! registry cannot depend on the array crate. Adding an experiment to
+//! either list adds it here with no changes to this binary.
 
-use gnr_bench::{ascii_table, write_results_file};
+use gnr_bench::{ascii_table, extra_experiments, write_results_file};
 use gnr_flash::experiments::ExperimentContext;
 use gnr_flash::presets;
 use gnr_units::Charge;
@@ -20,7 +22,10 @@ fn main() {
     let ctx = ExperimentContext::paper();
     let mut failures = 0usize;
 
-    for experiment in gnr_flash::experiments::registry() {
+    let experiments = gnr_flash::experiments::registry()
+        .into_iter()
+        .chain(extra_experiments());
+    for experiment in experiments {
         println!("== {}: {} ==", experiment.id(), experiment.title());
         let report = match experiment.run(&ctx) {
             Ok(report) => report,

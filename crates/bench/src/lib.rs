@@ -16,5 +16,9 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod shape;
+pub mod workload_experiment;
 
 pub use report::{ascii_table, format_series_summary, write_results_file};
+pub use shape::{bench_shape, parse_shape, smoke_mode};
+pub use workload_experiment::extra_experiments;

@@ -1,0 +1,70 @@
+//! Bench-shape selection: honest defaults plus the `GNR_BENCH_SHAPE`
+//! and `GNR_BENCH_SMOKE` environment overrides shared by the array-level
+//! benches.
+
+use gnr_flash_array::nand::NandConfig;
+
+/// Parses a `BxPxW` shape string (blocks × pages-per-block × width),
+/// e.g. `64x64x256`. Separators `x`/`X` both work.
+///
+/// # Errors
+///
+/// A human-readable message for malformed strings or zero dimensions.
+pub fn parse_shape(spec: &str) -> Result<NandConfig, String> {
+    let parts: Vec<&str> = spec.split(['x', 'X']).collect();
+    if parts.len() != 3 {
+        return Err(format!("shape `{spec}` must be BxPxW, e.g. 64x64x256"));
+    }
+    let dim = |s: &str, name: &str| -> Result<usize, String> {
+        let v: usize = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad {name} in shape `{spec}`"))?;
+        if v == 0 {
+            return Err(format!("{name} must be positive in `{spec}`"));
+        }
+        Ok(v)
+    };
+    Ok(NandConfig {
+        blocks: dim(parts[0], "blocks")?,
+        pages_per_block: dim(parts[1], "pages-per-block")?,
+        page_width: dim(parts[2], "page-width")?,
+    })
+}
+
+/// The shape a bench should run: `GNR_BENCH_SHAPE` when set (panics on a
+/// malformed value so CI misconfigurations fail loudly), otherwise
+/// `default`.
+///
+/// # Panics
+///
+/// Panics when `GNR_BENCH_SHAPE` is set but malformed.
+#[must_use]
+pub fn bench_shape(default: NandConfig) -> NandConfig {
+    match std::env::var("GNR_BENCH_SHAPE") {
+        Ok(spec) => parse_shape(&spec).expect("GNR_BENCH_SHAPE"),
+        Err(_) => default,
+    }
+}
+
+/// `true` when `GNR_BENCH_SMOKE` requests the 1-iteration CI smoke mode
+/// (any value other than `0`/empty).
+#[must_use]
+pub fn smoke_mode() -> bool {
+    std::env::var("GNR_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_parse() {
+        let c = parse_shape("64x64x256").unwrap();
+        assert_eq!((c.blocks, c.pages_per_block, c.page_width), (64, 64, 256));
+        assert_eq!(c.cells(), 1_048_576);
+        assert!(parse_shape("4x4").is_err());
+        assert!(parse_shape("0x4x4").is_err());
+        assert!(parse_shape("axbxc").is_err());
+    }
+}

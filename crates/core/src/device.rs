@@ -169,6 +169,24 @@ impl FloatingGateTransistor {
         &self.control_oxide
     }
 
+    /// The channel emitter work function.
+    #[must_use]
+    pub fn channel_work_function(&self) -> Energy {
+        self.channel_work_function
+    }
+
+    /// The floating-gate work function.
+    #[must_use]
+    pub fn floating_gate_work_function(&self) -> Energy {
+        self.floating_gate_work_function
+    }
+
+    /// The control-gate work function.
+    #[must_use]
+    pub fn control_gate_work_function(&self) -> Energy {
+        self.control_gate_work_function
+    }
+
     /// The FN model for channel-emitted tunneling (programming `Jin`).
     #[must_use]
     pub fn channel_emission_model(&self) -> &FnModel {

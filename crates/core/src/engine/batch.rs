@@ -111,6 +111,50 @@ impl BatchSimulator {
             items.into_iter().map(op).collect()
         }
     }
+
+    /// Order-preserving fan-out over an index range `0..n` — the
+    /// struct-of-arrays primitive: `op` reads whatever shared columns it
+    /// closes over, so nothing per-cell (no device clones, no cell
+    /// structs) is materialised to distribute the work.
+    pub fn map_indices<R, F>(&self, n: usize, op: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.parallel {
+            (0..n).into_par_iter().map(op).collect()
+        } else {
+            (0..n).map(op).collect()
+        }
+    }
+
+    /// In-place fan-out over disjoint contiguous chunks of a state
+    /// column. `op` receives the chunk's starting index in the full
+    /// column and the mutable chunk, so per-element work can still be
+    /// addressed globally (e.g. to read sibling read-only columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk` is zero.
+    pub fn for_each_chunk_mut<T, F>(&self, column: &mut [T], chunk: usize, op: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if self.parallel {
+            let pieces: Vec<(usize, &mut [T])> = column
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(i, c)| (i * chunk, c))
+                .collect();
+            pieces.into_par_iter().for_each(|(start, c)| op(start, c));
+        } else {
+            for (i, c) in column.chunks_mut(chunk).enumerate() {
+                op(i * chunk, c);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +202,36 @@ mod tests {
         for (i, d) in doubled.iter().enumerate() {
             assert_eq!(*d, 2 * i as i64);
         }
+    }
+
+    #[test]
+    fn map_indices_matches_sequential() {
+        let shared: Vec<f64> = (0..257).map(f64::from).collect();
+        let parallel = BatchSimulator::new().map_indices(shared.len(), |i| shared[i] * 3.0);
+        let sequential =
+            BatchSimulator::sequential().map_indices(shared.len(), |i| shared[i] * 3.0);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel[200], 600.0);
+    }
+
+    #[test]
+    fn chunked_mutation_covers_every_element_once() {
+        for batch in [BatchSimulator::new(), BatchSimulator::sequential()] {
+            let mut column = vec![0u64; 1000];
+            batch.for_each_chunk_mut(&mut column, 64, |start, chunk| {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot += (start + offset) as u64;
+                }
+            });
+            for (i, v) in column.iter().enumerate() {
+                assert_eq!(*v, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        BatchSimulator::new().for_each_chunk_mut(&mut [0u8; 4], 0, |_, _| {});
     }
 }

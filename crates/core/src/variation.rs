@@ -55,8 +55,9 @@ pub struct VariationReport {
 }
 
 /// Standard-normal sample via Box–Muller (avoids an extra distribution
-/// dependency).
-fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+/// dependency). Public so array-level variation sampling (the
+/// `CellPopulation` delta columns) draws from the same distribution.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()

@@ -57,6 +57,17 @@ impl FlashCell {
         Self::new(FloatingGateTransistor::mlgnr_cnt_paper())
     }
 
+    /// Rebuilds a cell from raw state — the materialisation path of
+    /// [`crate::population::CellPopulation`] views: the population owns
+    /// the state columns, this turns one row back into an owning cell.
+    #[must_use]
+    pub fn restore(device: FloatingGateTransistor, charge: Charge, stats: CellStats) -> Self {
+        let mut cell = Self::new(device);
+        cell.charge = charge;
+        cell.stats = stats;
+        cell
+    }
+
     /// The conventional-silicon baseline cell.
     #[must_use]
     pub fn silicon_cell() -> Self {

@@ -7,6 +7,12 @@
 //! model uses the *instantaneous* current (linear in time) instead of the
 //! full transient — the error is second order in the disturb charge.
 
+// Array ops route disturb through
+// `crate::population::CellPopulation::apply_disturb_cells`, which
+// evaluates `disturb_charge` once per distinct `(variant, charge)` state
+// instead of once per cell; the per-cell helpers here remain the single
+// source of the physics (and of the cell-level parity baseline).
+
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_units::{Charge, Time, Voltage};
 

@@ -13,10 +13,12 @@
 //! `∝ √fluence`, a standard empirical exponent) — calibrated so the
 //! default cell survives ~10⁵ cycles, the NAND ballpark.
 
+use gnr_numerics::stats::Summary;
 use gnr_units::{Charge, Voltage};
 
 use crate::cell::FlashCell;
-use crate::Result;
+use crate::population::CellPopulation;
+use crate::{ArrayError, Result};
 
 /// Oxide-wear parameters.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -142,6 +144,53 @@ impl EnduranceModel {
     }
 }
 
+/// Array-level wear view built from a population's injected-charge
+/// column — the struct-of-arrays path: no per-cell transients, just the
+/// analytic trap model applied to the recorded fluence of every cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationWearReport {
+    /// Injected-charge fluence across cells (C).
+    pub injected: Summary,
+    /// Trap-induced threshold offset across cells (V).
+    pub trap_offset: Summary,
+    /// Fraction of cells whose trap offset already exceeds `margin`.
+    pub cells_past_margin: f64,
+}
+
+impl EnduranceModel {
+    /// Evaluates the wear model over every cell of a population.
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors (populations are never empty).
+    pub fn population_wear(
+        &self,
+        pop: &CellPopulation,
+        margin: Voltage,
+    ) -> Result<PopulationWearReport> {
+        let n = pop.len();
+        let mut injected = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n);
+        let mut past = 0usize;
+        for i in 0..n {
+            let fluence = pop.stats(i)?.injected_charge;
+            let cfc = pop.device(i)?.capacitances().cfc();
+            let offset = -(self.trapped_charge(fluence) / cfc).as_volts();
+            if offset > margin.as_volts() {
+                past += 1;
+            }
+            injected.push(fluence);
+            offsets.push(offset);
+        }
+        let to_err = |e: gnr_numerics::NumericsError| ArrayError::Device(e.into());
+        Ok(PopulationWearReport {
+            injected: Summary::from_samples(&injected).map_err(to_err)?,
+            trap_offset: Summary::from_samples(&offsets).map_err(to_err)?,
+            cells_past_margin: past as f64 / n as f64,
+        })
+    }
+}
+
 /// 1-2-5 log-spaced cycle checkpoints up to `max`.
 fn log_spaced_cycles(max: u64) -> Vec<u64> {
     let mut out = Vec::new();
@@ -229,6 +278,23 @@ mod tests {
         // Q_BD threshold: fluence per cycle × cycles > 1e-15.
         let c = report.cycles_to_breakdown.unwrap();
         assert!(report.charge_per_cycle * c as f64 > 1.0e-15);
+    }
+
+    #[test]
+    fn population_wear_tracks_injected_column() {
+        use gnr_flash::engine::BatchSimulator;
+        let mut pop = CellPopulation::paper(8);
+        let batch = BatchSimulator::sequential();
+        let programmer = crate::ispp::IsppProgrammer::nominal();
+        let _ = pop.program_cells(&programmer, &[0, 1, 2, 3], &batch);
+        let report = EnduranceModel::default()
+            .population_wear(&pop, Voltage::from_volts(1.0))
+            .unwrap();
+        assert_eq!(report.injected.count, 8);
+        assert!(report.injected.max > 0.0, "programmed cells carry wear");
+        assert_eq!(report.injected.min, 0.0, "untouched cells carry none");
+        assert!(report.trap_offset.max > 0.0);
+        assert_eq!(report.cells_past_margin, 0.0);
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub enum ArrayError {
         /// Required length.
         expected: usize,
     },
+    /// A population snapshot failed to decode or validate.
+    Snapshot(String),
+    /// The controller ran out of writable pages: every page holds live
+    /// data, so no block can be reclaimed without destroying it.
+    CapacityExhausted {
+        /// Live pages currently mapped.
+        live_pages: usize,
+        /// Total pages in the array.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ArrayError {
@@ -68,6 +78,14 @@ impl fmt::Display for ArrayError {
             Self::WrongPageWidth { got, expected } => {
                 write!(f, "page data has {got} bits, page width is {expected}")
             }
+            Self::Snapshot(message) => write!(f, "population snapshot: {message}"),
+            Self::CapacityExhausted {
+                live_pages,
+                capacity,
+            } => write!(
+                f,
+                "capacity exhausted: {live_pages} of {capacity} pages hold live data"
+            ),
         }
     }
 }

@@ -9,6 +9,9 @@
 //! those claims runnable:
 //!
 //! * [`cell`] — a stateful flash cell: pulse application, read, verify.
+//! * [`population`] — struct-of-arrays cell state: flat per-cell state
+//!   columns sharing one device blueprint, the representation that
+//!   scales the array layer to millions of cells.
 //! * [`ispp`] — incremental step pulse programming with verify loops.
 //! * [`nand`] — strings, pages and blocks with program-inhibit bias.
 //! * [`mlc`] — multi-level (two-bit) operation with Gray-coded states.
@@ -17,8 +20,12 @@
 //! * [`disturb`] — read/pass-disturb accumulation on unselected cells.
 //! * [`endurance`] — P/E cycling with phenomenological oxide wear.
 //! * [`retention`] — low-field charge loss and the ten-year check.
-//! * [`controller`] — a miniature page-write/read controller with
-//!   erase-before-write and wear tracking.
+//! * [`controller`] — a miniature flash-translation controller: logical
+//!   page mapping, explicit block reclaim, garbage collection and wear
+//!   tracking.
+//! * [`workload`] — trace-driven workloads: generators for
+//!   sequential/random/hot-cold/read-heavy/GC-churn mixes and a replayer
+//!   that records latency, wear and margin trajectories.
 //!
 //! # Example
 //!
@@ -46,7 +53,9 @@ pub mod margins;
 pub mod mlc;
 pub mod nand;
 pub mod nor;
+pub mod population;
 pub mod retention;
+pub mod workload;
 
 mod error;
 

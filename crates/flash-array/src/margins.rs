@@ -44,24 +44,22 @@ impl MarginReport {
 
 /// Scans every cell of the array and builds the margin report.
 ///
+/// Reads the struct-of-arrays columns directly (one ΔVT column sweep
+/// fanned out over the array's batch executor) — no per-cell device
+/// clones, so the scan stays cheap on million-cell arrays.
+///
 /// # Errors
 ///
-/// Propagates address errors (never occurs for in-range scans) and
-/// statistics errors for pathological (empty) arrays.
+/// Propagates statistics errors for pathological (empty) arrays.
 pub fn analyze(array: &NandArray) -> Result<MarginReport> {
-    let cfg = array.config();
+    let pop = array.population();
+    let shifts = pop.vt_shift_column(array.batch());
     let mut programmed = Vec::new();
     let mut erased = Vec::new();
-    for b in 0..cfg.blocks {
-        for p in 0..cfg.pages_per_block {
-            for c in 0..cfg.page_width {
-                let cell = array.cell(b, p, c)?;
-                let vt = cell.vt_shift().as_volts();
-                match cell.read() {
-                    LogicState::Programmed0 => programmed.push(vt),
-                    LogicState::Erased1 => erased.push(vt),
-                }
-            }
+    for (i, &vt) in shifts.iter().enumerate() {
+        match pop.read(i)? {
+            LogicState::Programmed0 => programmed.push(vt),
+            LogicState::Erased1 => erased.push(vt),
         }
     }
     let stats = |v: &[f64]| -> Result<Option<PopulationStats>> {
@@ -87,21 +85,14 @@ pub fn analyze(array: &NandArray) -> Result<MarginReport> {
 }
 
 /// Threshold histogram of every cell in the array (for VT-distribution
-/// plots), over `[lo, hi]` volts with `bins` bins.
+/// plots), over `[lo, hi]` volts with `bins` bins. Column scan — no
+/// per-cell materialisation.
 ///
 /// # Errors
 ///
 /// Propagates histogram-construction errors for invalid ranges.
 pub fn vt_histogram(array: &NandArray, lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
-    let cfg = array.config();
-    let mut samples = Vec::with_capacity(cfg.blocks * cfg.pages_per_block * cfg.page_width);
-    for b in 0..cfg.blocks {
-        for p in 0..cfg.pages_per_block {
-            for c in 0..cfg.page_width {
-                samples.push(array.cell(b, p, c)?.vt_shift().as_volts());
-            }
-        }
-    }
+    let samples = array.population().vt_shift_column(array.batch());
     Histogram::new(&samples, lo, hi, bins).map_err(|e| gnr_flash::DeviceError::from(e).into())
 }
 

@@ -14,11 +14,13 @@
 //! Gray coding between adjacent states keeps single-level read errors to
 //! one bit, as in real MLC parts.
 
+use gnr_flash::engine::BatchSimulator;
 use gnr_flash::pulse::IsppLadder;
 use gnr_units::{Time, Voltage};
 
 use crate::cell::FlashCell;
 use crate::ispp::IsppProgrammer;
+use crate::population::CellPopulation;
 use crate::{ArrayError, Result};
 
 /// The four MLC states in threshold order (Gray-coded bit pairs).
@@ -107,6 +109,91 @@ impl MlcLevels {
     }
 }
 
+/// The fine-step MLC placement ladder for a verify `level` (0.25 V
+/// steps, 5 µs rungs) — shared by the single-cell and population paths
+/// so they stay bit-identical.
+fn placement_programmer(level: f64) -> IsppProgrammer {
+    IsppProgrammer::new(
+        IsppLadder::new(
+            Voltage::from_volts(12.0),
+            Voltage::from_volts(0.25),
+            Voltage::from_volts(16.5),
+            Time::from_microseconds(5.0),
+        ),
+        Voltage::from_volts(level),
+    )
+}
+
+/// Reads the MLC state of population cell `index` against the three
+/// read references.
+///
+/// # Errors
+///
+/// Address errors.
+pub fn read_cell(pop: &CellPopulation, index: usize, levels: &MlcLevels) -> Result<MlcState> {
+    let vt = pop.vt_shift(index)?.as_volts();
+    let [r1, r2, r3] = levels.read_refs;
+    Ok(if vt < r1 {
+        MlcState::Erased11
+    } else if vt < r2 {
+        MlcState::Level10
+    } else if vt < r3 {
+        MlcState::Level00
+    } else {
+        MlcState::Level01
+    })
+}
+
+/// Programs population cell `index` to `target` — the struct-of-arrays
+/// mirror of [`MlcCell::program`], including the monotone-up rule
+/// (erase before any downward move) and the overshoot ceiling check.
+///
+/// # Errors
+///
+/// Verify failures and device errors propagate.
+///
+/// # Panics
+///
+/// Panics if `levels` are not properly interleaved.
+pub fn program_cell(
+    pop: &mut CellPopulation,
+    index: usize,
+    target: MlcState,
+    levels: &MlcLevels,
+    batch: &BatchSimulator,
+) -> Result<()> {
+    levels.validate();
+    if target.rank() <= read_cell(pop, index, levels)?.rank() {
+        pop.erase_cells_default(&[index], batch)
+            .pop()
+            .expect("one result per index")?;
+    }
+    let level = match target {
+        MlcState::Erased11 => return Ok(()),
+        MlcState::Level10 => levels.verify[0],
+        MlcState::Level00 => levels.verify[1],
+        MlcState::Level01 => levels.verify[2],
+    };
+    pop.program_cells(&placement_programmer(level), &[index], batch)
+        .pop()
+        .expect("one result per index")?;
+    let vt = pop.vt_shift(index)?.as_volts();
+    let ceiling = match target {
+        MlcState::Erased11 => unreachable!("handled above"),
+        MlcState::Level10 => levels.read_refs[1],
+        MlcState::Level00 => levels.read_refs[2],
+        MlcState::Level01 => f64::INFINITY,
+    };
+    if vt >= ceiling {
+        return Err(ArrayError::VerifyFailed {
+            pulses: 0,
+            reached_volts: vt,
+            target_volts: ceiling,
+        });
+    }
+    Ok(())
+}
+
 /// A two-bit cell.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MlcCell {
@@ -175,16 +262,7 @@ impl MlcCell {
             MlcState::Level01 => self.levels.verify[2],
         };
         // Fine-grained ladder for tight placement: 0.25 V steps, 5 µs.
-        let programmer = IsppProgrammer::new(
-            IsppLadder::new(
-                Voltage::from_volts(12.0),
-                Voltage::from_volts(0.25),
-                Voltage::from_volts(16.5),
-                Time::from_microseconds(5.0),
-            ),
-            Voltage::from_volts(level),
-        );
-        programmer.program(&mut self.cell)?;
+        placement_programmer(level).program(&mut self.cell)?;
         // Placement check: the cell must not overshoot past the next read
         // reference (the ladder step bounds the overshoot).
         let vt = self.cell.vt_shift().as_volts();
@@ -292,6 +370,25 @@ mod tests {
             cell.program(target).unwrap();
             let vt = cell.cell().vt_shift().as_volts();
             assert!(vt > lo && vt < hi, "{target:?}: vt = {vt}");
+        }
+    }
+
+    #[test]
+    fn population_placement_matches_mlc_cell_bitwise() {
+        let levels = MlcLevels::default();
+        let batch = BatchSimulator::new();
+        for target in MlcState::all() {
+            let mut cell = MlcCell::paper_cell();
+            cell.program(target).unwrap();
+
+            let mut pop = CellPopulation::paper(2);
+            program_cell(&mut pop, 0, target, &levels, &batch).unwrap();
+            assert_eq!(read_cell(&pop, 0, &levels).unwrap(), target);
+            assert_eq!(
+                pop.charge(0).unwrap().as_coulombs(),
+                cell.cell().charge().as_coulombs(),
+                "target {target:?}"
+            );
         }
     }
 

@@ -7,6 +7,12 @@
 //! erase, program-inhibit bias on unselected pages and the associated
 //! disturb accounting.
 //!
+//! The cell state lives in a struct-of-arrays [`CellPopulation`]: flat
+//! per-cell columns sharing one device blueprint, so the array scales to
+//! millions of cells (64×64×256 and beyond) in memory proportional to
+//! per-cell *state*. [`NandArray::cell`] materialises an owning
+//! [`FlashCell`] view of one cell for analyses.
+//!
 //! Bit convention: `true` = erased = logic '1'; `false` = programmed =
 //! logic '0' (matching the paper's state naming).
 
@@ -15,8 +21,9 @@ use gnr_flash::threshold::LogicState;
 use gnr_units::Voltage;
 
 use crate::cell::FlashCell;
-use crate::disturb::{apply_disturb, DisturbBias};
+use crate::disturb::DisturbBias;
 use crate::ispp::{IsppEraser, IsppProgrammer};
+use crate::population::CellPopulation;
 use crate::{ArrayError, Result};
 
 /// Shape of a NAND array.
@@ -30,6 +37,30 @@ pub struct NandConfig {
     pub page_width: usize,
 }
 
+impl NandConfig {
+    /// Total cells in the array.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.blocks * self.pages_per_block * self.page_width
+    }
+
+    /// Total pages in the array.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.blocks * self.pages_per_block
+    }
+
+    /// Logical pages a controller exposes over this shape: the physical
+    /// page count less one block of over-provisioning (GC headroom) —
+    /// the single home of that policy. A single-block shape has no
+    /// over-provisioning to give and reports zero (the controller
+    /// rejects such shapes up front rather than deadlocking later).
+    #[must_use]
+    pub fn logical_pages(&self) -> usize {
+        self.blocks.saturating_sub(1) * self.pages_per_block
+    }
+}
+
 impl Default for NandConfig {
     fn default() -> Self {
         Self {
@@ -40,19 +71,15 @@ impl Default for NandConfig {
     }
 }
 
-/// One erase block.
-#[derive(Debug, Clone)]
-struct Block {
-    pages: Vec<Vec<FlashCell>>,
-    page_erased: Vec<bool>,
-    erase_count: u64,
-}
-
-/// A NAND array of MLGNR-CNT cells.
+/// A NAND array of MLGNR-CNT cells over struct-of-arrays state.
 #[derive(Debug, Clone)]
 pub struct NandArray {
     config: NandConfig,
-    blocks: Vec<Block>,
+    pop: CellPopulation,
+    /// Per-page erased flags, indexed `block * pages_per_block + page`.
+    page_erased: Vec<bool>,
+    /// Per-block erase counters (wear metric).
+    erase_count: Vec<u64>,
     bias: DisturbBias,
     programmer: IsppProgrammer,
     eraser: IsppEraser,
@@ -67,24 +94,29 @@ impl NandArray {
     /// Panics if any dimension of `config` is zero.
     #[must_use]
     pub fn new(config: NandConfig) -> Self {
-        assert!(
-            config.blocks > 0 && config.pages_per_block > 0 && config.page_width > 0,
-            "array dimensions must be positive"
+        Self::with_population(config, CellPopulation::paper(checked_cells(config)))
+    }
+
+    /// Builds an array over an explicit population (e.g. one carrying
+    /// per-cell process-variation deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension of `config` is zero or the population
+    /// size does not match the array shape.
+    #[must_use]
+    pub fn with_population(config: NandConfig, pop: CellPopulation) -> Self {
+        let cells = checked_cells(config);
+        assert_eq!(
+            pop.len(),
+            cells,
+            "population size must match the array shape"
         );
-        let make_block = || Block {
-            pages: (0..config.pages_per_block)
-                .map(|_| {
-                    (0..config.page_width)
-                        .map(|_| FlashCell::paper_cell())
-                        .collect()
-                })
-                .collect(),
-            page_erased: vec![true; config.pages_per_block],
-            erase_count: 0,
-        };
         Self {
             config,
-            blocks: (0..config.blocks).map(|_| make_block()).collect(),
+            pop,
+            page_erased: vec![true; config.pages()],
+            erase_count: vec![0; config.blocks],
             bias: DisturbBias::default(),
             programmer: IsppProgrammer::nominal(),
             eraser: IsppEraser::nominal(),
@@ -112,13 +144,26 @@ impl NandArray {
         &self.batch
     }
 
+    /// The struct-of-arrays cell state (margin scans, wear analyses).
+    #[must_use]
+    pub fn population(&self) -> &CellPopulation {
+        &self.pop
+    }
+
     /// Erase count of a block (wear metric).
     ///
     /// # Errors
     ///
     /// [`ArrayError::AddressOutOfRange`] for a bad block index.
     pub fn erase_count(&self, block: usize) -> Result<u64> {
-        Ok(self.block(block)?.erase_count)
+        self.erase_count
+            .get(block)
+            .copied()
+            .ok_or(ArrayError::AddressOutOfRange {
+                kind: "block",
+                index: block,
+                len: self.config.blocks,
+            })
     }
 
     /// `true` when the page has not been written since its last erase.
@@ -127,15 +172,7 @@ impl NandArray {
     ///
     /// [`ArrayError::AddressOutOfRange`] for bad indices.
     pub fn is_page_erased(&self, block: usize, page: usize) -> Result<bool> {
-        let b = self.block(block)?;
-        b.page_erased
-            .get(page)
-            .copied()
-            .ok_or(ArrayError::AddressOutOfRange {
-                kind: "page",
-                index: page,
-                len: self.config.pages_per_block,
-            })
+        Ok(self.page_erased[self.page_slot(block, page)?])
     }
 
     /// Programs a page: cells with `false` bits are ISPP-programmed,
@@ -154,37 +191,29 @@ impl NandArray {
                 expected: self.config.page_width,
             });
         }
-        if !self.is_page_erased(block, page)? {
+        let slot = self.page_slot(block, page)?;
+        if !self.page_erased[slot] {
             return Err(ArrayError::PageNotErased { block, page });
         }
-        let programmer = self.programmer;
-        let bias = self.bias;
-        let pages_per_block = self.config.pages_per_block;
-        let batch = self.batch.clone();
-        let b = self.block_mut(block)?;
         // FN programming "allows many cells to be programmed at a time"
-        // (§II): fan the selected cells of the page out through the batch
-        // engine. Cells run their full ISPP ladders independently; the
-        // first failure (if any) is reported after the whole page ran.
-        let selected: Vec<&mut FlashCell> = b.pages[page]
-            .iter_mut()
-            .zip(bits)
-            .filter_map(|(cell, &bit)| (!bit).then_some(cell))
+        // (§II): the selected cells of the page fan out through the batch
+        // engine, one full ISPP ladder per distinct cell state. The first
+        // failure (if any) is reported after the whole page ran.
+        let base = self.cell_index(block, page, 0);
+        let selected: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &bit)| (!bit).then_some(base + c))
             .collect();
-        let reports = programmer.program_batch(selected, &batch);
+        let programmer = self.programmer;
+        let batch = self.batch.clone();
+        let reports = self.pop.program_cells(&programmer, &selected, &batch);
         // Pulses were applied whether or not every verify passed: the
         // page is no longer erased, and the unselected pages of the
         // block saw their pass-voltage exposure. Record both before
         // propagating the first error.
-        b.page_erased[page] = false;
-        for p in 0..pages_per_block {
-            if p == page {
-                continue;
-            }
-            for cell in &mut b.pages[p] {
-                apply_disturb(cell, bias.v_pass_program, bias.program_exposure, 1);
-            }
-        }
+        self.page_erased[slot] = false;
+        self.disturb_block_except(block, page, self.bias.v_pass_program, true);
         for report in reports {
             report?;
         }
@@ -198,28 +227,12 @@ impl NandArray {
     ///
     /// Address errors.
     pub fn read_page(&mut self, block: usize, page: usize) -> Result<Vec<bool>> {
-        let bias = self.bias;
-        let pages_per_block = self.config.pages_per_block;
-        let b = self.block_mut(block)?;
-        if page >= pages_per_block {
-            return Err(ArrayError::AddressOutOfRange {
-                kind: "page",
-                index: page,
-                len: pages_per_block,
-            });
-        }
-        let bits = b.pages[page]
-            .iter()
-            .map(|c| c.read() == LogicState::Erased1)
-            .collect();
-        for p in 0..pages_per_block {
-            if p == page {
-                continue;
-            }
-            for cell in &mut b.pages[p] {
-                apply_disturb(cell, bias.v_pass_read, bias.read_exposure, 1);
-            }
-        }
+        self.page_slot(block, page)?;
+        let base = self.cell_index(block, page, 0);
+        let bits = (base..base + self.config.page_width)
+            .map(|i| Ok(self.pop.read(i)? == LogicState::Erased1))
+            .collect::<Result<Vec<bool>>>()?;
+        self.disturb_block_except(block, page, self.bias.v_pass_read, false);
         Ok(bits)
     }
 
@@ -229,72 +242,107 @@ impl NandArray {
     ///
     /// Address errors and ISPP verify failures.
     pub fn erase_block(&mut self, block: usize) -> Result<()> {
+        if block >= self.config.blocks {
+            return Err(ArrayError::AddressOutOfRange {
+                kind: "block",
+                index: block,
+                len: self.config.blocks,
+            });
+        }
+        // Block erase hits every cell of the block at once — one erase
+        // transient (or ISPP ladder) per distinct cell state, fanned out
+        // in parallel.
+        let base = self.cell_index(block, 0, 0);
+        let indices: Vec<usize> =
+            (base..base + self.config.pages_per_block * self.config.page_width).collect();
         let eraser = self.eraser;
         let batch = self.batch.clone();
-        let b = self.block_mut(block)?;
-        // Block erase hits every cell of the block at once — the batch
-        // engine runs one erase transient (or ISPP ladder) per cell in
-        // parallel.
-        let cells: Vec<&mut FlashCell> = b.pages.iter_mut().flatten().collect();
-        let results = batch.scatter(cells, |cell| {
-            let engine = batch.engine_for(cell.device());
-            // Already-erased cells pass verify on the first rung.
-            if !cell.verify_erase(Voltage::from_volts(0.3)) {
-                eraser.erase_with(cell, &engine).map(|_| ())
-            } else {
-                // Erase pulses hit every cell of the block regardless.
-                cell.erase_default_with(&engine)
-            }
-        });
+        let results =
+            self.pop
+                .erase_block_cells(&eraser, Voltage::from_volts(0.3), &indices, &batch);
         // The erase stress hit every cell of the block whether or not
         // every ladder verified, so the wear counter advances before any
         // error propagates; `page_erased` stays false on failure, which
         // forces a retry before the pages can be programmed again.
-        b.erase_count += 1;
+        self.erase_count[block] += 1;
         for result in results {
             result?;
         }
-        b.page_erased.fill(true);
+        let first = block * self.config.pages_per_block;
+        self.page_erased[first..first + self.config.pages_per_block].fill(true);
         Ok(())
     }
 
-    /// Direct cell access for analyses (threshold maps, disturb margins).
+    /// Materialises one cell as an owning [`FlashCell`] for analyses
+    /// (threshold maps, disturb margins). Clones the shared device —
+    /// bulk scans should use [`Self::population`] instead.
     ///
     /// # Errors
     ///
     /// Address errors.
-    pub fn cell(&self, block: usize, page: usize, column: usize) -> Result<&FlashCell> {
-        let b = self.block(block)?;
-        let p = b.pages.get(page).ok_or(ArrayError::AddressOutOfRange {
-            kind: "page",
-            index: page,
-            len: self.config.pages_per_block,
-        })?;
-        p.get(column).ok_or(ArrayError::AddressOutOfRange {
-            kind: "column",
-            index: column,
-            len: self.config.page_width,
-        })
+    pub fn cell(&self, block: usize, page: usize, column: usize) -> Result<FlashCell> {
+        self.page_slot(block, page)?;
+        if column >= self.config.page_width {
+            return Err(ArrayError::AddressOutOfRange {
+                kind: "column",
+                index: column,
+                len: self.config.page_width,
+            });
+        }
+        self.pop.cell(self.cell_index(block, page, column))
     }
 
-    fn block(&self, idx: usize) -> Result<&Block> {
-        self.blocks.get(idx).ok_or(ArrayError::AddressOutOfRange {
-            kind: "block",
-            index: idx,
-            len: self.config.blocks,
-        })
+    /// Flat population index of a cell address.
+    #[must_use]
+    pub fn cell_index(&self, block: usize, page: usize, column: usize) -> usize {
+        (block * self.config.pages_per_block + page) * self.config.page_width + column
     }
 
-    fn block_mut(&mut self, idx: usize) -> Result<&mut Block> {
-        let len = self.config.blocks;
-        self.blocks
-            .get_mut(idx)
-            .ok_or(ArrayError::AddressOutOfRange {
+    /// One disturb exposure at `vgs` on every page of `block` except
+    /// `page` (grouped per distinct cell state).
+    fn disturb_block_except(&mut self, block: usize, page: usize, vgs: Voltage, program: bool) {
+        let width = self.config.page_width;
+        let mut indices = Vec::with_capacity((self.config.pages_per_block - 1) * width);
+        for p in 0..self.config.pages_per_block {
+            if p == page {
+                continue;
+            }
+            let base = self.cell_index(block, p, 0);
+            indices.extend(base..base + width);
+        }
+        let duration = if program {
+            self.bias.program_exposure
+        } else {
+            self.bias.read_exposure
+        };
+        self.pop.apply_disturb_cells(&indices, vgs, duration, 1);
+    }
+
+    fn page_slot(&self, block: usize, page: usize) -> Result<usize> {
+        if block >= self.config.blocks {
+            return Err(ArrayError::AddressOutOfRange {
                 kind: "block",
-                index: idx,
-                len,
-            })
+                index: block,
+                len: self.config.blocks,
+            });
+        }
+        if page >= self.config.pages_per_block {
+            return Err(ArrayError::AddressOutOfRange {
+                kind: "page",
+                index: page,
+                len: self.config.pages_per_block,
+            });
+        }
+        Ok(block * self.config.pages_per_block + page)
     }
+}
+
+fn checked_cells(config: NandConfig) -> usize {
+    assert!(
+        config.blocks > 0 && config.pages_per_block > 0 && config.page_width > 0,
+        "array dimensions must be positive"
+    );
+    config.cells()
 }
 
 #[cfg(test)]
@@ -372,5 +420,29 @@ mod tests {
             let _ = a.read_page(0, 0).unwrap();
         }
         assert_eq!(a.read_page(0, 1).unwrap(), vec![true; 4]);
+    }
+
+    #[test]
+    fn population_state_is_shared_not_cloned() {
+        let a = NandArray::new(NandConfig {
+            blocks: 4,
+            pages_per_block: 8,
+            page_width: 32,
+        });
+        assert_eq!(a.population().len(), 4 * 8 * 32);
+        assert_eq!(a.population().variant_count(), 1);
+    }
+
+    #[test]
+    fn cell_view_matches_population_row() {
+        let mut a = tiny();
+        a.program_page(0, 0, &[false; 4]).unwrap();
+        let view = a.cell(0, 0, 2).unwrap();
+        let i = a.cell_index(0, 0, 2);
+        assert_eq!(
+            view.charge().as_coulombs(),
+            a.population().charge(i).unwrap().as_coulombs()
+        );
+        assert_eq!(view.stats(), a.population().stats(i).unwrap());
     }
 }

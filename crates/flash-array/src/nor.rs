@@ -10,6 +10,7 @@ use gnr_tunneling::che::CheModel;
 use gnr_units::{Charge, Current, ElectricField, Time, Voltage};
 
 use crate::cell::FlashCell;
+use crate::population::CellPopulation;
 
 /// CHE bias conditions for one programming pulse.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -99,6 +100,30 @@ impl NorCell {
     }
 }
 
+/// Applies one CHE programming pulse to every listed cell of a
+/// population — the struct-of-arrays mirror of [`NorCell::program_che`]:
+/// the same self-limiting exponential relaxation toward the
+/// `−CT·V_D` floor, evaluated per cell against its *shared* device
+/// (the floor depends on the variant's `CT`), with no per-cell clones.
+pub fn program_che_cells(
+    pop: &mut CellPopulation,
+    indices: &[usize],
+    che: &CheModel,
+    bias: &CheBias,
+) {
+    let i_gate = che.gate_current(bias.drain_current, bias.lateral_field);
+    let raw = (i_gate * bias.width).as_coulombs();
+    pop.map_charge(indices, |device, charge| {
+        let ct = device.capacitances().total().as_farads();
+        let floor = -ct * bias.drain_voltage.as_volts().abs();
+        let q0 = charge.as_coulombs();
+        if q0 <= floor || floor == 0.0 {
+            return charge;
+        }
+        Charge::from_coulombs(floor + (q0 - floor) * (-raw / floor.abs()).exp())
+    });
+}
+
 /// Energy of an FN programming pulse for comparison: gate displacement
 /// current is negligible, so the energy is the tunneling charge times the
 /// programming voltage.
@@ -169,6 +194,22 @@ mod tests {
             "CHE {e_che:e} J vs FN {e_fn:e} J, ratio {:e}",
             e_che / e_fn
         );
+    }
+
+    #[test]
+    fn population_che_matches_nor_cell_bitwise() {
+        let bias = CheBias::default();
+        let mut nor = NorCell::new(FlashCell::paper_cell());
+        let mut pop = CellPopulation::paper(4);
+        for _ in 0..3 {
+            nor.program_che(&bias);
+            program_che_cells(&mut pop, &[0, 2], &nor.che, &bias);
+        }
+        assert_eq!(
+            pop.charge(0).unwrap().as_coulombs(),
+            nor.cell().charge().as_coulombs()
+        );
+        assert_eq!(pop.charge(1).unwrap().as_coulombs(), 0.0);
     }
 
     #[test]

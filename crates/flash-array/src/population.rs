@@ -1,0 +1,966 @@
+//! Struct-of-arrays cell state: the scalable backbone of the array layer.
+//!
+//! The paper's §II argument — FN programming draws "< 1 nA per cell,
+//! thus allowing many cells to be programmed at a time" — is an
+//! *array-level* claim, and simulating arrays of realistic size (millions
+//! of cells) is impossible when every cell owns a cloned
+//! `FloatingGateTransistor`, read model and engine handle. A
+//! [`CellPopulation`] stores per-cell **state** as flat columns
+//! (`Vec<f64>`/`Vec<u64>`): stored charge, wear counters and per-cell
+//! process-variation deltas. Everything *derivable* — the device model,
+//! the `J(E)` tables, the charge-balance engine — is shared: one
+//! [`FloatingGateTransistor`] blueprint, and one device per **distinct**
+//! variation delta pair (deduplicated), with engines built on demand
+//! through the process-wide table cache.
+//!
+//! # Memory model
+//!
+//! Per cell the population holds exactly the state columns: charge,
+//! injected-charge wear, two op counters, two variation deltas and a
+//! 4-byte variant index — [`CellPopulation::bytes_per_cell`] reports the
+//! figure (52 B). A million-cell NAND array is ~50 MB of state instead
+//! of gigabytes of cloned device structs.
+//!
+//! # Determinism and parity
+//!
+//! Simulation ops (`program_cells`, `erase_block_cells`, pulse and
+//! disturb application) group cells by `(variant, charge-bits)` and run
+//! **one** representative transient per group through the *same*
+//! [`FlashCell`] + [`ChargeBalanceEngine`] code path the per-cell layer
+//! uses, then write the outcome back to every member. Because the engine
+//! is deterministic, two cells with bit-identical state get bit-identical
+//! results whether simulated separately or shared — which is what makes
+//! the grouped path *exactly* equal to the historical cell-by-cell loop
+//! (`tests/population_parity.rs` pins this end to end).
+
+use std::collections::HashMap;
+
+use gnr_flash::device::{FgtBuilder, FloatingGateTransistor};
+use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
+use gnr_flash::pulse::SquarePulse;
+use gnr_flash::threshold::{classify, LogicState, ReadModel};
+use gnr_flash::variation::standard_normal;
+use gnr_numerics::stats::Summary;
+use gnr_units::{Charge, Energy, Length, Voltage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cell::{CellStats, FlashCell};
+use crate::disturb::disturb_charge;
+use crate::ispp::{IsppEraser, IsppProgrammer, IsppReport};
+use crate::{ArrayError, Result};
+
+/// One distinct device build shared by every cell with the same
+/// variation deltas. The engine is *not* stored: ops build it on demand
+/// via [`BatchSimulator::engine_for`], which hits the process-wide
+/// `J(E)` table cache, so the marginal cost is one device clone per
+/// group per operation — never per cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct DeviceVariant {
+    /// Fractional tunnel-oxide thickness delta this variant was built at.
+    xto_delta: f64,
+    /// Channel-barrier delta (eV) this variant was built at.
+    barrier_delta_ev: f64,
+    /// The built device.
+    device: FloatingGateTransistor,
+    /// Cached `CFC` in farads for the `ΔVT = −Q/CFC` hot path.
+    cfc_farads: f64,
+}
+
+/// Gaussian per-cell process variation for a population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationVariation {
+    /// Relative 1σ of the tunnel-oxide thickness (e.g. 0.04 = 4 %).
+    pub xto_sigma_fraction: f64,
+    /// Absolute 1σ of the channel barrier (work-function spread), eV.
+    pub barrier_sigma_ev: f64,
+    /// RNG seed — populations are reproducible.
+    pub seed: u64,
+}
+
+impl Default for PopulationVariation {
+    fn default() -> Self {
+        // Matches the 1σ values of `gnr_flash::variation::VariationSpec`.
+        Self {
+            xto_sigma_fraction: 0.04,
+            barrier_sigma_ev: 0.05,
+            seed: 0x5eed_f1a5,
+        }
+    }
+}
+
+/// Serializable per-cell state of a population: the six state columns.
+///
+/// The variant table and devices are *not* serialized — they are
+/// derivable from the blueprint plus the delta columns, which is exactly
+/// what [`CellPopulation::restore`] rebuilds.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationSnapshot {
+    /// Stored charge per cell (C).
+    pub charge: Vec<f64>,
+    /// Cumulative injected-charge wear per cell (C).
+    pub injected_charge: Vec<f64>,
+    /// Completed program operations per cell.
+    pub program_ops: Vec<u64>,
+    /// Completed erase operations per cell.
+    pub erase_ops: Vec<u64>,
+    /// Fractional tunnel-oxide thickness delta per cell.
+    pub xto_delta: Vec<f64>,
+    /// Channel-barrier delta per cell (eV).
+    pub barrier_delta_ev: Vec<f64>,
+}
+
+impl PopulationSnapshot {
+    /// Decodes a snapshot from the JSON this shim's serializer writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on syntax errors or missing/ill-typed
+    /// columns.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = serde_json::from_str(text).map_err(|e| ArrayError::Snapshot(e.to_string()))?;
+        let f64_column = |name: &str| -> Result<Vec<f64>> {
+            value
+                .get(name)
+                .and_then(serde::Value::as_array)
+                .ok_or_else(|| ArrayError::Snapshot(format!("missing column `{name}`")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| ArrayError::Snapshot(format!("non-number in `{name}`")))
+                })
+                .collect()
+        };
+        let u64_column = |name: &str| -> Result<Vec<u64>> {
+            value
+                .get(name)
+                .and_then(serde::Value::as_array)
+                .ok_or_else(|| ArrayError::Snapshot(format!("missing column `{name}`")))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| ArrayError::Snapshot(format!("non-integer in `{name}`")))
+                })
+                .collect()
+        };
+        Ok(Self {
+            charge: f64_column("charge")?,
+            injected_charge: f64_column("injected_charge")?,
+            program_ops: u64_column("program_ops")?,
+            erase_ops: u64_column("erase_ops")?,
+            xto_delta: f64_column("xto_delta")?,
+            barrier_delta_ev: f64_column("barrier_delta_ev")?,
+        })
+    }
+}
+
+/// A struct-of-arrays population of flash cells sharing one device
+/// blueprint. See the module docs for the memory and determinism model.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellPopulation {
+    blueprint: FloatingGateTransistor,
+    read_model: ReadModel,
+    read_voltage: Voltage,
+    decision_level: Voltage,
+    // --- per-cell state columns (the only O(n) storage) ---
+    charge: Vec<f64>,
+    injected_charge: Vec<f64>,
+    program_ops: Vec<u64>,
+    erase_ops: Vec<u64>,
+    xto_delta: Vec<f64>,
+    barrier_delta_ev: Vec<f64>,
+    variant_of: Vec<u32>,
+    // --- shared, deduplicated device builds ---
+    variants: Vec<DeviceVariant>,
+}
+
+/// Bit-exact identity of a variation delta pair — variant equality and
+/// hashing both key on this.
+fn variant_key(xto: f64, barrier_ev: f64) -> (u64, u64) {
+    (xto.to_bits(), barrier_ev.to_bits())
+}
+
+/// Outcome of one representative simulation shared by a state group.
+struct GroupOutcome<R> {
+    charge: f64,
+    injected_delta: f64,
+    program_delta: u64,
+    erase_delta: u64,
+    result: Result<R>,
+}
+
+impl CellPopulation {
+    /// A population of `n` identical cells of the blueprint device —
+    /// one variant, one shared device build.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn uniform(blueprint: FloatingGateTransistor, n: usize) -> Self {
+        assert!(n > 0, "population must have at least one cell");
+        let nominal = DeviceVariant {
+            xto_delta: 0.0,
+            barrier_delta_ev: 0.0,
+            cfc_farads: blueprint.capacitances().cfc().as_farads(),
+            device: blueprint.clone(),
+        };
+        Self {
+            blueprint,
+            read_model: ReadModel::paper_nominal(),
+            read_voltage: Voltage::from_volts(2.0),
+            decision_level: Voltage::from_volts(1.0),
+            charge: vec![0.0; n],
+            injected_charge: vec![0.0; n],
+            program_ops: vec![0; n],
+            erase_ops: vec![0; n],
+            xto_delta: vec![0.0; n],
+            barrier_delta_ev: vec![0.0; n],
+            variant_of: vec![0; n],
+            variants: vec![nominal],
+        }
+    }
+
+    /// `n` fresh paper cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn paper(n: usize) -> Self {
+        Self::uniform(FloatingGateTransistor::mlgnr_cnt_paper(), n)
+    }
+
+    /// A population with Gaussian per-cell variation of the tunnel-oxide
+    /// thickness and channel barrier, sampled reproducibly from
+    /// `variation.seed`. Unphysical draws (oxide below 0.5 nm, barrier
+    /// below 0.5 eV, failed device build) are resampled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-build failures that persist after resampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn with_variation(
+        blueprint: FloatingGateTransistor,
+        n: usize,
+        variation: &PopulationVariation,
+    ) -> Result<Self> {
+        let mut pop = Self::uniform(blueprint, n);
+        let mut index = pop.variant_index();
+        let mut rng = StdRng::seed_from_u64(variation.seed);
+        for i in 0..n {
+            // Resample until the perturbed device is physical; bound the
+            // retries so a pathological spec fails instead of spinning.
+            let mut last_err = None;
+            let mut placed = false;
+            for _ in 0..64 {
+                let xto = variation.xto_sigma_fraction * standard_normal(&mut rng);
+                let barrier = variation.barrier_sigma_ev * standard_normal(&mut rng);
+                match pop.set_cell_variation_indexed(&mut index, i, xto, barrier) {
+                    Ok(()) => {
+                        placed = true;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if !placed {
+                return Err(last_err.expect("resample loop records its failure"));
+            }
+        }
+        Ok(pop)
+    }
+
+    /// Rebuilds a population from a blueprint and a serialized state
+    /// snapshot (the inverse of [`Self::snapshot`]): the variant table is
+    /// re-derived from the delta columns.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on ragged columns; device-build failures
+    /// propagate.
+    pub fn restore(
+        blueprint: FloatingGateTransistor,
+        snapshot: PopulationSnapshot,
+    ) -> Result<Self> {
+        let n = snapshot.charge.len();
+        if n == 0 {
+            return Err(ArrayError::Snapshot("empty snapshot".into()));
+        }
+        for (name, len) in [
+            ("injected_charge", snapshot.injected_charge.len()),
+            ("program_ops", snapshot.program_ops.len()),
+            ("erase_ops", snapshot.erase_ops.len()),
+            ("xto_delta", snapshot.xto_delta.len()),
+            ("barrier_delta_ev", snapshot.barrier_delta_ev.len()),
+        ] {
+            if len != n {
+                return Err(ArrayError::Snapshot(format!(
+                    "column `{name}` has {len} rows, expected {n}"
+                )));
+            }
+        }
+        let mut pop = Self::uniform(blueprint, n);
+        let mut index = pop.variant_index();
+        for i in 0..n {
+            pop.set_cell_variation_indexed(
+                &mut index,
+                i,
+                snapshot.xto_delta[i],
+                snapshot.barrier_delta_ev[i],
+            )?;
+        }
+        pop.charge = snapshot.charge;
+        pop.injected_charge = snapshot.injected_charge;
+        pop.program_ops = snapshot.program_ops;
+        pop.erase_ops = snapshot.erase_ops;
+        Ok(pop)
+    }
+
+    /// Captures the per-cell state columns for serialization.
+    #[must_use]
+    pub fn snapshot(&self) -> PopulationSnapshot {
+        PopulationSnapshot {
+            charge: self.charge.clone(),
+            injected_charge: self.injected_charge.clone(),
+            program_ops: self.program_ops.clone(),
+            erase_ops: self.erase_ops.clone(),
+            xto_delta: self.xto_delta.clone(),
+            barrier_delta_ev: self.barrier_delta_ev.clone(),
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.charge.len()
+    }
+
+    /// `true` when the population has no cells (never, post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.charge.is_empty()
+    }
+
+    /// Bytes of per-cell *state* this population stores — the
+    /// peak-RSS-proxy of the SoA refactor (device builds are shared and
+    /// amortise to zero per cell).
+    #[must_use]
+    pub fn bytes_per_cell(&self) -> usize {
+        // charge, injected_charge, xto_delta, barrier_delta_ev (f64);
+        // program_ops, erase_ops (u64); variant_of (u32).
+        4 * core::mem::size_of::<f64>()
+            + 2 * core::mem::size_of::<u64>()
+            + core::mem::size_of::<u32>()
+    }
+
+    /// Number of distinct device builds shared across the population.
+    #[must_use]
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// The shared blueprint device.
+    #[must_use]
+    pub fn blueprint(&self) -> &FloatingGateTransistor {
+        &self.blueprint
+    }
+
+    /// The (shared) device of cell `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn device(&self, i: usize) -> Result<&FloatingGateTransistor> {
+        Ok(&self.variants[self.variant(i)?].device)
+    }
+
+    /// Stored charge of cell `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn charge(&self, i: usize) -> Result<Charge> {
+        self.check(i)?;
+        Ok(Charge::from_coulombs(self.charge[i]))
+    }
+
+    /// Directly sets the stored charge of cell `i` (trap-injection
+    /// models and tests — the column mirror of [`FlashCell::set_charge`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn set_charge(&mut self, i: usize, charge: Charge) -> Result<()> {
+        self.check(i)?;
+        self.charge[i] = charge.as_coulombs();
+        Ok(())
+    }
+
+    /// Lifetime counters of cell `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn stats(&self, i: usize) -> Result<CellStats> {
+        self.check(i)?;
+        Ok(CellStats {
+            program_ops: self.program_ops[i],
+            erase_ops: self.erase_ops[i],
+            injected_charge: self.injected_charge[i],
+        })
+    }
+
+    /// Variation deltas `(xto_fraction, barrier_ev)` of cell `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn variation_deltas(&self, i: usize) -> Result<(f64, f64)> {
+        self.check(i)?;
+        Ok((self.xto_delta[i], self.barrier_delta_ev[i]))
+    }
+
+    /// Threshold shift of cell `i` — identical arithmetic to
+    /// [`gnr_flash::threshold::vt_shift`] on the cell's shared device.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn vt_shift(&self, i: usize) -> Result<Voltage> {
+        let v = self.variant(i)?;
+        Ok(Voltage::from_volts(
+            -(self.charge[i] / self.variants[v].cfc_farads),
+        ))
+    }
+
+    /// The whole ΔVT column, fanned out over `batch` in contiguous
+    /// chunks — the margin/histogram scan path, with no per-cell device
+    /// access at all.
+    #[must_use]
+    pub fn vt_shift_column(&self, batch: &BatchSimulator) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.len()];
+        let chunk = 16 * 1024;
+        batch.for_each_chunk_mut(&mut out, chunk, |start, slice| {
+            for (offset, slot) in slice.iter_mut().enumerate() {
+                let i = start + offset;
+                let inv = self.variants[self.variant_of[i] as usize].cfc_farads;
+                *slot = -(self.charge[i] / inv);
+            }
+        });
+        out
+    }
+
+    /// Logic state of cell `i` through the population's decision level.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn read(&self, i: usize) -> Result<LogicState> {
+        Ok(classify(self.vt_shift(i)?, self.decision_level))
+    }
+
+    /// Drain current of cell `i` at the read point.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn read_current(&self, i: usize) -> Result<gnr_units::Current> {
+        Ok(self
+            .read_model
+            .drain_current(self.read_voltage, self.vt_shift(i)?))
+    }
+
+    /// Materialises cell `i` as an owning [`FlashCell`] (clones the
+    /// shared device — a per-call convenience for analyses and demos,
+    /// not a bulk path).
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    pub fn cell(&self, i: usize) -> Result<FlashCell> {
+        let v = self.variant(i)?;
+        Ok(FlashCell::restore(
+            self.variants[v].device.clone(),
+            Charge::from_coulombs(self.charge[i]),
+            self.stats(i)?,
+        ))
+    }
+
+    /// Sets the variation deltas of cell `i`, building (or sharing) the
+    /// matching device variant.
+    ///
+    /// One-off API: looks the variant up with a table scan. Bulk
+    /// construction ([`Self::with_variation`], [`Self::restore`]) keeps
+    /// a hash index instead, so varied million-cell populations intern
+    /// in O(n).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unphysical deltas and propagates device-build failures.
+    pub fn set_cell_variation(&mut self, i: usize, xto: f64, barrier_ev: f64) -> Result<()> {
+        self.check(i)?;
+        let key = variant_key(xto, barrier_ev);
+        let variant = match self
+            .variants
+            .iter()
+            .position(|v| variant_key(v.xto_delta, v.barrier_delta_ev) == key)
+        {
+            Some(idx) => u32::try_from(idx).expect("variant table fits u32"),
+            None => self.push_variant(xto, barrier_ev)?,
+        };
+        self.assign_variation(i, xto, barrier_ev, variant);
+        Ok(())
+    }
+
+    /// [`Self::set_cell_variation`] against a caller-maintained hash
+    /// index of the variant table — the O(1)-interning bulk path.
+    fn set_cell_variation_indexed(
+        &mut self,
+        index: &mut HashMap<(u64, u64), u32>,
+        i: usize,
+        xto: f64,
+        barrier_ev: f64,
+    ) -> Result<()> {
+        self.check(i)?;
+        let key = variant_key(xto, barrier_ev);
+        let variant = match index.get(&key) {
+            Some(&v) => v,
+            None => {
+                let v = self.push_variant(xto, barrier_ev)?;
+                index.insert(key, v);
+                v
+            }
+        };
+        self.assign_variation(i, xto, barrier_ev, variant);
+        Ok(())
+    }
+
+    fn assign_variation(&mut self, i: usize, xto: f64, barrier_ev: f64, variant: u32) {
+        self.xto_delta[i] = xto;
+        self.barrier_delta_ev[i] = barrier_ev;
+        self.variant_of[i] = variant;
+    }
+
+    /// Hash index over the current variant table, keyed on delta bits.
+    fn variant_index(&self) -> HashMap<(u64, u64), u32> {
+        self.variants
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                (
+                    variant_key(v.xto_delta, v.barrier_delta_ev),
+                    u32::try_from(i).expect("variant table fits u32"),
+                )
+            })
+            .collect()
+    }
+
+    /// Applies one gate pulse to every listed cell (grouped, memoized;
+    /// same per-cell semantics as [`FlashCell::apply_pulse_with`]:
+    /// sub-threshold bias is a no-op, not an error).
+    ///
+    /// # Errors
+    ///
+    /// Per-cell results, index-aligned with `indices`.
+    pub fn apply_pulse_cells(
+        &mut self,
+        indices: &[usize],
+        pulse: SquarePulse,
+        batch: &BatchSimulator,
+    ) -> Vec<Result<()>> {
+        self.run_grouped(indices, batch, |cell, engine| {
+            cell.apply_pulse_with(engine, pulse)
+        })
+    }
+
+    /// Runs one full ISPP verify ladder per listed cell (grouped: one
+    /// transient per distinct `(variant, charge)` state, fanned out over
+    /// `batch`). Index-aligned per-cell reports.
+    pub fn program_cells(
+        &mut self,
+        programmer: &IsppProgrammer,
+        indices: &[usize],
+        batch: &BatchSimulator,
+    ) -> Vec<Result<IsppReport>> {
+        self.run_grouped(indices, batch, |cell, engine| {
+            programmer.program_with(cell, engine)
+        })
+    }
+
+    /// The block-erase unit of work per listed cell: cells still above
+    /// `already_erased_target` run the full erase ladder; already-erased
+    /// cells take the single default erase pulse (erase stress hits every
+    /// cell of a block regardless). Mirrors the historical
+    /// `NandArray::erase_block` per-cell closure exactly.
+    pub fn erase_block_cells(
+        &mut self,
+        eraser: &IsppEraser,
+        already_erased_target: Voltage,
+        indices: &[usize],
+        batch: &BatchSimulator,
+    ) -> Vec<Result<()>> {
+        self.run_grouped(indices, batch, |cell, engine| {
+            if cell.verify_erase(already_erased_target) {
+                cell.erase_default_with(engine)
+            } else {
+                eraser.erase_with(cell, engine).map(|_| ())
+            }
+        })
+    }
+
+    /// Applies the default erase pulse to every listed cell (the MLC
+    /// pre-erase path; per-cell semantics of [`FlashCell::erase_default`]).
+    pub fn erase_cells_default(
+        &mut self,
+        indices: &[usize],
+        batch: &BatchSimulator,
+    ) -> Vec<Result<()>> {
+        self.run_grouped(indices, batch, FlashCell::erase_default_with)
+    }
+
+    /// Accumulates `events` disturb exposures at `vgs` on every listed
+    /// cell — the linearised model of [`crate::disturb`], evaluated once
+    /// per distinct `(variant, charge)` state instead of once per cell.
+    pub fn apply_disturb_cells(
+        &mut self,
+        indices: &[usize],
+        vgs: Voltage,
+        duration: gnr_units::Time,
+        events: u64,
+    ) {
+        let mut memo: HashMap<(u32, u64), f64> = HashMap::new();
+        for &i in indices {
+            debug_assert!(i < self.len(), "disturb index {i} out of range");
+            let key = (self.variant_of[i], self.charge[i].to_bits());
+            let dq = *memo.entry(key).or_insert_with(|| {
+                disturb_charge(
+                    &self.variants[key.0 as usize].device,
+                    Charge::from_coulombs(self.charge[i]),
+                    vgs,
+                    duration,
+                )
+                .as_coulombs()
+            });
+            // Bit-identical to `disturb::apply_disturb` on a FlashCell.
+            self.charge[i] += dq * events as f64;
+        }
+    }
+
+    /// Rewrites the charge of every listed cell through a closed-form
+    /// per-cell update `f(device, charge) -> charge` (the CHE injection
+    /// path and custom trap models). Does not touch the wear counters —
+    /// like [`FlashCell::set_charge`], the caller models the physics.
+    pub fn map_charge(
+        &mut self,
+        indices: &[usize],
+        f: impl Fn(&FloatingGateTransistor, Charge) -> Charge,
+    ) {
+        for &i in indices {
+            debug_assert!(i < self.len(), "map_charge index {i} out of range");
+            let device = &self.variants[self.variant_of[i] as usize].device;
+            self.charge[i] = f(device, Charge::from_coulombs(self.charge[i])).as_coulombs();
+        }
+    }
+
+    /// Per-variant statistics of the programming-current spread — the
+    /// population-column equivalent of `gnr_flash::variation`'s
+    /// Monte-Carlo report: `log₁₀ J_in` and `VFG` at bias `vgs`, one
+    /// exact-device evaluation per distinct variant, weighted per cell.
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors for degenerate populations (e.g. every variant
+    /// below the tunneling floor).
+    pub fn variation_stats(&self, vgs: Voltage) -> Result<(Summary, Summary)> {
+        // One evaluation per variant...
+        let per_variant: Vec<Option<(f64, f64)>> = self
+            .variants
+            .iter()
+            .map(|v| {
+                let state = v.device.tunneling_state(vgs, Voltage::ZERO, Charge::ZERO);
+                let j = state.tunnel_flow.abs().as_amps_per_square_meter();
+                (j > 0.0).then(|| (j.log10(), state.vfg.as_volts()))
+            })
+            .collect();
+        // ...expanded per cell so the statistics weight each draw.
+        let mut log_j = Vec::with_capacity(self.len());
+        let mut vfg = Vec::with_capacity(self.len());
+        for &v in &self.variant_of {
+            if let Some((j, f)) = per_variant[v as usize] {
+                log_j.push(j);
+                vfg.push(f);
+            }
+        }
+        let to_err = |e: gnr_numerics::NumericsError| ArrayError::Device(e.into());
+        Ok((
+            Summary::from_samples(&log_j).map_err(to_err)?,
+            Summary::from_samples(&vfg).map_err(to_err)?,
+        ))
+    }
+
+    /// Summary of the injected-charge wear column (C per cell).
+    ///
+    /// # Errors
+    ///
+    /// Statistics errors (empty populations cannot be constructed).
+    pub fn wear_summary(&self) -> Result<Summary> {
+        Summary::from_samples(&self.injected_charge).map_err(|e| ArrayError::Device(e.into()))
+    }
+
+    /// Groups `indices` by `(variant, charge-bits)`, runs `op` once per
+    /// group on a scratch [`FlashCell`] through an engine built for the
+    /// group's shared device, and writes the outcome back to every
+    /// member. Returns per-index results in input order.
+    ///
+    /// Correctness rests on `op` being a deterministic function of the
+    /// scratch cell's `(device, charge)` — which holds for every pulse
+    /// and ladder op, since the engine and tables are immutable.
+    /// `indices` must not contain duplicates (array ops never do): a
+    /// duplicate would double-apply the wear deltas.
+    fn run_grouped<R, F>(
+        &mut self,
+        indices: &[usize],
+        batch: &BatchSimulator,
+        op: F,
+    ) -> Vec<Result<R>>
+    where
+        R: Clone + Send,
+        F: Fn(&mut FlashCell, &ChargeBalanceEngine) -> Result<R> + Sync,
+    {
+        let mut group_of: Vec<usize> = Vec::with_capacity(indices.len());
+        let mut reps: Vec<(u32, f64)> = Vec::new();
+        let mut seen: HashMap<(u32, u64), usize> = HashMap::new();
+        for &i in indices {
+            debug_assert!(i < self.len(), "op index {i} out of range");
+            let key = (self.variant_of[i], self.charge[i].to_bits());
+            let g = *seen.entry(key).or_insert_with(|| {
+                reps.push((key.0, self.charge[i]));
+                reps.len() - 1
+            });
+            group_of.push(g);
+        }
+
+        let variants = &self.variants;
+        let outcomes: Vec<GroupOutcome<R>> = batch.scatter(reps, |(v, q)| {
+            let device = &variants[v as usize].device;
+            let engine = batch.engine_for(device);
+            let mut cell = FlashCell::restore(
+                device.clone(),
+                Charge::from_coulombs(q),
+                CellStats::default(),
+            );
+            let result = op(&mut cell, &engine);
+            // State is captured whether or not the op failed: a verify
+            // failure still applied its pulses, exactly as on the
+            // historical per-cell path.
+            GroupOutcome {
+                charge: cell.charge().as_coulombs(),
+                injected_delta: cell.stats().injected_charge,
+                program_delta: cell.stats().program_ops,
+                erase_delta: cell.stats().erase_ops,
+                result,
+            }
+        });
+
+        for (pos, &i) in indices.iter().enumerate() {
+            let o = &outcomes[group_of[pos]];
+            self.charge[i] = o.charge;
+            self.injected_charge[i] += o.injected_delta;
+            self.program_ops[i] += o.program_delta;
+            self.erase_ops[i] += o.erase_delta;
+        }
+        group_of
+            .into_iter()
+            .map(|g| outcomes[g].result.clone())
+            .collect()
+    }
+
+    fn check(&self, i: usize) -> Result<()> {
+        if i < self.len() {
+            Ok(())
+        } else {
+            Err(ArrayError::AddressOutOfRange {
+                kind: "cell",
+                index: i,
+                len: self.len(),
+            })
+        }
+    }
+
+    fn variant(&self, i: usize) -> Result<usize> {
+        self.check(i)?;
+        Ok(self.variant_of[i] as usize)
+    }
+
+    /// Builds the device for a delta pair and appends it to the variant
+    /// table (no lookup — callers have already checked for sharing).
+    fn push_variant(&mut self, xto: f64, barrier_ev: f64) -> Result<u32> {
+        let device = self.build_variant_device(xto, barrier_ev)?;
+        let cfc_farads = device.capacitances().cfc().as_farads();
+        self.variants.push(DeviceVariant {
+            xto_delta: xto,
+            barrier_delta_ev: barrier_ev,
+            device,
+            cfc_farads,
+        });
+        Ok(u32::try_from(self.variants.len() - 1).expect("variant table fits u32"))
+    }
+
+    /// Builds the blueprint with a perturbed tunnel oxide and channel
+    /// barrier — the same perturbation model as
+    /// `gnr_flash::variation::run_variation`, applied around *this*
+    /// population's blueprint.
+    fn build_variant_device(&self, xto: f64, barrier_ev: f64) -> Result<FloatingGateTransistor> {
+        if xto == 0.0 && barrier_ev == 0.0 {
+            return Ok(self.blueprint.clone());
+        }
+        let geometry = *self.blueprint.geometry();
+        let xto_nm = geometry.tunnel_oxide_thickness().as_nanometers() * (1.0 + xto);
+        let barrier = self.blueprint.channel_emission_model().barrier().as_ev() + barrier_ev;
+        let oxide_affinity = self.blueprint.tunnel_oxide().electron_affinity().as_ev();
+        if xto_nm <= 0.5 || barrier <= 0.5 {
+            return Err(ArrayError::Snapshot(format!(
+                "unphysical variation deltas: xto {xto:+.3}, barrier {barrier_ev:+.3} eV"
+            )));
+        }
+        let geom = geometry.with_tunnel_oxide(Length::from_nanometers(xto_nm))?;
+        let device = FgtBuilder::default()
+            .name(format!("{}+var", self.blueprint.name()))
+            .geometry(geom)
+            .gcr(self.blueprint.capacitances().gcr())
+            .total_capacitance(self.blueprint.capacitances().total())
+            .tunnel_oxide(self.blueprint.tunnel_oxide().clone())
+            .control_oxide(self.blueprint.control_oxide().clone())
+            .channel_work_function(Energy::from_ev(barrier + oxide_affinity))
+            .floating_gate_work_function(self.blueprint.floating_gate_work_function())
+            .control_gate_work_function(self.blueprint.control_gate_work_function())
+            .build()?;
+        Ok(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnr_units::Time;
+
+    #[test]
+    fn uniform_population_shares_one_variant() {
+        let pop = CellPopulation::paper(1000);
+        assert_eq!(pop.len(), 1000);
+        assert_eq!(pop.variant_count(), 1);
+        assert_eq!(pop.bytes_per_cell(), 52);
+        assert_eq!(pop.read(0).unwrap(), LogicState::Erased1);
+    }
+
+    #[test]
+    fn grouped_program_matches_single_cell_bitwise() {
+        let mut pop = CellPopulation::paper(8);
+        let programmer = IsppProgrammer::nominal();
+        let batch = BatchSimulator::sequential();
+        let reports = pop.program_cells(&programmer, &[0, 1, 2, 3], &batch);
+
+        let mut reference = FlashCell::paper_cell();
+        let engine = batch.engine_for(reference.device());
+        let expected = programmer.program_with(&mut reference, &engine).unwrap();
+
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.as_ref().unwrap(), &expected);
+            assert_eq!(
+                pop.charge(i).unwrap().as_coulombs(),
+                reference.charge().as_coulombs(),
+                "cell {i}"
+            );
+            assert_eq!(pop.stats(i).unwrap(), reference.stats());
+        }
+        // Unselected cells untouched.
+        assert_eq!(pop.charge(5).unwrap().as_coulombs(), 0.0);
+        assert_eq!(pop.stats(5).unwrap().program_ops, 0);
+    }
+
+    #[test]
+    fn grouped_disturb_matches_cell_path_bitwise() {
+        let mut pop = CellPopulation::paper(4);
+        let bias = crate::disturb::DisturbBias::default();
+        pop.apply_disturb_cells(&[0, 1], bias.v_pass_program, bias.program_exposure, 250);
+
+        let mut cell = FlashCell::paper_cell();
+        crate::disturb::apply_disturb(&mut cell, bias.v_pass_program, bias.program_exposure, 250);
+        assert_eq!(
+            pop.charge(0).unwrap().as_coulombs(),
+            cell.charge().as_coulombs()
+        );
+        assert_eq!(pop.charge(2).unwrap().as_coulombs(), 0.0);
+    }
+
+    #[test]
+    fn pulse_noop_below_threshold() {
+        let mut pop = CellPopulation::paper(3);
+        let results = pop.apply_pulse_cells(
+            &[0, 1, 2],
+            SquarePulse::new(Voltage::from_volts(0.5), Time::from_microseconds(100.0)),
+            &BatchSimulator::sequential(),
+        );
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(pop.charge(0).unwrap().as_coulombs(), 0.0);
+    }
+
+    #[test]
+    fn variation_builds_shared_variants() {
+        let pop = CellPopulation::with_variation(
+            FloatingGateTransistor::mlgnr_cnt_paper(),
+            50,
+            &PopulationVariation::default(),
+        )
+        .unwrap();
+        // Gaussian draws are distinct, so ~every cell gets its own build.
+        assert!(pop.variant_count() > 1);
+        let (stats_j, stats_vfg) = pop
+            .variation_stats(gnr_flash::presets::program_vgs())
+            .unwrap();
+        assert_eq!(stats_j.count, 50);
+        assert!(stats_j.std_dev > 0.0);
+        assert!((stats_vfg.median - 9.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_state_through_json() {
+        let mut pop = CellPopulation::with_variation(
+            FloatingGateTransistor::mlgnr_cnt_paper(),
+            6,
+            &PopulationVariation::default(),
+        )
+        .unwrap();
+        pop.set_charge(3, Charge::from_electrons(-120.0)).unwrap();
+        let json = serde_json::to_string(&pop.snapshot()).unwrap();
+        let decoded = PopulationSnapshot::from_json(&json).unwrap();
+        assert_eq!(decoded, pop.snapshot());
+        let rebuilt =
+            CellPopulation::restore(FloatingGateTransistor::mlgnr_cnt_paper(), decoded).unwrap();
+        assert_eq!(rebuilt, pop);
+    }
+
+    #[test]
+    fn vt_column_matches_scalar_accessor() {
+        let mut pop = CellPopulation::paper(40);
+        pop.set_charge(7, Charge::from_electrons(-80.0)).unwrap();
+        let column = pop.vt_shift_column(&BatchSimulator::new());
+        for (i, vt) in column.iter().enumerate() {
+            assert_eq!(*vt, pop.vt_shift(i).unwrap().as_volts());
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_rejected() {
+        let pop = CellPopulation::paper(2);
+        assert!(matches!(
+            pop.charge(2),
+            Err(ArrayError::AddressOutOfRange { .. })
+        ));
+        assert!(pop.cell(5).is_err());
+    }
+}

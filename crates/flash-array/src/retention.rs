@@ -7,11 +7,15 @@
 //! requirement is a still-open window after ten years at 85 °C; elevated
 //! temperature is modelled with an Arrhenius acceleration factor.
 
+use std::collections::HashMap;
+
 use gnr_tunneling::direct::DirectTunnelingModel;
 use gnr_units::constants::BOLTZMANN;
 use gnr_units::{Charge, Temperature, Voltage};
 
 use gnr_flash::device::FloatingGateTransistor;
+
+use crate::population::CellPopulation;
 
 /// Retention-model parameters.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -170,6 +174,64 @@ impl RetentionModel {
     }
 }
 
+/// Ten-year retention verdict across a whole population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PopulationRetentionReport {
+    /// Cells evaluated.
+    pub cells: usize,
+    /// Cells whose shift survives the margin.
+    pub passing: usize,
+    /// Distinct `(device variant, stored charge)` states actually
+    /// integrated — the struct-of-arrays win: a million identical
+    /// programmed cells cost one trace.
+    pub distinct_states: usize,
+    /// Smallest final threshold shift across the population (V).
+    pub worst_final_vt: f64,
+}
+
+impl RetentionModel {
+    /// Runs the ten-year check over every cell of a population,
+    /// integrating one leakage trace per distinct `(variant, charge)`
+    /// state and sharing the verdict across all cells in that state.
+    #[must_use]
+    pub fn population_check(
+        &self,
+        pop: &CellPopulation,
+        margin: Voltage,
+        t: Temperature,
+    ) -> PopulationRetentionReport {
+        let mut memo: HashMap<(u64, u64, u64), (bool, f64)> = HashMap::new();
+        let mut passing = 0usize;
+        let mut worst = f64::INFINITY;
+        for i in 0..pop.len() {
+            let charge = pop.charge(i).expect("index in range");
+            let device = pop.device(i).expect("index in range");
+            // The variant is identified by its delta pair (collision-free
+            // bit patterns); charge bits complete the state key.
+            let (xto, barrier) = pop.variation_deltas(i).expect("index in range");
+            let key = (
+                xto.to_bits(),
+                barrier.to_bits(),
+                charge.as_coulombs().to_bits(),
+            );
+            let (pass, final_vt) = *memo.entry(key).or_insert_with(|| {
+                let report = self.ten_year_check(device, charge, margin, t);
+                (report.pass, report.final_vt)
+            });
+            if pass {
+                passing += 1;
+            }
+            worst = worst.min(final_vt);
+        }
+        PopulationRetentionReport {
+            cells: pop.len(),
+            passing,
+            distinct_states: memo.len(),
+            worst_final_vt: worst,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +288,29 @@ mod tests {
         let a85 = model.acceleration(Temperature::from_celsius(85.0));
         // 0.6 eV between 300 K and 358 K: exp(0.6/k·(1/300−1/358)) ≈ 43×.
         assert!(a85 > 10.0 && a85 < 200.0, "a85 = {a85}");
+    }
+
+    #[test]
+    fn population_check_shares_traces_across_identical_cells() {
+        use crate::population::CellPopulation;
+        use gnr_flash::engine::BatchSimulator;
+
+        let mut pop = CellPopulation::paper(64);
+        let programmer = crate::ispp::IsppProgrammer::nominal();
+        let indices: Vec<usize> = (0..32).collect();
+        let _ = pop.program_cells(&programmer, &indices, &BatchSimulator::sequential());
+
+        let report = RetentionModel::default().population_check(
+            &pop,
+            Voltage::from_volts(1.0),
+            Temperature::from_celsius(85.0),
+        );
+        assert_eq!(report.cells, 64);
+        // Two states: programmed and fresh — two traces, not 64.
+        assert_eq!(report.distinct_states, 2);
+        // Programmed cells pass; erased cells have no shift to retain.
+        assert_eq!(report.passing, 32);
+        assert!(report.worst_final_vt < 1.0);
     }
 
     #[test]

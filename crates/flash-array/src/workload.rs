@@ -1,0 +1,710 @@
+//! Trace-driven workloads: the layer that turns the array stack into a
+//! storage device under load.
+//!
+//! The JETC companion paper analyses the same device family under
+//! realistic array traffic; this module makes that runnable: a
+//! serializable trace format ([`WorkloadTrace`]), generators for the
+//! canonical mixes (sequential fill, uniform-random writes, hot/cold
+//! skew, read-disturb-heavy, steady-state GC churn) and a replayer that
+//! drives a [`FlashController`] while recording per-op latency, wear
+//! spread, disturb and margin trajectories.
+//!
+//! Patterns are *procedural* ([`PagePattern`]) rather than literal bit
+//! buffers, so a trace over a million-cell array stays kilobytes.
+
+use std::time::Instant;
+
+use gnr_numerics::stats::Summary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::controller::{FlashController, WearStats};
+use crate::margins::{self, MarginReport};
+use crate::nand::NandConfig;
+use crate::{ArrayError, Result};
+
+/// Procedural page contents (`false` = programmed '0').
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePattern {
+    /// Every bit programmed.
+    AllProgrammed,
+    /// Every bit left erased (a pure inhibit page).
+    AllErased,
+    /// Alternating bits; `phase` flips which columns program.
+    Checkerboard {
+        /// `true` programs even columns, `false` odd.
+        phase: bool,
+    },
+    /// Deterministic pseudo-random bits from a seed.
+    Seeded {
+        /// The seed.
+        seed: u64,
+    },
+}
+
+impl PagePattern {
+    /// Expands the pattern to a page-width bit buffer.
+    #[must_use]
+    pub fn expand(&self, width: usize) -> Vec<bool> {
+        match *self {
+            Self::AllProgrammed => vec![false; width],
+            Self::AllErased => vec![true; width],
+            Self::Checkerboard { phase } => (0..width).map(|i| (i % 2 == 0) != phase).collect(),
+            Self::Seeded { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..width).map(|_| rng.gen_range(0u8..2) == 1).collect()
+            }
+        }
+    }
+}
+
+/// One operation of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Write a page: to `lpn`, or to the controller's rotating logical
+    /// cursor when `None`.
+    Write {
+        /// Target logical page.
+        lpn: Option<usize>,
+        /// Page contents.
+        pattern: PagePattern,
+    },
+    /// Read the live copy of a logical page (unmapped reads count as
+    /// misses, not errors).
+    Read {
+        /// Target logical page.
+        lpn: usize,
+    },
+    /// Explicitly erase a physical block.
+    EraseBlock {
+        /// Block index.
+        block: usize,
+    },
+}
+
+/// A named, replayable sequence of operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadTrace {
+    /// Trace name (recorded in reports).
+    pub name: String,
+    /// The operations, in order.
+    pub ops: Vec<WorkloadOp>,
+}
+
+impl WorkloadTrace {
+    /// Sequential fill: `pages` writes through the rotating cursor —
+    /// the log-structured best case.
+    #[must_use]
+    pub fn sequential_fill(pages: usize, pattern: PagePattern) -> Self {
+        Self {
+            name: "sequential_fill".into(),
+            ops: (0..pages)
+                .map(|_| WorkloadOp::Write { lpn: None, pattern })
+                .collect(),
+        }
+    }
+
+    /// Uniform-random logical overwrites — the wear-levelling stress
+    /// case.
+    #[must_use]
+    pub fn random_writes(n: usize, logical_capacity: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            name: "random_writes".into(),
+            ops: (0..n)
+                .map(|i| WorkloadOp::Write {
+                    lpn: Some(rng.gen_range(0..logical_capacity)),
+                    pattern: PagePattern::Seeded {
+                        seed: seed ^ i as u64,
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Hot/cold skew: `hot_op_fraction` of writes land on the first
+    /// `hot_page_fraction` of the logical space — the GC-relevant
+    /// locality real workloads show.
+    #[must_use]
+    pub fn hot_cold(
+        n: usize,
+        logical_capacity: usize,
+        hot_op_fraction: f64,
+        hot_page_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let hot_pages = ((logical_capacity as f64 * hot_page_fraction) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            name: "hot_cold".into(),
+            ops: (0..n)
+                .map(|i| {
+                    let hot = rng.gen_range(0.0..1.0) < hot_op_fraction;
+                    let lpn = if hot {
+                        rng.gen_range(0..hot_pages)
+                    } else {
+                        rng.gen_range(hot_pages.min(logical_capacity - 1)..logical_capacity)
+                    };
+                    WorkloadOp::Write {
+                        lpn: Some(lpn),
+                        pattern: PagePattern::Seeded {
+                            seed: seed ^ i as u64,
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Read-disturb-heavy: one write then `reads_per_write` random reads,
+    /// repeated — hammers pass-voltage exposure on unselected pages.
+    #[must_use]
+    pub fn read_heavy(
+        writes: usize,
+        reads_per_write: usize,
+        logical_capacity: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(writes * (1 + reads_per_write));
+        for i in 0..writes {
+            let lpn = rng.gen_range(0..logical_capacity);
+            ops.push(WorkloadOp::Write {
+                lpn: Some(lpn),
+                pattern: PagePattern::Seeded {
+                    seed: seed ^ i as u64,
+                },
+            });
+            for _ in 0..reads_per_write {
+                ops.push(WorkloadOp::Read {
+                    lpn: rng.gen_range(0..logical_capacity),
+                });
+            }
+        }
+        Self {
+            name: "read_heavy".into(),
+            ops,
+        }
+    }
+
+    /// Steady-state GC churn: fill the whole logical space once, then
+    /// `overwrites` uniform-random rewrites — the regime where every new
+    /// write costs reclaim or relocation work.
+    #[must_use]
+    pub fn gc_churn(overwrites: usize, logical_capacity: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops: Vec<WorkloadOp> = (0..logical_capacity)
+            .map(|lpn| WorkloadOp::Write {
+                lpn: Some(lpn),
+                pattern: PagePattern::Seeded {
+                    seed: seed ^ lpn as u64,
+                },
+            })
+            .collect();
+        ops.extend((0..overwrites).map(|i| WorkloadOp::Write {
+            lpn: Some(rng.gen_range(0..logical_capacity)),
+            pattern: PagePattern::Seeded {
+                seed: seed ^ (logical_capacity + i) as u64,
+            },
+        }));
+        Self {
+            name: "gc_churn".into(),
+            ops,
+        }
+    }
+
+    /// The acceptance-criterion trace for a shape: program every logical
+    /// page once (a full-array page-program) and then erase every block.
+    #[must_use]
+    pub fn full_array_cycle(config: NandConfig) -> Self {
+        let logical = config.logical_pages();
+        let mut ops: Vec<WorkloadOp> = (0..logical)
+            .map(|lpn| WorkloadOp::Write {
+                lpn: Some(lpn),
+                pattern: PagePattern::Checkerboard {
+                    phase: lpn % 2 == 1,
+                },
+            })
+            .collect();
+        ops.extend((0..config.blocks).map(|block| WorkloadOp::EraseBlock { block }));
+        Self {
+            name: "full_array_cycle".into(),
+            ops,
+        }
+    }
+
+    /// Decodes a trace from its JSON serialization.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on syntax or schema errors.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = serde_json::from_str(text).map_err(|e| ArrayError::Snapshot(e.to_string()))?;
+        let bad = |m: &str| ArrayError::Snapshot(m.to_string());
+        let name = value
+            .get("name")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| bad("missing trace name"))?
+            .to_string();
+        let ops = value
+            .get("ops")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| bad("missing ops array"))?
+            .iter()
+            .map(decode_op)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { name, ops })
+    }
+}
+
+fn decode_pattern(value: &serde::Value) -> Result<PagePattern> {
+    let bad = |m: &str| ArrayError::Snapshot(m.to_string());
+    let kind = value
+        .get("kind")
+        .and_then(serde::Value::as_str)
+        .ok_or_else(|| bad("pattern missing kind"))?;
+    Ok(match kind {
+        "all_programmed" => PagePattern::AllProgrammed,
+        "all_erased" => PagePattern::AllErased,
+        "checkerboard" => PagePattern::Checkerboard {
+            phase: value
+                .get("phase")
+                .and_then(serde::Value::as_bool)
+                .ok_or_else(|| bad("checkerboard missing phase"))?,
+        },
+        // The seed travels as a decimal string: the shim's JSON numbers
+        // are f64, which would silently round u64 seeds above 2^53.
+        "seeded" => PagePattern::Seeded {
+            seed: value
+                .get("seed")
+                .and_then(serde::Value::as_str)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad("seeded pattern missing or invalid seed"))?,
+        },
+        other => return Err(bad(&format!("unknown pattern kind `{other}`"))),
+    })
+}
+
+fn decode_op(value: &serde::Value) -> Result<WorkloadOp> {
+    let bad = |m: &str| ArrayError::Snapshot(m.to_string());
+    let op = value
+        .get("op")
+        .and_then(serde::Value::as_str)
+        .ok_or_else(|| bad("op missing tag"))?;
+    Ok(match op {
+        "write" => WorkloadOp::Write {
+            lpn: match value.get("lpn") {
+                None | Some(serde::Value::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| bad("write lpn must be an integer"))?
+                        as usize,
+                ),
+            },
+            pattern: decode_pattern(
+                value
+                    .get("pattern")
+                    .ok_or_else(|| bad("write missing pattern"))?,
+            )?,
+        },
+        "read" => WorkloadOp::Read {
+            lpn: value
+                .get("lpn")
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| bad("read missing lpn"))? as usize,
+        },
+        "erase_block" => WorkloadOp::EraseBlock {
+            block: value
+                .get("block")
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| bad("erase missing block"))? as usize,
+        },
+        other => return Err(bad(&format!("unknown op `{other}`"))),
+    })
+}
+
+impl serde::Serialize for PagePattern {
+    fn to_value(&self) -> serde::Value {
+        let field = |k: &str, v: serde::Value| (k.to_string(), v);
+        serde::Value::Object(match *self {
+            Self::AllProgrammed => {
+                vec![field("kind", serde::Value::String("all_programmed".into()))]
+            }
+            Self::AllErased => vec![field("kind", serde::Value::String("all_erased".into()))],
+            Self::Checkerboard { phase } => vec![
+                field("kind", serde::Value::String("checkerboard".into())),
+                field("phase", serde::Value::Bool(phase)),
+            ],
+            // As a string: JSON numbers here are f64 and would round
+            // seeds above 2^53.
+            Self::Seeded { seed } => vec![
+                field("kind", serde::Value::String("seeded".into())),
+                field("seed", serde::Value::String(seed.to_string())),
+            ],
+        })
+    }
+}
+impl serde::Deserialize for PagePattern {}
+
+impl serde::Serialize for WorkloadOp {
+    fn to_value(&self) -> serde::Value {
+        let field = |k: &str, v: serde::Value| (k.to_string(), v);
+        #[allow(clippy::cast_precision_loss)]
+        serde::Value::Object(match self {
+            Self::Write { lpn, pattern } => vec![
+                field("op", serde::Value::String("write".into())),
+                field(
+                    "lpn",
+                    lpn.map_or(serde::Value::Null, |l| serde::Value::Number(l as f64)),
+                ),
+                field("pattern", serde::Serialize::to_value(pattern)),
+            ],
+            Self::Read { lpn } => vec![
+                field("op", serde::Value::String("read".into())),
+                field("lpn", serde::Value::Number(*lpn as f64)),
+            ],
+            Self::EraseBlock { block } => vec![
+                field("op", serde::Value::String("erase_block".into())),
+                field("block", serde::Value::Number(*block as f64)),
+            ],
+        })
+    }
+}
+impl serde::Deserialize for WorkloadOp {}
+
+impl serde::Serialize for WorkloadTrace {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_string(), serde::Value::String(self.name.clone())),
+            ("ops".to_string(), serde::Serialize::to_value(&self.ops)),
+        ])
+    }
+}
+impl serde::Deserialize for WorkloadTrace {}
+
+/// Replayer knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOptions {
+    /// Record a [`WorkloadSnapshot`] every `snapshot_interval` ops
+    /// (`0` = only the final snapshot).
+    pub snapshot_interval: usize,
+    /// Include a full margin scan in each snapshot (an O(cells) column
+    /// sweep — cheap, but worth switching off for the largest arrays).
+    pub margin_scan: bool,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        Self {
+            snapshot_interval: 0,
+            margin_scan: true,
+        }
+    }
+}
+
+/// Array health at one point of a replay: wear, occupancy and (when
+/// enabled) the margin/disturb picture of the whole population.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSnapshot {
+    /// Ops completed when the snapshot was taken.
+    pub op_index: usize,
+    /// Wear statistics.
+    pub wear: WearStats,
+    /// Live pages mapped.
+    pub live_pages: usize,
+    /// Margin report (the erased population's `vt.max` is the disturb
+    /// trajectory; `worst_case_margin` the sensing headroom).
+    pub margins: Option<MarginReport>,
+    /// Mean injected-charge wear per cell (C) — the oxide-fluence
+    /// trajectory of the endurance model.
+    pub mean_injected_charge: f64,
+}
+
+/// What a replay did and what it cost.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadReport {
+    /// Trace name.
+    pub trace: String,
+    /// Array shape replayed against.
+    pub config: NandConfig,
+    /// Total operations replayed.
+    pub ops: usize,
+    /// Page writes completed.
+    pub writes: u64,
+    /// Page reads completed.
+    pub reads: u64,
+    /// Reads of unmapped logical pages (misses, skipped).
+    pub read_misses: u64,
+    /// Explicit block erases.
+    pub erases: u64,
+    /// Cells in the array.
+    pub cells: usize,
+    /// Cells touched by program operations (written pages × width).
+    pub cells_written: u64,
+    /// Wall-clock of the replay loop (s).
+    pub wall_seconds: f64,
+    /// `cells_written / wall_seconds`.
+    pub cells_per_second: f64,
+    /// Bytes of per-cell state — the peak-RSS proxy of the SoA model.
+    pub bytes_per_cell: usize,
+    /// Per-write wall latency (µs).
+    pub write_latency_us: Option<Summary>,
+    /// Per-read wall latency (µs).
+    pub read_latency_us: Option<Summary>,
+    /// Trajectories sampled during the replay (always ends with the
+    /// final state).
+    pub snapshots: Vec<WorkloadSnapshot>,
+}
+
+/// Replays a trace against a controller, recording per-op latency and
+/// periodic health snapshots.
+///
+/// # Errors
+///
+/// Propagates write/erase failures (verify failures, capacity
+/// exhaustion); read misses are counted, not raised.
+pub fn replay(
+    controller: &mut FlashController,
+    trace: &WorkloadTrace,
+    options: &ReplayOptions,
+) -> Result<WorkloadReport> {
+    let config = controller.array().config();
+    let width = config.page_width;
+    let mut writes = 0u64;
+    let mut reads = 0u64;
+    let mut read_misses = 0u64;
+    let mut erases = 0u64;
+    let mut write_lat = Vec::new();
+    let mut read_lat = Vec::new();
+    let mut snapshots = Vec::new();
+
+    let start = Instant::now();
+    for (i, op) in trace.ops.iter().enumerate() {
+        match *op {
+            WorkloadOp::Write { lpn, pattern } => {
+                let bits = pattern.expand(width);
+                let t0 = Instant::now();
+                match lpn {
+                    Some(l) => controller.write_logical(l, &bits)?,
+                    None => controller.write(&bits)?,
+                };
+                write_lat.push(t0.elapsed().as_secs_f64() * 1.0e6);
+                writes += 1;
+            }
+            WorkloadOp::Read { lpn } => {
+                let t0 = Instant::now();
+                match controller.read_logical(lpn) {
+                    Ok(_) => {
+                        read_lat.push(t0.elapsed().as_secs_f64() * 1.0e6);
+                        reads += 1;
+                    }
+                    Err(ArrayError::AddressOutOfRange { .. }) => read_misses += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+            WorkloadOp::EraseBlock { block } => {
+                controller.erase_block(block)?;
+                erases += 1;
+            }
+        }
+        if options.snapshot_interval > 0 && (i + 1) % options.snapshot_interval == 0 {
+            snapshots.push(take_snapshot(controller, i + 1, options.margin_scan)?);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    snapshots.push(take_snapshot(
+        controller,
+        trace.ops.len(),
+        options.margin_scan,
+    )?);
+
+    let cells_written = writes * width as u64;
+    #[allow(clippy::cast_precision_loss)]
+    let cells_per_second = if wall > 0.0 {
+        cells_written as f64 / wall
+    } else {
+        0.0
+    };
+    let summarize = |lat: &[f64]| {
+        (!lat.is_empty())
+            .then(|| Summary::from_samples(lat))
+            .transpose()
+            .map_err(|e| ArrayError::Device(e.into()))
+    };
+    Ok(WorkloadReport {
+        trace: trace.name.clone(),
+        config,
+        ops: trace.ops.len(),
+        writes,
+        reads,
+        read_misses,
+        erases,
+        cells: config.cells(),
+        cells_written,
+        wall_seconds: wall,
+        cells_per_second,
+        bytes_per_cell: controller.array().population().bytes_per_cell(),
+        write_latency_us: summarize(&write_lat)?,
+        read_latency_us: summarize(&read_lat)?,
+        snapshots,
+    })
+}
+
+fn take_snapshot(
+    controller: &FlashController,
+    op_index: usize,
+    margin_scan: bool,
+) -> Result<WorkloadSnapshot> {
+    let pop = controller.array().population();
+    let wear_summary = pop.wear_summary()?;
+    Ok(WorkloadSnapshot {
+        op_index,
+        wear: controller.wear_stats()?,
+        live_pages: controller.live_pages(),
+        margins: if margin_scan {
+            Some(margins::analyze(controller.array())?)
+        } else {
+            None
+        },
+        mean_injected_charge: wear_summary.mean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NandConfig {
+        NandConfig {
+            blocks: 3,
+            pages_per_block: 2,
+            page_width: 8,
+        }
+    }
+
+    #[test]
+    fn patterns_expand_deterministically() {
+        assert_eq!(PagePattern::AllErased.expand(3), vec![true; 3]);
+        assert_eq!(
+            PagePattern::Checkerboard { phase: true }.expand(4),
+            vec![false, true, false, true]
+        );
+        let a = PagePattern::Seeded { seed: 9 }.expand(64);
+        let b = PagePattern::Seeded { seed: 9 }.expand(64);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn traces_round_trip_through_json() {
+        let trace = WorkloadTrace {
+            name: "mixed".into(),
+            ops: vec![
+                WorkloadOp::Write {
+                    lpn: None,
+                    pattern: PagePattern::Checkerboard { phase: true },
+                },
+                WorkloadOp::Write {
+                    lpn: Some(3),
+                    pattern: PagePattern::Seeded { seed: 77 },
+                },
+                WorkloadOp::Write {
+                    lpn: Some(4),
+                    // Above 2^53: must survive the f64-based JSON shim.
+                    pattern: PagePattern::Seeded {
+                        seed: u64::MAX - 12,
+                    },
+                },
+                WorkloadOp::Read { lpn: 3 },
+                WorkloadOp::EraseBlock { block: 1 },
+            ],
+        };
+        let json = serde_json::to_string_pretty(&trace).unwrap();
+        assert_eq!(WorkloadTrace::from_json(&json).unwrap(), trace);
+    }
+
+    #[test]
+    fn sequential_fill_replays_cleanly() {
+        let config = small();
+        let mut c = FlashController::new(config);
+        let trace = WorkloadTrace::sequential_fill(4, PagePattern::Checkerboard { phase: false });
+        let report = replay(&mut c, &trace, &ReplayOptions::default()).unwrap();
+        assert_eq!(report.writes, 4);
+        assert_eq!(report.cells_written, 32);
+        assert!(report.cells_per_second > 0.0);
+        assert_eq!(report.bytes_per_cell, 52);
+        let last = report.snapshots.last().unwrap();
+        assert_eq!(last.live_pages, 4);
+        assert!(last.margins.as_ref().unwrap().worst_case_margin.unwrap() > 0.5);
+        assert!(last.mean_injected_charge > 0.0);
+    }
+
+    #[test]
+    fn gc_churn_forces_reclaims() {
+        let config = small();
+        let mut c = FlashController::new(config);
+        let capacity = c.logical_capacity();
+        let trace = WorkloadTrace::gc_churn(3 * capacity, capacity, 42);
+        let report = replay(&mut c, &trace, &ReplayOptions::default()).unwrap();
+        let wear = &report.snapshots.last().unwrap().wear;
+        assert!(wear.total_erases > 0, "{wear:?}");
+        assert_eq!(report.writes as usize, 4 * capacity);
+    }
+
+    #[test]
+    fn read_heavy_counts_misses_without_failing() {
+        let mut c = FlashController::new(small());
+        let capacity = c.logical_capacity();
+        let trace = WorkloadTrace::read_heavy(2, 5, capacity, 7);
+        let report = replay(&mut c, &trace, &ReplayOptions::default()).unwrap();
+        assert_eq!(report.reads + report.read_misses, 10);
+        assert!(report.read_latency_us.is_some() || report.reads == 0);
+    }
+
+    #[test]
+    fn hot_cold_concentrates_traffic() {
+        let trace = WorkloadTrace::hot_cold(200, 100, 0.9, 0.1, 3);
+        let hot_hits = trace
+            .ops
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::Write { lpn: Some(l), .. } if *l < 10))
+            .count();
+        assert!(hot_hits > 140, "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn snapshots_record_trajectories() {
+        let mut c = FlashController::new(small());
+        let capacity = c.logical_capacity();
+        let trace = WorkloadTrace::gc_churn(capacity, capacity, 1);
+        let options = ReplayOptions {
+            snapshot_interval: 3,
+            margin_scan: true,
+        };
+        let report = replay(&mut c, &trace, &options).unwrap();
+        assert!(report.snapshots.len() >= 3);
+        // Wear and fluence are monotone over the trace.
+        for pair in report.snapshots.windows(2) {
+            assert!(pair[1].wear.total_erases >= pair[0].wear.total_erases);
+            assert!(pair[1].mean_injected_charge >= pair[0].mean_injected_charge - 1e-30);
+        }
+    }
+
+    #[test]
+    fn full_array_cycle_covers_every_block() {
+        let config = small();
+        let mut c = FlashController::new(config);
+        let trace = WorkloadTrace::full_array_cycle(config);
+        let report = replay(&mut c, &trace, &ReplayOptions::default()).unwrap();
+        assert_eq!(
+            report.writes as usize,
+            (config.blocks - 1) * config.pages_per_block
+        );
+        assert_eq!(report.erases as usize, config.blocks);
+        // After the final erases nothing is live and margins collapse to
+        // a single erased population.
+        let last = report.snapshots.last().unwrap();
+        assert_eq!(last.live_pages, 0);
+        assert!(last.margins.as_ref().unwrap().programmed.is_none());
+    }
+}

@@ -7,6 +7,7 @@ use gnr_flash_array::disturb::DisturbBias;
 use gnr_flash_array::endurance::EnduranceModel;
 use gnr_flash_array::margins::{analyze, vt_histogram};
 use gnr_flash_array::nand::{NandArray, NandConfig};
+use gnr_flash_array::population::{CellPopulation, PopulationVariation};
 use gnr_flash_array::retention::RetentionModel;
 use gnr_units::{Charge, Temperature, Voltage};
 
@@ -112,6 +113,83 @@ fn pass_voltage_is_the_disturb_design_knob() {
     let nominal = dq(bias.v_pass_program.as_volts());
     let raised = dq(bias.v_pass_program.as_volts() + 1.0);
     assert!(raised / nominal > 5.0, "sensitivity {}", raised / nominal);
+}
+
+#[test]
+fn population_variation_agrees_with_monte_carlo_statistically() {
+    // Two routes to the same physics: `gnr_flash::variation` clones and
+    // rebuilds a mutated device per Monte-Carlo sample; the population
+    // path stores per-cell deltas in SoA columns and shares one device
+    // build per distinct delta. Same sigmas (the MC run's GCR spread
+    // zeroed, since the columns model XTO and barrier), independent
+    // seeds — the J-distribution statistics must agree.
+    let device = gnr_flash::device::FloatingGateTransistor::mlgnr_cnt_paper();
+    let vgs = gnr_flash::presets::program_vgs();
+
+    let mc = gnr_flash::variation::run_variation(
+        &device,
+        vgs,
+        &gnr_flash::variation::VariationSpec {
+            samples: 600,
+            gcr_sigma: 0.0,
+            ..gnr_flash::variation::VariationSpec::default()
+        },
+    )
+    .unwrap();
+
+    let pop = CellPopulation::with_variation(
+        device.clone(),
+        600,
+        &PopulationVariation {
+            seed: 0x00dd_ba11,
+            ..PopulationVariation::default()
+        },
+    )
+    .unwrap();
+    let (log_j, vfg) = pop.variation_stats(vgs).unwrap();
+
+    assert!(
+        (log_j.median - mc.log10_j_in.median).abs() < 0.25,
+        "median log10 J: population {} vs MC {}",
+        log_j.median,
+        mc.log10_j_in.median
+    );
+    assert!(
+        (log_j.std_dev / mc.log10_j_in.std_dev - 1.0).abs() < 0.35,
+        "spread: population {} vs MC {}",
+        log_j.std_dev,
+        mc.log10_j_in.std_dev
+    );
+    assert!(
+        (vfg.median - mc.vfg.median).abs() < 0.2,
+        "VFG median: population {} vs MC {}",
+        vfg.median,
+        mc.vfg.median
+    );
+}
+
+#[test]
+fn variation_aware_array_keeps_margins_open() {
+    // End-to-end: an array whose cells carry manufacturing spread still
+    // programs and senses correctly — the ISPP verify loop absorbs the
+    // per-cell current spread, which is its engineering purpose.
+    let config = NandConfig {
+        blocks: 1,
+        pages_per_block: 2,
+        page_width: 8,
+    };
+    let pop = CellPopulation::with_variation(
+        gnr_flash::device::FloatingGateTransistor::mlgnr_cnt_paper(),
+        config.blocks * config.pages_per_block * config.page_width,
+        &PopulationVariation::default(),
+    )
+    .unwrap();
+    let mut array = NandArray::with_population(config, pop);
+    let bits: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+    array.program_page(0, 0, &bits).unwrap();
+    assert_eq!(array.read_page(0, 0).unwrap(), bits);
+    let report = analyze(&array).unwrap();
+    assert!(report.worst_case_margin.unwrap() > 0.5, "margin {report:?}");
 }
 
 #[test]

@@ -46,6 +46,65 @@ impl Value {
         out
     }
 
+    /// The number, if this value is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if it is one exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        // Upper bound is 2^64 exactly: any integral f64 below it fits.
+        const U64_EXCLUSIVE_MAX: f64 = 18_446_744_073_709_551_616.0;
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n < U64_EXCLUSIVE_MAX => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this value is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this value is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks a field up by name, if this value is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -243,6 +302,19 @@ mod tests {
     fn pretty_json_indents_objects() {
         let v = Value::Object(vec![("x".into(), Value::Number(1.0))]);
         assert_eq!(v.to_json_pretty(), "{\n  \"x\": 1\n}");
+    }
+
+    #[test]
+    fn as_u64_rejects_out_of_range_instead_of_saturating() {
+        assert_eq!(Value::Number(42.0).as_u64(), Some(42));
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(0.5).as_u64(), None);
+        // Integral but >= 2^64: must be None, not u64::MAX.
+        assert_eq!(Value::Number(1.85e19).as_u64(), None);
+        assert_eq!(Value::Number(2.0f64.powi(64)).as_u64(), None);
+        // Largest representable integral f64 below 2^64 still decodes.
+        let below = 2.0f64.powi(64) - 2048.0;
+        assert_eq!(Value::Number(below).as_u64(), Some(below as u64));
     }
 
     #[test]

@@ -1,17 +1,31 @@
-//! Minimal in-repo `serde_json` shim (serialize-only) for offline builds.
+//! Minimal in-repo `serde_json` shim for offline builds: serialization
+//! through the shim's [`Value`] data model, plus a small recursive JSON
+//! parser ([`from_str`]) so snapshots written by this shim round-trip.
 
 use core::fmt;
 
 pub use serde::Value;
 
-/// Serialization error — never produced by this shim, present so call
-/// sites keep the real `serde_json` signatures.
+/// Serialization/parsing error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Self(format!(
+            "JSON parse error at byte {offset}: {}",
+            message.into()
+        ))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json shim error")
+        if self.0.is_empty() {
+            write!(f, "serde_json shim error")
+        } else {
+            write!(f, "{}", self.0)
+        }
     }
 }
 
@@ -43,12 +57,238 @@ pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
     value.to_value()
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Strings, numbers, booleans, `null`, arrays and objects are supported
+/// — the full output surface of this shim's serializer, so anything it
+/// writes parses back. Numbers parse as `f64` (the shim's only numeric
+/// type), which round-trips every value the serializer emits because
+/// Rust's `{}` formatting is shortest-exact.
+///
+/// # Errors
+///
+/// Reports the byte offset and cause of the first syntax error.
+pub fn from_str(input: &str) -> Result<Value> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_whitespace(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::parse("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::parse("unexpected end of input", *pos)),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::parse(format!("expected `{word}`"), *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = core::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::parse("invalid UTF-8 in number", start))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error::parse("unterminated string", *pos));
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error::parse("unterminated escape", *pos));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| core::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::parse("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::parse("invalid \\u escape", *pos))?;
+                        *pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::parse("invalid code point", *pos))?,
+                        );
+                    }
+                    _ => return Err(Error::parse("unknown escape", *pos - 1)),
+                }
+            }
+            _ => {
+                // Decode one UTF-8 sequence (at most 4 bytes) starting
+                // at this byte — never re-validate the whole remainder.
+                let start = *pos - 1;
+                let end = (start + 4).min(bytes.len());
+                let c = core::str::from_utf8(&bytes[start..end])
+                    .ok()
+                    .or_else(|| {
+                        // A multi-byte char truncated by `end` still
+                        // decodes from its exact-length prefix.
+                        (start + 1..end)
+                            .rev()
+                            .find_map(|cut| core::str::from_utf8(&bytes[start..cut]).ok())
+                    })
+                    .and_then(|s| s.chars().next())
+                    .ok_or_else(|| Error::parse("invalid UTF-8 in string", start))?;
+                out.push(c);
+                *pos += c.len_utf8() - 1;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error::parse("expected `,` or `]`", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::parse("expected object key", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_whitespace(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(Error::parse("expected `:`", *pos));
+        }
+        *pos += 1;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(Error::parse("expected `,` or `}`", *pos)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn round_trips_through_value() {
         let v = vec![1.0f64, 2.5];
         assert_eq!(super::to_string(&v).unwrap(), "[1,2.5]");
         assert!(super::to_string_pretty(&v).unwrap().contains('\n'));
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        let original = Value::Object(vec![
+            ("name".into(), Value::String("cell \"a\"\n".into())),
+            (
+                "columns".into(),
+                Value::Array(vec![
+                    Value::Number(-3.25e-17),
+                    Value::Number(42.0),
+                    Value::Number(f64::MIN_POSITIVE),
+                ]),
+            ),
+            ("flag".into(), Value::Bool(true)),
+            ("missing".into(), Value::Null),
+        ]);
+        for text in [original.to_json(), original.to_json_pretty()] {
+            assert_eq!(from_str(&text).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn doubles_round_trip_exactly() {
+        for x in [1.0e-300f64, -7.123456789012345e18, 0.1, -0.0, 3.5e-17] {
+            let text = super::to_string(&x).unwrap();
+            assert_eq!(from_str(&text).unwrap().as_f64().unwrap().to_bits(), {
+                // -0.0 serializes as the integer 0 (fract == 0 path).
+                if x == 0.0 {
+                    0.0f64.to_bits()
+                } else {
+                    x.to_bits()
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("[] trailing").is_err());
+        assert!(from_str("").is_err());
     }
 }
