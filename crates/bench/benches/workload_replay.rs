@@ -22,6 +22,7 @@ use gnr_flash_array::workload::{replay, ReplayOptions, WorkloadTrace};
 
 fn full_cycle_report(
     config: NandConfig,
+    smoke: bool,
 ) -> (
     gnr_flash_array::workload::WorkloadReport,
     gnr_flash_array::workload::WorkloadReport,
@@ -41,9 +42,15 @@ fn full_cycle_report(
     .expect("full-array cycle replays");
 
     // Steady-state churn on the same (now worn) array: bounded op count
-    // so the bench stays minutes-not-hours even at the 1M-cell shape.
+    // so the bench stays minutes-not-hours even at the 1M-cell shape —
+    // and a handful of ops in smoke mode, where the churn phase would
+    // otherwise dominate CI bench time on custom shapes.
     let capacity = controller.logical_capacity();
-    let churn_ops = (capacity / 4).clamp(8, 2048);
+    let churn_ops = if smoke {
+        8
+    } else {
+        (capacity / 4).clamp(8, 2048)
+    };
     let churn = replay(
         &mut controller,
         &WorkloadTrace::gc_churn(churn_ops, capacity, 0xbead),
@@ -70,13 +77,23 @@ fn measure_workload_replay() {
         bench_shape(default)
     };
 
-    let (cycle, churn) = full_cycle_report(config);
+    let (cycle, churn) = full_cycle_report(config, smoke);
     let churn_wear = &churn.snapshots.last().expect("snapshot").wear;
+
+    // Write amplification of the churn phase: physical page programs
+    // (host writes + GC relocations) per host write. The full-cycle
+    // phase never relocates, so the churn ratio is the steady-state one.
+    #[allow(clippy::cast_precision_loss)]
+    let churn_write_amplification = if churn.writes > 0 {
+        (churn.writes + churn_wear.gc_relocations) as f64 / churn.writes as f64
+    } else {
+        1.0
+    };
 
     println!(
         "workload_replay {}x{}x{} ({} cells, {} B/cell state): \
          full cycle {} writes + {} erases in {:.2} s ({:.0} cells/s); \
-         churn {} writes, {} GC relocations, wear spread {}",
+         churn {} writes, {} GC relocations (WA {:.3}), wear spread {}",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -88,6 +105,7 @@ fn measure_workload_replay() {
         cycle.cells_per_second,
         churn.writes,
         churn_wear.gc_relocations,
+        churn_write_amplification,
         churn_wear.spread(),
     );
 
@@ -98,6 +116,7 @@ fn measure_workload_replay() {
          \"full_cycle_erases\": {},\n  \"full_cycle_seconds\": {:.3},\n  \
          \"cells_per_second\": {:.1},\n  \"churn_writes\": {},\n  \
          \"churn_seconds\": {:.3},\n  \"churn_gc_relocations\": {},\n  \
+         \"churn_write_amplification\": {:.4},\n  \
          \"total_erases\": {},\n  \"wear_spread\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
@@ -113,6 +132,7 @@ fn measure_workload_replay() {
         churn.writes,
         churn.wall_seconds,
         churn_wear.gc_relocations,
+        churn_write_amplification,
         churn_wear.total_erases,
         churn_wear.spread(),
     );

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod reliability_experiment;
 pub mod report;
 pub mod shape;
 pub mod workload_experiment;

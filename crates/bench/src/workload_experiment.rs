@@ -12,11 +12,14 @@ use gnr_flash_array::controller::FlashController;
 use gnr_flash_array::nand::NandConfig;
 use gnr_flash_array::workload::{replay, ReplayOptions, WorkloadTrace};
 
-/// Workload experiments the figures binary runs beyond the core
-/// registry.
+/// Array- and reliability-layer experiments the figures binary runs
+/// beyond the core registry.
 #[must_use]
 pub fn extra_experiments() -> Vec<Box<dyn Experiment>> {
-    vec![Box::new(WorkloadExperiment)]
+    vec![
+        Box::new(WorkloadExperiment),
+        Box::new(crate::reliability_experiment::ReliabilityExperiment),
+    ]
 }
 
 struct WorkloadExperiment;

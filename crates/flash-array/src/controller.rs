@@ -133,6 +133,13 @@ impl FlashController {
         &self.array
     }
 
+    /// Mutable cell-state access (see [`NandArray::population_mut`]):
+    /// charge-level mutation cannot violate the page map, so reliability
+    /// models may age the analog state of a mapped array in place.
+    pub fn population_mut(&mut self) -> &mut crate::population::CellPopulation {
+        self.array.population_mut()
+    }
+
     /// Logical capacity in pages: the physical page count less one
     /// block of over-provisioning, so garbage collection always has
     /// stale pages to harvest under steady-state rewrites.
@@ -277,6 +284,23 @@ impl FlashController {
             gc_erases: self.gc_erases,
             gc_relocations: self.gc_relocations,
         })
+    }
+
+    /// The physical address of logical page `lpn`'s live copy, if any.
+    #[must_use]
+    pub fn physical_of(&self, lpn: usize) -> Option<PageAddress> {
+        self.map.get(lpn).copied().flatten()
+    }
+
+    /// Every logical page with a live copy, ascending — the scan order
+    /// of background scrubbing.
+    #[must_use]
+    pub fn live_logical_pages(&self) -> Vec<usize> {
+        self.map
+            .iter()
+            .enumerate()
+            .filter_map(|(l, addr)| addr.map(|_| l))
+            .collect()
     }
 
     /// Live pages currently mapped.
@@ -620,6 +644,27 @@ mod tests {
             pages_per_block: 2,
             page_width: 4,
         });
+    }
+
+    #[test]
+    fn live_page_enumeration_tracks_the_map() {
+        let mut c = FlashController::new(NandConfig {
+            blocks: 3,
+            pages_per_block: 2,
+            page_width: 4,
+        });
+        assert!(c.live_logical_pages().is_empty());
+        assert_eq!(c.physical_of(0), None);
+        let d = vec![false; 4];
+        c.write_logical(2, &d).unwrap();
+        c.write_logical(0, &d).unwrap();
+        assert_eq!(c.live_logical_pages(), vec![0, 2]);
+        let addr = c.physical_of(2).unwrap();
+        assert_eq!(c.read(addr).unwrap(), d);
+        // A rewrite moves the live copy; the enumeration is unchanged.
+        c.write_logical(2, &d).unwrap();
+        assert_ne!(c.physical_of(2).unwrap(), addr);
+        assert_eq!(c.live_logical_pages(), vec![0, 2]);
     }
 
     #[test]

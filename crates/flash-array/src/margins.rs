@@ -96,6 +96,49 @@ pub fn vt_histogram(array: &NandArray, lo: f64, hi: f64, bins: usize) -> Result<
     Histogram::new(&samples, lo, hi, bins).map_err(|e| gnr_flash::DeviceError::from(e).into())
 }
 
+/// The deepest valley of a (bimodal) threshold histogram: the bin center
+/// minimising counts strictly *between* the two tallest genuinely
+/// distinct modes — the reference voltage a re-centering read path
+/// should sense at. Returns `None` for unimodal or empty histograms (no
+/// valley to sit in).
+///
+/// Mode selection is deliberately conservative: the second mode must be
+/// a *local* maximum (a tall peak's shoulder is monotone and never
+/// qualifies), sit more than one bin from the first, carry at least 5 %
+/// of the first mode's count (a handful of outlier cells is a tail, not
+/// a population), and the gap between the modes must dip strictly below
+/// the smaller one.
+#[must_use]
+pub fn decision_valley(h: &Histogram) -> Option<f64> {
+    let counts = h.counts();
+    let is_local_max = |i: usize| {
+        counts[i] > 0
+            && (i == 0 || counts[i] >= counts[i - 1])
+            && (i + 1 == counts.len() || counts[i] >= counts[i + 1])
+    };
+    let (first, &first_count) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, core::cmp::Reverse(i)))?;
+    let (second, &second_count) = counts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i.abs_diff(first) > 1 && is_local_max(i))
+        .max_by_key(|&(i, &c)| (c, core::cmp::Reverse(i)))?;
+    if second_count == 0 || 20 * second_count < first_count {
+        return None;
+    }
+    let (lo, hi) = (first.min(second), first.max(second));
+    let min_count = (lo + 1..hi).map(|i| counts[i]).min()?;
+    if min_count >= second_count {
+        return None; // no dip between the "modes": one sloped population
+    }
+    // The middle of the flattest stretch between the modes: a reference
+    // centred in the gap, not hugging one population's tail.
+    let ties: Vec<usize> = (lo + 1..hi).filter(|&i| counts[i] == min_count).collect();
+    Some(h.bin_center(ties[ties.len() / 2]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +188,63 @@ mod tests {
         assert!(report.erased.is_some());
         assert!(report.worst_case_margin.is_none());
         assert!(!report.is_readable(0.0));
+    }
+
+    #[test]
+    fn valley_sits_between_the_two_populations() {
+        let array = half_programmed_array();
+        let h = vt_histogram(&array, -1.0, 4.0, 50).unwrap();
+        let valley = decision_valley(&h).unwrap();
+        // Between the erased mode (~0 V) and the programmed mode (~2.3 V).
+        assert!(valley > 0.3 && valley < 2.2, "valley = {valley} V");
+    }
+
+    /// Samples placed exactly on the centers of 0.1 V bins over [0, 5):
+    /// `(center, count)` pairs give full control of the histogram shape.
+    fn synthetic_histogram(spec: &[(f64, usize)]) -> Histogram {
+        let mut samples = Vec::new();
+        for &(center, count) in spec {
+            samples.extend((0..count).map(|_| center));
+        }
+        Histogram::new(&samples, 0.0, 5.0, 50).unwrap()
+    }
+
+    #[test]
+    fn imbalanced_modes_still_get_a_centred_valley() {
+        // 87 % programmed in a peaked mode around 2.45 V with broad
+        // monotone shoulders, 13 % erased at 0.05 V: the second mode
+        // must be the minority *population*, not the majority's flank.
+        let h = synthetic_histogram(&[
+            (0.05, 100),
+            (2.05, 40),
+            (2.15, 80),
+            (2.25, 120),
+            (2.35, 200),
+            (2.45, 120),
+            (2.55, 80),
+            (2.65, 40),
+        ]);
+        let valley = decision_valley(&h).unwrap();
+        assert!(valley > 0.3 && valley < 1.9, "valley = {valley} V");
+    }
+
+    #[test]
+    fn outlier_blips_are_a_tail_not_a_mode() {
+        // A peaked majority plus 5 stray cells: below the 5 % prominence
+        // bar, so no valley — the reference must not chase outliers.
+        let h = synthetic_histogram(&[(0.05, 5), (2.25, 120), (2.35, 200), (2.45, 120)]);
+        assert_eq!(decision_valley(&h), None);
+    }
+
+    #[test]
+    fn unimodal_histograms_have_no_valley() {
+        let array = NandArray::new(NandConfig {
+            blocks: 1,
+            pages_per_block: 2,
+            page_width: 8,
+        });
+        let h = vt_histogram(&array, -1.0, 4.0, 50).unwrap();
+        assert_eq!(decision_valley(&h), None);
     }
 
     #[test]

@@ -150,6 +150,15 @@ impl NandArray {
         &self.pop
     }
 
+    /// Mutable cell-state access — the seam reliability models use to
+    /// evolve the *analog* state between operations (retention bake,
+    /// synthetic wear fluence). Page bookkeeping (erased flags, wear
+    /// counters) is untouched: callers model charge motion, not page
+    /// lifecycle.
+    pub fn population_mut(&mut self) -> &mut CellPopulation {
+        &mut self.pop
+    }
+
     /// Erase count of a block (wear metric).
     ///
     /// # Errors

@@ -454,6 +454,54 @@ impl CellPopulation {
         out
     }
 
+    /// The stored-charge column (C per cell) — read-only bulk access for
+    /// reliability models that post-process the analog state.
+    #[must_use]
+    pub fn charge_column(&self) -> &[f64] {
+        &self.charge
+    }
+
+    /// The injected-charge wear column (C per cell) — the oxide-fluence
+    /// input of trap-noise and endurance models.
+    #[must_use]
+    pub fn injected_charge_column(&self) -> &[f64] {
+        &self.injected_charge
+    }
+
+    /// Per-cell `CFC` (F), fanned out over `batch` — the denominators of
+    /// `ΔVT = −Q/CFC`, needed by models that convert trapped charge into
+    /// threshold offsets column-wise.
+    #[must_use]
+    pub fn cfc_column(&self, batch: &BatchSimulator) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.len()];
+        let chunk = 16 * 1024;
+        batch.for_each_chunk_mut(&mut out, chunk, |start, slice| {
+            for (offset, slot) in slice.iter_mut().enumerate() {
+                *slot = self.variants[self.variant_of[start + offset] as usize].cfc_farads;
+            }
+        });
+        out
+    }
+
+    /// The population's read decision level (V) — the reference the
+    /// noiseless [`Self::read`] classification uses.
+    #[must_use]
+    pub fn decision_level(&self) -> Voltage {
+        self.decision_level
+    }
+
+    /// Adds externally-modelled injected-charge fluence (C) to every
+    /// listed cell without moving stored charge — the synthetic-wear
+    /// path of reliability sweeps (like [`Self::set_charge`], the caller
+    /// owns the physics: here, `fluence = charge_per_cycle × cycles` from
+    /// the endurance model's analytic wear evolution).
+    pub fn add_injected_charge(&mut self, indices: &[usize], coulombs: f64) {
+        for &i in indices {
+            debug_assert!(i < self.len(), "add_injected_charge index {i} out of range");
+            self.injected_charge[i] += coulombs;
+        }
+    }
+
     /// Logic state of cell `i` through the population's decision level.
     ///
     /// # Errors

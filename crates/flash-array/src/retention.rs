@@ -232,6 +232,52 @@ impl RetentionModel {
     }
 }
 
+impl RetentionModel {
+    /// Applies `duration_s` of resting charge loss at temperature `t` to
+    /// every cell of the population — the *mutating* counterpart of
+    /// [`Self::population_check`], used to bake arrays before reliability
+    /// scans. One leakage trace is integrated per distinct
+    /// `(variant, charge)` state and the final charge is shared across
+    /// all cells in that state. Returns the number of distinct states
+    /// integrated. Durations below one second are a no-op (the trace's
+    /// first checkpoint).
+    pub fn bake_population(
+        &self,
+        pop: &mut CellPopulation,
+        duration_s: f64,
+        t: Temperature,
+    ) -> usize {
+        if duration_s < 1.0 {
+            return 0;
+        }
+        let mut memo: HashMap<(u64, u64, u64), f64> = HashMap::new();
+        for i in 0..pop.len() {
+            let charge = pop.charge(i).expect("index in range");
+            if charge.as_coulombs() == 0.0 {
+                continue; // nothing stored, nothing to lose
+            }
+            let (xto, barrier) = pop.variation_deltas(i).expect("index in range");
+            let key = (
+                xto.to_bits(),
+                barrier.to_bits(),
+                charge.as_coulombs().to_bits(),
+            );
+            let baked = if let Some(&q) = memo.get(&key) {
+                q
+            } else {
+                let device = pop.device(i).expect("index in range");
+                let trace = self.trace(device, charge, duration_s, t);
+                let q = trace.last().map_or(charge.as_coulombs(), |p| p.charge);
+                memo.insert(key, q);
+                q
+            };
+            pop.set_charge(i, Charge::from_coulombs(baked))
+                .expect("index in range");
+        }
+        memo.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +357,41 @@ mod tests {
         // Programmed cells pass; erased cells have no shift to retain.
         assert_eq!(report.passing, 32);
         assert!(report.worst_final_vt < 1.0);
+    }
+
+    #[test]
+    fn bake_population_matches_single_cell_trace() {
+        use crate::population::CellPopulation;
+        use gnr_flash::engine::BatchSimulator;
+
+        let mut pop = CellPopulation::paper(16);
+        let programmer = crate::ispp::IsppProgrammer::nominal();
+        let indices: Vec<usize> = (0..8).collect();
+        let _ = pop.program_cells(&programmer, &indices, &BatchSimulator::sequential());
+        let q0 = pop.charge(0).unwrap();
+
+        let model = RetentionModel::default();
+        let bake_s = 3.2e7; // one year
+        let t = Temperature::from_celsius(85.0);
+        let states = model.bake_population(&mut pop, bake_s, t);
+        // Programmed cells share one state; fresh cells are skipped.
+        assert_eq!(states, 1);
+
+        let expected = model
+            .trace(pop.device(0).unwrap(), q0, bake_s, t)
+            .last()
+            .unwrap()
+            .charge;
+        for i in 0..8 {
+            assert_eq!(pop.charge(i).unwrap().as_coulombs(), expected, "cell {i}");
+        }
+        // Fresh cells untouched; charge decayed toward zero.
+        assert_eq!(pop.charge(12).unwrap().as_coulombs(), 0.0);
+        assert!(expected >= q0.as_coulombs() && expected < 0.0);
+
+        // Sub-second bakes are a no-op.
+        let mut pop2 = CellPopulation::paper(2);
+        assert_eq!(model.bake_population(&mut pop2, 0.5, t), 0);
     }
 
     #[test]

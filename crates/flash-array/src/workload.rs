@@ -456,6 +456,27 @@ pub struct WorkloadReport {
     pub snapshots: Vec<WorkloadSnapshot>,
 }
 
+/// A hook called at every snapshot point of a replay (the
+/// `snapshot_interval` cadence plus the final state) — the seam through
+/// which higher layers (e.g. the reliability pipeline's UBER tracker)
+/// record their own trajectories against the same op clock without the
+/// workload layer depending on them.
+pub trait ReplayObserver {
+    /// Observes the controller after `op_index` operations.
+    ///
+    /// # Errors
+    ///
+    /// Errors abort the replay.
+    fn observe(&mut self, controller: &FlashController, op_index: usize) -> Result<()>;
+}
+
+/// The do-nothing observer behind plain [`replay`].
+impl ReplayObserver for () {
+    fn observe(&mut self, _controller: &FlashController, _op_index: usize) -> Result<()> {
+        Ok(())
+    }
+}
+
 /// Replays a trace against a controller, recording per-op latency and
 /// periodic health snapshots.
 ///
@@ -467,6 +488,22 @@ pub fn replay(
     controller: &mut FlashController,
     trace: &WorkloadTrace,
     options: &ReplayOptions,
+) -> Result<WorkloadReport> {
+    replay_observed(controller, trace, options, &mut ())
+}
+
+/// [`replay`] with an observer called at every snapshot point, so
+/// external trackers (error-rate reporters, custom probes) sample the
+/// array on the same cadence the built-in snapshots use.
+///
+/// # Errors
+///
+/// Propagates replay failures and observer errors.
+pub fn replay_observed(
+    controller: &mut FlashController,
+    trace: &WorkloadTrace,
+    options: &ReplayOptions,
+    observer: &mut dyn ReplayObserver,
 ) -> Result<WorkloadReport> {
     let config = controller.array().config();
     let width = config.page_width;
@@ -509,6 +546,7 @@ pub fn replay(
         }
         if options.snapshot_interval > 0 && (i + 1) % options.snapshot_interval == 0 {
             snapshots.push(take_snapshot(controller, i + 1, options.margin_scan)?);
+            observer.observe(controller, i + 1)?;
         }
     }
     let wall = start.elapsed().as_secs_f64();
@@ -517,6 +555,7 @@ pub fn replay(
         trace.ops.len(),
         options.margin_scan,
     )?);
+    observer.observe(controller, trace.ops.len())?;
 
     let cells_written = writes * width as u64;
     #[allow(clippy::cast_precision_loss)]
@@ -688,6 +727,29 @@ mod tests {
             assert!(pair[1].wear.total_erases >= pair[0].wear.total_erases);
             assert!(pair[1].mean_injected_charge >= pair[0].mean_injected_charge - 1e-30);
         }
+    }
+
+    #[test]
+    fn observers_fire_on_the_snapshot_cadence() {
+        struct Recorder(Vec<usize>);
+        impl ReplayObserver for Recorder {
+            fn observe(&mut self, c: &FlashController, op_index: usize) -> crate::Result<()> {
+                assert!(c.live_pages() <= c.logical_capacity());
+                self.0.push(op_index);
+                Ok(())
+            }
+        }
+        let mut c = FlashController::new(small());
+        let trace = WorkloadTrace::sequential_fill(4, PagePattern::AllProgrammed);
+        let options = ReplayOptions {
+            snapshot_interval: 2,
+            margin_scan: false,
+        };
+        let mut recorder = Recorder(Vec::new());
+        let report = replay_observed(&mut c, &trace, &options, &mut recorder).unwrap();
+        // Interval snapshots at 2 and 4, plus the final observation.
+        assert_eq!(recorder.0, vec![2, 4, 4]);
+        assert_eq!(report.snapshots.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Error type for the reliability layer.
+
+use core::fmt;
+
+/// Errors produced by the reliability pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReliabilityError {
+    /// An array-layer operation failed underneath the pipeline.
+    Array(gnr_flash_array::ArrayError),
+    /// A codec was configured with unusable parameters.
+    InvalidCode {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A buffer did not match the codec's expected length.
+    WrongLength {
+        /// What the buffer was for.
+        what: &'static str,
+        /// Provided length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+    /// The codec does not fit the array's page width.
+    CodeTooWide {
+        /// Codeword length.
+        code_bits: usize,
+        /// Page width.
+        page_width: usize,
+    },
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Array(e) => write!(f, "array error: {e}"),
+            Self::InvalidCode { reason } => write!(f, "invalid code: {reason}"),
+            Self::WrongLength {
+                what,
+                got,
+                expected,
+            } => write!(f, "{what} has {got} bits, codec expects {expected}"),
+            Self::CodeTooWide {
+                code_bits,
+                page_width,
+            } => write!(
+                f,
+                "codeword of {code_bits} bits does not fit a {page_width}-bit page"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gnr_flash_array::ArrayError> for ReliabilityError {
+    fn from(e: gnr_flash_array::ArrayError) -> Self {
+        Self::Array(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ReliabilityError::CodeTooWide {
+            code_bits: 255,
+            page_width: 128,
+        };
+        assert!(e.to_string().contains("255"));
+        let e = ReliabilityError::WrongLength {
+            what: "codeword",
+            got: 3,
+            expected: 15,
+        };
+        assert!(e.to_string().contains("codeword"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReliabilityError>();
+    }
+}

@@ -1,0 +1,177 @@
+//! GF(2^m) arithmetic via exp/log tables — the field under the BCH
+//! codec.
+//!
+//! Elements are represented as `u16` bit-vectors over the polynomial
+//! basis; multiplication goes through discrete-log tables built once per
+//! field from a fixed primitive polynomial, so codec hot paths (syndrome
+//! evaluation, Chien search) are two lookups and an add.
+
+use crate::{ReliabilityError, Result};
+
+/// Primitive polynomials over GF(2), one per supported `m` (3..=12),
+/// written with the `x^m` term included (e.g. `m = 4` → `x⁴ + x + 1` =
+/// `0b1_0011`). Standard choices from Lin & Costello's tables.
+const PRIMITIVE_POLYS: [(u32, u32); 10] = [
+    (3, 0b1011),
+    (4, 0b1_0011),
+    (5, 0b10_0101),
+    (6, 0b100_0011),
+    (7, 0b1000_1001),
+    (8, 0b1_0001_1101),
+    (9, 0b10_0001_0001),
+    (10, 0b100_0000_1001),
+    (11, 0b1000_0000_0101),
+    (12, 0b1_0000_0101_0011),
+];
+
+/// A finite field GF(2^m) with precomputed exp/log tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2m {
+    m: u32,
+    /// Multiplicative-group order, `2^m − 1`.
+    order: usize,
+    /// `exp[i] = α^i`, doubled so products index without a mod.
+    exp: Vec<u16>,
+    /// `log[x] = i` with `α^i = x`; `log[0]` is unused.
+    log: Vec<u16>,
+}
+
+impl Gf2m {
+    /// Builds the field tables for `GF(2^m)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReliabilityError::InvalidCode`] for `m` outside 3..=12.
+    pub fn new(m: u32) -> Result<Self> {
+        let &(_, poly) = PRIMITIVE_POLYS
+            .iter()
+            .find(|&&(mm, _)| mm == m)
+            .ok_or_else(|| ReliabilityError::InvalidCode {
+                reason: format!("GF(2^{m}) unsupported: m must be in 3..=12"),
+            })?;
+        let order = (1usize << m) - 1;
+        let mut exp = vec![0u16; 2 * order];
+        let mut log = vec![0u16; order + 1];
+        let mut x: u32 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(order) {
+            *slot = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        debug_assert_eq!(x, 1, "primitive polynomial must generate the group");
+        // Second copy so exp[a + b] works for a, b < order.
+        let (lo, hi) = exp.split_at_mut(order);
+        hi.copy_from_slice(lo);
+        Ok(Self { m, order, exp, log })
+    }
+
+    /// The field degree `m`.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// The multiplicative-group order `2^m − 1` (= BCH codeword length).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// `α^i` for any exponent (reduced mod the group order).
+    #[must_use]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % self.order]
+    }
+
+    /// Discrete log of a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (zero has no logarithm).
+    #[must_use]
+    pub fn log(&self, x: u16) -> usize {
+        assert!(x != 0, "log of zero");
+        usize::from(self.log[usize::from(x)])
+    }
+
+    /// Field product.
+    #[must_use]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log(a) + self.log(b)]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[must_use]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[self.order - self.log(a)]
+    }
+
+    /// `a^n` for a non-negative exponent (`0^0 = 1` by convention).
+    #[must_use]
+    pub fn pow(&self, a: u16, n: usize) -> u16 {
+        if n == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        self.exp[(self.log(a) * n) % self.order]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_close_over_the_group() {
+        for m in 3..=12 {
+            let gf = Gf2m::new(m).unwrap();
+            // α generates every non-zero element exactly once.
+            let mut seen = vec![false; gf.order() + 1];
+            for i in 0..gf.order() {
+                let x = gf.alpha_pow(i);
+                assert!(x != 0 && !seen[usize::from(x)], "m={m} i={i}");
+                seen[usize::from(x)] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_schoolbook_in_gf16() {
+        // GF(16) with x⁴ + x + 1: α⁴ = α + 1 → 2·8 = α·α³ = α⁴ = 3.
+        let gf = Gf2m::new(4).unwrap();
+        assert_eq!(gf.mul(0b0010, 0b1000), 0b0011);
+        assert_eq!(gf.mul(0, 7), 0);
+        assert_eq!(gf.mul(1, 7), 7);
+    }
+
+    #[test]
+    fn inverses_and_powers_are_consistent() {
+        let gf = Gf2m::new(8).unwrap();
+        for x in 1..=255u16 {
+            assert_eq!(gf.mul(x, gf.inv(x)), 1, "x={x}");
+            assert_eq!(gf.pow(x, 255), 1, "Fermat: x^order = 1");
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn unsupported_degrees_are_rejected() {
+        assert!(Gf2m::new(2).is_err());
+        assert!(Gf2m::new(13).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Hamming SEC-DED: single-error correction, double-error detection.
+//!
+//! The classic extended Hamming construction: parity bits at
+//! power-of-two positions cover the positions whose index has the
+//! matching bit set, and one overall parity bit distinguishes single
+//! (correctable) from double (detect-only) errors. Minimum distance 4 —
+//! the lightest codec of the pipeline and the baseline the BCH codes are
+//! judged against.
+
+use crate::codec::{DecodeOutcome, PageCodec};
+use crate::{ReliabilityError, Result};
+
+/// A SEC-DED code for a fixed data length.
+///
+/// Codeword layout: bit 0 is the overall parity; bits `1..=data+r` are
+/// the classic Hamming positions (parity at powers of two, data
+/// elsewhere, both in ascending position order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HammingSecDed {
+    data_bits: usize,
+    /// Hamming parity bits (excluding the overall parity).
+    parity_bits: usize,
+}
+
+impl HammingSecDed {
+    /// Builds the SEC-DED code carrying `data_bits` of payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ReliabilityError::InvalidCode`] for a zero data length.
+    pub fn new(data_bits: usize) -> Result<Self> {
+        if data_bits == 0 {
+            return Err(ReliabilityError::InvalidCode {
+                reason: "Hamming data length must be positive".into(),
+            });
+        }
+        let mut parity_bits = 0usize;
+        while (1usize << parity_bits) < data_bits + parity_bits + 1 {
+            parity_bits += 1;
+        }
+        Ok(Self {
+            data_bits,
+            parity_bits,
+        })
+    }
+
+    /// The largest SEC-DED code whose codeword fits `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// [`ReliabilityError::InvalidCode`] when `width` is too small to
+    /// carry any payload.
+    pub fn for_width(width: usize) -> Result<Self> {
+        let mut data = width.saturating_sub(2);
+        loop {
+            if data == 0 {
+                return Err(ReliabilityError::InvalidCode {
+                    reason: format!("no SEC-DED code fits a {width}-bit page"),
+                });
+            }
+            let code = Self::new(data)?;
+            if code.code_bits() <= width {
+                return Ok(code);
+            }
+            data -= 1;
+        }
+    }
+
+    /// XOR of the position indices of set bits in `1..` — zero for a
+    /// valid classic Hamming word, the error position otherwise.
+    fn syndrome(word: &[bool]) -> usize {
+        word.iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &b)| b)
+            .fold(0, |s, (i, _)| s ^ i)
+    }
+}
+
+impl PageCodec for HammingSecDed {
+    fn name(&self) -> String {
+        format!("hamming-secded({},{})", self.code_bits(), self.data_bits)
+    }
+
+    fn code_bits(&self) -> usize {
+        self.data_bits + self.parity_bits + 1
+    }
+
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn correctable(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, data: &[bool]) -> Result<Vec<bool>> {
+        if data.len() != self.data_bits {
+            return Err(ReliabilityError::WrongLength {
+                what: "data",
+                got: data.len(),
+                expected: self.data_bits,
+            });
+        }
+        let n = self.code_bits();
+        let mut word = vec![false; n];
+        let mut next = 0usize;
+        for (i, slot) in word.iter_mut().enumerate().skip(1) {
+            if !i.is_power_of_two() {
+                *slot = data[next];
+                next += 1;
+            }
+        }
+        debug_assert_eq!(next, self.data_bits);
+        let syndrome = Self::syndrome(&word);
+        for j in 0..self.parity_bits {
+            if syndrome & (1 << j) != 0 {
+                word[1 << j] = true;
+            }
+        }
+        // Overall parity makes the whole word even-weight.
+        word[0] = word[1..].iter().filter(|&&b| b).count() % 2 == 1;
+        Ok(word)
+    }
+
+    fn decode(&self, word: &mut [bool]) -> Result<DecodeOutcome> {
+        if word.len() != self.code_bits() {
+            return Err(ReliabilityError::WrongLength {
+                what: "codeword",
+                got: word.len(),
+                expected: self.code_bits(),
+            });
+        }
+        let syndrome = Self::syndrome(word);
+        let parity_ok = word.iter().filter(|&&b| b).count() % 2 == 0;
+        Ok(match (syndrome, parity_ok) {
+            (0, true) => DecodeOutcome::Clean,
+            (0, false) => {
+                // The overall parity bit itself flipped.
+                word[0] = !word[0];
+                DecodeOutcome::Corrected(1)
+            }
+            (s, false) if s < word.len() => {
+                word[s] = !word[s];
+                DecodeOutcome::Corrected(1)
+            }
+            // Even weight with a non-zero syndrome (or a syndrome beyond
+            // the word): two errors — detected, not corrected.
+            _ => DecodeOutcome::Detected,
+        })
+    }
+
+    fn extract(&self, word: &[bool]) -> Result<Vec<bool>> {
+        if word.len() != self.code_bits() {
+            return Err(ReliabilityError::WrongLength {
+                what: "codeword",
+                got: word.len(),
+                expected: self.code_bits(),
+            });
+        }
+        Ok(word
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(i, _)| !i.is_power_of_two())
+            .map(|(_, &b)| b)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_exact() {
+        let code = HammingSecDed::new(11).unwrap();
+        assert_eq!(code.code_bits(), 16); // 11 + 4 + 1: the (16, 11) code
+        let data: Vec<bool> = (0..11).map(|i| i % 3 == 0).collect();
+        let word = code.encode(&data).unwrap();
+        let mut received = word.clone();
+        assert_eq!(code.decode(&mut received).unwrap(), DecodeOutcome::Clean);
+        assert_eq!(code.extract(&received).unwrap(), data);
+    }
+
+    #[test]
+    fn every_single_error_is_corrected() {
+        let code = HammingSecDed::new(26).unwrap();
+        let data: Vec<bool> = (0..26).map(|i| i % 5 == 1).collect();
+        let word = code.encode(&data).unwrap();
+        for flip in 0..word.len() {
+            let mut received = word.clone();
+            received[flip] = !received[flip];
+            assert_eq!(
+                code.decode(&mut received).unwrap(),
+                DecodeOutcome::Corrected(1),
+                "flip at {flip}"
+            );
+            assert_eq!(received, word, "flip at {flip}");
+        }
+    }
+
+    #[test]
+    fn double_errors_are_detected_not_miscorrected() {
+        let code = HammingSecDed::new(11).unwrap();
+        let data = vec![true; 11];
+        let word = code.encode(&data).unwrap();
+        for a in 0..word.len() {
+            for b in (a + 1)..word.len() {
+                let mut received = word.clone();
+                received[a] = !received[a];
+                received[b] = !received[b];
+                assert_eq!(
+                    code.decode(&mut received).unwrap(),
+                    DecodeOutcome::Detected,
+                    "flips at {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn width_fitting_uses_the_page() {
+        let code = HammingSecDed::for_width(64).unwrap();
+        assert!(code.code_bits() <= 64);
+        assert_eq!(code.data_bits(), 57); // (64, 57) SEC-DED
+        assert!(HammingSecDed::for_width(2).is_err());
+        assert!(HammingSecDed::new(0).is_err());
+    }
+}

@@ -7,5 +7,6 @@ pub use gnr_flash as device;
 pub use gnr_flash_array as array;
 pub use gnr_materials as materials;
 pub use gnr_numerics as numerics;
+pub use gnr_reliability as reliability;
 pub use gnr_tunneling as tunneling;
 pub use gnr_units as units;
