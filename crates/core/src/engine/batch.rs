@@ -147,6 +147,25 @@ impl BatchSimulator {
         self.scatter(spans, |(start, len)| op(start, len))
     }
 
+    /// Order-preserving fan-out over independent work *queues*: items of
+    /// one queue run sequentially in queue order, while distinct queues
+    /// run concurrently — the plane-parallel execution primitive of the
+    /// array layer's P/E scheduler (each NAND plane is a queue whose
+    /// commands must stay ordered, but planes are mutually independent).
+    /// `op` receives `(queue_index, item)`; `output[q][k]` corresponds to
+    /// `queues[q][k]` regardless of scheduling.
+    pub fn scatter_queues<T, R, F>(&self, queues: Vec<Vec<T>>, op: F) -> Vec<Vec<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.scatter(
+            queues.into_iter().enumerate().collect(),
+            |(q, items): (usize, Vec<T>)| items.into_iter().map(|item| op(q, item)).collect(),
+        )
+    }
+
     /// In-place fan-out over disjoint contiguous chunks of a state
     /// column. `op` receives the chunk's starting index in the full
     /// column and the mutable chunk, so per-element work can still be
@@ -221,6 +240,22 @@ mod tests {
         for (i, d) in doubled.iter().enumerate() {
             assert_eq!(*d, 2 * i as i64);
         }
+    }
+
+    #[test]
+    fn queue_fan_out_preserves_per_queue_order() {
+        for batch in [BatchSimulator::new(), BatchSimulator::sequential()] {
+            let queues: Vec<Vec<u64>> = (0..7).map(|q| (0..=q).collect()).collect();
+            let out = batch.scatter_queues(queues.clone(), |q, item| (q as u64) * 100 + item);
+            assert_eq!(out.len(), 7);
+            for (q, results) in out.iter().enumerate() {
+                let expected: Vec<u64> = (0..=q as u64).map(|k| q as u64 * 100 + k).collect();
+                assert_eq!(*results, expected, "queue {q}");
+            }
+        }
+        assert!(BatchSimulator::new()
+            .scatter_queues(Vec::<Vec<u8>>::new(), |_, x| x)
+            .is_empty());
     }
 
     #[test]

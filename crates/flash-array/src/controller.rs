@@ -21,7 +21,10 @@
 //! counters — so totals can no longer double-count; the controller adds
 //! its own *reasons* (reclaims vs. explicit erases vs. GC) on top.
 
+use std::collections::HashMap;
+
 use crate::nand::{NandArray, NandConfig};
+use crate::pe::scheduler::{CommandOutcome, PeCommand, PlaneScheduler};
 use crate::{ArrayError, Result};
 
 /// Physical address of a page.
@@ -62,6 +65,20 @@ impl WearStats {
     }
 }
 
+/// One planned-but-unflushed batched page program: the logical page,
+/// the copy it superseded at plan time (restored on verify failure),
+/// the allocated address and the contents.
+#[derive(Debug, Clone)]
+struct PendingProgram {
+    lpn: usize,
+    prev: Option<PageAddress>,
+    addr: PageAddress,
+    bits: Vec<bool>,
+    /// Assigned from the rotating cursor (`None` lpn): the cursor only
+    /// commits once this job's program verifies.
+    cursor_assigned: bool,
+}
+
 /// Lifecycle of one physical page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PageState {
@@ -88,6 +105,8 @@ pub struct FlashController {
     reclaim_erases: u64,
     gc_erases: u64,
     gc_relocations: u64,
+    /// The multi-plane scheduler behind the batched entry points.
+    scheduler: PlaneScheduler,
 }
 
 impl FlashController {
@@ -124,7 +143,29 @@ impl FlashController {
             reclaim_erases: 0,
             gc_erases: 0,
             gc_relocations: 0,
+            scheduler: PlaneScheduler::default(),
         }
+    }
+
+    /// Sets the plane count the batched entry points schedule across.
+    /// Blocks partition onto planes as `block % planes`; any plane count
+    /// produces bit-identical array state (see [`crate::pe::scheduler`])
+    /// — planes change *how much* of a batch the engine fans out at
+    /// once, never *what* it computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `planes` is zero.
+    #[must_use]
+    pub fn with_planes(mut self, planes: usize) -> Self {
+        self.scheduler = PlaneScheduler::new(planes);
+        self
+    }
+
+    /// The multi-plane scheduler configuration.
+    #[must_use]
+    pub fn scheduler(&self) -> &PlaneScheduler {
+        &self.scheduler
     }
 
     /// The underlying array (for analyses).
@@ -209,6 +250,199 @@ impl FlashController {
         let slot = self.slot(addr);
         self.state[slot] = PageState::Live(lpn);
         Ok(addr)
+    }
+
+    /// Writes a batch of pages through the multi-plane scheduler: the
+    /// FTL decisions (allocation, stale marking, reclaim/GC) run
+    /// sequentially — they are the decisions sequential writes would
+    /// make, address for address — while the accumulated page programs
+    /// flush to the array as scheduled multi-plane rounds. `None` lpns
+    /// take the rotating cursor, exactly like [`Self::write`].
+    ///
+    /// The flush boundary is reclaim/GC: those erase or relocate
+    /// physical pages and must observe every pending program, so the
+    /// batch splits there. Between boundaries, programs on distinct
+    /// blocks merge into rounds and the final state is bit-identical to
+    /// the sequential write sequence.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors reject the batch up front (nothing applied).
+    /// A mid-batch device failure propagates after every already-planned
+    /// program executed or was retired, with [`Self::write_logical`]'s
+    /// guarantee intact: a failed overwrite never costs the last good
+    /// copy — the logical page is remapped back to the newest copy that
+    /// *did* verify (the pre-batch one, or an earlier in-batch rewrite),
+    /// which is physically untouched because reclaim/GC only run at
+    /// flush boundaries.
+    pub fn write_batch(
+        &mut self,
+        jobs: Vec<(Option<usize>, Vec<bool>)>,
+    ) -> Result<Vec<PageAddress>> {
+        let cfg = self.array.config();
+        for (lpn, bits) in &jobs {
+            if bits.len() != cfg.page_width {
+                return Err(ArrayError::WrongPageWidth {
+                    got: bits.len(),
+                    expected: cfg.page_width,
+                });
+            }
+            if lpn.is_some_and(|l| l >= self.logical_capacity()) {
+                return Err(ArrayError::AddressOutOfRange {
+                    kind: "logical page",
+                    index: lpn.expect("checked some"),
+                    len: self.logical_capacity(),
+                });
+            }
+        }
+        let mut addresses = Vec::with_capacity(jobs.len());
+        let mut pending: Vec<PendingProgram> = Vec::new();
+        // Cursor-assigned jobs plan against a *provisional* cursor;
+        // `self.next_lpn` commits per job as its program verifies (in
+        // flush), so a verify failure leaves the cursor on the failed
+        // logical page — `write`'s retry-the-same-page contract.
+        let mut cursor = self.next_lpn;
+        for (lpn, bits) in jobs {
+            let (lpn, cursor_assigned) = match lpn {
+                Some(l) => (l, false),
+                None => {
+                    let l = cursor;
+                    cursor = (cursor + 1) % self.logical_capacity();
+                    (l, true)
+                }
+            };
+            // Reclaim/GC must see every pending program: flush first,
+            // then let the ordinary allocator erase/relocate.
+            let addr = match self.scan_free() {
+                Some(addr) => addr,
+                None => {
+                    self.flush_programs(&mut pending)?;
+                    self.allocate()?
+                }
+            };
+            // Optimistic lifecycle marking, in the same order the
+            // sequential path would apply it, so every later allocation
+            // and reclaim decision matches the sequential replay. The
+            // superseded copy is remembered so a verify failure can
+            // restore it — it stays physically intact until the next
+            // flush boundary.
+            let prev = self.map[lpn].replace(addr);
+            if let Some(old) = prev {
+                let slot = self.slot(old);
+                self.state[slot] = PageState::Stale;
+            }
+            let slot = self.slot(addr);
+            self.state[slot] = PageState::Live(lpn);
+            pending.push(PendingProgram {
+                lpn,
+                prev,
+                addr,
+                bits,
+                cursor_assigned,
+            });
+            addresses.push(addr);
+        }
+        self.flush_programs(&mut pending)?;
+        Ok(addresses)
+    }
+
+    /// Executes the pending planned programs as one scheduled stream.
+    ///
+    /// Failure handling walks the results in plan order tracking, per
+    /// logical page, the newest copy that verified: on a failure the
+    /// consumed page is retired stale and — when the failed copy is the
+    /// currently-mapped one — the mapping rolls back to that last good
+    /// copy, matching the sequential path's "a failed overwrite never
+    /// costs the only copy" guarantee.
+    fn flush_programs(&mut self, pending: &mut Vec<PendingProgram>) -> Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut commands = Vec::with_capacity(pending.len());
+        let mut planned = Vec::with_capacity(pending.len());
+        for p in pending.drain(..) {
+            commands.push(PeCommand::Program {
+                block: p.addr.block,
+                page: p.addr.page,
+                bits: p.bits,
+            });
+            planned.push((p.lpn, p.prev, p.addr, p.cursor_assigned));
+        }
+        let execution = self.scheduler.execute(&mut self.array, commands);
+        let mut last_good: HashMap<usize, Option<PageAddress>> = HashMap::new();
+        let mut cursor_failed = false;
+        let mut first_error = None;
+        for (result, (lpn, prev, addr, cursor_assigned)) in execution.results.iter().zip(planned) {
+            // The rotating cursor commits as its jobs verify, and stops
+            // at the first cursor-assigned failure: a retry then targets
+            // the same logical page, exactly like sequential `write`.
+            if cursor_assigned && !cursor_failed {
+                match result {
+                    Ok(_) => self.next_lpn = (lpn + 1) % self.logical_capacity(),
+                    Err(_) => cursor_failed = true,
+                }
+            }
+            let good = last_good.entry(lpn).or_insert(prev);
+            match result {
+                Ok(_) => *good = Some(addr),
+                Err(e) => {
+                    // Pulses landed but the page never verified: retire
+                    // it, and if it is the live mapping, fall back to
+                    // the newest verified copy of this logical page.
+                    let slot = self.slot(addr);
+                    self.state[slot] = PageState::Stale;
+                    if self.map[lpn] == Some(addr) {
+                        self.map[lpn] = *good;
+                        if let Some(g) = *good {
+                            let slot = self.slot(g);
+                            self.state[slot] = PageState::Live(lpn);
+                        }
+                    }
+                    first_error.get_or_insert_with(|| e.clone());
+                }
+            }
+        }
+        first_error.map_or(Ok(()), Err)
+    }
+
+    /// Reads a batch of logical pages through the multi-plane scheduler.
+    /// Results are index-aligned with `lpns`; unmapped or out-of-range
+    /// logical pages return [`ArrayError::AddressOutOfRange`] per entry
+    /// (the read-miss contract of [`Self::read_logical`]) without
+    /// aborting the batch.
+    #[must_use]
+    pub fn read_batch(&mut self, lpns: &[usize]) -> Vec<Result<Vec<bool>>> {
+        let mut results: Vec<Option<Result<Vec<bool>>>> = Vec::with_capacity(lpns.len());
+        let mut commands = Vec::new();
+        let mut scheduled: Vec<usize> = Vec::new();
+        for (j, &lpn) in lpns.iter().enumerate() {
+            match self.map.get(lpn).copied().flatten() {
+                Some(addr) => {
+                    commands.push(PeCommand::Read {
+                        block: addr.block,
+                        page: addr.page,
+                    });
+                    scheduled.push(j);
+                    results.push(None);
+                }
+                None => results.push(Some(Err(ArrayError::AddressOutOfRange {
+                    kind: "logical page",
+                    index: lpn,
+                    len: self.logical_capacity(),
+                }))),
+            }
+        }
+        let execution = self.scheduler.execute(&mut self.array, commands);
+        for (result, &j) in execution.results.into_iter().zip(&scheduled) {
+            results[j] = Some(result.map(|outcome| match outcome {
+                CommandOutcome::Read(bits) => bits,
+                other => unreachable!("read command returned {other:?}"),
+            }));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every lpn was scheduled or rejected"))
+            .collect()
     }
 
     /// Reads a physical page back.
@@ -665,6 +899,80 @@ mod tests {
         c.write_logical(2, &d).unwrap();
         assert_ne!(c.physical_of(2).unwrap(), addr);
         assert_eq!(c.live_logical_pages(), vec![0, 2]);
+    }
+
+    /// A 2×2×4 controller whose page (0, 1) cells carry +30 % tunnel
+    /// oxide — nominal ISPP deterministically fails verify on them.
+    fn controller_with_bad_page() -> FlashController {
+        let config = NandConfig {
+            blocks: 2,
+            pages_per_block: 2,
+            page_width: 4,
+        };
+        let mut pop = crate::population::CellPopulation::paper(config.cells());
+        let probe = NandArray::new(config);
+        for column in 0..config.page_width {
+            pop.set_cell_variation(probe.cell_index(0, 1, column), 0.3, 0.0)
+                .unwrap();
+        }
+        FlashController::over(NandArray::with_population(config, pop))
+    }
+
+    #[test]
+    fn batched_write_failure_keeps_the_pre_batch_copy() {
+        // Regression: plan-time remapping must not cost the last good
+        // copy when the scheduled program fails verify — the guarantee
+        // write_logical documents, now preserved across flush rollback.
+        let mut c = controller_with_bad_page();
+        let data = vec![false, true, false, true];
+        let first = c.write_batch(vec![(Some(0), data.clone())]).unwrap();
+        assert_eq!(first, vec![PageAddress { block: 0, page: 0 }]);
+        // The rewrite allocates the bad page (0, 1) and fails...
+        let err = c
+            .write_batch(vec![(Some(0), vec![true, false, true, false])])
+            .unwrap_err();
+        assert!(matches!(err, ArrayError::VerifyFailed { .. }));
+        // ...and the mapping rolled back to the intact pre-batch copy.
+        assert_eq!(c.physical_of(0), Some(PageAddress { block: 0, page: 0 }));
+        assert_eq!(c.read_logical(0).unwrap(), data);
+    }
+
+    #[test]
+    fn batched_write_failure_keeps_the_last_in_batch_copy() {
+        // Same-lpn rewrites inside one batch: the fallback is the newest
+        // copy that verified, not only the pre-batch one.
+        let mut c = controller_with_bad_page();
+        let good = vec![false, true, true, true];
+        let err = c
+            .write_batch(vec![
+                (Some(0), good.clone()),                   // lands (0,0), verifies
+                (Some(0), vec![true, false, true, false]), // lands (0,1), fails
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ArrayError::VerifyFailed { .. }));
+        assert_eq!(c.physical_of(0), Some(PageAddress { block: 0, page: 0 }));
+        assert_eq!(c.read_logical(0).unwrap(), good);
+    }
+
+    #[test]
+    fn batched_cursor_only_advances_on_verified_programs() {
+        // write()'s contract: "the cursor only advances on success, so a
+        // failed write retries the same logical page" — the batched path
+        // must hold it too (the cursor commits per verified program).
+        let mut c = controller_with_bad_page();
+        let good = vec![false, true, false, true];
+        // Cursor job 1 lands (0,0) and verifies: cursor moves to lpn 1.
+        c.write_batch(vec![(None, good.clone())]).unwrap();
+        // Cursor job 2 lands the bad page (0,1) and fails: the cursor
+        // must stay on lpn 1 so a retry targets the same logical page.
+        assert!(c.write_batch(vec![(None, good.clone())]).is_err());
+        assert_eq!(c.physical_of(1), None);
+        let retry = vec![false, false, true, true];
+        let addr = c.write(&retry).unwrap();
+        assert_eq!(c.physical_of(1), Some(addr));
+        assert_eq!(c.read_logical(1).unwrap(), retry);
+        // Logical page 0's copy survived throughout.
+        assert_eq!(c.read_logical(0).unwrap(), good);
     }
 
     #[test]

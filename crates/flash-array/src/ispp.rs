@@ -13,14 +13,20 @@ use crate::cell::FlashCell;
 use crate::{ArrayError, Result};
 
 /// Result of one ISPP operation.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IsppReport {
-    /// Pulses applied (including the passing one).
+    /// Pulses applied (including the passing one); `0` when the cell
+    /// already verified before the first rung.
     pub pulses: usize,
-    /// Final gate amplitude applied (V).
+    /// Final gate amplitude applied (V); `0` when no pulse was applied.
     pub final_amplitude: f64,
     /// Threshold shift after the operation (V).
     pub final_vt_shift: f64,
+    /// The verify trajectory: the VT shift (V) observed at every verify
+    /// read, starting with the pre-rung-0 verify — `verify_vt.len()` is
+    /// always `pulses + 1` and `verify_vt.last()` equals
+    /// [`Self::final_vt_shift`] for successful operations.
+    pub verify_vt: Vec<f64>,
 }
 
 /// ISPP programmer: a ladder plus a verify target.
@@ -81,18 +87,31 @@ impl IsppProgrammer {
         cell: &mut FlashCell,
         engine: &ChargeBalanceEngine,
     ) -> Result<IsppReport> {
+        // Verify before rung 0: a cell already at or above target (a
+        // reprogram, or an MLC level the cell already sits on) must not
+        // receive a single pulse — the historical first-pulse-then-verify
+        // loop over-programmed it past the target window.
+        let mut verify_vt = vec![cell.vt_shift().as_volts()];
+        if cell.verify_program(self.target) {
+            return Ok(IsppReport {
+                pulses: 0,
+                final_amplitude: 0.0,
+                final_vt_shift: verify_vt[0],
+                verify_vt,
+            });
+        }
         let mut pulses = 0;
-        #[allow(unused_assignments)]
-        let mut last_amp = f64::NAN;
         for pulse in self.ladder {
             cell.apply_pulse_with(engine, pulse)?;
             pulses += 1;
-            last_amp = pulse.amplitude.as_volts();
+            let vt = cell.vt_shift().as_volts();
+            verify_vt.push(vt);
             if cell.verify_program(self.target) {
                 return Ok(IsppReport {
                     pulses,
-                    final_amplitude: last_amp,
-                    final_vt_shift: cell.vt_shift().as_volts(),
+                    final_amplitude: pulse.amplitude.as_volts(),
+                    final_vt_shift: vt,
+                    verify_vt,
                 });
             }
         }
@@ -170,18 +189,29 @@ impl IsppEraser {
         cell: &mut FlashCell,
         engine: &ChargeBalanceEngine,
     ) -> Result<IsppReport> {
+        // Symmetric to the program path: verify before rung 0, so an
+        // already-erased cell is not driven deeper (over-erase).
+        let mut verify_vt = vec![cell.vt_shift().as_volts()];
+        if cell.verify_erase(self.target) {
+            return Ok(IsppReport {
+                pulses: 0,
+                final_amplitude: 0.0,
+                final_vt_shift: verify_vt[0],
+                verify_vt,
+            });
+        }
         let mut pulses = 0;
-        #[allow(unused_assignments)]
-        let mut last_amp = f64::NAN;
         for pulse in self.ladder {
             cell.apply_pulse_with(engine, pulse)?;
             pulses += 1;
-            last_amp = pulse.amplitude.as_volts();
+            let vt = cell.vt_shift().as_volts();
+            verify_vt.push(vt);
             if cell.verify_erase(self.target) {
                 return Ok(IsppReport {
                     pulses,
-                    final_amplitude: last_amp,
-                    final_vt_shift: cell.vt_shift().as_volts(),
+                    final_amplitude: pulse.amplitude.as_volts(),
+                    final_vt_shift: vt,
+                    verify_vt,
                 });
             }
         }
@@ -236,6 +266,53 @@ mod tests {
         let report = p.program(&mut cell).unwrap();
         assert_eq!(report.pulses, 1);
         assert!((report.final_amplitude - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reprogramming_a_passing_cell_applies_no_pulse() {
+        // Regression: the historical loop applied rung 0 before any
+        // verify, so a cell already at/above target was over-programmed
+        // on every reprogram. The second program must be a no-op.
+        let mut cell = FlashCell::paper_cell();
+        let programmer = IsppProgrammer::nominal();
+        let first = programmer.program(&mut cell).unwrap();
+        assert!(first.pulses >= 1);
+        let vt_after_first = cell.vt_shift().as_volts();
+
+        let second = programmer.program(&mut cell).unwrap();
+        assert_eq!(second.pulses, 0, "verified cell must not be pulsed");
+        assert_eq!(second.final_amplitude, 0.0);
+        assert_eq!(second.final_vt_shift, vt_after_first);
+        assert_eq!(second.verify_vt, vec![vt_after_first]);
+        assert_eq!(
+            cell.vt_shift().as_volts(),
+            vt_after_first,
+            "reprogram must leave the threshold untouched"
+        );
+    }
+
+    #[test]
+    fn erasing_an_erased_cell_applies_no_pulse() {
+        let mut cell = FlashCell::paper_cell();
+        let report = IsppEraser::nominal().erase(&mut cell).unwrap();
+        assert_eq!(report.pulses, 0);
+        assert_eq!(cell.vt_shift().as_volts(), 0.0);
+    }
+
+    #[test]
+    fn reports_record_the_verify_trajectory() {
+        let mut cell = FlashCell::paper_cell();
+        let report = IsppProgrammer::nominal().program(&mut cell).unwrap();
+        assert_eq!(report.verify_vt.len(), report.pulses + 1);
+        assert_eq!(
+            report.verify_vt[0], 0.0,
+            "pre-rung-0 verify of a fresh cell"
+        );
+        assert_eq!(*report.verify_vt.last().unwrap(), report.final_vt_shift);
+        // The trajectory climbs monotonically toward the target.
+        for pair in report.verify_vt.windows(2) {
+            assert!(pair[1] > pair[0], "trajectory {:?}", report.verify_vt);
+        }
     }
 
     #[test]

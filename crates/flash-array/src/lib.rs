@@ -20,6 +20,9 @@
 //! * [`disturb`] — read/pass-disturb accumulation on unselected cells.
 //! * [`endurance`] — P/E cycling with phenomenological oxide wear.
 //! * [`retention`] — low-field charge loss and the ten-year check.
+//! * [`pe`] — the program/erase operation subsystem: adaptive ISPP,
+//!   erase-verify with soft-program compaction, and the multi-plane
+//!   command scheduler.
 //! * [`controller`] — a miniature flash-translation controller: logical
 //!   page mapping, explicit block reclaim, garbage collection and wear
 //!   tracking.
@@ -53,6 +56,7 @@ pub mod margins;
 pub mod mlc;
 pub mod nand;
 pub mod nor;
+pub mod pe;
 pub mod population;
 pub mod retention;
 pub mod workload;

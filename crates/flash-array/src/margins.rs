@@ -96,6 +96,22 @@ pub fn vt_histogram(array: &NandArray, lo: f64, hi: f64, bins: usize) -> Result<
     Histogram::new(&samples, lo, hi, bins).map_err(|e| gnr_flash::DeviceError::from(e).into())
 }
 
+/// FNV-1a digest over the bit patterns of the array's full ΔVT column —
+/// the cheap state fingerprint multi-plane parity checks compare (used
+/// by `tests/pe_scheduler.rs` and asserted by the `pe_scheduler` bench
+/// on every run, CI smoke included).
+#[must_use]
+pub fn state_digest(array: &NandArray) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in array.population().vt_shift_column(array.batch()) {
+        for byte in s.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// The deepest valley of a (bimodal) threshold histogram: the bin center
 /// minimising counts strictly *between* the two tallest genuinely
 /// distinct modes — the reference voltage a re-centering read path
@@ -134,9 +150,26 @@ pub fn decision_valley(h: &Histogram) -> Option<f64> {
         return None; // no dip between the "modes": one sloped population
     }
     // The middle of the flattest stretch between the modes: a reference
-    // centred in the gap, not hugging one population's tail.
+    // centred in the gap, not hugging one population's tail. Tie bins can
+    // appear in several disjoint runs (equal dips with a bump between);
+    // the reference sits at the midpoint of the *longest contiguous* run
+    // of minimum-count bins — `(first + last) / 2` of its bin centers, so
+    // an even-length flat stretch centres exactly between its two middle
+    // bins instead of snapping to the right one of them.
     let ties: Vec<usize> = (lo + 1..hi).filter(|&i| counts[i] == min_count).collect();
-    Some(h.bin_center(ties[ties.len() / 2]))
+    let mut best = (ties[0], ties[0]);
+    let mut run = (ties[0], ties[0]);
+    for &i in &ties[1..] {
+        if i == run.1 + 1 {
+            run.1 = i;
+        } else {
+            run = (i, i);
+        }
+        if run.1 - run.0 > best.1 - best.0 {
+            best = run;
+        }
+    }
+    Some(0.5 * (h.bin_center(best.0) + h.bin_center(best.1)))
 }
 
 #[cfg(test)]
@@ -226,6 +259,58 @@ mod tests {
         ]);
         let valley = decision_valley(&h).unwrap();
         assert!(valley > 0.3 && valley < 1.9, "valley = {valley} V");
+    }
+
+    #[test]
+    fn symmetric_two_mode_histogram_centres_exactly() {
+        // Regression: the old `ties[ties.len() / 2]` pick lands one bin
+        // right of centre for even-length flat stretches. Two equal
+        // modes at 1.05 V and 3.95 V leave an even run of empty gap bins
+        // whose exact middle is 2.50 V — pin it to the bin-width scale.
+        let h = synthetic_histogram(&[(1.05, 100), (3.95, 100)]);
+        let valley = decision_valley(&h).unwrap();
+        assert!(
+            (valley - 2.5).abs() < 1e-12,
+            "valley = {valley} V, expected the exact gap centre 2.5 V"
+        );
+        // A shifted pair keeps the property: the valley is the exact
+        // midpoint of the two modes wherever the gap sits.
+        let shifted = synthetic_histogram(&[(0.75, 100), (3.05, 100)]);
+        let shifted_valley = decision_valley(&shifted).unwrap();
+        assert!(
+            (shifted_valley - 1.9).abs() < 1e-12,
+            "valley = {shifted_valley} V, expected 1.9 V"
+        );
+    }
+
+    #[test]
+    fn equal_dips_prefer_the_longest_flat_stretch() {
+        // Every bin between the modes is populated; two disjoint runs
+        // share the minimum count 10 — a short one (0.75–0.85) and a
+        // long one (1.05–1.25). The reference must sit at the centre of
+        // the longest run, not at an index-midpoint across both runs.
+        let h = synthetic_histogram(&[
+            (0.25, 200),
+            (0.35, 20),
+            (0.45, 20),
+            (0.55, 20),
+            (0.65, 20),
+            (0.75, 10),
+            (0.85, 10),
+            (0.95, 20),
+            (1.05, 10),
+            (1.15, 10),
+            (1.25, 10),
+            (1.35, 20),
+            (1.45, 20),
+            (1.55, 20),
+            (1.65, 180),
+        ]);
+        let valley = decision_valley(&h).unwrap();
+        assert!(
+            (valley - 1.15).abs() < 1e-12,
+            "valley = {valley} V, expected the long stretch centre 1.15 V"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use gnr_units::Voltage;
 use crate::cell::FlashCell;
 use crate::disturb::DisturbBias;
 use crate::ispp::{IsppEraser, IsppProgrammer};
+use crate::pe::operation::{erase_verify_cells, BlockEraseReport, EraseVerify, SoftProgram};
 use crate::population::CellPopulation;
 use crate::{ArrayError, Result};
 
@@ -282,6 +283,222 @@ impl NandArray {
         Ok(())
     }
 
+    /// Programs several pages **on distinct blocks** as one merged
+    /// submission: the selected cells of every page fan out through the
+    /// batch engine together (one grouped run per distinct cell state
+    /// across the whole round), then each block takes its pass-voltage
+    /// disturb exposure. Per-job results are index-aligned with `jobs`.
+    ///
+    /// Because the pages sit on distinct blocks they touch disjoint
+    /// cells, so the merged execution is bit-identical to calling
+    /// [`Self::program_page`] per job in any order — the multi-plane
+    /// scheduler's round primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two jobs target the same block (same-block ordering
+    /// is the scheduler's responsibility; merging same-block work would
+    /// silently reorder disturb).
+    pub fn program_pages_multi(&mut self, jobs: &[(usize, usize, &[bool])]) -> Vec<Result<()>> {
+        assert_distinct_blocks(jobs.iter().map(|&(b, ..)| b));
+        let width = self.config.page_width;
+        let mut results: Vec<Option<Result<()>>> = Vec::with_capacity(jobs.len());
+        // Validate first; only valid jobs join the merged submission.
+        let mut selected: Vec<usize> = Vec::new();
+        let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(jobs.len());
+        for &(block, page, bits) in jobs {
+            if bits.len() != width {
+                results.push(Some(Err(ArrayError::WrongPageWidth {
+                    got: bits.len(),
+                    expected: width,
+                })));
+                spans.push(None);
+                continue;
+            }
+            match self.page_slot(block, page) {
+                Err(e) => {
+                    results.push(Some(Err(e)));
+                    spans.push(None);
+                    continue;
+                }
+                Ok(slot) if !self.page_erased[slot] => {
+                    results.push(Some(Err(ArrayError::PageNotErased { block, page })));
+                    spans.push(None);
+                    continue;
+                }
+                Ok(_) => {}
+            }
+            let base = self.cell_index(block, page, 0);
+            let start = selected.len();
+            selected.extend(
+                bits.iter()
+                    .enumerate()
+                    .filter_map(|(c, &bit)| (!bit).then_some(base + c)),
+            );
+            spans.push(Some((start, selected.len())));
+            results.push(None);
+        }
+        let programmer = self.programmer;
+        let batch = self.batch.clone();
+        let reports = self.pop.program_cells(&programmer, &selected, &batch);
+        for (j, &(block, page, _)) in jobs.iter().enumerate() {
+            let Some((start, end)) = spans[j] else {
+                continue;
+            };
+            let slot = self.page_slot(block, page).expect("validated above");
+            self.page_erased[slot] = false;
+            self.disturb_block_except(block, page, self.bias.v_pass_program, true);
+            let mut outcome = Ok(());
+            for report in &reports[start..end] {
+                if let Err(e) = report {
+                    outcome = Err(e.clone());
+                    break;
+                }
+            }
+            results[j] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job was validated or executed"))
+            .collect()
+    }
+
+    /// Reads several pages **on distinct blocks**: the bit computation
+    /// fans out per plane queue (one queue per page) through
+    /// [`BatchSimulator::scatter_queues`], then each block takes its
+    /// read-disturb exposure. Results are index-aligned with `pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two pages share a block (see
+    /// [`Self::program_pages_multi`]).
+    pub fn read_pages_multi(&mut self, pages: &[(usize, usize)]) -> Vec<Result<Vec<bool>>> {
+        assert_distinct_blocks(pages.iter().map(|&(b, _)| b));
+        let width = self.config.page_width;
+        let mut results: Vec<Option<Result<Vec<bool>>>> = Vec::with_capacity(pages.len());
+        let mut queues: Vec<Vec<usize>> = Vec::new();
+        let mut valid: Vec<usize> = Vec::new();
+        for (j, &(block, page)) in pages.iter().enumerate() {
+            match self.page_slot(block, page) {
+                Err(e) => results.push(Some(Err(e))),
+                Ok(_) => {
+                    let base = self.cell_index(block, page, 0);
+                    queues.push((base..base + width).collect());
+                    valid.push(j);
+                    results.push(None);
+                }
+            }
+        }
+        let pop = &self.pop;
+        let bits: Vec<Vec<Result<bool>>> = self
+            .batch
+            .scatter_queues(queues, |_, i| Ok(pop.read(i)? == LogicState::Erased1));
+        for (page_bits, &j) in bits.into_iter().zip(&valid) {
+            let (block, page) = pages[j];
+            self.disturb_block_except(block, page, self.bias.v_pass_read, false);
+            results[j] = Some(page_bits.into_iter().collect());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every page was validated or read"))
+            .collect()
+    }
+
+    /// Erases several **distinct** blocks as one merged submission (one
+    /// grouped erase run per distinct cell state across all of them).
+    /// Per-block results are index-aligned with `blocks`; wear counters
+    /// advance and page flags reset exactly as per-block
+    /// [`Self::erase_block`] calls would.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate block indices.
+    pub fn erase_blocks_multi(&mut self, blocks: &[usize]) -> Vec<Result<()>> {
+        assert_distinct_blocks(blocks.iter().copied());
+        let block_cells = self.config.pages_per_block * self.config.page_width;
+        let mut results: Vec<Option<Result<()>>> = Vec::with_capacity(blocks.len());
+        let mut indices: Vec<usize> = Vec::new();
+        let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(blocks.len());
+        for &block in blocks {
+            if block >= self.config.blocks {
+                results.push(Some(Err(ArrayError::AddressOutOfRange {
+                    kind: "block",
+                    index: block,
+                    len: self.config.blocks,
+                })));
+                spans.push(None);
+                continue;
+            }
+            let base = self.cell_index(block, 0, 0);
+            let start = indices.len();
+            indices.extend(base..base + block_cells);
+            spans.push(Some((start, indices.len())));
+            results.push(None);
+        }
+        let eraser = self.eraser;
+        let batch = self.batch.clone();
+        let cell_results =
+            self.pop
+                .erase_block_cells(&eraser, Voltage::from_volts(0.3), &indices, &batch);
+        for (j, &block) in blocks.iter().enumerate() {
+            let Some((start, end)) = spans[j] else {
+                continue;
+            };
+            self.erase_count[block] += 1;
+            let mut outcome = Ok(());
+            for r in &cell_results[start..end] {
+                if let Err(e) = r {
+                    outcome = Err(e.clone());
+                    break;
+                }
+            }
+            if outcome.is_ok() {
+                let first = block * self.config.pages_per_block;
+                self.page_erased[first..first + self.config.pages_per_block].fill(true);
+            }
+            results[j] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every block was validated or erased"))
+            .collect()
+    }
+
+    /// Erases a block through the closed-loop erase-verify operation
+    /// (collective pulses until every cell verifies erased) followed by
+    /// optional soft-program compaction of the over-erased tail — the
+    /// paper's erase analysis made operational. Wear accounting matches
+    /// [`Self::erase_block`]: the counter advances whether or not the
+    /// loop converged; page flags reset only on success.
+    ///
+    /// # Errors
+    ///
+    /// Address errors, [`ArrayError::VerifyFailed`] on a non-converging
+    /// loop, and device errors.
+    pub fn erase_block_verified(
+        &mut self,
+        block: usize,
+        spec: &EraseVerify,
+        soft: Option<&SoftProgram>,
+    ) -> Result<BlockEraseReport> {
+        if block >= self.config.blocks {
+            return Err(ArrayError::AddressOutOfRange {
+                kind: "block",
+                index: block,
+                len: self.config.blocks,
+            });
+        }
+        let base = self.cell_index(block, 0, 0);
+        let indices: Vec<usize> =
+            (base..base + self.config.pages_per_block * self.config.page_width).collect();
+        let batch = self.batch.clone();
+        self.erase_count[block] += 1;
+        let report = erase_verify_cells(&mut self.pop, &indices, &batch, spec, soft)?;
+        let first = block * self.config.pages_per_block;
+        self.page_erased[first..first + self.config.pages_per_block].fill(true);
+        Ok(report)
+    }
+
     /// Materialises one cell as an owning [`FlashCell`] for analyses
     /// (threshold maps, disturb margins). Clones the shared device —
     /// bulk scans should use [`Self::population`] instead.
@@ -343,6 +560,17 @@ impl NandArray {
             });
         }
         Ok(block * self.config.pages_per_block + page)
+    }
+}
+
+/// Multi-op contract check: merged rounds commute only across blocks.
+fn assert_distinct_blocks(blocks: impl Iterator<Item = usize>) {
+    let mut seen = std::collections::HashSet::new();
+    for b in blocks {
+        assert!(
+            seen.insert(b),
+            "multi-plane round targets block {b} twice: same-block commands must stay sequential"
+        );
     }
 }
 

@@ -1,0 +1,34 @@
+//! Program/erase operation subsystem: the paper's §III–§IV programming
+//! and erasing analysis made *operational*.
+//!
+//! The base array layer exposes one-shot primitives — a fixed ISPP
+//! ladder per cell, a per-cell erase ladder per block. Real P/E
+//! operation closes the loop around them:
+//!
+//! * [`operation`] — **adaptive ISPP** (the step tightens near target
+//!   using the previous rung's observed gain, so cells land in a narrow
+//!   band just above the verify level with no fewer rungs wasted), and
+//!   **erase-verify with soft-program** (erase pulses hit the whole
+//!   block until every cell verifies erased, then the over-erased tail
+//!   is compacted with low-amplitude soft-program pulses — the erase
+//!   distribution engineering of the paper's erase analysis).
+//! * [`scheduler`] — a **multi-plane command scheduler**: blocks are
+//!   partitioned into planes (`block % planes`), queued page-program /
+//!   block-erase / read commands execute one per plane per round with
+//!   program-suspend-for-read priority, and each round's work is merged
+//!   into single grouped submissions so the batch engine sees the whole
+//!   round at once. Per-block command order is preserved — which is the
+//!   exact invariant that makes any plane count bit-identical to
+//!   sequential execution (commands on distinct blocks touch disjoint
+//!   cells and commute).
+//!
+//! [`crate::controller::FlashController`] drives the scheduler from its
+//! batched entry points (`write_batch` / `read_batch`), which the
+//! workload replayer and the reliability scrubber use — every existing
+//! scenario gains plane parallelism without touching its trace.
+
+pub mod operation;
+pub mod scheduler;
+
+pub use operation::{AdaptiveIspp, BlockEraseReport, EraseVerify, SoftProgram};
+pub use scheduler::{CommandOutcome, PeCommand, PlaneExecution, PlaneScheduler};

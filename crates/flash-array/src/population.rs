@@ -24,14 +24,17 @@
 //! # Determinism and parity
 //!
 //! Simulation ops (`program_cells`, `erase_block_cells`, pulse and
-//! disturb application) group cells by `(variant, charge-bits)` and run
-//! **one** representative transient per group through the *same*
-//! [`FlashCell`] + [`ChargeBalanceEngine`] code path the per-cell layer
-//! uses, then write the outcome back to every member. Because the engine
-//! is deterministic, two cells with bit-identical state get bit-identical
+//! disturb application) group cells by their full state — variant,
+//! charge bits *and* wear counters — and run **one** representative
+//! transient per group through the *same* [`FlashCell`] +
+//! [`ChargeBalanceEngine`] code path the per-cell layer uses, then write
+//! the absolute outcome back to every member. Because the engine is
+//! deterministic, two cells with bit-identical state get bit-identical
 //! results whether simulated separately or shared — which is what makes
 //! the grouped path *exactly* equal to the historical cell-by-cell loop
-//! (`tests/population_parity.rs` pins this end to end).
+//! (`tests/population_parity.rs` pins this end to end, wear accumulation
+//! included: the representative carries the members' own stats, so every
+//! floating-point addition happens in per-cell order).
 
 use std::collections::HashMap;
 
@@ -180,12 +183,15 @@ fn variant_key(xto: f64, barrier_ev: f64) -> (u64, u64) {
     (xto.to_bits(), barrier_ev.to_bits())
 }
 
-/// Outcome of one representative simulation shared by a state group.
+/// Outcome of one representative simulation shared by a state group:
+/// the *absolute* post-op cell state. Absolute (not delta) write-back is
+/// what keeps the grouped path bit-identical to a dedicated per-cell
+/// loop — a delta would re-associate the wear accumulation
+/// (`w + (d₁ + d₂)` instead of `(w + d₁) + d₂`) and drift in the last
+/// ulp over multi-pulse operations.
 struct GroupOutcome<R> {
     charge: f64,
-    injected_delta: f64,
-    program_delta: u64,
-    erase_delta: u64,
+    stats: CellStats,
     result: Result<R>,
 }
 
@@ -698,6 +704,18 @@ impl CellPopulation {
         }
     }
 
+    /// Marks one completed erase *operation* on every listed cell — the
+    /// bookkeeping mirror of [`FlashCell::erase_default`]'s counter bump
+    /// for block-level verified erases, where the pulse train is applied
+    /// collectively ([`Self::apply_pulse_cells`] tracks only injected
+    /// charge) and the operation completes for the block as a whole.
+    pub fn note_erase_ops(&mut self, indices: &[usize]) {
+        for &i in indices {
+            debug_assert!(i < self.len(), "note_erase_ops index {i} out of range");
+            self.erase_ops[i] += 1;
+        }
+    }
+
     /// Rewrites the charge of every listed cell through a closed-form
     /// per-cell update `f(device, charge) -> charge` (the CHE injection
     /// path and custom trap models). Does not touch the wear counters —
@@ -759,17 +777,20 @@ impl CellPopulation {
         Summary::from_samples(&self.injected_charge).map_err(|e| ArrayError::Device(e.into()))
     }
 
-    /// Groups `indices` by `(variant, charge-bits)`, runs `op` once per
-    /// group on a scratch [`FlashCell`] through an engine built for the
-    /// group's shared device, and writes the outcome back to every
-    /// member. Returns per-index results in input order.
+    /// Groups `indices` by full cell state (variant, charge bits, wear
+    /// counters), runs `op` once per group on a scratch [`FlashCell`]
+    /// through an engine built for the group's shared device, and writes
+    /// the absolute outcome back to every member. Returns per-index
+    /// results in input order.
     ///
     /// Correctness rests on `op` being a deterministic function of the
-    /// scratch cell's `(device, charge)` — which holds for every pulse
-    /// and ladder op, since the engine and tables are immutable.
-    /// `indices` must not contain duplicates (array ops never do): a
-    /// duplicate would double-apply the wear deltas.
-    fn run_grouped<R, F>(
+    /// scratch cell's `(device, charge, stats)` — which holds for every
+    /// pulse and ladder op, since the engine and tables are immutable.
+    ///
+    /// Crate-visible so the [`crate::pe`] operation layer can run its
+    /// own per-cell algorithms (adaptive ISPP, soft-program compaction)
+    /// through the exact same grouped, batched machinery.
+    pub(crate) fn run_grouped<R, F>(
         &mut self,
         indices: &[usize],
         batch: &BatchSimulator,
@@ -779,37 +800,50 @@ impl CellPopulation {
         R: Clone + Send,
         F: Fn(&mut FlashCell, &ChargeBalanceEngine) -> Result<R> + Sync,
     {
+        // Groups key on the *entire* cell state — variant, charge AND
+        // wear counters — and the representative runs with the members'
+        // actual stats, so the write-back below can be absolute. Cells
+        // with equal charge but different wear histories simply land in
+        // different groups (rare outside aged mixed workloads).
         let mut group_of: Vec<usize> = Vec::with_capacity(indices.len());
-        let mut reps: Vec<(u32, f64)> = Vec::new();
-        let mut seen: HashMap<(u32, u64), usize> = HashMap::new();
+        let mut reps: Vec<(u32, f64, CellStats)> = Vec::new();
+        let mut seen: HashMap<(u32, u64, u64, u64, u64), usize> = HashMap::new();
         for &i in indices {
             debug_assert!(i < self.len(), "op index {i} out of range");
-            let key = (self.variant_of[i], self.charge[i].to_bits());
+            let key = (
+                self.variant_of[i],
+                self.charge[i].to_bits(),
+                self.injected_charge[i].to_bits(),
+                self.program_ops[i],
+                self.erase_ops[i],
+            );
             let g = *seen.entry(key).or_insert_with(|| {
-                reps.push((key.0, self.charge[i]));
+                reps.push((
+                    key.0,
+                    self.charge[i],
+                    CellStats {
+                        program_ops: self.program_ops[i],
+                        erase_ops: self.erase_ops[i],
+                        injected_charge: self.injected_charge[i],
+                    },
+                ));
                 reps.len() - 1
             });
             group_of.push(g);
         }
 
         let variants = &self.variants;
-        let outcomes: Vec<GroupOutcome<R>> = batch.scatter(reps, |(v, q)| {
+        let outcomes: Vec<GroupOutcome<R>> = batch.scatter(reps, |(v, q, stats)| {
             let device = &variants[v as usize].device;
             let engine = batch.engine_for(device);
-            let mut cell = FlashCell::restore(
-                device.clone(),
-                Charge::from_coulombs(q),
-                CellStats::default(),
-            );
+            let mut cell = FlashCell::restore(device.clone(), Charge::from_coulombs(q), stats);
             let result = op(&mut cell, &engine);
             // State is captured whether or not the op failed: a verify
             // failure still applied its pulses, exactly as on the
             // historical per-cell path.
             GroupOutcome {
                 charge: cell.charge().as_coulombs(),
-                injected_delta: cell.stats().injected_charge,
-                program_delta: cell.stats().program_ops,
-                erase_delta: cell.stats().erase_ops,
+                stats: cell.stats(),
                 result,
             }
         });
@@ -817,9 +851,9 @@ impl CellPopulation {
         for (pos, &i) in indices.iter().enumerate() {
             let o = &outcomes[group_of[pos]];
             self.charge[i] = o.charge;
-            self.injected_charge[i] += o.injected_delta;
-            self.program_ops[i] += o.program_delta;
-            self.erase_ops[i] += o.erase_delta;
+            self.injected_charge[i] = o.stats.injected_charge;
+            self.program_ops[i] = o.stats.program_ops;
+            self.erase_ops[i] = o.stats.erase_ops;
         }
         group_of
             .into_iter()

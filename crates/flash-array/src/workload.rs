@@ -447,9 +447,12 @@ pub struct WorkloadReport {
     pub cells_per_second: f64,
     /// Bytes of per-cell state — the peak-RSS proxy of the SoA model.
     pub bytes_per_cell: usize,
-    /// Per-write wall latency (µs).
+    /// Per-write wall latency (µs). Writes executed inside one scheduled
+    /// batch share that batch's mean, so percentiles resolve *batch*
+    /// boundaries (a GC stall shows up in the batch that paid it), not
+    /// individual ops within a batch.
     pub write_latency_us: Option<Summary>,
-    /// Per-read wall latency (µs).
+    /// Per-read wall latency (µs); batch-mean semantics as for writes.
     pub read_latency_us: Option<Summary>,
     /// Trajectories sampled during the replay (always ends with the
     /// final state).
@@ -457,7 +460,9 @@ pub struct WorkloadReport {
 }
 
 /// A hook called at every snapshot point of a replay (the
-/// `snapshot_interval` cadence plus the final state) — the seam through
+/// `snapshot_interval` cadence, plus exactly one terminal observation
+/// when the trace length is not a multiple of the cadence) — the seam
+/// through
 /// which higher layers (e.g. the reliability pipeline's UBER tracker)
 /// record their own trajectories against the same op clock without the
 /// workload layer depending on them.
@@ -516,46 +521,86 @@ pub fn replay_observed(
     let mut snapshots = Vec::new();
 
     let start = Instant::now();
-    for (i, op) in trace.ops.iter().enumerate() {
-        match *op {
-            WorkloadOp::Write { lpn, pattern } => {
-                let bits = pattern.expand(width);
-                let t0 = Instant::now();
-                match lpn {
-                    Some(l) => controller.write_logical(l, &bits)?,
-                    None => controller.write(&bits)?,
-                };
-                write_lat.push(t0.elapsed().as_secs_f64() * 1.0e6);
-                writes += 1;
-            }
-            WorkloadOp::Read { lpn } => {
-                let t0 = Instant::now();
-                match controller.read_logical(lpn) {
-                    Ok(_) => {
-                        read_lat.push(t0.elapsed().as_secs_f64() * 1.0e6);
-                        reads += 1;
-                    }
-                    Err(ArrayError::AddressOutOfRange { .. }) => read_misses += 1,
-                    Err(e) => return Err(e),
+    // Consecutive same-kind operations batch through the controller's
+    // multi-plane entry points (split at snapshot boundaries so the
+    // recorded trajectories keep their cadence). Batched execution is
+    // bit-identical to the historical per-op loop — the scheduler
+    // preserves per-block order and distinct-block work commutes — so
+    // only the wall clock changes. Per-op latency within a batch is the
+    // batch wall time divided evenly across its ops.
+    let mut i = 0;
+    while i < trace.ops.len() {
+        let boundary = match options.snapshot_interval {
+            0 => trace.ops.len(),
+            interval => ((i / interval + 1) * interval).min(trace.ops.len()),
+        };
+        match trace.ops[i] {
+            WorkloadOp::Write { .. } => {
+                let mut jobs: Vec<(Option<usize>, Vec<bool>)> = Vec::new();
+                while i + jobs.len() < boundary {
+                    let WorkloadOp::Write { lpn, pattern } = trace.ops[i + jobs.len()] else {
+                        break;
+                    };
+                    jobs.push((lpn, pattern.expand(width)));
                 }
+                let n = jobs.len();
+                let t0 = Instant::now();
+                controller.write_batch(jobs)?;
+                #[allow(clippy::cast_precision_loss)]
+                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / n as f64;
+                write_lat.extend(std::iter::repeat_n(per_op, n));
+                writes += n as u64;
+                i += n;
+            }
+            WorkloadOp::Read { .. } => {
+                let mut lpns: Vec<usize> = Vec::new();
+                while i + lpns.len() < boundary {
+                    let WorkloadOp::Read { lpn } = trace.ops[i + lpns.len()] else {
+                        break;
+                    };
+                    lpns.push(lpn);
+                }
+                let t0 = Instant::now();
+                let results = controller.read_batch(&lpns);
+                #[allow(clippy::cast_precision_loss)]
+                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / lpns.len() as f64;
+                for result in results {
+                    match result {
+                        Ok(_) => {
+                            read_lat.push(per_op);
+                            reads += 1;
+                        }
+                        Err(ArrayError::AddressOutOfRange { .. }) => read_misses += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                i += lpns.len();
             }
             WorkloadOp::EraseBlock { block } => {
                 controller.erase_block(block)?;
                 erases += 1;
+                i += 1;
             }
         }
-        if options.snapshot_interval > 0 && (i + 1) % options.snapshot_interval == 0 {
-            snapshots.push(take_snapshot(controller, i + 1, options.margin_scan)?);
-            observer.observe(controller, i + 1)?;
+        if options.snapshot_interval > 0 && i % options.snapshot_interval == 0 {
+            snapshots.push(take_snapshot(controller, i, options.margin_scan)?);
+            observer.observe(controller, i)?;
         }
     }
     let wall = start.elapsed().as_secs_f64();
-    snapshots.push(take_snapshot(
-        controller,
-        trace.ops.len(),
-        options.margin_scan,
-    )?);
-    observer.observe(controller, trace.ops.len())?;
+    // Terminal snapshot, exactly once: the cadence loop already recorded
+    // it when the op count is a multiple of the interval — duplicating
+    // it double-counted the final state in every trajectory (and fired
+    // observers twice); and without this fallback, a trace whose length
+    // is not a multiple of the cadence would drop its final state.
+    if snapshots.last().map(|s| s.op_index) != Some(trace.ops.len()) {
+        snapshots.push(take_snapshot(
+            controller,
+            trace.ops.len(),
+            options.margin_scan,
+        )?);
+        observer.observe(controller, trace.ops.len())?;
+    }
 
     let cells_written = writes * width as u64;
     #[allow(clippy::cast_precision_loss)]
@@ -747,9 +792,30 @@ mod tests {
         };
         let mut recorder = Recorder(Vec::new());
         let report = replay_observed(&mut c, &trace, &options, &mut recorder).unwrap();
-        // Interval snapshots at 2 and 4, plus the final observation.
-        assert_eq!(recorder.0, vec![2, 4, 4]);
-        assert_eq!(report.snapshots.len(), 3);
+        // Interval snapshots at 2 and 4; op 4 is terminal and must not
+        // be observed twice (the historical duplicate).
+        assert_eq!(recorder.0, vec![2, 4]);
+        assert_eq!(report.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn terminal_snapshot_survives_uneven_cadence() {
+        // 5 ops on a cadence of 2: snapshots at 2 and 4 plus exactly one
+        // terminal snapshot at 5 carrying the final state.
+        let mut c = FlashController::new(small());
+        let trace = WorkloadTrace::sequential_fill(5, PagePattern::AllProgrammed);
+        let options = ReplayOptions {
+            snapshot_interval: 2,
+            margin_scan: false,
+        };
+        let report = replay(&mut c, &trace, &options).unwrap();
+        let indices: Vec<usize> = report.snapshots.iter().map(|s| s.op_index).collect();
+        assert_eq!(indices, vec![2, 4, 5]);
+        // The 5th rotating write wrapped onto logical page 0: the final
+        // state (4 live pages, 5 writes) is only visible in the terminal
+        // snapshot the old cadence dropped.
+        assert_eq!(report.snapshots.last().unwrap().live_pages, 4);
+        assert_eq!(report.writes, 5);
     }
 
     #[test]

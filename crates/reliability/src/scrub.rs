@@ -182,11 +182,19 @@ pub fn scrub(
             }
         }
     }
-    for (lpn, bits) in refresh {
+    // The refresh traffic flows through the controller's batched entry
+    // point: rewrites of pages on distinct blocks execute as multi-plane
+    // rounds (and the reclaim pressure they generate still lands on the
+    // ordinary reclaim/GC machinery at the flush boundaries).
+    if !refresh.is_empty() {
+        let jobs: Vec<(Option<usize>, Vec<bool>)> = refresh
+            .into_iter()
+            .map(|(lpn, bits)| (Some(lpn), bits))
+            .collect();
+        report.pages_refreshed = jobs.len();
         controller
-            .write_logical(lpn, &bits)
+            .write_batch(jobs)
             .map_err(ReliabilityError::Array)?;
-        report.pages_refreshed += 1;
     }
     Ok(report)
 }
