@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::bench_shape;
+use gnr_bench::{bench_shape, cache_stats_json};
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::nand::{NandArray, NandConfig};
 use std::hint::black_box;
@@ -112,13 +112,14 @@ fn measure_batch_speedup() {
          \"sequential_program_ms\": {:.3},\n  \
          \"parallel_program_ms\": {:.3},\n  \"program_speedup\": {},\n  \
          \"sequential_erase_ms\": {:.3},\n  \"parallel_erase_ms\": {:.3},\n  \
-         \"erase_speedup\": {}\n}}\n",
+         \"erase_speedup\": {},\n  \"engine_cache\": {}\n}}\n",
         seq_program.as_secs_f64() * 1e3,
         par_program.as_secs_f64() * 1e3,
         fmt_speedup(program_speedup),
         seq_erase.as_secs_f64() * 1e3,
         par_erase.as_secs_f64() * 1e3,
         fmt_speedup(erase_speedup),
+        cache_stats_json(),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

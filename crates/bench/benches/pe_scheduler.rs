@@ -18,40 +18,16 @@
 //! `GNR_BENCH_SMOKE=1` shrinks everything to a CI-sized smoke run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_shape, smoke_mode};
+use gnr_bench::{
+    bench_config, cache_stats_json, scheduler_trace, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE,
+};
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::controller::FlashController;
 use gnr_flash_array::ispp::IsppProgrammer;
 use gnr_flash_array::nand::{NandArray, NandConfig};
 use gnr_flash_array::pe::{AdaptiveIspp, EraseVerify, PeCommand, PlaneScheduler, SoftProgram};
 use gnr_flash_array::population::{CellPopulation, PopulationVariation};
-use gnr_flash_array::workload::{replay, PagePattern, ReplayOptions, WorkloadOp, WorkloadTrace};
-
-/// Write-then-read trace sized to force reclaim pressure.
-fn scheduler_trace(capacity: usize) -> WorkloadTrace {
-    let mut ops = Vec::new();
-    for lpn in 0..capacity {
-        ops.push(WorkloadOp::Write {
-            lpn: Some(lpn),
-            pattern: PagePattern::Seeded { seed: lpn as u64 },
-        });
-    }
-    for lpn in (0..capacity).step_by(2) {
-        ops.push(WorkloadOp::Write {
-            lpn: Some(lpn),
-            pattern: PagePattern::Seeded {
-                seed: (capacity + lpn) as u64,
-            },
-        });
-    }
-    for lpn in 0..capacity {
-        ops.push(WorkloadOp::Read { lpn });
-    }
-    WorkloadTrace {
-        name: "pe_scheduler".into(),
-        ops,
-    }
-}
+use gnr_flash_array::workload::{replay, ReplayOptions};
 
 struct SchedulerNumbers {
     ops: usize,
@@ -114,7 +90,10 @@ struct IsppNumbers {
 fn measure_ispp(cells: usize) -> IsppNumbers {
     let blueprint = gnr_flash::device::FloatingGateTransistor::mlgnr_cnt_paper();
     let variation = PopulationVariation::default();
-    let batch = BatchSimulator::new();
+    // Continuously-varied populations are the flow-map cache's
+    // documented pathological shape (every cell a single-use key), so
+    // the ISPP comparison runs the exact engine.
+    let batch = BatchSimulator::new().with_mode(gnr_flash::engine::EngineMode::Exact);
     let indices: Vec<usize> = (0..cells).collect();
     let target = 2.0;
 
@@ -168,7 +147,10 @@ fn measure_erase(config: NandConfig) -> EraseNumbers {
             &variation,
         )
         .expect("varied population");
-        let mut array = NandArray::with_population(config, pop);
+        // Exact engine: per-cell-unique variants make flow-map keys
+        // single-use (see `gnr_flash::engine::flowmap` docs).
+        let mut array = NandArray::with_population(config, pop)
+            .with_batch(BatchSimulator::new().with_mode(gnr_flash::engine::EngineMode::Exact));
         for page in 0..config.pages_per_block {
             let bits: Vec<bool> = (0..config.page_width)
                 .map(|i| (i + page) % 3 == 0)
@@ -209,20 +191,7 @@ fn measure_erase(config: NandConfig) -> EraseNumbers {
 }
 
 fn measure_pe_scheduler() {
-    let smoke = smoke_mode();
-    let config = if smoke {
-        NandConfig {
-            blocks: 4,
-            pages_per_block: 2,
-            page_width: 16,
-        }
-    } else {
-        bench_shape(NandConfig {
-            blocks: 16,
-            pages_per_block: 16,
-            page_width: 64,
-        })
-    };
+    let (config, smoke) = bench_config(SCHEDULER_SMOKE_SHAPE, SCHEDULER_FULL_SHAPE);
     let planes = config.blocks.min(4);
     let sched = measure_scheduler(config, planes);
     let ispp = measure_ispp(if smoke { 8 } else { 32 });
@@ -265,7 +234,8 @@ fn measure_pe_scheduler() {
          \"fixed_mean_overshoot_volts\": {:.4},\n  \
          \"adaptive_mean_overshoot_volts\": {:.4},\n  \"erase_block_cells\": {},\n  \
          \"raw_erase_width_volts\": {:.4},\n  \"verified_erase_width_volts\": {:.4},\n  \
-         \"erase_pulses\": {},\n  \"soft_programmed_cells\": {}\n}}\n",
+         \"erase_pulses\": {},\n  \"soft_programmed_cells\": {},\n  \
+         \"engine_cache\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -288,6 +258,7 @@ fn measure_pe_scheduler() {
         erase.verified_width_volts,
         erase.erase_pulses,
         erase.soft_programmed_cells,
+        cache_stats_json(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pe_scheduler.json");
     match std::fs::write(path, &json) {

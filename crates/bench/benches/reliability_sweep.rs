@@ -18,7 +18,8 @@
 //!   guard, seconds).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_shape, smoke_mode};
+use gnr_bench::bench_config;
+use gnr_flash::engine::cache::EngineCacheStats;
 use gnr_flash_array::cell::FlashCell;
 use gnr_flash_array::endurance::EnduranceModel;
 use gnr_flash_array::nand::{NandArray, NandConfig};
@@ -64,6 +65,7 @@ struct SweepReport {
     deterministic: bool,
     fill_seconds: f64,
     sweep_seconds: f64,
+    engine_cache: EngineCacheStats,
 }
 
 /// Programs every page of a fresh array with seeded pseudo-random data.
@@ -103,25 +105,25 @@ fn cycles_for_offset(
 
 #[allow(clippy::too_many_lines)]
 fn measure_reliability_sweep() {
-    let default = NandConfig {
-        blocks: 64,
-        pages_per_block: 64,
-        page_width: 256,
-    };
-    let smoke = smoke_mode();
-    let config = if smoke {
+    let (config, smoke) = bench_config(
         NandConfig {
             blocks: 4,
             pages_per_block: 4,
             page_width: 16,
-        }
-    } else {
-        bench_shape(default)
-    };
+        },
+        NandConfig {
+            blocks: 64,
+            pages_per_block: 64,
+            page_width: 256,
+        },
+    );
 
     // BCH sized to the page: t = 8 on 256-bit pages (255, 191) — the
-    // NAND-class rate-¾ point; t = 2 on the smoke shape's 16-bit pages.
-    let strength = if smoke { 2 } else { 8 };
+    // NAND-class rate-¾ point; t = 2 on narrow pages (the 16-bit smoke
+    // shape). Keyed on the page width, not the smoke flag, so a
+    // `GNR_BENCH_SHAPE` override measures the same operating point
+    // whether or not the run is a smoke run.
+    let strength = if config.page_width < 64 { 2 } else { 8 };
     let ecc = EccConfig::bch_for_width(config.page_width, strength).expect("codec fits page");
     let codec = ecc.build().expect("codec builds");
 
@@ -234,6 +236,7 @@ fn measure_reliability_sweep() {
         deterministic,
         fill_seconds,
         sweep_seconds,
+        engine_cache: gnr_flash::engine::cache::stats(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     let path = concat!(

@@ -15,7 +15,7 @@
 //!   guard, ~a second).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_shape, smoke_mode};
+use gnr_bench::{bench_config, cache_stats_json};
 use gnr_flash_array::controller::FlashController;
 use gnr_flash_array::nand::NandConfig;
 use gnr_flash_array::workload::{replay, ReplayOptions, WorkloadTrace};
@@ -61,21 +61,18 @@ fn full_cycle_report(
 }
 
 fn measure_workload_replay() {
-    let default = NandConfig {
-        blocks: 64,
-        pages_per_block: 64,
-        page_width: 256,
-    };
-    let smoke = smoke_mode();
-    let config = if smoke {
+    let (config, smoke) = bench_config(
         NandConfig {
             blocks: 4,
             pages_per_block: 4,
             page_width: 16,
-        }
-    } else {
-        bench_shape(default)
-    };
+        },
+        NandConfig {
+            blocks: 64,
+            pages_per_block: 64,
+            page_width: 256,
+        },
+    );
 
     let (cycle, churn) = full_cycle_report(config, smoke);
     let churn_wear = &churn.snapshots.last().expect("snapshot").wear;
@@ -117,7 +114,8 @@ fn measure_workload_replay() {
          \"cells_per_second\": {:.1},\n  \"churn_writes\": {},\n  \
          \"churn_seconds\": {:.3},\n  \"churn_gc_relocations\": {},\n  \
          \"churn_write_amplification\": {:.4},\n  \
-         \"total_erases\": {},\n  \"wear_spread\": {}\n}}\n",
+         \"total_erases\": {},\n  \"wear_spread\": {},\n  \
+         \"engine_cache\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -135,6 +133,7 @@ fn measure_workload_replay() {
         churn_write_amplification,
         churn_wear.total_erases,
         churn_wear.spread(),
+        cache_stats_json(),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

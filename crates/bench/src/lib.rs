@@ -18,8 +18,10 @@
 mod reliability_experiment;
 pub mod report;
 pub mod shape;
+pub mod traces;
 pub mod workload_experiment;
 
-pub use report::{ascii_table, format_series_summary, write_results_file};
-pub use shape::{bench_shape, parse_shape, smoke_mode};
+pub use report::{ascii_table, cache_stats_json, format_series_summary, write_results_file};
+pub use shape::{bench_config, bench_shape, parse_shape, smoke_mode};
+pub use traces::{scheduler_trace, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE};
 pub use workload_experiment::extra_experiments;

@@ -42,6 +42,18 @@ pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// The engine-cache telemetry as a JSON object fragment
+/// (`{"j_tables":{...},"flow_maps":{...}}`), recorded under an
+/// `"engine_cache"` key by every bench JSON so cache efficiency shows
+/// up in the perf trajectory alongside the timings. Serialized through
+/// serde from [`gnr_flash::engine::cache::EngineCacheStats`], so the
+/// hand-formatted bench reports and the serde-built ones
+/// (`reliability_sweep`) emit one schema.
+#[must_use]
+pub fn cache_stats_json() -> String {
+    serde_json::to_string(&gnr_flash::engine::cache::stats()).expect("cache stats serialize")
+}
+
 /// Writes `contents` under `results/` (created on demand) and returns the
 /// path.
 ///

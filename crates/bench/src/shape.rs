@@ -54,6 +54,24 @@ pub fn smoke_mode() -> bool {
     std::env::var("GNR_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// The uniform environment-override policy every array-level bench
+/// follows: `GNR_BENCH_SMOKE` picks between the CI-sized and the full
+/// default shape, and an explicit `GNR_BENCH_SHAPE` wins over *both* —
+/// so a custom shape behaves identically whether or not the run is a
+/// smoke run. Returns the resolved shape plus the smoke flag (which
+/// benches still use to shrink iteration counts).
+///
+/// # Panics
+///
+/// Panics when `GNR_BENCH_SHAPE` is set but malformed (CI
+/// misconfigurations fail loudly).
+#[must_use]
+pub fn bench_config(smoke_default: NandConfig, full_default: NandConfig) -> (NandConfig, bool) {
+    let smoke = smoke_mode();
+    let default = if smoke { smoke_default } else { full_default };
+    (bench_shape(default), smoke)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,65 @@
+//! Shared bench workloads: traces and shapes referenced by more than
+//! one bench, hoisted here so a baseline and the bench claiming to beat
+//! it can never silently measure different workloads.
+
+use gnr_flash_array::nand::NandConfig;
+use gnr_flash_array::workload::{PagePattern, WorkloadOp, WorkloadTrace};
+
+/// The P/E-scheduler bench shape (full runs) — shared by
+/// `pe_scheduler` (the committed ops/s baseline) and `engine_flowmap`
+/// (the flow-map speedup measured against that baseline).
+pub const SCHEDULER_FULL_SHAPE: NandConfig = NandConfig {
+    blocks: 16,
+    pages_per_block: 16,
+    page_width: 64,
+};
+
+/// The P/E-scheduler smoke shape (CI runs).
+pub const SCHEDULER_SMOKE_SHAPE: NandConfig = NandConfig {
+    blocks: 4,
+    pages_per_block: 2,
+    page_width: 16,
+};
+
+/// The scheduler workload: write every logical page, rewrite the even
+/// ones (stale-page/reclaim pressure), then read everything back.
+/// Sized to the controller's logical capacity.
+#[must_use]
+pub fn scheduler_trace(capacity: usize) -> WorkloadTrace {
+    let mut ops = Vec::new();
+    for lpn in 0..capacity {
+        ops.push(WorkloadOp::Write {
+            lpn: Some(lpn),
+            pattern: PagePattern::Seeded { seed: lpn as u64 },
+        });
+    }
+    for lpn in (0..capacity).step_by(2) {
+        ops.push(WorkloadOp::Write {
+            lpn: Some(lpn),
+            pattern: PagePattern::Seeded {
+                seed: (capacity + lpn) as u64,
+            },
+        });
+    }
+    for lpn in 0..capacity {
+        ops.push(WorkloadOp::Read { lpn });
+    }
+    WorkloadTrace {
+        name: "pe_scheduler".into(),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_covers_write_rewrite_read() {
+        let t = scheduler_trace(8);
+        // 8 writes + 4 rewrites + 8 reads.
+        assert_eq!(t.ops.len(), 20);
+        assert!(matches!(t.ops[0], WorkloadOp::Write { lpn: Some(0), .. }));
+        assert!(matches!(t.ops[19], WorkloadOp::Read { lpn: 7 }));
+    }
+}

@@ -293,6 +293,41 @@ impl FloatingGateTransistor {
         )
     }
 
+    /// FNV-1a digest over the exact bit patterns of every parameter that
+    /// enters the charge-balance dynamics: the four capacitances of
+    /// eq. (2), the oxide thicknesses and gate area of eq. (5), and the
+    /// FN `(A, B)` coefficients of all four tunneling paths. Two devices
+    /// with equal keys produce bit-identical [`Self::tunneling_state`]
+    /// values at every bias point, so the key is what process-wide
+    /// trajectory caches (the engine's pulse flow map) may key on.
+    #[must_use]
+    pub fn dynamics_key(&self) -> u64 {
+        use gnr_numerics::hash::{fnv1a_fold_f64, FNV1A_OFFSET};
+        let mut h = FNV1A_OFFSET;
+        for v in [
+            self.caps.cfc().as_farads(),
+            self.caps.cfs().as_farads(),
+            self.caps.cfb().as_farads(),
+            self.caps.cfd().as_farads(),
+            self.geometry.tunnel_oxide_thickness().as_meters(),
+            self.geometry.control_oxide_thickness().as_meters(),
+            self.geometry.gate_area().as_square_meters(),
+        ] {
+            h = fnv1a_fold_f64(h, v);
+        }
+        for model in [
+            &self.fn_channel_emit,
+            &self.fn_fg_emit_tunnel,
+            &self.fn_fg_emit_control,
+            &self.fn_gate_emit,
+        ] {
+            let c = model.coefficients();
+            h = fnv1a_fold_f64(h, c.a);
+            h = fnv1a_fold_f64(h, c.b);
+        }
+        h
+    }
+
     /// Oxide stress ratios (|field| / breakdown) at a bias point — the
     /// reliability concern of the paper's conclusion.
     #[must_use]

@@ -14,7 +14,7 @@ use crate::device::FloatingGateTransistor;
 use crate::transient::{ProgramPulseSpec, TransientResult};
 use crate::Result;
 
-use super::ChargeBalanceEngine;
+use super::{ChargeBalanceEngine, EngineMode};
 
 /// Fan-out executor for independent simulation work.
 ///
@@ -24,6 +24,7 @@ use super::ChargeBalanceEngine;
 pub struct BatchSimulator {
     parallel: bool,
     saturation_fraction: Option<f64>,
+    mode: EngineMode,
 }
 
 impl Default for BatchSimulator {
@@ -39,6 +40,7 @@ impl BatchSimulator {
         Self {
             parallel: true,
             saturation_fraction: None,
+            mode: EngineMode::default(),
         }
     }
 
@@ -48,7 +50,23 @@ impl BatchSimulator {
         Self {
             parallel: false,
             saturation_fraction: None,
+            mode: EngineMode::default(),
         }
+    }
+
+    /// Selects the pulse-query mode ([`EngineMode`]) of every engine
+    /// this batch builds — [`EngineMode::Exact`] is the whole-array
+    /// escape hatch for flow-map cross-checks.
+    #[must_use]
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The pulse-query mode this batch's engines run in.
+    #[must_use]
+    pub fn mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// Whether this batch fans out across threads.
@@ -75,7 +93,7 @@ impl BatchSimulator {
     /// so the batch configuration reaches every transient.
     #[must_use]
     pub fn engine_for(&self, device: &FloatingGateTransistor) -> ChargeBalanceEngine {
-        let mut engine = ChargeBalanceEngine::new(device);
+        let mut engine = ChargeBalanceEngine::new(device).with_mode(self.mode);
         if let Some(fraction) = self.saturation_fraction {
             engine = engine.with_saturation_fraction(fraction);
         }
@@ -134,6 +152,10 @@ impl BatchSimulator {
     /// *sampling* primitive: per-chunk partial results (error counts,
     /// RNG draws keyed on absolute index) reduce deterministically, so a
     /// parallel scan is bit-identical to the sequential one.
+    ///
+    /// `n == 0` is an explicit no-op: `op` is never called and the
+    /// result is empty — grouped-submission paths (merged multi-plane
+    /// rounds whose every job failed validation) rely on this.
     pub fn map_chunks<R, F>(&self, n: usize, chunk: usize, op: F) -> Vec<R>
     where
         R: Send,
@@ -154,6 +176,10 @@ impl BatchSimulator {
     /// commands must stay ordered, but planes are mutually independent).
     /// `op` receives `(queue_index, item)`; `output[q][k]` corresponds to
     /// `queues[q][k]` regardless of scheduling.
+    ///
+    /// Empty input is an explicit no-op: no queues (or only empty
+    /// queues) call `op` zero times and return the same shape back —
+    /// the contract an idle scheduler round depends on.
     pub fn scatter_queues<T, R, F>(&self, queues: Vec<Vec<T>>, op: F) -> Vec<Vec<R>>
     where
         T: Send,
@@ -287,6 +313,47 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         BatchSimulator::new().for_each_chunk_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn map_chunks_empty_input_is_a_noop() {
+        for batch in [BatchSimulator::new(), BatchSimulator::sequential()] {
+            let out = batch.map_chunks(0, 64, |_, _| panic!("op must not run on empty input"));
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn scatter_queues_empty_input_is_a_noop() {
+        for batch in [BatchSimulator::new(), BatchSimulator::sequential()] {
+            // No queues at all.
+            let out = batch.scatter_queues(Vec::<Vec<u8>>::new(), |_, _: u8| -> u8 {
+                panic!("op must not run on empty input")
+            });
+            assert!(out.is_empty());
+            // Queues present but all empty: shape is preserved, op never
+            // runs.
+            let out = batch.scatter_queues(vec![Vec::<u8>::new(); 3], |_, _: u8| -> u8 {
+                panic!("op must not run on empty queues")
+            });
+            assert_eq!(out.len(), 3);
+            assert!(out.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn batch_mode_reaches_built_engines() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let batch = BatchSimulator::new().with_mode(crate::engine::EngineMode::Exact);
+        assert_eq!(batch.mode(), crate::engine::EngineMode::Exact);
+        assert_eq!(
+            batch.engine_for(&device).mode(),
+            crate::engine::EngineMode::Exact
+        );
+        assert_eq!(
+            BatchSimulator::new().engine_for(&device).mode(),
+            crate::engine::EngineMode::FlowMap
+        );
     }
 
     #[test]

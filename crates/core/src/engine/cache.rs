@@ -9,6 +9,7 @@
 //! further synchronisation.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
@@ -16,6 +17,59 @@ use parking_lot::Mutex;
 use gnr_tunneling::fn_model::FnModel;
 
 use super::table::TabulatedJ;
+
+/// Hit/miss/entry counters of one memoization tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TierStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the entry.
+    pub misses: u64,
+    /// Entries currently retained.
+    pub entries: usize,
+}
+
+impl TierStats {
+    /// Hit fraction `hits / (hits + misses)` (0 for an untouched tier).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Telemetry of the engine's process-wide caches: the `J(E)` table tier
+/// and the pulse flow-map tier. Benches record this in their JSON so
+/// cache efficiency shows up in the perf trajectory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineCacheStats {
+    /// The [`TabulatedJ`] table cache (keyed on FN `(A, B)` bits).
+    pub j_tables: TierStats,
+    /// The [`super::flowmap`] cache (keyed on device dynamics + pulse
+    /// bias bits).
+    pub flow_maps: TierStats,
+}
+
+/// Snapshot of both cache tiers' counters.
+#[must_use]
+pub fn stats() -> EngineCacheStats {
+    EngineCacheStats {
+        j_tables: TierStats {
+            hits: TABLE_HITS.load(Ordering::Relaxed),
+            misses: TABLE_MISSES.load(Ordering::Relaxed),
+            entries: cached_tables(),
+        },
+        flow_maps: super::flowmap::tier_stats(),
+    }
+}
+
+static TABLE_HITS: AtomicU64 = AtomicU64::new(0);
+static TABLE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Cache key: the exact bit patterns of the FN `(A, B)` coefficients.
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
@@ -47,10 +101,17 @@ pub fn tabulated(model: &FnModel) -> Arc<TabulatedJ> {
     if map.len() >= MAX_TABLES && !map.contains_key(&key) {
         map.clear();
     }
-    Arc::clone(
-        map.entry(key)
-            .or_insert_with(|| Arc::new(TabulatedJ::new(Arc::new(*model)))),
-    )
+    let mut built_now = false;
+    let table = Arc::clone(map.entry(key).or_insert_with(|| {
+        built_now = true;
+        Arc::new(TabulatedJ::new(Arc::new(*model)))
+    }));
+    if built_now {
+        TABLE_MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        TABLE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    table
 }
 
 /// Number of distinct tables currently cached (observability hook).
@@ -82,5 +143,22 @@ mod tests {
         let m2 = FnModel::new(Energy::from_ev(3.87), Mass::from_electron_masses(0.42));
         assert!(!Arc::ptr_eq(&tabulated(&m1), &tabulated(&m2)));
         assert!(cached_tables() >= 2);
+    }
+
+    #[test]
+    fn stats_track_table_hits_and_misses() {
+        let m = FnModel::new(Energy::from_ev(3.05), Mass::from_electron_masses(0.37));
+        let before = stats();
+        let _first = tabulated(&m); // builds (miss) unless another test won
+        let _second = tabulated(&m); // guaranteed hit
+        let after = stats();
+        assert!(after.j_tables.hits > before.j_tables.hits);
+        assert!(after.j_tables.entries >= 1);
+        assert!(after.j_tables.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn hit_rate_of_an_untouched_tier_is_zero() {
+        assert_eq!(TierStats::default().hit_rate(), 0.0);
     }
 }

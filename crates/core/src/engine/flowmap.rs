@@ -1,0 +1,494 @@
+//! Flow-map pulse-response cache: one master integration per
+//! `(device dynamics, pulse bias)`, O(1) per distinct cell state.
+//!
+//! For a fixed pulse bias the charge balance
+//! `dQFG/dt = A·(J_control − J_tunnel)` is a **one-dimensional
+//! autonomous** ODE: every initial charge lies on the same integral
+//! curve, differing only by a time shift. A [`PulseFlowMap`] therefore
+//! integrates one dense master trajectory `Q(t)` per
+//! `(device dynamics key, VGS bits, VS bits)` — reusing the Dopri45
+//! dense output — and answers any `(Q0, Δt)` query with two monotone
+//! interpolations:
+//!
+//! 1. inverse lookup `Q0 → t0` on the monotone master
+//!    ([`gnr_numerics::interp::invert_monotone_hermite`]);
+//! 2. cubic-Hermite evaluation of `Q(t0 + Δt)`
+//!    ([`gnr_numerics::interp::hermite_segment`]).
+//!
+//! The map covers both sides of the pulse's equilibrium with one branch
+//! each (a cell over-programmed relative to a low ISPP rung relaxes
+//! *toward* the rung's balance point from below, so both flow
+//! directions occur in real ladders). Queries outside the tabulated
+//! charge range, or whose end time falls past the integrated horizon
+//! (pulses that would ride into saturation), return `None` and the
+//! engine falls back to the exact integration path — which is cheap
+//! exactly there, because the dynamics near equilibrium are slow.
+//!
+//! The same memoize-the-physics move that took per-step FN exponentials
+//! to [`super::table::TabulatedJ`] lookups, applied one level up: a NAND
+//! page program over thousands of distinct cell states costs ~one
+//! integration total, not one per `(variant, charge)` group.
+//!
+//! # When the map pays off
+//!
+//! A master build costs roughly a saturation-length integration at
+//! tight tolerance — hundreds of times one fixed-width pulse — so the
+//! cache wins when keys recur: uniform arrays (one variant × a handful
+//! of rung amplitudes), few-variant corners, and any workload that
+//! reprograms cells (GC churn re-answers the same key millions of
+//! times). The pathological shape is a Monte-Carlo population whose
+//! every cell carries unique continuous variation deltas *and* is
+//! pulsed only once: every key is single-use, and past
+//! [`MAX_FLOW_MAPS`] the wholesale clear also discards whatever reuse
+//! existed. For that shape keep the exact engine
+//! ([`super::EngineMode::Exact`] via
+//! [`super::BatchSimulator::with_mode`]); the mode cannot be inferred
+//! here because eligibility must stay a pure function of the query
+//! (anything history- or population-dependent would break the
+//! parallel-vs-sequential and grouped-vs-per-cell bit-parity
+//! contracts).
+//!
+//! # Determinism and accuracy
+//!
+//! A map is a pure function of its cache key: the master is integrated
+//! with fixed tight tolerances (`MASTER_RTOL`/`MASTER_ATOL` — much
+//! tighter than the engine's defaults so the third-order dense output
+//! stays inside the parity budget) and the interpolations are
+//! deterministic, so every thread —
+//! and the grouped and per-cell array paths — sees bit-identical
+//! answers. Flow-map vs exact-engine parity is pinned at ≤1e-6 relative
+//! final-charge error by `tests/engine_flowmap.rs`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use gnr_numerics::interp::{hermite_segment, invert_monotone_hermite};
+use gnr_numerics::ode::{CrossingDirection, Dopri45, Event, OdeOptions};
+use gnr_units::{Charge, Voltage};
+
+use super::cache::TierStats;
+use super::ChargeBalanceEngine;
+
+/// Threshold-shift span (V) the master trajectories cover on each side
+/// of neutrality: `|ΔVT| ≤ 12 V` translates to `|Q| ≤ 12·CFC`, several
+/// volts beyond any state the array layer produces (ISPP targets sit at
+/// +2 V, deep saturation under +8 V, the soft-program floor at −0.5 V).
+/// Charges outside the span fall back to the exact engine.
+const VT_SPAN_VOLTS: f64 = 12.0;
+
+/// Master-integration tolerances: much tighter than the engine's
+/// runtime defaults (1e-8/1e-10) because queries read the *dense
+/// output* between accepted steps — third-order Hermite over steps
+/// sized for fifth-order accuracy, so the interpolation error is
+/// ~`rtol^(4/5)`, not `rtol` — and the parity budget is 1e-6 relative.
+/// (At 1e-10 the worst observed corner was 2.5e-6; the two extra
+/// decades shrink steps ~2.5× and the Hermite error ~40×.)
+const MASTER_RTOL: f64 = 1.0e-12;
+const MASTER_ATOL: f64 = 1.0e-14;
+
+/// The master integration stops at the pulse's flow balance: when the
+/// smaller of the two oxide flows reaches `(1 − fraction)` of the
+/// larger one — the same `Jin = Jout` criterion the engine's saturation
+/// search uses, tightened from 1 % to 1 ppm so the horizon sits deep in
+/// the flat tail. The criterion is scale-free (a branch started at an
+/// extreme charge has astronomically larger initial currents than the
+/// mid-range states queries actually visit, so any start-relative rate
+/// floor would fire decades too early). Queries whose shifted window
+/// crosses the horizon fall back to the exact engine.
+const BALANCE_FRACTION: f64 = 1.0e-6;
+
+/// Window-widening factor and probe count of the horizon search (the
+/// flows approach each other over many decades of time, exactly as in
+/// [`ChargeBalanceEngine::run`]'s saturation search — but a branch
+/// started at an extreme charge has a far smaller initial time constant
+/// than a mid-range state, so more widenings are allowed).
+const WINDOW_GROWTH: f64 = 1.0e3;
+const MAX_WINDOWS: usize = 8;
+
+/// One monotone branch of the master trajectory: the integral curve
+/// from one extreme of the covered charge range toward the pulse's
+/// balance point. `charges` is strictly monotone, `times` strictly
+/// increasing; `rates` holds `dQ/dt` at the nodes for Hermite sampling.
+#[derive(Debug, Clone)]
+struct Branch {
+    times: Vec<f64>,
+    charges: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl Branch {
+    fn lo(&self) -> f64 {
+        self.charges[0].min(*self.charges.last().expect("non-empty branch"))
+    }
+
+    fn hi(&self) -> f64 {
+        self.charges[0].max(*self.charges.last().expect("non-empty branch"))
+    }
+
+    fn contains(&self, q: f64) -> bool {
+        q >= self.lo() && q <= self.hi()
+    }
+
+    /// Inverse lookup `Q → t` on the monotone master.
+    fn time_of_charge(&self, q: f64) -> Option<f64> {
+        invert_monotone_hermite(&self.times, &self.charges, &self.rates, q)
+    }
+
+    /// Dense-output sample `t → Q` (`t` must lie inside the horizon).
+    fn charge_at(&self, t: f64) -> f64 {
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => return self.charges[i],
+            Err(i) => i,
+        };
+        let hi = idx.min(self.times.len() - 1).max(1);
+        let lo = hi - 1;
+        hermite_segment(
+            t,
+            self.times[lo],
+            self.times[hi],
+            self.charges[lo],
+            self.charges[hi],
+            self.rates[lo],
+            self.rates[hi],
+        )
+    }
+}
+
+/// The flow map of one `(device dynamics, pulse bias)` pair. See the
+/// module docs for the construction and query model.
+#[derive(Debug, Clone)]
+pub struct PulseFlowMap {
+    branches: Vec<Branch>,
+}
+
+impl PulseFlowMap {
+    /// Integrates the master trajectories for `engine`'s device at the
+    /// pulse bias `(vgs, vs)`. One branch per flow direction; a branch
+    /// whose extreme start point has no measurable tunneling current is
+    /// simply absent (its charge range falls back to the exact engine).
+    #[must_use]
+    pub fn build(engine: &ChargeBalanceEngine, vgs: Voltage, vs: Voltage) -> Self {
+        let caps = engine.device().capacitances();
+        let ct = caps.total().as_farads();
+        let q_span = VT_SPAN_VOLTS * caps.cfc().as_farads();
+        let branches = [q_span, -q_span]
+            .into_iter()
+            .filter_map(|q_start| build_branch(engine, vgs, vs, q_start, ct))
+            .collect();
+        Self { branches }
+    }
+
+    /// Number of tabulated branches (0 when the bias tunnels nowhere in
+    /// the covered charge range — every query then falls back).
+    #[must_use]
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The integrated time horizon (s): the latest master-trajectory
+    /// time any branch covers. Queries whose shifted window ends past
+    /// this fall back to the exact engine. `None` for an empty map.
+    #[must_use]
+    pub fn horizon_seconds(&self) -> Option<f64> {
+        self.branches
+            .iter()
+            .map(|b| *b.times.last().expect("non-empty branch"))
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+
+    /// The tabulated charge range `(lo, hi)` in coulombs, or `None` for
+    /// an empty map.
+    #[must_use]
+    pub fn charge_range(&self) -> Option<(f64, f64)> {
+        let lo = self
+            .branches
+            .iter()
+            .map(Branch::lo)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .branches
+            .iter()
+            .map(Branch::hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// Final charge (C) after holding the pulse bias for `dt` seconds
+    /// starting from `q0` coulombs — the time-shift answer
+    /// `Q(t0 + dt)` with `Q(t0) = q0`.
+    ///
+    /// Returns `None` (callers fall back to the exact engine) when `q0`
+    /// lies outside the tabulated charge range or the shifted window
+    /// `t0 + dt` runs past the integrated horizon (a pulse riding into
+    /// saturation at the boundary).
+    #[must_use]
+    pub fn final_charge(&self, q0: f64, dt: f64) -> Option<f64> {
+        if !dt.is_finite() || dt < 0.0 {
+            return None;
+        }
+        let branch = self.branches.iter().find(|b| b.contains(q0))?;
+        let t0 = branch.time_of_charge(q0)?;
+        let te = t0 + dt;
+        if te > *branch.times.last().expect("non-empty branch") {
+            return None;
+        }
+        Some(branch.charge_at(te))
+    }
+}
+
+/// Integrates one branch from `q_start` toward the balance point,
+/// widening the window geometrically until the charging rate has
+/// decayed below the horizon floor. Returns `None` when the start point
+/// does not tunnel or the trajectory is degenerate.
+fn build_branch(
+    engine: &ChargeBalanceEngine,
+    vgs: Voltage,
+    vs: Voltage,
+    q_start: f64,
+    ct: f64,
+) -> Option<Branch> {
+    let rate0 = engine
+        .tunneling_state(vgs, vs, Charge::from_coulombs(q_start))
+        .charge_rate_amps;
+    if rate0.abs() < super::MIN_TUNNELING_RATE_AMPS {
+        return None;
+    }
+    let tau0 = ct / rate0.abs();
+
+    // State variable is Q/CT (volts), matching the engine's own loop so
+    // tolerances are scale-free.
+    let y0 = q_start / ct;
+    let rhs = |_t: f64, y: &[f64], dydt: &mut [f64]| {
+        let state = engine.tunneling_state(vgs, vs, Charge::from_coulombs(y[0] * ct));
+        dydt[0] = state.charge_rate_amps / ct;
+    };
+    // Balance horizon: fires when the two flow magnitudes agree to
+    // `BALANCE_FRACTION`, whichever direction the branch flows.
+    let balance = 1.0 - BALANCE_FRACTION;
+    let horizon_condition = move |_t: f64, y: &[f64]| {
+        let state = engine.tunneling_state(vgs, vs, Charge::from_coulombs(y[0] * ct));
+        let jt = state.tunnel_flow.abs().as_amps_per_square_meter();
+        let jc = state.control_flow.abs().as_amps_per_square_meter();
+        balance * jt.max(jc) - jt.min(jc)
+    };
+    let solver = Dopri45::new(OdeOptions::with_tolerances(MASTER_RTOL, MASTER_ATOL));
+    let mut t_end = 1.0e4 * tau0;
+    let mut best = None;
+    for _ in 0..MAX_WINDOWS {
+        let event = Event {
+            label: "horizon",
+            condition: &horizon_condition,
+            direction: CrossingDirection::Falling,
+            terminal: true,
+        };
+        match solver.integrate_with_events(rhs, 0.0, &[y0], t_end, &[event]) {
+            Ok((sol, hits)) => {
+                let saturated = !hits.is_empty();
+                best = Some(sol);
+                if saturated {
+                    break;
+                }
+                t_end *= WINDOW_GROWTH;
+            }
+            // Keep the longest successful window; a failed widening just
+            // shortens the horizon (queries past it fall back).
+            Err(_) => break,
+        }
+    }
+    let sol = best?;
+
+    // Extract the strictly monotone prefix in charge units. The flow is
+    // monotone by construction; ulp-level wiggle at the flat tail is
+    // trimmed so the inverse lookup stays well-defined.
+    let direction = rate0.signum();
+    let times = sol.times();
+    let states = sol.state_column(0);
+    let derivs = sol.deriv_column(0);
+    let mut branch = Branch {
+        times: Vec::with_capacity(times.len()),
+        charges: Vec::with_capacity(times.len()),
+        rates: Vec::with_capacity(times.len()),
+    };
+    for i in 0..times.len() {
+        let t = times[i];
+        let q = states[i] * ct;
+        let rate = derivs[i] * ct;
+        if let (Some(&tp), Some(&qp)) = (branch.times.last(), branch.charges.last()) {
+            if t <= tp || (q - qp) * direction <= 0.0 {
+                break;
+            }
+        }
+        branch.times.push(t);
+        branch.charges.push(q);
+        branch.rates.push(rate);
+    }
+    (branch.times.len() >= 2).then_some(branch)
+}
+
+/// Cache key: the device's dynamics digest plus the exact pulse-bias
+/// bits. Everything else a query needs (`Q0`, `Δt`) is an argument.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct FlowKey {
+    device: u64,
+    vgs_bits: u64,
+    vs_bits: u64,
+}
+
+/// Upper bound on retained flow maps (same clear-wholesale policy as the
+/// `J(E)` table cache: outstanding `Arc`s stay valid, maps rebuild on
+/// demand). Sized for the designed working set — a handful of variants
+/// × the rung amplitudes of the recipes; per-cell-unique Monte-Carlo
+/// populations blow past it and should run [`super::EngineMode::Exact`]
+/// (see the module docs).
+pub const MAX_FLOW_MAPS: usize = 256;
+
+type FlowSlot = Arc<OnceLock<Arc<PulseFlowMap>>>;
+
+static MAPS: OnceLock<Mutex<HashMap<FlowKey, FlowSlot>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the shared flow map for `engine`'s device at the pulse bias
+/// `(vgs, vs)`, integrating the master trajectories on first use. The
+/// per-key `OnceLock` keeps concurrent first queries from integrating
+/// twice while never holding the cache-wide lock across a build.
+#[must_use]
+pub fn cached(engine: &ChargeBalanceEngine, vgs: Voltage, vs: Voltage) -> Arc<PulseFlowMap> {
+    let key = FlowKey {
+        device: engine.device_key(),
+        vgs_bits: vgs.as_volts().to_bits(),
+        vs_bits: vs.as_volts().to_bits(),
+    };
+    let cache = MAPS.get_or_init(|| Mutex::new(HashMap::new()));
+    let slot: FlowSlot = {
+        let mut map = cache.lock();
+        if map.len() >= MAX_FLOW_MAPS && !map.contains_key(&key) {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+    };
+    let mut built_now = false;
+    let map = slot.get_or_init(|| {
+        built_now = true;
+        Arc::new(PulseFlowMap::build(engine, vgs, vs))
+    });
+    if built_now {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    Arc::clone(map)
+}
+
+/// Hit/miss/entry counters of the flow-map cache (observability; the
+/// benches record these in their JSON so cache efficiency shows up in
+/// the perf trajectory).
+#[must_use]
+pub fn tier_stats() -> TierStats {
+    TierStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: MAPS.get().map_or(0, |cache| cache.lock().len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FloatingGateTransistor;
+    use crate::presets;
+    use crate::transient::ProgramPulseSpec;
+    use gnr_units::Time;
+
+    fn engine() -> ChargeBalanceEngine {
+        ChargeBalanceEngine::new(&FloatingGateTransistor::mlgnr_cnt_paper())
+    }
+
+    #[test]
+    fn program_map_matches_exact_engine() {
+        let engine = engine();
+        let vgs = presets::program_vgs();
+        let map = PulseFlowMap::build(&engine, vgs, Voltage::ZERO);
+        assert!(map.branch_count() >= 1);
+        for q0_e in [0.0, -40.0, -120.0, 30.0] {
+            let q0 = Charge::from_electrons(q0_e);
+            let dt = 1.0e-5;
+            let exact = engine
+                .run(
+                    &ProgramPulseSpec::program(vgs)
+                        .with_initial_charge(q0)
+                        .with_duration(Time::from_seconds(dt)),
+                )
+                .unwrap()
+                .final_charge()
+                .as_coulombs();
+            let fast = map
+                .final_charge(q0.as_coulombs(), dt)
+                .expect("inside tabulated range");
+            let rel = ((fast - exact) / exact.abs().max(1e-30)).abs();
+            assert!(rel < 1.0e-6, "q0 {q0_e} e: rel err {rel:e}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_charge_returns_none() {
+        let engine = engine();
+        let map = PulseFlowMap::build(&engine, presets::program_vgs(), Voltage::ZERO);
+        let (lo, hi) = map.charge_range().expect("non-empty map");
+        assert_eq!(map.final_charge(hi * 2.0 + 1.0, 1.0e-6), None);
+        assert_eq!(map.final_charge(lo * 2.0 - 1.0, 1.0e-6), None);
+        assert_eq!(map.final_charge(0.0, f64::NAN), None);
+        assert_eq!(map.final_charge(0.0, -1.0), None);
+    }
+
+    #[test]
+    fn horizon_overrun_returns_none() {
+        let engine = engine();
+        let map = PulseFlowMap::build(&engine, presets::program_vgs(), Voltage::ZERO);
+        // A pulse far longer than the integrated horizon must fall back.
+        assert_eq!(map.final_charge(0.0, 1.0e12), None);
+    }
+
+    #[test]
+    fn sub_threshold_bias_falls_back_near_neutrality() {
+        // At 0.2 V the *extremes* of the covered span still tunnel (the
+        // stored charge alone drives the oxide fields), but the region
+        // realistic cells occupy is below the tunneling floor: the
+        // branches asymptote before reaching it, and a neutral-charge
+        // query must fall back (the engine reports `NoTunneling` there
+        // before ever consulting the map).
+        let engine = engine();
+        let map = PulseFlowMap::build(&engine, Voltage::from_volts(0.2), Voltage::ZERO);
+        assert_eq!(map.final_charge(0.0, 1.0e-5), None);
+    }
+
+    #[test]
+    fn cache_shares_maps_and_counts_hits() {
+        let engine = engine();
+        let vgs = Voltage::from_volts(14.25);
+        let before = tier_stats();
+        let a = cached(&engine, vgs, Voltage::ZERO);
+        let b = cached(&engine, vgs, Voltage::ZERO);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one map");
+        let after = tier_stats();
+        assert!(after.hits > before.hits);
+        assert!(after.entries >= 1);
+    }
+
+    #[test]
+    fn erase_bias_covers_programmed_charges() {
+        let engine = engine();
+        let vgs = presets::erase_vgs();
+        let map = PulseFlowMap::build(&engine, vgs, Voltage::ZERO);
+        // A programmed cell (negative charge) erases along the map.
+        let q0 = Charge::from_electrons(-120.0).as_coulombs();
+        let q1 = map.final_charge(q0, 1.0e-4).expect("covered");
+        assert!(q1 > q0, "erase must remove electrons: {q0:e} -> {q1:e}");
+    }
+}

@@ -9,7 +9,7 @@
 //! an array-level operation (page program, block erase, ISPP ladder)
 //! re-derived the same `J(E)` curves thousands of times, serially.
 //!
-//! This module splits the computation into three reusable pieces:
+//! This module splits the computation into reusable pieces:
 //!
 //! * **[`table::TabulatedJ`]** — a tunneling model memoized as a
 //!   log-space `J(E)` lookup on `gnr_numerics::interp`: `ln J` sampled
@@ -19,7 +19,15 @@
 //! * **[`cache`]** — a process-wide table cache keyed on the FN
 //!   `(A, B)` coefficient bits. Every cell of an array, every GCR/XTO
 //!   variant of a sweep, and every worker thread share the same four
-//!   path tables, built once.
+//!   path tables, built once. [`cache::stats`] exposes hit/miss/entry
+//!   telemetry for both this cache and the flow-map cache below.
+//! * **[`flowmap`]** — the trajectory tier: for a fixed pulse bias the
+//!   charge balance is a 1-D *autonomous* ODE, so one dense master
+//!   trajectory per `(device dynamics, pulse bias)` answers any
+//!   `(Q0, Δt)` fixed-width pulse with two monotone interpolations
+//!   ([`ChargeBalanceEngine::pulse_final_charge`], gated by
+//!   [`EngineMode`]), with exact fallback outside the tabulated charge
+//!   range or time horizon.
 //! * **[`ChargeBalanceEngine`]** — owns a device plus four pluggable
 //!   [`TunnelingModel`] paths (channel→FG, FG→channel, FG→gate,
 //!   gate→FG) and runs the adaptive Dopri45 charge-balance loop that
@@ -41,6 +49,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod flowmap;
 pub mod table;
 
 use std::fmt;
@@ -55,7 +64,43 @@ use crate::transient::{ProgramPulseSpec, TransientResult, TransientSample};
 use crate::{DeviceError, Result};
 
 pub use batch::BatchSimulator;
+pub use flowmap::PulseFlowMap;
 pub use table::TabulatedJ;
+
+/// Charging rates below this magnitude (A) count as "no tunneling":
+/// [`ChargeBalanceEngine::run`] and
+/// [`ChargeBalanceEngine::pulse_final_charge`] reject such bias points
+/// with [`DeviceError::NoTunneling`], and the flow map does not build
+/// branches from start points under it. One constant, three call sites
+/// — the contracts must never drift apart.
+pub(crate) const MIN_TUNNELING_RATE_AMPS: f64 = 1.0e-32;
+
+/// How the engine answers fixed-duration pulse queries
+/// ([`ChargeBalanceEngine::pulse_final_charge`]).
+///
+/// Full transients ([`ChargeBalanceEngine::run`]) always integrate
+/// exactly — the mode only governs the final-charge fast path the array
+/// layer rides (ISPP rungs, page programs, block erases).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EngineMode {
+    /// Adaptive Dopri45 integration per pulse — the historical path,
+    /// kept as the escape hatch for accuracy cross-checks.
+    Exact,
+    /// Answer from the process-wide [`flowmap`] cache: one master
+    /// integration per `(device dynamics, pulse bias)`, two monotone
+    /// interpolations per query, exact fallback outside the tabulated
+    /// charge range or past the integrated horizon.
+    ///
+    /// The win assumes `(device, bias)` pairs recur — which they do for
+    /// uniform and few-variant arrays (every production-scale path
+    /// here). A Monte-Carlo population whose every cell carries unique
+    /// continuous variation deltas makes every key single-use: each
+    /// pulse then pays a master build instead of one integration.
+    /// Select [`EngineMode::Exact`] (via
+    /// [`BatchSimulator::with_mode`]) for such per-cell-unique sweeps.
+    #[default]
+    FlowMap,
+}
 
 /// The four directional tunneling paths of the cell (paper Figure 3/4),
 /// as pluggable current models.
@@ -116,6 +161,22 @@ pub struct ChargeBalanceEngine {
     paths: TunnelPaths,
     ode_options: OdeOptions,
     saturation_fraction: f64,
+    mode: EngineMode,
+    /// `true` when the paths are the standard cache-backed tables of
+    /// [`TunnelPaths::cached`]. The flow-map cache keys on the *device*
+    /// (its dynamics digest), so only engines whose current models are
+    /// the canonical device tables may share it — custom paths
+    /// ([`Self::with_paths`]) always integrate exactly.
+    standard_paths: bool,
+    /// `true` once [`Self::with_ode_options`] overrode the defaults.
+    /// Custom tolerances mean the caller wants *that* integration
+    /// accuracy, which the flow map (built at its own fixed tolerance)
+    /// cannot honour — such engines answer pulse queries exactly.
+    custom_ode_options: bool,
+    /// [`FloatingGateTransistor::dynamics_key`] of the owned device,
+    /// computed once at construction so the per-pulse flow-map lookup
+    /// does not re-hash the (immutable) device parameters.
+    device_key: u64,
 }
 
 impl ChargeBalanceEngine {
@@ -125,11 +186,15 @@ impl ChargeBalanceEngine {
     #[must_use]
     pub fn new(device: &FloatingGateTransistor) -> Self {
         let paths = TunnelPaths::cached(device);
-        Self::with_paths(device, paths)
+        let mut engine = Self::with_paths(device, paths);
+        engine.standard_paths = true;
+        engine
     }
 
     /// Builds the engine around explicit current models (exact FN, WKB,
-    /// image-force FN, CHE surrogates, …).
+    /// image-force FN, CHE surrogates, …). Custom-path engines never
+    /// consult the flow-map cache (its keys identify the *device*, not
+    /// the models), so every pulse integrates exactly.
     #[must_use]
     pub fn with_paths(device: &FloatingGateTransistor, paths: TunnelPaths) -> Self {
         Self {
@@ -137,13 +202,47 @@ impl ChargeBalanceEngine {
             paths,
             ode_options: OdeOptions::with_tolerances(1.0e-8, 1.0e-10),
             saturation_fraction: 0.01,
+            mode: EngineMode::default(),
+            standard_paths: false,
+            custom_ode_options: false,
+            device_key: device.dynamics_key(),
         }
     }
 
+    /// Selects how fixed-duration pulse queries are answered (see
+    /// [`EngineMode`]); [`EngineMode::Exact`] is the cross-check escape
+    /// hatch.
+    #[must_use]
+    pub fn with_mode(mut self, mode: EngineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The engine's pulse-query mode.
+    #[must_use]
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// The owned device's [`FloatingGateTransistor::dynamics_key`],
+    /// memoized at construction (the flow-map cache key component).
+    #[must_use]
+    pub fn device_key(&self) -> u64 {
+        self.device_key
+    }
+
     /// Overrides the ODE solver options.
+    ///
+    /// Custom options also opt pulse queries out of the flow-map fast
+    /// path: [`Self::pulse_final_charge`] then integrates at exactly
+    /// these tolerances instead of answering from a master trajectory
+    /// built at the map's own fixed tolerance — a convergence
+    /// cross-check engine behaves as requested without needing
+    /// [`EngineMode::Exact`] spelled out.
     #[must_use]
     pub fn with_ode_options(mut self, opts: OdeOptions) -> Self {
         self.ode_options = opts;
+        self.custom_ode_options = true;
         self
     }
 
@@ -229,7 +328,7 @@ impl ChargeBalanceEngine {
 
         let s0 = self.tunneling_state(spec.vgs, spec.vs, spec.initial_charge);
         let i0 = s0.charge_rate_amps.abs();
-        if i0 < 1.0e-32 {
+        if i0 < MIN_TUNNELING_RATE_AMPS {
             return Err(DeviceError::NoTunneling {
                 vgs: spec.vgs.as_volts(),
             });
@@ -255,6 +354,51 @@ impl ChargeBalanceEngine {
                 self.run_window(spec, y0, t_end / 1.0e3, false)
             }
         }
+    }
+
+    /// Final stored charge after one fixed-duration pulse — the
+    /// array-layer hot path (ISPP rungs, page programs, block erases,
+    /// soft-program compaction), which needs only where the charge
+    /// *lands*, not the trace.
+    ///
+    /// In [`EngineMode::FlowMap`] (the default for table-backed engines)
+    /// the answer comes from the process-wide [`flowmap`] cache: one
+    /// master integration per `(device dynamics, pulse bias)` ever, two
+    /// monotone interpolations per query. Queries outside the tabulated
+    /// charge range, past the integrated horizon, saturation-seeking
+    /// specs (`duration: None`), custom-path engines and engines with
+    /// overridden ODE tolerances ([`Self::with_ode_options`]) fall back
+    /// to the exact integration of [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run`]:
+    /// [`DeviceError::NoTunneling`] below the tunneling floor at the
+    /// spec's own initial charge, [`DeviceError::Numerics`] if the
+    /// fallback integrator fails.
+    pub fn pulse_final_charge(&self, spec: &ProgramPulseSpec) -> Result<Charge> {
+        if self.mode == EngineMode::FlowMap && self.standard_paths && !self.custom_ode_options {
+            if let Some(duration) = spec.duration {
+                // The NoTunneling contract must hold at the spec's *own*
+                // initial charge even when the map could answer (its
+                // tabulated span may tunnel where the cell does not);
+                // every fallback path below re-enforces it inside
+                // `run()`, so the guard lives only on the hit path.
+                let s0 = self.tunneling_state(spec.vgs, spec.vs, spec.initial_charge);
+                if s0.charge_rate_amps.abs() < MIN_TUNNELING_RATE_AMPS {
+                    return Err(DeviceError::NoTunneling {
+                        vgs: spec.vgs.as_volts(),
+                    });
+                }
+                let map = flowmap::cached(self, spec.vgs, spec.vs);
+                if let Some(q) =
+                    map.final_charge(spec.initial_charge.as_coulombs(), duration.as_seconds())
+                {
+                    return Ok(Charge::from_coulombs(q));
+                }
+            }
+        }
+        self.run(spec).map(|r| r.final_charge())
     }
 
     fn run_window(
@@ -374,6 +518,75 @@ mod tests {
         let device = FloatingGateTransistor::mlgnr_cnt_paper();
         let engine = ChargeBalanceEngine::new(&device);
         let err = engine.run(&ProgramPulseSpec::program(Voltage::from_volts(1.0)));
+        assert!(matches!(err, Err(DeviceError::NoTunneling { .. })));
+    }
+
+    #[test]
+    fn pulse_final_charge_matches_exact_mode_within_parity() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let fast = ChargeBalanceEngine::new(&device);
+        let exact = ChargeBalanceEngine::new(&device).with_mode(EngineMode::Exact);
+        assert_eq!(fast.mode(), EngineMode::FlowMap);
+        assert_eq!(exact.mode(), EngineMode::Exact);
+        let spec = ProgramPulseSpec::program(presets::program_vgs())
+            .with_duration(Time::from_microseconds(10.0));
+        let qf = fast.pulse_final_charge(&spec).unwrap().as_coulombs();
+        let qe = exact.pulse_final_charge(&spec).unwrap().as_coulombs();
+        let rel = ((qf - qe) / qe.abs().max(1e-30)).abs();
+        assert!(rel < 1.0e-6, "flow-map vs exact rel err {rel:e}");
+    }
+
+    #[test]
+    fn exact_mode_reproduces_run_bitwise() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device).with_mode(EngineMode::Exact);
+        let spec = ProgramPulseSpec::program(presets::program_vgs())
+            .with_duration(Time::from_microseconds(25.0));
+        assert_eq!(
+            engine.pulse_final_charge(&spec).unwrap(),
+            engine.run(&spec).unwrap().final_charge()
+        );
+    }
+
+    #[test]
+    fn custom_ode_options_opt_out_of_the_flow_map() {
+        // A convergence cross-check engine must integrate at its
+        // requested tolerances, not answer from the fixed-tolerance
+        // master trajectory.
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device)
+            .with_ode_options(OdeOptions::with_tolerances(1.0e-12, 1.0e-14));
+        assert_eq!(engine.mode(), EngineMode::FlowMap, "mode is untouched");
+        let spec = ProgramPulseSpec::program(presets::program_vgs())
+            .with_duration(Time::from_microseconds(10.0));
+        assert_eq!(
+            engine.pulse_final_charge(&spec).unwrap(),
+            engine.run(&spec).unwrap().final_charge(),
+            "custom tolerances must reach the pulse query bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn custom_path_engines_never_consult_the_flow_map() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::with_paths(&device, TunnelPaths::exact(&device));
+        assert!(!engine.standard_paths);
+        let spec = ProgramPulseSpec::program(presets::program_vgs())
+            .with_duration(Time::from_microseconds(10.0));
+        assert_eq!(
+            engine.pulse_final_charge(&spec).unwrap(),
+            engine.run(&spec).unwrap().final_charge()
+        );
+    }
+
+    #[test]
+    fn pulse_final_charge_rejects_sub_threshold_bias() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device);
+        let err = engine.pulse_final_charge(
+            &ProgramPulseSpec::program(Voltage::from_volts(1.0))
+                .with_duration(Time::from_microseconds(10.0)),
+        );
         assert!(matches!(err, Err(DeviceError::NoTunneling { .. })));
     }
 

@@ -120,7 +120,10 @@ impl FlashCell {
     /// Like [`Self::apply_pulse`] but reusing a prepared engine — the
     /// hot path for ISPP ladders, which apply many pulses to one cell
     /// and should pay the engine setup (device clone + table-cache
-    /// lookups) once, not per rung.
+    /// lookups) once, not per rung. Fixed-width pulses route through
+    /// [`ChargeBalanceEngine::pulse_final_charge`], so in the engine's
+    /// default flow-map mode a pulse costs two interpolations against
+    /// the process-wide master trajectory instead of an integration.
     ///
     /// The engine must have been built for this cell's device (e.g. via
     /// [`ChargeBalanceEngine::new`] or
@@ -135,9 +138,8 @@ impl FlashCell {
         pulse: SquarePulse,
     ) -> Result<()> {
         let spec = ProgramPulseSpec::from_pulse(pulse, self.charge);
-        match engine.run(&spec) {
-            Ok(result) => {
-                let q_new = result.final_charge();
+        match engine.pulse_final_charge(&spec) {
+            Ok(q_new) => {
                 self.stats.injected_charge +=
                     (q_new.as_coulombs() - self.charge.as_coulombs()).abs();
                 self.charge = q_new;

@@ -4,6 +4,12 @@
 //! step the amplitude up, repeat until the target threshold is reached.
 //! This realises the paper's §II point that FN programming allows tight
 //! threshold placement with tiny per-cell current.
+//!
+//! Every rung goes through [`FlashCell::apply_pulse_with`], so in the
+//! engine's default flow-map mode a whole verify ladder costs two
+//! interpolations per rung against the per-`(device, amplitude)` master
+//! trajectories — the rung amplitudes are shared across every cell and
+//! reprogram of the array, so the integrations amortise to ~zero.
 
 use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
 use gnr_flash::pulse::IsppLadder;

@@ -102,14 +102,12 @@ pub fn vt_histogram(array: &NandArray, lo: f64, hi: f64, bins: usize) -> Result<
 /// on every run, CI smoke included).
 #[must_use]
 pub fn state_digest(array: &NandArray) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for s in array.population().vt_shift_column(array.batch()) {
-        for byte in s.to_bits().to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    h
+    use gnr_numerics::hash::{fnv1a_fold_f64, FNV1A_OFFSET};
+    array
+        .population()
+        .vt_shift_column(array.batch())
+        .into_iter()
+        .fold(FNV1A_OFFSET, fnv1a_fold_f64)
 }
 
 /// The deepest valley of a (bimodal) threshold histogram: the bin center

@@ -56,8 +56,11 @@ use crate::{ArrayError, Result};
 /// One distinct device build shared by every cell with the same
 /// variation deltas. The engine is *not* stored: ops build it on demand
 /// via [`BatchSimulator::engine_for`], which hits the process-wide
-/// `J(E)` table cache, so the marginal cost is one device clone per
-/// group per operation — never per cell.
+/// `J(E)` table cache — and, in the default flow-map mode, answers each
+/// group's fixed-width pulses from the per-`(variant, pulse)` master
+/// trajectory cache — so the marginal cost is one device clone per
+/// group per operation (and ~one integration per *pulse bias*, not per
+/// group) — never per cell.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct DeviceVariant {
     /// Fractional tunnel-oxide thickness delta this variant was built at.

@@ -1,0 +1,65 @@
+//! Deterministic FNV-1a folding for reproducibility digests.
+//!
+//! The workspace fingerprints floating-point state in several places —
+//! engine cache keys on device parameters, array-state parity digests,
+//! bench parity records — and every one must fold *exact bit patterns*
+//! with the same algorithm so values stay comparable across crates and
+//! sessions. This module is the single home of that fold; do not
+//! re-inline the constants at call sites.
+
+/// The FNV-1a 64-bit offset basis (the initial hash value).
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds raw bytes into an FNV-1a hash state.
+#[must_use]
+pub fn fnv1a_fold_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV1A_PRIME);
+    }
+    hash
+}
+
+/// Folds the exact bit pattern of one `f64` (little-endian byte order)
+/// into an FNV-1a hash state — the float-fingerprint primitive shared
+/// by cache keys and state digests. Distinguishes `0.0` from `-0.0` and
+/// every NaN payload, which is exactly what bit-reproducibility checks
+/// want.
+#[must_use]
+pub fn fnv1a_fold_f64(hash: u64, v: f64) -> u64 {
+    fnv1a_fold_bytes(hash, &v.to_bits().to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector_matches_reference_fnv1a() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c (published test vector).
+        assert_eq!(fnv1a_fold_bytes(FNV1A_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Empty input returns the offset basis untouched.
+        assert_eq!(fnv1a_fold_bytes(FNV1A_OFFSET, b""), FNV1A_OFFSET);
+    }
+
+    #[test]
+    fn f64_fold_is_bit_exact() {
+        let h1 = fnv1a_fold_f64(FNV1A_OFFSET, 0.0);
+        let h2 = fnv1a_fold_f64(FNV1A_OFFSET, -0.0);
+        assert_ne!(h1, h2, "signed zeros have distinct bit patterns");
+        assert_eq!(
+            fnv1a_fold_f64(FNV1A_OFFSET, 1.5),
+            fnv1a_fold_bytes(FNV1A_OFFSET, &1.5f64.to_bits().to_le_bytes())
+        );
+    }
+
+    #[test]
+    fn folding_is_associative_over_concatenation() {
+        let whole = fnv1a_fold_bytes(FNV1A_OFFSET, b"hello world");
+        let split = fnv1a_fold_bytes(fnv1a_fold_bytes(FNV1A_OFFSET, b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+}

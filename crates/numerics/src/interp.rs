@@ -222,6 +222,89 @@ impl Pchip {
     }
 }
 
+/// Scalar cubic Hermite evaluation on one segment `[t0, t1]` with node
+/// values `y0, y1` and node derivatives `d0, d1` — the dense-output
+/// interpolant of the adaptive ODE solvers, exposed so trajectory caches
+/// (e.g. the charge-balance flow map) can sample stored solutions
+/// without re-integrating. A degenerate segment (`t1 == t0`) returns
+/// `y1`.
+#[must_use]
+pub fn hermite_segment(t: f64, t0: f64, t1: f64, y0: f64, y1: f64, d0: f64, d1: f64) -> f64 {
+    let h = t1 - t0;
+    if h == 0.0 {
+        return y1;
+    }
+    let s = (t - t0) / h;
+    let s2 = s * s;
+    let s3 = s2 * s;
+    let h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+    let h10 = s3 - 2.0 * s2 + s;
+    let h01 = -2.0 * s3 + 3.0 * s2;
+    let h11 = s3 - s2;
+    h00 * y0 + h * h10 * d0 + h01 * y1 + h * h11 * d1
+}
+
+/// Inverse lookup on a monotone Hermite trajectory: the earliest `t`
+/// with `y(t) == target`, where `y` is the piecewise cubic Hermite
+/// through nodes `(ts, ys)` with derivatives `ds`.
+///
+/// `ts` must be strictly increasing and `ys` strictly monotone (either
+/// direction); the nodes are the accepted steps of an ODE solve, so both
+/// hold for a 1-D autonomous flow approaching an equilibrium. Returns
+/// `None` when `target` lies outside the trajectory's value range or the
+/// inputs are degenerate (fewer than two nodes, mismatched lengths).
+///
+/// Within the bracketing segment the crossing is localised by bisection
+/// on the Hermite interpolant, which needs only continuity and the
+/// node-value bracket — ~80 halvings take the interval below f64
+/// resolution at any scale.
+#[must_use]
+pub fn invert_monotone_hermite(ts: &[f64], ys: &[f64], ds: &[f64], target: f64) -> Option<f64> {
+    if ts.len() < 2 || ts.len() != ys.len() || ts.len() != ds.len() {
+        return None;
+    }
+    let first = ys[0];
+    let last = *ys.last().expect("non-empty");
+    // Orientation: map values onto an increasing axis.
+    let sign = if last > first {
+        1.0
+    } else if last < first {
+        -1.0
+    } else {
+        return None;
+    };
+    let tv = sign * target;
+    if tv < sign * first || tv > sign * last {
+        return None;
+    }
+    // Bracketing segment on the monotone node values.
+    let idx =
+        match ys.binary_search_by(|probe| (sign * probe).partial_cmp(&tv).expect("finite nodes")) {
+            Ok(i) => return Some(ts[i]),
+            Err(i) => i,
+        };
+    let hi = idx.min(ys.len() - 1).max(1);
+    let lo = hi - 1;
+    let eval = |t: f64| hermite_segment(t, ts[lo], ts[hi], ys[lo], ys[hi], ds[lo], ds[hi]);
+    let (mut a, mut b) = (ts[lo], ts[hi]);
+    let mut g_a = sign * eval(a) - tv;
+    for _ in 0..80 {
+        let mid = 0.5 * (a + b);
+        let g_mid = sign * eval(mid) - tv;
+        // The target sits where g changes sign; keep the bracketing half.
+        if (g_a <= 0.0) == (g_mid <= 0.0) {
+            a = mid;
+            g_a = g_mid;
+        } else {
+            b = mid;
+        }
+        if (b - a) <= f64::EPSILON * b.abs().max(1.0) {
+            break;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
 /// Fritsch–Carlson one-sided three-point end slope with monotonicity guard.
 fn end_slope(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
     let s = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
@@ -311,5 +394,64 @@ mod tests {
         let p = Pchip::new(vec![0.0, 1.0, 3.0], vec![2.0, 5.0, 4.0]).unwrap();
         assert!((p.eval(1.0) - 5.0).abs() < 1e-12);
         assert!((p.eval(3.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hermite_segment_reproduces_cubics_exactly() {
+        // y = t^3 − 2t on [1, 3]: node values and derivatives exact.
+        let f = |t: f64| t * t * t - 2.0 * t;
+        let d = |t: f64| 3.0 * t * t - 2.0;
+        for &t in &[1.0, 1.3, 2.0, 2.71, 3.0] {
+            let y = hermite_segment(t, 1.0, 3.0, f(1.0), f(3.0), d(1.0), d(3.0));
+            assert!((y - f(t)).abs() < 1e-12, "t = {t}");
+        }
+        assert_eq!(hermite_segment(5.0, 2.0, 2.0, 1.0, 7.0, 0.0, 0.0), 7.0);
+    }
+
+    /// Exponential-decay trajectory nodes for the inverse-lookup tests.
+    fn decay_nodes() -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let ts: Vec<f64> = (0..=20).map(|i| f64::from(i) * 0.25).collect();
+        let ys: Vec<f64> = ts.iter().map(|&t| (-t).exp()).collect();
+        let ds: Vec<f64> = ts.iter().map(|&t| -(-t).exp()).collect();
+        (ts, ys, ds)
+    }
+
+    #[test]
+    fn monotone_inverse_recovers_times() {
+        let (ts, ys, ds) = decay_nodes();
+        // Tolerance is the cubic-Hermite truncation error of the coarse
+        // h = 0.25 node grid (~h⁴/384), not the bisection resolution.
+        for &t_true in &[0.1f64, 0.9, 2.3, 4.99] {
+            let t = invert_monotone_hermite(&ts, &ys, &ds, (-t_true).exp()).unwrap();
+            assert!((t - t_true).abs() < 1e-4, "t = {t} vs {t_true}");
+        }
+        // Node values return node times exactly.
+        assert_eq!(invert_monotone_hermite(&ts, &ys, &ds, ys[4]), Some(ts[4]));
+    }
+
+    #[test]
+    fn monotone_inverse_handles_increasing_data() {
+        let ts: Vec<f64> = (0..=10).map(f64::from).collect();
+        let ys: Vec<f64> = ts.iter().map(|&t| t * t + 1.0).collect();
+        let ds: Vec<f64> = ts.iter().map(|&t| 2.0 * t).collect();
+        let t = invert_monotone_hermite(&ts, &ys, &ds, 26.0).unwrap();
+        assert!((t - 5.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn monotone_inverse_rejects_out_of_range_and_degenerate_input() {
+        let (ts, ys, ds) = decay_nodes();
+        assert_eq!(invert_monotone_hermite(&ts, &ys, &ds, 2.0), None);
+        assert_eq!(invert_monotone_hermite(&ts, &ys, &ds, -0.5), None);
+        assert_eq!(
+            invert_monotone_hermite(&ts[..1], &ys[..1], &ds[..1], 1.0),
+            None
+        );
+        assert_eq!(invert_monotone_hermite(&ts, &ys[..3], &ds, 0.5), None);
+        // Constant data has no invertible direction.
+        assert_eq!(
+            invert_monotone_hermite(&[0.0, 1.0], &[3.0, 3.0], &[0.0, 0.0], 3.0),
+            None
+        );
     }
 }

@@ -44,6 +44,7 @@
 
 mod error;
 
+pub mod hash;
 pub mod integrate;
 pub mod interp;
 pub mod linalg;

@@ -94,6 +94,29 @@ impl OdeSolution {
         &self.derivs
     }
 
+    /// One state component as a flat column, node by node — the
+    /// dense-output extraction used by trajectory caches (which want
+    /// contiguous scalar columns, not per-node `Vec`s).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range for the state dimension.
+    #[must_use]
+    pub fn state_column(&self, k: usize) -> Vec<f64> {
+        self.states.iter().map(|y| y[k]).collect()
+    }
+
+    /// One derivative component as a flat column (see
+    /// [`Self::state_column`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range for the state dimension.
+    #[must_use]
+    pub fn deriv_column(&self, k: usize) -> Vec<f64> {
+        self.derivs.iter().map(|y| y[k]).collect()
+    }
+
     /// The last stored time.
     ///
     /// # Panics
@@ -231,6 +254,13 @@ mod tests {
         let sol = cubic_solution();
         assert_eq!(sol.sample(-5.0), vec![0.0]);
         assert_eq!(sol.sample(99.0), vec![8.0]);
+    }
+
+    #[test]
+    fn columns_extract_per_component() {
+        let sol = cubic_solution();
+        assert_eq!(sol.state_column(0), vec![0.0, 1.0, 8.0]);
+        assert_eq!(sol.deriv_column(0), vec![0.0, 3.0, 12.0]);
     }
 
     #[test]
