@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_shape, cache_stats_json};
+use gnr_bench::{bench_shape, bench_threads, cache_stats_json};
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::nand::{NandArray, NandConfig};
 use std::hint::black_box;
@@ -70,7 +70,10 @@ fn measure_batch_speedup() {
         config.blocks, config.pages_per_block, config.page_width
     );
     let cores = rayon::current_num_threads();
+    let threads = bench_threads();
     let runs = 3;
+    // Stats cover the measured program/erase sweeps only.
+    gnr_flash::engine::cache::reset();
 
     let seq_program = best_of(runs, || {
         program_all_pages(config, BatchSimulator::sequential())
@@ -108,7 +111,8 @@ fn measure_batch_speedup() {
     };
     let json = format!(
         "{{\n  \"bench\": \"array_throughput\",\n  \"config\": \"{shape}\",\n  \
-         \"cores\": {cores},\n  \"speedup_meaningful\": {speedup_meaningful},\n  \
+         \"cores\": {cores},\n  \"threads\": {threads},\n  \
+         \"speedup_meaningful\": {speedup_meaningful},\n  \
          \"sequential_program_ms\": {:.3},\n  \
          \"parallel_program_ms\": {:.3},\n  \"program_speedup\": {},\n  \
          \"sequential_erase_ms\": {:.3},\n  \"parallel_erase_ms\": {:.3},\n  \

@@ -19,7 +19,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnr_bench::{
-    bench_config, cache_stats_json, scheduler_trace, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE,
+    bench_config, bench_threads, cache_stats_json, scheduler_trace, SCHEDULER_FULL_SHAPE,
+    SCHEDULER_SMOKE_SHAPE,
 };
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::controller::FlashController;
@@ -192,6 +193,8 @@ fn measure_erase(config: NandConfig) -> EraseNumbers {
 
 fn measure_pe_scheduler() {
     let (config, smoke) = bench_config(SCHEDULER_SMOKE_SHAPE, SCHEDULER_FULL_SHAPE);
+    // Stats cover the three measured phases only.
+    gnr_flash::engine::cache::reset();
     let planes = config.blocks.min(4);
     let sched = measure_scheduler(config, planes);
     let ispp = measure_ispp(if smoke { 8 } else { 32 });
@@ -226,7 +229,8 @@ fn measure_pe_scheduler() {
 
     let json = format!(
         "{{\n  \"bench\": \"pe_scheduler\",\n  \"config\": \"{}x{}x{}\",\n  \
-         \"smoke\": {},\n  \"cores\": {},\n  \"ops\": {},\n  \"planes\": {},\n  \
+         \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"ops\": {},\n  \
+         \"planes\": {},\n  \
          \"sequential_seconds\": {:.4},\n  \"sequential_ops_per_second\": {:.1},\n  \
          \"multi_plane_seconds\": {:.4},\n  \"multi_plane_ops_per_second\": {:.1},\n  \
          \"parity_digest\": \"{:#018x}\",\n  \"ispp_cells\": {},\n  \
@@ -241,6 +245,7 @@ fn measure_pe_scheduler() {
         config.page_width,
         smoke,
         rayon::current_num_threads(),
+        bench_threads(),
         sched.ops,
         sched.planes,
         sched.sequential_seconds,

@@ -18,7 +18,7 @@
 //!   guard, seconds).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::bench_config;
+use gnr_bench::{bench_config, bench_threads};
 use gnr_flash::engine::cache::EngineCacheStats;
 use gnr_flash_array::cell::FlashCell;
 use gnr_flash_array::endurance::EnduranceModel;
@@ -45,6 +45,8 @@ struct SweepReport {
     bench: String,
     config: String,
     smoke: bool,
+    cores: usize,
+    threads: usize,
     cells: usize,
     codec: String,
     code_bits: usize,
@@ -155,6 +157,8 @@ fn measure_reliability_sweep() {
     let year = 3.156e7;
     let retention_seconds = [0.0, year, 10.0 * year];
 
+    // Stats cover the measured fill + sweep only.
+    gnr_flash::engine::cache::reset();
     let t0 = std::time::Instant::now();
     let base = fill_array(config);
     let fill_seconds = t0.elapsed().as_secs_f64();
@@ -218,6 +222,8 @@ fn measure_reliability_sweep() {
             config.blocks, config.pages_per_block, config.page_width
         ),
         smoke,
+        cores: rayon::current_num_threads(),
+        threads: bench_threads(),
         cells: config.cells(),
         codec: codec.name(),
         code_bits: codec.code_bits(),

@@ -15,7 +15,7 @@
 //!   guard, ~a second).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_config, cache_stats_json};
+use gnr_bench::{bench_config, bench_threads, cache_stats_json};
 use gnr_flash_array::controller::FlashController;
 use gnr_flash_array::nand::NandConfig;
 use gnr_flash_array::workload::{replay, ReplayOptions, WorkloadTrace};
@@ -74,6 +74,9 @@ fn measure_workload_replay() {
         },
     );
 
+    // Stats cover the measured replay only, not warmup from earlier
+    // phases sharing this process.
+    gnr_flash::engine::cache::reset();
     let (cycle, churn) = full_cycle_report(config, smoke);
     let churn_wear = &churn.snapshots.last().expect("snapshot").wear;
 
@@ -108,7 +111,7 @@ fn measure_workload_replay() {
 
     let json = format!(
         "{{\n  \"bench\": \"workload_replay\",\n  \"config\": \"{}x{}x{}\",\n  \
-         \"smoke\": {},\n  \"cores\": {},\n  \"cells\": {},\n  \
+         \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"cells\": {},\n  \
          \"bytes_per_cell\": {},\n  \"full_cycle_writes\": {},\n  \
          \"full_cycle_erases\": {},\n  \"full_cycle_seconds\": {:.3},\n  \
          \"cells_per_second\": {:.1},\n  \"churn_writes\": {},\n  \
@@ -121,6 +124,7 @@ fn measure_workload_replay() {
         config.page_width,
         smoke,
         rayon::current_num_threads(),
+        bench_threads(),
         cycle.cells,
         cycle.bytes_per_cell,
         cycle.writes,

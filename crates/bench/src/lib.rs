@@ -21,7 +21,10 @@ pub mod shape;
 pub mod traces;
 pub mod workload_experiment;
 
-pub use report::{ascii_table, cache_stats_json, format_series_summary, write_results_file};
-pub use shape::{bench_config, bench_shape, parse_shape, smoke_mode};
+pub use report::{
+    ascii_table, cache_stats_json, cache_stats_snapshot_json, format_series_summary,
+    write_results_file,
+};
+pub use shape::{bench_config, bench_shape, bench_threads, parse_shape, smoke_mode};
 pub use traces::{scheduler_trace, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE};
 pub use workload_experiment::extra_experiments;

@@ -51,7 +51,17 @@ pub fn ascii_table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// (`reliability_sweep`) emit one schema.
 #[must_use]
 pub fn cache_stats_json() -> String {
-    serde_json::to_string(&gnr_flash::engine::cache::stats()).expect("cache stats serialize")
+    cache_stats_snapshot_json(&gnr_flash::engine::cache::stats())
+}
+
+/// [`cache_stats_json`] over an explicit snapshot, for benches that
+/// capture the counters at a phase boundary (paired with
+/// [`gnr_flash::engine::cache::reset`] before the measured phase) and
+/// serialize them after later phases have already moved the live
+/// counters on.
+#[must_use]
+pub fn cache_stats_snapshot_json(stats: &gnr_flash::engine::cache::EngineCacheStats) -> String {
+    serde_json::to_string(stats).expect("cache stats serialize")
 }
 
 /// Writes `contents` under `results/` (created on demand) and returns the

@@ -1,8 +1,47 @@
-//! Bench-shape selection: honest defaults plus the `GNR_BENCH_SHAPE`
-//! and `GNR_BENCH_SMOKE` environment overrides shared by the array-level
-//! benches.
+//! Bench-shape selection: honest defaults plus the `GNR_BENCH_SHAPE`,
+//! `GNR_BENCH_SMOKE` and `GNR_BENCH_THREADS` environment overrides
+//! shared by the array-level benches.
+
+use std::sync::OnceLock;
 
 use gnr_flash_array::nand::NandConfig;
+
+/// The rayon worker count in effect for this bench process, resolved
+/// exactly once (the global pool can only be sized before first use).
+static BENCH_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Applies `GNR_BENCH_THREADS` to the global rayon pool (first call
+/// only — the pool is sized once per process) and returns the worker
+/// count actually in effect. Every bench records this as the `threads`
+/// field next to `cores` in its JSON, so a thread-matrix run is
+/// attributable from the committed record alone. Unset means the pool's
+/// own default (all available cores).
+///
+/// # Panics
+///
+/// Panics when `GNR_BENCH_THREADS` is set but not a positive integer,
+/// so CI misconfigurations fail loudly instead of silently timing the
+/// wrong pool.
+#[must_use]
+pub fn bench_threads() -> usize {
+    *BENCH_THREADS.get_or_init(|| {
+        if let Ok(spec) = std::env::var("GNR_BENCH_THREADS") {
+            let n: usize = spec
+                .trim()
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    panic!("GNR_BENCH_THREADS must be a positive integer, got `{spec}`")
+                });
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("the global pool is sized before first use");
+        }
+        rayon::current_num_threads()
+    })
+}
 
 /// Parses a `BxPxW` shape string (blocks × pages-per-block × width),
 /// e.g. `64x64x256`. Separators `x`/`X` both work.
@@ -41,6 +80,9 @@ pub fn parse_shape(spec: &str) -> Result<NandConfig, String> {
 /// Panics when `GNR_BENCH_SHAPE` is set but malformed.
 #[must_use]
 pub fn bench_shape(default: NandConfig) -> NandConfig {
+    // Every bench resolves its shape before doing work, so this is the
+    // uniform point at which `GNR_BENCH_THREADS` takes effect.
+    let _ = bench_threads();
     match std::env::var("GNR_BENCH_SHAPE") {
         Ok(spec) => parse_shape(&spec).expect("GNR_BENCH_SHAPE"),
         Err(_) => default,
@@ -58,8 +100,10 @@ pub fn smoke_mode() -> bool {
 /// follows: `GNR_BENCH_SMOKE` picks between the CI-sized and the full
 /// default shape, and an explicit `GNR_BENCH_SHAPE` wins over *both* —
 /// so a custom shape behaves identically whether or not the run is a
-/// smoke run. Returns the resolved shape plus the smoke flag (which
-/// benches still use to shrink iteration counts).
+/// smoke run. `GNR_BENCH_THREADS` is applied to the global rayon pool
+/// here too (see [`bench_threads`]), so every bench honors it without
+/// its own wiring. Returns the resolved shape plus the smoke flag
+/// (which benches still use to shrink iteration counts).
 ///
 /// # Panics
 ///

@@ -63,9 +63,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
-use gnr_numerics::interp::{hermite_segment, invert_monotone_hermite};
+use gnr_numerics::interp::{hermite_segment, invert_hermite_segment, invert_monotone_hermite};
 use gnr_numerics::ode::{CrossingDirection, Dopri45, Event, OdeOptions};
 use gnr_units::{Charge, Voltage};
 
@@ -132,9 +132,90 @@ impl Branch {
         q >= self.lo() && q <= self.hi()
     }
 
+    /// Flow orientation on the charge axis: `+1.0` for an increasing
+    /// branch, `-1.0` for a decreasing one (`charges` is strictly
+    /// monotone, so the segment-local and trajectory-global orientations
+    /// coincide — the bit-identity hinge of the batched walk).
+    fn orientation(&self) -> f64 {
+        if *self.charges.last().expect("non-empty branch") > self.charges[0] {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
     /// Inverse lookup `Q → t` on the monotone master.
     fn time_of_charge(&self, q: f64) -> Option<f64> {
         invert_monotone_hermite(&self.times, &self.charges, &self.rates, q)
+    }
+
+    /// Cursor-walk form of [`Self::time_of_charge`] for in-range `q`:
+    /// instead of a binary search per query, the bracketing segment is
+    /// reached by advancing/retreating `cursor` (the upper node index of
+    /// the candidate segment, kept in `1..len`). Because the node values
+    /// are strictly monotone, the walk lands on the *same* unique
+    /// bracket the binary search's insertion point denotes, the
+    /// exact-node early returns replicate its `Ok(i)` arm, and the
+    /// shared [`invert_hermite_segment`] bisection does the rest — so
+    /// the answer is bit-identical to the scalar path. Sorted queries
+    /// amortise the walk to O(queries + segments); unsorted ones merely
+    /// re-seek.
+    fn time_of_charge_at_cursor(&self, cursor: &mut usize, sign: f64, q: f64) -> f64 {
+        let last = self.charges.len() - 1;
+        let tv = sign * q;
+        let mut c = (*cursor).clamp(1, last);
+        while c < last && sign * self.charges[c] < tv {
+            c += 1;
+        }
+        while c > 1 && sign * self.charges[c - 1] > tv {
+            c -= 1;
+        }
+        *cursor = c;
+        if sign * self.charges[c] == tv {
+            return self.times[c];
+        }
+        if sign * self.charges[c - 1] == tv {
+            return self.times[c - 1];
+        }
+        invert_hermite_segment(
+            self.times[c - 1],
+            self.times[c],
+            self.charges[c - 1],
+            self.charges[c],
+            self.rates[c - 1],
+            self.rates[c],
+            q,
+        )
+    }
+
+    /// Cursor-walk form of [`Self::charge_at`] (same contract as
+    /// [`Self::time_of_charge_at_cursor`], on the strictly increasing
+    /// time axis).
+    fn charge_at_cursor(&self, cursor: &mut usize, t: f64) -> f64 {
+        let last = self.times.len() - 1;
+        let mut c = (*cursor).clamp(1, last);
+        while c < last && self.times[c] < t {
+            c += 1;
+        }
+        while c > 1 && self.times[c - 1] > t {
+            c -= 1;
+        }
+        *cursor = c;
+        if self.times[c] == t {
+            return self.charges[c];
+        }
+        if self.times[c - 1] == t {
+            return self.charges[c - 1];
+        }
+        hermite_segment(
+            t,
+            self.times[c - 1],
+            self.times[c],
+            self.charges[c - 1],
+            self.charges[c],
+            self.rates[c - 1],
+            self.rates[c],
+        )
     }
 
     /// Dense-output sample `t → Q` (`t` must lie inside the horizon).
@@ -239,6 +320,62 @@ impl PulseFlowMap {
             return None;
         }
         Some(branch.charge_at(te))
+    }
+
+    /// Column-batched form of [`Self::final_charge`]: answers
+    /// `out[i] = final_charge(q0s[i], dt)` for a whole column of initial
+    /// charges in one pass. `None` entries are the per-query fallback
+    /// flags — the caller escapes those cells to the exact engine,
+    /// exactly as it would after a scalar decline.
+    ///
+    /// Instead of one binary search per query (inverse lookup *and*
+    /// dense-output sample), per-branch cursors walk the master
+    /// trajectory's segments in a monotone merge: a column sorted by
+    /// initial charge visits each segment at most once, so the whole
+    /// column costs O(queries + segments) rather than
+    /// O(queries · log segments). Every answer is **bit-identical** to
+    /// the scalar path (pinned by proptest in `tests/engine_flowmap.rs`):
+    /// the walk lands on the same bracketing segment the binary search's
+    /// insertion point denotes, and the segment-level bisection is the
+    /// shared [`invert_hermite_segment`]. Unsorted or duplicate inputs
+    /// stay correct — the cursors re-seek in either direction — they
+    /// just forfeit the amortisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != q0s.len()`.
+    pub fn final_charges_batch(&self, q0s: &[f64], dt: f64, out: &mut [Option<f64>]) {
+        assert_eq!(
+            q0s.len(),
+            out.len(),
+            "output column must match the query column"
+        );
+        if !dt.is_finite() || dt < 0.0 {
+            out.fill(None);
+            return;
+        }
+        // (orientation, inverse cursor, sample cursor) per branch.
+        let mut cursors: Vec<(f64, usize, usize)> = self
+            .branches
+            .iter()
+            .map(|b| (b.orientation(), 1, 1))
+            .collect();
+        for (&q0, slot) in q0s.iter().zip(out.iter_mut()) {
+            *slot = None;
+            let Some(bi) = self.branches.iter().position(|b| b.contains(q0)) else {
+                continue;
+            };
+            let branch = &self.branches[bi];
+            let (sign, q_cursor, t_cursor) = &mut cursors[bi];
+            // `contains` passed, so the scalar inverse's range check
+            // cannot decline: the walk always yields the entry time.
+            let t0 = branch.time_of_charge_at_cursor(q_cursor, *sign, q0);
+            let te = t0 + dt;
+            if te > *branch.times.last().expect("non-empty branch") {
+                continue;
+            }
+            *slot = Some(branch.charge_at_cursor(t_cursor, te));
+        }
     }
 }
 
@@ -350,14 +487,41 @@ pub const MAX_FLOW_MAPS: usize = 256;
 
 type FlowSlot = Arc<OnceLock<Arc<PulseFlowMap>>>;
 
-static MAPS: OnceLock<Mutex<HashMap<FlowKey, FlowSlot>>> = OnceLock::new();
+/// Shard count of the process-wide map cache. Keys scatter across
+/// shards by a cheap bit mix, so the hot path is one shard *read* lock
+/// (shared, contention-free across threads) plus a lock-free per-key
+/// `OnceLock` — no process-wide mutex anywhere on a hit. Each shard
+/// holds at most `MAX_FLOW_MAPS / SHARD_COUNT` entries and clears
+/// wholesale past that, preserving the old cache-wide policy per shard.
+const SHARD_COUNT: usize = 16;
+
+type Shard = RwLock<HashMap<FlowKey, FlowSlot>>;
+
+static MAPS: OnceLock<Vec<Shard>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+fn shards() -> &'static [Shard] {
+    MAPS.get_or_init(|| {
+        (0..SHARD_COUNT)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect()
+    })
+}
+
+fn shard_of(key: &FlowKey) -> usize {
+    // The dynamics digest is already a hash; fold in the bias bits.
+    let mixed = key.device ^ key.vgs_bits.rotate_left(17) ^ key.vs_bits.rotate_left(31);
+    (mixed as usize) % SHARD_COUNT
+}
+
 /// Returns the shared flow map for `engine`'s device at the pulse bias
-/// `(vgs, vs)`, integrating the master trajectories on first use. The
-/// per-key `OnceLock` keeps concurrent first queries from integrating
-/// twice while never holding the cache-wide lock across a build.
+/// `(vgs, vs)`, integrating the master trajectories on first use. A hit
+/// costs one shard read lock and one slot clone; the per-key `OnceLock`
+/// keeps concurrent first queries from integrating twice while never
+/// holding any map lock across a build. One probe serves a whole query
+/// column on the batched path, so the hit/miss counters run at
+/// per-operation scale there (one relaxed `fetch_add` per column).
 #[must_use]
 pub fn cached(engine: &ChargeBalanceEngine, vgs: Voltage, vs: Voltage) -> Arc<PulseFlowMap> {
     let key = FlowKey {
@@ -365,13 +529,17 @@ pub fn cached(engine: &ChargeBalanceEngine, vgs: Voltage, vs: Voltage) -> Arc<Pu
         vgs_bits: vgs.as_volts().to_bits(),
         vs_bits: vs.as_volts().to_bits(),
     };
-    let cache = MAPS.get_or_init(|| Mutex::new(HashMap::new()));
-    let slot: FlowSlot = {
-        let mut map = cache.lock();
-        if map.len() >= MAX_FLOW_MAPS && !map.contains_key(&key) {
-            map.clear();
+    let shard = &shards()[shard_of(&key)];
+    let hit = shard.read().get(&key).cloned();
+    let slot: FlowSlot = match hit {
+        Some(slot) => slot,
+        None => {
+            let mut map = shard.write();
+            if map.len() >= MAX_FLOW_MAPS / SHARD_COUNT && !map.contains_key(&key) {
+                map.clear();
+            }
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
         }
-        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
     };
     let mut built_now = false;
     let map = slot.get_or_init(|| {
@@ -394,8 +562,18 @@ pub fn tier_stats() -> TierStats {
     TierStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
-        entries: MAPS.get().map_or(0, |cache| cache.lock().len()),
+        entries: MAPS
+            .get()
+            .map_or(0, |shards| shards.iter().map(|s| s.read().len()).sum()),
     }
+}
+
+/// Zeroes the hit/miss counters (the cached maps themselves stay warm).
+/// Benches call this through [`super::cache::reset`] so recorded stats
+/// reflect only the measured phase.
+pub(crate) fn reset_counters() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -466,6 +644,44 @@ mod tests {
         let engine = engine();
         let map = PulseFlowMap::build(&engine, Voltage::from_volts(0.2), Voltage::ZERO);
         assert_eq!(map.final_charge(0.0, 1.0e-5), None);
+    }
+
+    #[test]
+    fn batch_answers_match_scalar_queries_bitwise() {
+        let engine = engine();
+        let map = PulseFlowMap::build(&engine, presets::program_vgs(), Voltage::ZERO);
+        let (lo, hi) = map.charge_range().expect("non-empty map");
+        // Unsorted, duplicated, boundary and out-of-range charges in one
+        // column; every answer must carry the scalar path's exact bits.
+        let q0s = [
+            0.0,
+            hi,
+            lo,
+            0.4 * lo + 0.6 * hi,
+            0.0,
+            hi + (hi - lo), // out of span → fallback flag
+            0.9 * lo,
+            f64::NAN, // matches no branch → fallback flag
+            0.1 * hi,
+        ];
+        for dt in [1.0e-6, 1.0e-4, 1.0e12, 0.0] {
+            let mut out = vec![Some(f64::NAN); q0s.len()];
+            map.final_charges_batch(&q0s, dt, &mut out);
+            for (&q0, &got) in q0s.iter().zip(&out) {
+                let want = map.final_charge(q0, dt);
+                assert_eq!(
+                    got.map(f64::to_bits),
+                    want.map(f64::to_bits),
+                    "q0 {q0:e}, dt {dt:e}"
+                );
+            }
+        }
+        // Rejected dt clears the whole column.
+        let mut out = vec![Some(0.0); q0s.len()];
+        map.final_charges_batch(&q0s, f64::NAN, &mut out);
+        assert!(out.iter().all(Option::is_none));
+        map.final_charges_batch(&q0s, -1.0, &mut out);
+        assert!(out.iter().all(Option::is_none));
     }
 
     #[test]

@@ -401,6 +401,88 @@ impl ChargeBalanceEngine {
         self.run(spec).map(|r| r.final_charge())
     }
 
+    /// Column-batched form of [`Self::pulse_final_charge`]: final
+    /// charges after one shared fixed-width `pulse` applied to a whole
+    /// column of initial charges (coulombs), index-aligned with `q0s`.
+    /// This is the array layer's kernel entry point — a cell-state group
+    /// column of a page program, ISPP rung or block erase dispatches
+    /// here as a single call.
+    ///
+    /// On the flow-map path the `(device dynamics, pulse bias)` cache
+    /// entry is resolved **once per call** — one probe, one `Arc`
+    /// clone, one relaxed hit/miss update for the whole column — and
+    /// the queries run through [`PulseFlowMap::final_charges_batch`] in
+    /// charge-sorted order (a permutation sort here; answers scatter
+    /// back to input order). Every element is bit-identical to calling
+    /// [`Self::pulse_final_charge`] with the same `(pulse, q0)`: map
+    /// queries are pure, declined cells (the kernel's per-query
+    /// fallback flags) integrate through the verbatim exact path, and
+    /// the [`DeviceError::NoTunneling`] floor is enforced per query at
+    /// its own initial charge. Engines that never consult the flow map
+    /// (exact mode, custom paths or tolerances) take the per-query
+    /// scalar loop unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Per element, the same contract as [`Self::pulse_final_charge`].
+    pub fn pulse_final_charges(
+        &self,
+        pulse: crate::pulse::SquarePulse,
+        q0s: &[f64],
+    ) -> Vec<Result<Charge>> {
+        if q0s.is_empty() {
+            return Vec::new();
+        }
+        let eligible =
+            self.mode == EngineMode::FlowMap && self.standard_paths && !self.custom_ode_options;
+        if !eligible {
+            return q0s
+                .iter()
+                .map(|&q0| {
+                    self.pulse_final_charge(&ProgramPulseSpec::from_pulse(
+                        pulse,
+                        Charge::from_coulombs(q0),
+                    ))
+                })
+                .collect();
+        }
+        let vgs = pulse.amplitude;
+        let vs = Voltage::ZERO; // matches ProgramPulseSpec::from_pulse
+        let map = flowmap::cached(self, vgs, vs);
+        let mut order: Vec<usize> = (0..q0s.len()).collect();
+        order.sort_by(|&a, &b| q0s[a].total_cmp(&q0s[b]));
+        let sorted: Vec<f64> = order.iter().map(|&i| q0s[i]).collect();
+        let mut sorted_out = vec![None; q0s.len()];
+        map.final_charges_batch(&sorted, pulse.width.as_seconds(), &mut sorted_out);
+        let mut answers = vec![None; q0s.len()];
+        for (&i, &a) in order.iter().zip(&sorted_out) {
+            answers[i] = a;
+        }
+        q0s.iter()
+            .zip(answers)
+            .map(|(&q0, answer)| {
+                let q0 = Charge::from_coulombs(q0);
+                // Scalar contract, per query: the tunneling floor holds
+                // at the cell's own charge (the map is consulted first
+                // here, but its query is pure, so the reordering is
+                // unobservable), and declined cells escape to the exact
+                // integration verbatim.
+                let s0 = self.tunneling_state(vgs, vs, q0);
+                if s0.charge_rate_amps.abs() < MIN_TUNNELING_RATE_AMPS {
+                    return Err(DeviceError::NoTunneling {
+                        vgs: vgs.as_volts(),
+                    });
+                }
+                match answer {
+                    Some(q) => Ok(Charge::from_coulombs(q)),
+                    None => self
+                        .run(&ProgramPulseSpec::from_pulse(pulse, q0))
+                        .map(|r| r.final_charge()),
+                }
+            })
+            .collect()
+    }
+
     fn run_window(
         &self,
         spec: &ProgramPulseSpec,
@@ -588,6 +670,60 @@ mod tests {
                 .with_duration(Time::from_microseconds(10.0)),
         );
         assert!(matches!(err, Err(DeviceError::NoTunneling { .. })));
+    }
+
+    #[test]
+    fn column_dispatch_matches_scalar_queries_bitwise() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let cfc = device.capacitances().cfc().as_farads();
+        // Unsorted charges spanning in-range, duplicate and far
+        // out-of-span (exact-fallback) states.
+        let q0s: Vec<f64> = [0.0, -2.0, 3.5, -2.0, 40.0, 0.7]
+            .iter()
+            .map(|vt| -vt * cfc)
+            .collect();
+        for (engine, label) in [
+            (ChargeBalanceEngine::new(&device), "flow-map"),
+            (
+                ChargeBalanceEngine::new(&device).with_mode(EngineMode::Exact),
+                "exact",
+            ),
+        ] {
+            let pulse = crate::pulse::SquarePulse::new(
+                presets::program_vgs(),
+                Time::from_microseconds(10.0),
+            );
+            let batch = engine.pulse_final_charges(pulse, &q0s);
+            for (&q0, got) in q0s.iter().zip(batch) {
+                let want = engine.pulse_final_charge(&ProgramPulseSpec::from_pulse(
+                    pulse,
+                    Charge::from_coulombs(q0),
+                ));
+                match (got, want) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a.as_coulombs().to_bits(),
+                        b.as_coulombs().to_bits(),
+                        "{label}: q0 {q0:e}"
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("{label}: q0 {q0:e} diverged: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_dispatch_enforces_the_tunneling_floor_per_query() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let engine = ChargeBalanceEngine::new(&device);
+        let pulse =
+            crate::pulse::SquarePulse::new(Voltage::from_volts(1.0), Time::from_microseconds(10.0));
+        let results = engine.pulse_final_charges(pulse, &[0.0, 0.0]);
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert!(matches!(r, Err(DeviceError::NoTunneling { .. })));
+        }
+        assert!(engine.pulse_final_charges(pulse, &[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Column-batched pulse application over grouped population state.
+//!
+//! [`crate::population::CellPopulation`] groups cells by full state and
+//! historically ran each group's operation on its own scratch
+//! [`FlashCell`] + engine. For *fixed-width-pulse* operations (page
+//! program, block erase, both ISPP ladders, erase-verify, soft-program)
+//! that means every group pays a full scalar flow-map query per rung:
+//! a process-wide cache probe, a binary-search monotone inverse and a
+//! Hermite sample. [`PulseColumns`] instead drives whole columns of
+//! groups through [`ChargeBalanceEngine::pulse_final_charges`]: groups
+//! sharing a `(variant, pulse)` bias become **one sorted column per
+//! probe** — one cache resolution and one amortised segment walk for
+//! the entire column.
+//!
+//! Bit-identity with the scalar path is structural, not approximate:
+//! the engine's batched kernel is pinned bitwise-equal to per-query
+//! `pulse_final_charge` calls, the write-back below replicates
+//! [`FlashCell::apply_pulse_with`] verbatim (including the
+//! `NoTunneling`-is-a-no-op rule), and the `ΔVT = −Q/CFC` verify reads
+//! use the population's cached per-variant `CFC` — the same arithmetic
+//! as [`gnr_flash::threshold::vt_shift`].
+
+use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
+use gnr_flash::pulse::SquarePulse;
+use gnr_numerics::hash::FnvHashMap;
+use gnr_units::Time;
+
+use crate::cell::{CellStats, DEFAULT_PULSE_WIDTH_S};
+use crate::population::DeviceVariant;
+use crate::Result;
+
+/// The columnar mirror of one state group's scratch [`FlashCell`]:
+/// variant index, stored charge (C) and lifetime counters. Drivers
+/// mutate these in place; the population writes the absolute outcome
+/// back to every member afterwards.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GroupState {
+    /// Index into the population's shared variant table.
+    pub(crate) variant: u32,
+    /// Stored charge (C).
+    pub(crate) charge: f64,
+    /// Lifetime counters, carried with full per-group history so wear
+    /// accumulation happens in per-cell order.
+    pub(crate) stats: CellStats,
+}
+
+/// Batched pulse executor over a population's group column: owns one
+/// lazily-built engine per device variant and dispatches each
+/// `(variant, pulse)` bucket as a single sorted flow-map column.
+pub(crate) struct PulseColumns<'a> {
+    variants: &'a [DeviceVariant],
+    batch: &'a BatchSimulator,
+    engines: Vec<Option<ChargeBalanceEngine>>,
+}
+
+impl<'a> PulseColumns<'a> {
+    pub(crate) fn new(variants: &'a [DeviceVariant], batch: &'a BatchSimulator) -> Self {
+        Self {
+            variants,
+            batch,
+            engines: variants.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// Threshold shift (V) of a group — bit-identical to
+    /// [`FlashCell::vt_shift`] on the group's shared device.
+    pub(crate) fn vt_shift(&self, state: &GroupState) -> f64 {
+        -(state.charge / self.variants[state.variant as usize].cfc_farads)
+    }
+
+    /// The engine of a variant, built on first use and reused for every
+    /// subsequent rung and bucket (one device clone + one set of table
+    /// probes per variant per operation, never per group).
+    fn engine(&mut self, variant: u32) -> &ChargeBalanceEngine {
+        let slot = &mut self.engines[variant as usize];
+        if slot.is_none() {
+            *slot = Some(
+                self.batch
+                    .engine_for(&self.variants[variant as usize].device),
+            );
+        }
+        slot.as_ref().expect("slot filled above")
+    }
+
+    /// Applies one pulse job per listed group — `jobs` pairs a group
+    /// index with the pulse it receives this rung. Jobs are bucketed by
+    /// `(variant, amplitude bits, width bits)` and each bucket is
+    /// dispatched as one engine column. Results align with `jobs`.
+    ///
+    /// Per-job semantics replicate [`FlashCell::apply_pulse_with`]: on
+    /// success the injected-charge wear grows by `|ΔQ|` and the charge
+    /// advances; a sub-threshold bias (`NoTunneling`) is an Ok no-op.
+    ///
+    /// A group must appear at most once per call — a duplicate would
+    /// query the pre-pulse charge of its first job.
+    pub(crate) fn apply(
+        &mut self,
+        states: &mut [GroupState],
+        jobs: &[(usize, SquarePulse)],
+    ) -> Vec<Result<()>> {
+        let mut buckets: Vec<(u32, SquarePulse, Vec<usize>)> = Vec::new();
+        let mut index: FnvHashMap<(u32, u64, u64), usize> = FnvHashMap::default();
+        for (pos, &(g, pulse)) in jobs.iter().enumerate() {
+            let variant = states[g].variant;
+            let key = (
+                variant,
+                pulse.amplitude.as_volts().to_bits(),
+                pulse.width.as_seconds().to_bits(),
+            );
+            let b = *index.entry(key).or_insert_with(|| {
+                buckets.push((variant, pulse, Vec::new()));
+                buckets.len() - 1
+            });
+            buckets[b].2.push(pos);
+        }
+        let mut out: Vec<Result<()>> = jobs.iter().map(|_| Ok(())).collect();
+        for (variant, pulse, members) in &buckets {
+            let q0s: Vec<f64> = members
+                .iter()
+                .map(|&pos| states[jobs[pos].0].charge)
+                .collect();
+            let answers = self.engine(*variant).pulse_final_charges(*pulse, &q0s);
+            for (&pos, answer) in members.iter().zip(answers) {
+                let state = &mut states[jobs[pos].0];
+                out[pos] = match answer {
+                    Ok(q_new) => {
+                        let q = q_new.as_coulombs();
+                        state.stats.injected_charge += (q - state.charge).abs();
+                        state.charge = q;
+                        Ok(())
+                    }
+                    Err(gnr_flash::DeviceError::NoTunneling { .. }) => Ok(()),
+                    Err(e) => Err(e.into()),
+                };
+            }
+        }
+        out
+    }
+
+    /// The default erase pulse over the listed groups — the columnar
+    /// mirror of [`FlashCell::erase_default_with`]: one −15 V / 100 µs
+    /// pulse, and the erase-op counter advances on success only.
+    pub(crate) fn erase_default(
+        &mut self,
+        states: &mut [GroupState],
+        members: &[usize],
+    ) -> Vec<Result<()>> {
+        let pulse = SquarePulse::new(
+            gnr_flash::presets::erase_vgs(),
+            Time::from_seconds(DEFAULT_PULSE_WIDTH_S),
+        );
+        let jobs: Vec<(usize, SquarePulse)> = members.iter().map(|&g| (g, pulse)).collect();
+        let results = self.apply(states, &jobs);
+        for (&g, result) in members.iter().zip(&results) {
+            if result.is_ok() {
+                states[g].stats.erase_ops += 1;
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::FlashCell;
+    use crate::population::CellPopulation;
+    use gnr_units::Voltage;
+
+    /// The columnar executor must replicate `FlashCell::apply_pulse_with`
+    /// bitwise — charge, wear and the `NoTunneling` no-op rule.
+    #[test]
+    fn apply_matches_the_scalar_cell_path_bitwise() {
+        let pop = CellPopulation::paper(1);
+        let batch = BatchSimulator::sequential();
+        let mut cols = PulseColumns::new(pop.variants_for_columns(), &batch);
+        let mut states = [GroupState {
+            variant: 0,
+            charge: 0.0,
+            stats: CellStats::default(),
+        }];
+
+        let mut cell = FlashCell::paper_cell();
+        let engine = batch.engine_for(cell.device());
+        for volts in [15.0, 0.5, -15.0, 14.2] {
+            let pulse = SquarePulse::new(Voltage::from_volts(volts), Time::from_microseconds(10.0));
+            let results = cols.apply(&mut states, &[(0, pulse)]);
+            assert!(results[0].is_ok());
+            cell.apply_pulse_with(&engine, pulse).unwrap();
+            assert_eq!(
+                states[0].charge.to_bits(),
+                cell.charge().as_coulombs().to_bits()
+            );
+            assert_eq!(
+                states[0].stats.injected_charge.to_bits(),
+                cell.stats().injected_charge.to_bits()
+            );
+            assert_eq!(
+                cols.vt_shift(&states[0]).to_bits(),
+                cell.vt_shift().as_volts().to_bits()
+            );
+        }
+    }
+
+    /// One bucket per distinct `(variant, pulse)` — duplicate pulses in
+    /// one call share a single engine column and the default-erase
+    /// helper bumps the erase counter exactly once per group.
+    #[test]
+    fn default_erase_counts_one_op_per_group() {
+        let pop = CellPopulation::paper(1);
+        let batch = BatchSimulator::sequential();
+        let mut cols = PulseColumns::new(pop.variants_for_columns(), &batch);
+        let mut states = [
+            GroupState {
+                variant: 0,
+                charge: -1.0e-18,
+                stats: CellStats::default(),
+            },
+            GroupState {
+                variant: 0,
+                charge: 0.0,
+                stats: CellStats::default(),
+            },
+        ];
+        let results = cols.erase_default(&mut states, &[0, 1]);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(states[0].stats.erase_ops, 1);
+        assert_eq!(states[1].stats.erase_ops, 1);
+    }
+}

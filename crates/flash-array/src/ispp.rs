@@ -12,10 +12,11 @@
 //! reprogram of the array, so the integrations amortise to ~zero.
 
 use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
-use gnr_flash::pulse::IsppLadder;
+use gnr_flash::pulse::{IsppLadder, SquarePulse};
 use gnr_units::Voltage;
 
 use crate::cell::FlashCell;
+use crate::column::{GroupState, PulseColumns};
 use crate::{ArrayError, Result};
 
 /// Result of one ISPP operation.
@@ -144,6 +145,105 @@ impl IsppProgrammer {
     }
 }
 
+/// The columnar fixed-ladder driver shared by [`IsppProgrammer`] and
+/// [`IsppEraser`]: the listed groups run the ladder in lockstep — every
+/// still-active group receives rung `k` at step `k`, so one shared pulse
+/// counter tracks every group's pulse count, and each rung's pulses are
+/// one [`PulseColumns::apply`] call (one sorted flow-map column per
+/// variant). Per-group control flow replicates the scalar
+/// `program_with`/`erase_with` verbatim: verify before rung 0, verify
+/// after every rung, `VerifyFailed` on ladder exhaustion, device errors
+/// freeze the group's state where the scalar path would have returned.
+fn ladder_column(
+    ladder: IsppLadder,
+    target: Voltage,
+    erase: bool,
+    cols: &mut PulseColumns<'_>,
+    states: &mut [GroupState],
+    members: &[usize],
+) -> Vec<Result<IsppReport>> {
+    let target_volts = target.as_volts();
+    let verified = |vt: f64| {
+        if erase {
+            vt <= target_volts
+        } else {
+            vt >= target_volts
+        }
+    };
+    let mut results: Vec<Option<Result<IsppReport>>> = members.iter().map(|_| None).collect();
+    let mut trajectories: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+    // Positions (into `members`) still running the ladder.
+    let mut active: Vec<usize> = Vec::new();
+    for (pos, &g) in members.iter().enumerate() {
+        let vt = cols.vt_shift(&states[g]);
+        trajectories.push(vec![vt]);
+        if verified(vt) {
+            results[pos] = Some(Ok(IsppReport {
+                pulses: 0,
+                final_amplitude: 0.0,
+                final_vt_shift: vt,
+                verify_vt: std::mem::take(&mut trajectories[pos]),
+            }));
+        } else {
+            active.push(pos);
+        }
+    }
+    let mut pulses = 0;
+    for pulse in ladder {
+        if active.is_empty() {
+            break;
+        }
+        let jobs: Vec<(usize, SquarePulse)> =
+            active.iter().map(|&pos| (members[pos], pulse)).collect();
+        let outcomes = cols.apply(states, &jobs);
+        pulses += 1;
+        let mut still: Vec<usize> = Vec::new();
+        for (&pos, outcome) in active.iter().zip(outcomes) {
+            if let Err(e) = outcome {
+                results[pos] = Some(Err(e));
+                continue;
+            }
+            let vt = cols.vt_shift(&states[members[pos]]);
+            trajectories[pos].push(vt);
+            if verified(vt) {
+                results[pos] = Some(Ok(IsppReport {
+                    pulses,
+                    final_amplitude: pulse.amplitude.as_volts(),
+                    final_vt_shift: vt,
+                    verify_vt: std::mem::take(&mut trajectories[pos]),
+                }));
+            } else {
+                still.push(pos);
+            }
+        }
+        active = still;
+    }
+    for pos in active {
+        results[pos] = Some(Err(ArrayError::VerifyFailed {
+            pulses,
+            reached_volts: cols.vt_shift(&states[members[pos]]),
+            target_volts,
+        }));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every group resolves to a report or an error"))
+        .collect()
+}
+
+impl IsppProgrammer {
+    /// Columnar [`Self::program_with`] over the listed state groups —
+    /// results align with `members`.
+    pub(crate) fn program_column(
+        &self,
+        cols: &mut PulseColumns<'_>,
+        states: &mut [GroupState],
+        members: &[usize],
+    ) -> Vec<Result<IsppReport>> {
+        ladder_column(self.ladder, self.target, false, cols, states, members)
+    }
+}
+
 /// ISPP eraser: a negative ladder plus a verify ceiling.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IsppEraser {
@@ -226,6 +326,17 @@ impl IsppEraser {
             reached_volts: cell.vt_shift().as_volts(),
             target_volts: self.target.as_volts(),
         })
+    }
+
+    /// Columnar [`Self::erase_with`] over the listed state groups —
+    /// results align with `members`.
+    pub(crate) fn erase_column(
+        &self,
+        cols: &mut PulseColumns<'_>,
+        states: &mut [GroupState],
+        members: &[usize],
+    ) -> Vec<Result<IsppReport>> {
+        ladder_column(self.ladder, self.target, true, cols, states, members)
     }
 
     /// Erases many independent cells through the batch engine (the

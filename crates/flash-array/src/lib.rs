@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+mod column;
 pub mod controller;
 pub mod disturb;
 pub mod endurance;

@@ -21,9 +21,16 @@ use gnr_flash::pulse::SquarePulse;
 use gnr_units::{Time, Voltage};
 
 use crate::cell::FlashCell;
+use crate::column::{GroupState, PulseColumns};
 use crate::ispp::IsppReport;
 use crate::population::CellPopulation;
 use crate::{ArrayError, Result};
+
+/// FN charging self-limits: at an unchanged step the next ISPP rung
+/// gains roughly this fraction of the last one (the stored charge
+/// lowers the oxide field). The adaptive step controller divides by it
+/// when predicting the next rung's gain.
+const GAIN_DECAY: f64 = 0.45;
 
 /// Adaptive incremental-step-pulse programming.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -120,15 +127,11 @@ impl AdaptiveIspp {
             }
             // The adaptation: scale the step by the ratio of the
             // distance still to cover to the gain the *next* rung is
-            // expected to deliver. FN charging self-limits — at an
-            // unchanged step the next rung gains roughly `GAIN_DECAY`
-            // of the last one (the stored charge lowers the oxide
-            // field) — so the estimate is `gain × GAIN_DECAY`, not the
-            // raw gain. Far from target the step stretches (fewer rungs
+            // expected to deliver — `gain × GAIN_DECAY`, not the raw
+            // gain. Far from target the step stretches (fewer rungs
             // than the fixed ladder); with the target within one decayed
             // gain it tightens toward `min_step`, trimming the overshoot
             // past the verify level without spending an extra rung.
-            const GAIN_DECAY: f64 = 0.45;
             let remaining = self.target.as_volts() - vt;
             if gain > 1e-9 {
                 step = (step * remaining / (gain * GAIN_DECAY))
@@ -138,17 +141,109 @@ impl AdaptiveIspp {
         }
     }
 
+    /// Columnar [`Self::program_with`] over the listed state groups:
+    /// the groups run in lockstep (every active group is pulsed each
+    /// iteration, so one shared counter tracks per-group pulse counts),
+    /// each carrying its own amplitude/step track — groups that happen
+    /// to share an amplitude land in the same flow-map column that
+    /// iteration. Control flow replicates the scalar loop verbatim.
+    pub(crate) fn program_column(
+        &self,
+        cols: &mut PulseColumns<'_>,
+        states: &mut [GroupState],
+        members: &[usize],
+    ) -> Vec<Result<IsppReport>> {
+        let target = self.target.as_volts();
+        let max = self.max_amplitude.as_volts();
+        let mut results: Vec<Option<Result<IsppReport>>> = members.iter().map(|_| None).collect();
+        let mut trajectories: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+        let mut tracks: Vec<(f64, f64)> = members
+            .iter()
+            .map(|_| (self.start.as_volts(), self.initial_step.as_volts()))
+            .collect();
+        let mut active: Vec<usize> = Vec::new();
+        for (pos, &g) in members.iter().enumerate() {
+            let vt = cols.vt_shift(&states[g]);
+            trajectories.push(vec![vt]);
+            if vt >= target {
+                results[pos] = Some(Ok(IsppReport {
+                    pulses: 0,
+                    final_amplitude: 0.0,
+                    final_vt_shift: vt,
+                    verify_vt: std::mem::take(&mut trajectories[pos]),
+                }));
+            } else {
+                active.push(pos);
+            }
+        }
+        let mut pulses = 0;
+        while !active.is_empty() {
+            let jobs: Vec<(usize, SquarePulse)> = active
+                .iter()
+                .map(|&pos| {
+                    (
+                        members[pos],
+                        SquarePulse::new(Voltage::from_volts(tracks[pos].0), self.width),
+                    )
+                })
+                .collect();
+            let outcomes = cols.apply(states, &jobs);
+            pulses += 1;
+            let mut still: Vec<usize> = Vec::new();
+            for (&pos, outcome) in active.iter().zip(outcomes) {
+                if let Err(e) = outcome {
+                    results[pos] = Some(Err(e));
+                    continue;
+                }
+                let vt = cols.vt_shift(&states[members[pos]]);
+                let gain = vt - *trajectories[pos].last().expect("pre-verify entry");
+                trajectories[pos].push(vt);
+                let (amplitude, step) = &mut tracks[pos];
+                if vt >= target {
+                    results[pos] = Some(Ok(IsppReport {
+                        pulses,
+                        final_amplitude: *amplitude,
+                        final_vt_shift: vt,
+                        verify_vt: std::mem::take(&mut trajectories[pos]),
+                    }));
+                    continue;
+                }
+                if *amplitude >= max || pulses >= self.max_pulses {
+                    results[pos] = Some(Err(ArrayError::VerifyFailed {
+                        pulses,
+                        reached_volts: vt,
+                        target_volts: target,
+                    }));
+                    continue;
+                }
+                let remaining = target - vt;
+                if gain > 1e-9 {
+                    *step = (*step * remaining / (gain * GAIN_DECAY))
+                        .clamp(self.min_step.as_volts(), self.max_step.as_volts());
+                }
+                *amplitude = (*amplitude + *step).min(max);
+                still.push(pos);
+            }
+            active = still;
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every group resolves"))
+            .collect()
+    }
+
     /// Programs many cells of a population (grouped by distinct state,
-    /// fanned out over `batch` — the same machinery as the fixed-ladder
-    /// path, so results are index-aligned and bit-deterministic).
+    /// driven columnar — the same machinery as the fixed-ladder path,
+    /// so results are index-aligned and bit-deterministic).
     pub fn program_cells(
         &self,
         pop: &mut CellPopulation,
         indices: &[usize],
         batch: &BatchSimulator,
     ) -> Vec<Result<IsppReport>> {
-        pop.run_grouped(indices, batch, |cell, engine| {
-            self.program_with(cell, engine)
+        pop.run_columnar(indices, batch, |cols, states| {
+            let members: Vec<usize> = (0..states.len()).collect();
+            self.program_column(cols, states, &members)
         })
     }
 }
@@ -218,6 +313,17 @@ impl SoftProgram {
         }
     }
 
+    /// Soft-programs one standalone cell up to the floor — the per-cell
+    /// mirror of the columnar block path, returning the pulse count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::compact_with`].
+    pub fn compact(&self, cell: &mut FlashCell) -> Result<usize> {
+        let engine = ChargeBalanceEngine::new(cell.device());
+        self.compact_with(cell, &engine)
+    }
+
     /// Soft-programs one cell up to the floor.
     ///
     /// # Errors
@@ -238,6 +344,59 @@ impl SoftProgram {
             pulses += 1;
         }
         Ok(pulses)
+    }
+
+    /// Columnar [`Self::compact_with`] over the listed state groups —
+    /// every still-low group is pulsed each iteration (one shared
+    /// flow-map column, since the soft pulse is a fixed bias), so the
+    /// shared iteration counter is each group's own pulse count.
+    pub(crate) fn compact_column(
+        &self,
+        cols: &mut PulseColumns<'_>,
+        states: &mut [GroupState],
+        members: &[usize],
+    ) -> Vec<Result<usize>> {
+        let floor = self.floor.as_volts();
+        let mut results: Vec<Option<Result<usize>>> = members.iter().map(|_| None).collect();
+        let mut active: Vec<usize> = (0..members.len()).collect();
+        let mut pulses = 0;
+        while !active.is_empty() {
+            let mut pending: Vec<usize> = Vec::new();
+            for &pos in &active {
+                let vt = cols.vt_shift(&states[members[pos]]);
+                if vt >= floor {
+                    results[pos] = Some(Ok(pulses));
+                } else if pulses >= self.max_pulses {
+                    results[pos] = Some(Err(ArrayError::VerifyFailed {
+                        pulses,
+                        reached_volts: vt,
+                        target_volts: floor,
+                    }));
+                } else {
+                    pending.push(pos);
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            let pulse = SquarePulse::new(self.amplitude, self.width);
+            let jobs: Vec<(usize, SquarePulse)> =
+                pending.iter().map(|&pos| (members[pos], pulse)).collect();
+            let outcomes = cols.apply(states, &jobs);
+            pulses += 1;
+            let mut still: Vec<usize> = Vec::new();
+            for (&pos, outcome) in pending.iter().zip(outcomes) {
+                match outcome {
+                    Err(e) => results[pos] = Some(Err(e)),
+                    Ok(()) => still.push(pos),
+                }
+            }
+            active = still;
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every group resolves"))
+            .collect()
     }
 }
 
@@ -333,7 +492,10 @@ pub fn erase_verify_cells(
             .filter(|&i| pop.vt_shift(i).expect("valid index") < soft.floor)
             .collect();
         soft_programmed_cells = tail.len();
-        let results = pop.run_grouped(&tail, batch, |cell, engine| soft.compact_with(cell, engine));
+        let results = pop.run_columnar(&tail, batch, |cols, states| {
+            let members: Vec<usize> = (0..states.len()).collect();
+            soft.compact_column(cols, states, &members)
+        });
         for result in results {
             soft_pulses += result?;
         }
@@ -439,6 +601,62 @@ mod tests {
                 "cell {i} below the soft floor: {vt:?}"
             );
             assert_eq!(pop.stats(i).unwrap().erase_ops, 1);
+        }
+    }
+
+    #[test]
+    fn columnar_adaptive_ispp_matches_the_scalar_cell_path_bitwise() {
+        let mut pop = CellPopulation::paper(2);
+        let batch = BatchSimulator::sequential();
+        let spec = AdaptiveIspp::nominal();
+        let reports = spec.program_cells(&mut pop, &[0, 1], &batch);
+
+        let mut cell = FlashCell::paper_cell();
+        let engine = batch.engine_for(cell.device());
+        let expected = spec.program_with(&mut cell, &engine).unwrap();
+
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.as_ref().unwrap(), &expected, "cell {i}");
+            assert_eq!(
+                pop.charge(i).unwrap().as_coulombs().to_bits(),
+                cell.charge().as_coulombs().to_bits(),
+                "cell {i}"
+            );
+            assert_eq!(pop.stats(i).unwrap(), cell.stats());
+        }
+    }
+
+    #[test]
+    fn columnar_soft_program_matches_the_scalar_cell_path_bitwise() {
+        let batch = BatchSimulator::sequential();
+        let soft = SoftProgram::nominal();
+        // Over-erase first so the compaction has work to do.
+        let deep_erase =
+            SquarePulse::new(Voltage::from_volts(-15.0), Time::from_microseconds(300.0));
+
+        let mut pop = CellPopulation::paper(2);
+        for r in pop.apply_pulse_cells(&[0, 1], deep_erase, &batch) {
+            r.unwrap();
+        }
+        let results = pop.run_columnar(&[0, 1], &batch, |cols, states| {
+            let members: Vec<usize> = (0..states.len()).collect();
+            soft.compact_column(cols, states, &members)
+        });
+
+        let mut cell = FlashCell::paper_cell();
+        let engine = batch.engine_for(cell.device());
+        cell.apply_pulse_with(&engine, deep_erase).unwrap();
+        assert!(cell.vt_shift() < soft.floor, "setup must over-erase");
+        let expected = soft.compact_with(&mut cell, &engine).unwrap();
+        assert!(expected >= 1);
+
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(*result.as_ref().unwrap(), expected, "cell {i}");
+            assert_eq!(
+                pop.charge(i).unwrap().as_coulombs().to_bits(),
+                cell.charge().as_coulombs().to_bits(),
+                "cell {i}"
+            );
         }
     }
 

@@ -26,15 +26,32 @@
 //! Simulation ops (`program_cells`, `erase_block_cells`, pulse and
 //! disturb application) group cells by their full state — variant,
 //! charge bits *and* wear counters — and run **one** representative
-//! transient per group through the *same* [`FlashCell`] +
-//! [`ChargeBalanceEngine`] code path the per-cell layer uses, then write
-//! the absolute outcome back to every member. Because the engine is
-//! deterministic, two cells with bit-identical state get bit-identical
-//! results whether simulated separately or shared — which is what makes
-//! the grouped path *exactly* equal to the historical cell-by-cell loop
+//! simulation per group, then write the absolute outcome back to every
+//! member. Because the engine is deterministic, two cells with
+//! bit-identical state get bit-identical results whether simulated
+//! separately or shared — which is what makes the grouped path *exactly*
+//! equal to the historical cell-by-cell loop
 //! (`tests/population_parity.rs` pins this end to end, wear accumulation
 //! included: the representative carries the members' own stats, so every
 //! floating-point addition happens in per-cell order).
+//!
+//! # When the column path engages
+//!
+//! Every *fixed-width-pulse* operation — one gate pulse
+//! ([`CellPopulation::apply_pulse_cells`]), page program and block erase
+//! (both ISPP ladders), the default erase, erase-verify and soft-program
+//! (via [`crate::pe`]) — runs **columnar**: the groups become
+//! [`crate::column::GroupState`] rows, and every rung's pulses are
+//! bucketed by `(variant, pulse bias)` and dispatched as one sorted
+//! column through [`ChargeBalanceEngine::pulse_final_charges`]. That
+//! turns per-group scalar flow-map queries (each a cache probe, a
+//! binary search and a Hermite sample) into one cache probe and one
+//! amortised monotone segment walk per column. Disturb accumulation is already a
+//! closed-form per-`(variant, charge)` memo and needs no engine at all.
+//! Arbitrary *closures* (the generic `run_grouped` path) keep the scalar
+//! per-group [`FlashCell`] loop — an opaque `Fn(&mut FlashCell, ...)`
+//! cannot be batched — but reuse one scratch cell + engine per variant
+//! per chunk instead of rebuilding them per group.
 
 use std::collections::HashMap;
 
@@ -43,12 +60,14 @@ use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
 use gnr_flash::pulse::SquarePulse;
 use gnr_flash::threshold::{classify, LogicState, ReadModel};
 use gnr_flash::variation::standard_normal;
+use gnr_numerics::hash::FnvHashMap;
 use gnr_numerics::stats::Summary;
 use gnr_units::{Charge, Energy, Length, Voltage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cell::{CellStats, FlashCell};
+use crate::column::{GroupState, PulseColumns};
 use crate::disturb::disturb_charge;
 use crate::ispp::{IsppEraser, IsppProgrammer, IsppReport};
 use crate::{ArrayError, Result};
@@ -62,15 +81,15 @@ use crate::{ArrayError, Result};
 /// group per operation (and ~one integration per *pulse bias*, not per
 /// group) — never per cell.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-struct DeviceVariant {
+pub(crate) struct DeviceVariant {
     /// Fractional tunnel-oxide thickness delta this variant was built at.
     xto_delta: f64,
     /// Channel-barrier delta (eV) this variant was built at.
     barrier_delta_ev: f64,
     /// The built device.
-    device: FloatingGateTransistor,
+    pub(crate) device: FloatingGateTransistor,
     /// Cached `CFC` in farads for the `ΔVT = −Q/CFC` hot path.
-    cfc_farads: f64,
+    pub(crate) cfc_farads: f64,
 }
 
 /// Gaussian per-cell process variation for a population.
@@ -197,6 +216,10 @@ struct GroupOutcome<R> {
     stats: CellStats,
     result: Result<R>,
 }
+
+/// Full-state grouping key of [`CellPopulation::group_states`]:
+/// `(variant, charge bits, injected-charge bits, program ops, erase ops)`.
+type GroupKey = (u32, u64, u64, u64, u64);
 
 impl CellPopulation {
     /// A population of `n` identical cells of the blueprint device —
@@ -616,9 +639,11 @@ impl CellPopulation {
             .collect()
     }
 
-    /// Applies one gate pulse to every listed cell (grouped, memoized;
+    /// Applies one gate pulse to every listed cell (grouped, columnar;
     /// same per-cell semantics as [`FlashCell::apply_pulse_with`]:
-    /// sub-threshold bias is a no-op, not an error).
+    /// sub-threshold bias is a no-op, not an error). All groups share
+    /// one pulse bias, so the whole call is a single sorted flow-map
+    /// column per variant.
     ///
     /// # Errors
     ///
@@ -629,22 +654,24 @@ impl CellPopulation {
         pulse: SquarePulse,
         batch: &BatchSimulator,
     ) -> Vec<Result<()>> {
-        self.run_grouped(indices, batch, |cell, engine| {
-            cell.apply_pulse_with(engine, pulse)
+        self.run_columnar(indices, batch, |cols, states| {
+            let jobs: Vec<(usize, SquarePulse)> = (0..states.len()).map(|g| (g, pulse)).collect();
+            cols.apply(states, &jobs)
         })
     }
 
-    /// Runs one full ISPP verify ladder per listed cell (grouped: one
-    /// transient per distinct `(variant, charge)` state, fanned out over
-    /// `batch`). Index-aligned per-cell reports.
+    /// Runs one full ISPP verify ladder per listed cell (grouped,
+    /// columnar: every rung is one sorted flow-map column over the
+    /// still-active groups). Index-aligned per-cell reports.
     pub fn program_cells(
         &mut self,
         programmer: &IsppProgrammer,
         indices: &[usize],
         batch: &BatchSimulator,
     ) -> Vec<Result<IsppReport>> {
-        self.run_grouped(indices, batch, |cell, engine| {
-            programmer.program_with(cell, engine)
+        self.run_columnar(indices, batch, |cols, states| {
+            let members: Vec<usize> = (0..states.len()).collect();
+            programmer.program_column(cols, states, &members)
         })
     }
 
@@ -660,12 +687,27 @@ impl CellPopulation {
         indices: &[usize],
         batch: &BatchSimulator,
     ) -> Vec<Result<()>> {
-        self.run_grouped(indices, batch, |cell, engine| {
-            if cell.verify_erase(already_erased_target) {
-                cell.erase_default_with(engine)
-            } else {
-                eraser.erase_with(cell, engine).map(|_| ())
+        let target = already_erased_target.as_volts();
+        self.run_columnar(indices, batch, |cols, states| {
+            let (mut erased, mut laddered) = (Vec::new(), Vec::new());
+            for (g, state) in states.iter().enumerate() {
+                if cols.vt_shift(state) <= target {
+                    erased.push(g);
+                } else {
+                    laddered.push(g);
+                }
             }
+            let mut out: Vec<Result<()>> = (0..states.len()).map(|_| Ok(())).collect();
+            for (&g, r) in erased.iter().zip(cols.erase_default(states, &erased)) {
+                out[g] = r;
+            }
+            for (&g, r) in laddered
+                .iter()
+                .zip(eraser.erase_column(cols, states, &laddered))
+            {
+                out[g] = r.map(|_| ());
+            }
+            out
         })
     }
 
@@ -676,7 +718,10 @@ impl CellPopulation {
         indices: &[usize],
         batch: &BatchSimulator,
     ) -> Vec<Result<()>> {
-        self.run_grouped(indices, batch, FlashCell::erase_default_with)
+        self.run_columnar(indices, batch, |cols, states| {
+            let members: Vec<usize> = (0..states.len()).collect();
+            cols.erase_default(states, &members)
+        })
     }
 
     /// Accumulates `events` disturb exposures at `vgs` on every listed
@@ -689,21 +734,37 @@ impl CellPopulation {
         duration: gnr_units::Time,
         events: u64,
     ) {
-        let mut memo: HashMap<(u32, u64), f64> = HashMap::new();
+        // A program or read disturbs every sibling page of its block, so
+        // this loop runs ~10⁴ cells per array operation and dominates
+        // workload-replay wall time. Two layers keep the per-cell cost at
+        // a few nanoseconds: a last-key register for the long runs of
+        // identical (variant, charge) state that page-granular operations
+        // leave behind, and a word-folding FNV map (not SipHash) for the
+        // handful of distinct states that remain.
+        let mut memo: FnvHashMap<(u32, u64), f64> = FnvHashMap::default();
+        let mut last: Option<((u32, u64), f64)> = None;
+        let scale = events as f64;
         for &i in indices {
             debug_assert!(i < self.len(), "disturb index {i} out of range");
             let key = (self.variant_of[i], self.charge[i].to_bits());
-            let dq = *memo.entry(key).or_insert_with(|| {
-                disturb_charge(
-                    &self.variants[key.0 as usize].device,
-                    Charge::from_coulombs(self.charge[i]),
-                    vgs,
-                    duration,
-                )
-                .as_coulombs()
-            });
+            let dq = match last {
+                Some((k, dq)) if k == key => dq,
+                _ => {
+                    let dq = *memo.entry(key).or_insert_with(|| {
+                        disturb_charge(
+                            &self.variants[key.0 as usize].device,
+                            Charge::from_coulombs(self.charge[i]),
+                            vgs,
+                            duration,
+                        )
+                        .as_coulombs()
+                    });
+                    last = Some((key, dq));
+                    dq
+                }
+            };
             // Bit-identical to `disturb::apply_disturb` on a FlashCell.
-            self.charge[i] += dq * events as f64;
+            self.charge[i] += dq * scale;
         }
     }
 
@@ -781,36 +842,25 @@ impl CellPopulation {
     }
 
     /// Groups `indices` by full cell state (variant, charge bits, wear
-    /// counters), runs `op` once per group on a scratch [`FlashCell`]
-    /// through an engine built for the group's shared device, and writes
-    /// the absolute outcome back to every member. Returns per-index
-    /// results in input order.
+    /// counters) — the shared front half of [`Self::run_grouped`] and
+    /// [`Self::run_columnar`]. Returns each index's group plus one
+    /// [`GroupState`] representative per group. The key is
+    /// [`GroupKey`]: `(variant, charge, injected charge, program ops,
+    /// erase ops)` with the floats as exact bit patterns.
     ///
-    /// Correctness rests on `op` being a deterministic function of the
-    /// scratch cell's `(device, charge, stats)` — which holds for every
-    /// pulse and ladder op, since the engine and tables are immutable.
-    ///
-    /// Crate-visible so the [`crate::pe`] operation layer can run its
-    /// own per-cell algorithms (adaptive ISPP, soft-program compaction)
-    /// through the exact same grouped, batched machinery.
-    pub(crate) fn run_grouped<R, F>(
-        &mut self,
-        indices: &[usize],
-        batch: &BatchSimulator,
-        op: F,
-    ) -> Vec<Result<R>>
-    where
-        R: Clone + Send,
-        F: Fn(&mut FlashCell, &ChargeBalanceEngine) -> Result<R> + Sync,
-    {
-        // Groups key on the *entire* cell state — variant, charge AND
-        // wear counters — and the representative runs with the members'
-        // actual stats, so the write-back below can be absolute. Cells
-        // with equal charge but different wear histories simply land in
-        // different groups (rare outside aged mixed workloads).
+    /// Groups key on the *entire* cell state — variant, charge AND
+    /// wear counters — and the representative carries the members'
+    /// actual stats, so the write-back can be absolute. Cells with
+    /// equal charge but different wear histories simply land in
+    /// different groups (rare outside aged mixed workloads).
+    fn group_states(&self, indices: &[usize]) -> (Vec<usize>, Vec<GroupState>) {
         let mut group_of: Vec<usize> = Vec::with_capacity(indices.len());
-        let mut reps: Vec<(u32, f64, CellStats)> = Vec::new();
-        let mut seen: HashMap<(u32, u64, u64, u64, u64), usize> = HashMap::new();
+        let mut states: Vec<GroupState> = Vec::new();
+        // Same two-layer lookup as `apply_disturb_cells`: block-granular
+        // ops (erase, soft-program) group tens of thousands of cells whose
+        // states arrive in long identical runs.
+        let mut seen: FnvHashMap<GroupKey, usize> = FnvHashMap::default();
+        let mut last: Option<(GroupKey, usize)> = None;
         for &i in indices {
             debug_assert!(i < self.len(), "op index {i} out of range");
             let key = (
@@ -820,48 +870,148 @@ impl CellPopulation {
                 self.program_ops[i],
                 self.erase_ops[i],
             );
-            let g = *seen.entry(key).or_insert_with(|| {
-                reps.push((
-                    key.0,
-                    self.charge[i],
-                    CellStats {
-                        program_ops: self.program_ops[i],
-                        erase_ops: self.erase_ops[i],
-                        injected_charge: self.injected_charge[i],
-                    },
-                ));
-                reps.len() - 1
-            });
+            let g = match last {
+                Some((k, g)) if k == key => g,
+                _ => {
+                    let g = *seen.entry(key).or_insert_with(|| {
+                        states.push(GroupState {
+                            variant: key.0,
+                            charge: self.charge[i],
+                            stats: CellStats {
+                                program_ops: self.program_ops[i],
+                                erase_ops: self.erase_ops[i],
+                                injected_charge: self.injected_charge[i],
+                            },
+                        });
+                        states.len() - 1
+                    });
+                    last = Some((key, g));
+                    g
+                }
+            };
             group_of.push(g);
         }
+        (group_of, states)
+    }
 
-        let variants = &self.variants;
-        let outcomes: Vec<GroupOutcome<R>> = batch.scatter(reps, |(v, q, stats)| {
-            let device = &variants[v as usize].device;
-            let engine = batch.engine_for(device);
-            let mut cell = FlashCell::restore(device.clone(), Charge::from_coulombs(q), stats);
-            let result = op(&mut cell, &engine);
-            // State is captured whether or not the op failed: a verify
-            // failure still applied its pulses, exactly as on the
-            // historical per-cell path.
-            GroupOutcome {
-                charge: cell.charge().as_coulombs(),
-                stats: cell.stats(),
-                result,
-            }
-        });
-
+    /// Writes the absolute post-op group states back to every member and
+    /// expands per-group results to per-index results in input order.
+    fn write_back<R: Clone>(
+        &mut self,
+        indices: &[usize],
+        group_of: Vec<usize>,
+        states: &[GroupState],
+        results: &[Result<R>],
+    ) -> Vec<Result<R>> {
         for (pos, &i) in indices.iter().enumerate() {
-            let o = &outcomes[group_of[pos]];
-            self.charge[i] = o.charge;
-            self.injected_charge[i] = o.stats.injected_charge;
-            self.program_ops[i] = o.stats.program_ops;
-            self.erase_ops[i] = o.stats.erase_ops;
+            let s = &states[group_of[pos]];
+            self.charge[i] = s.charge;
+            self.injected_charge[i] = s.stats.injected_charge;
+            self.program_ops[i] = s.stats.program_ops;
+            self.erase_ops[i] = s.stats.erase_ops;
         }
-        group_of
-            .into_iter()
-            .map(|g| outcomes[g].result.clone())
-            .collect()
+        group_of.into_iter().map(|g| results[g].clone()).collect()
+    }
+
+    /// Runs a *columnar* driver over the state groups of `indices`: the
+    /// driver mutates the [`GroupState`] column through a
+    /// [`PulseColumns`] executor (one engine per variant, one sorted
+    /// flow-map column per `(variant, pulse)` bucket) and returns one
+    /// result per group; the absolute outcome is written back to every
+    /// member. This is the fixed-width-pulse fast path — see the module
+    /// docs for when it engages.
+    ///
+    /// Crate-visible so the [`crate::pe`] operation layer can run its
+    /// own columnar algorithms (adaptive ISPP, soft-program compaction)
+    /// through the same machinery.
+    pub(crate) fn run_columnar<R, F>(
+        &mut self,
+        indices: &[usize],
+        batch: &BatchSimulator,
+        driver: F,
+    ) -> Vec<Result<R>>
+    where
+        R: Clone,
+        F: for<'a> FnOnce(&mut PulseColumns<'a>, &mut [GroupState]) -> Vec<Result<R>>,
+    {
+        let (group_of, mut states) = self.group_states(indices);
+        let results = {
+            let mut cols = PulseColumns::new(&self.variants, batch);
+            driver(&mut cols, &mut states)
+        };
+        debug_assert_eq!(results.len(), states.len(), "one result per group");
+        self.write_back(indices, group_of, &states, &results)
+    }
+
+    /// Runs an arbitrary per-cell closure once per state group on a
+    /// scratch [`FlashCell`] and writes the absolute outcome back to
+    /// every member. Returns per-index results in input order.
+    ///
+    /// This is the generic *scalar* escape hatch: fixed-width-pulse
+    /// operations take the columnar fast path instead (see the module
+    /// docs), but an opaque closure cannot be batched, so custom
+    /// per-cell algorithms route through here.
+    ///
+    /// Correctness rests on `op` being a deterministic function of the
+    /// scratch cell's `(device, charge, stats)` — which holds for every
+    /// pulse and ladder op, since the engine and tables are immutable.
+    /// Groups are fanned out over `batch` in chunks, and within a chunk
+    /// one scratch cell + engine per *variant* is reused across groups
+    /// (reset to each group's state), so the per-group cost is a charge/
+    /// stats store — not a device clone plus four table-cache probes.
+    pub fn run_grouped<R, F>(
+        &mut self,
+        indices: &[usize],
+        batch: &BatchSimulator,
+        op: F,
+    ) -> Vec<Result<R>>
+    where
+        R: Clone + Send,
+        F: Fn(&mut FlashCell, &ChargeBalanceEngine) -> Result<R> + Sync,
+    {
+        let (group_of, states) = self.group_states(indices);
+        let variants = &self.variants;
+        // Chunked fan-out: big enough to amortise the per-variant
+        // scratch build, small enough to spread groups across cores.
+        const SCRATCH_CHUNK: usize = 64;
+        let blocks: Vec<Vec<GroupState>> = states
+            .chunks(SCRATCH_CHUNK)
+            .map(<[GroupState]>::to_vec)
+            .collect();
+        let outcomes: Vec<Vec<GroupOutcome<R>>> = batch.scatter(blocks, |block| {
+            let mut scratch: HashMap<u32, (ChargeBalanceEngine, FlashCell)> = HashMap::new();
+            block
+                .into_iter()
+                .map(|s| {
+                    let (engine, cell) = scratch.entry(s.variant).or_insert_with(|| {
+                        let device = &variants[s.variant as usize].device;
+                        (batch.engine_for(device), FlashCell::new(device.clone()))
+                    });
+                    cell.reset(Charge::from_coulombs(s.charge), s.stats);
+                    let result = op(cell, engine);
+                    // State is captured whether or not the op failed: a
+                    // verify failure still applied its pulses, exactly as
+                    // on the historical per-cell path.
+                    GroupOutcome {
+                        charge: cell.charge().as_coulombs(),
+                        stats: cell.stats(),
+                        result,
+                    }
+                })
+                .collect()
+        });
+        let flat: Vec<GroupOutcome<R>> = outcomes.into_iter().flatten().collect();
+        let states: Vec<GroupState> = flat
+            .iter()
+            .zip(&states)
+            .map(|(o, s)| GroupState {
+                variant: s.variant,
+                charge: o.charge,
+                stats: o.stats,
+            })
+            .collect();
+        let results: Vec<Result<R>> = flat.into_iter().map(|o| o.result).collect();
+        self.write_back(indices, group_of, &states, &results)
     }
 
     fn check(&self, i: usize) -> Result<()> {
@@ -874,6 +1024,13 @@ impl CellPopulation {
                 len: self.len(),
             })
         }
+    }
+
+    /// The shared variant table — the columnar executor's device source
+    /// ([`crate::column`] tests build a [`PulseColumns`] directly).
+    #[cfg(test)]
+    pub(crate) fn variants_for_columns(&self) -> &[DeviceVariant] {
+        &self.variants
     }
 
     fn variant(&self, i: usize) -> Result<usize> {

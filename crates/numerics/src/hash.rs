@@ -33,6 +33,56 @@ pub fn fnv1a_fold_f64(hash: u64, v: f64) -> u64 {
     fnv1a_fold_bytes(hash, &v.to_bits().to_le_bytes())
 }
 
+/// A [`std::hash::Hasher`] over the same FNV-1a constants, for
+/// *in-process* hash maps on hot paths (per-cell memo tables, columnar
+/// grouping keys) where SipHash's per-lookup cost dominates the work
+/// being memoised. Integer writes fold one word per multiply instead of
+/// byte-at-a-time, so this is NOT the byte-stream digest above — never
+/// use it for persisted or cross-crate fingerprints.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(FNV1A_OFFSET)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a_fold_bytes(self.0, bytes);
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(FNV1A_PRIME);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`] — plug into
+/// `HashMap::with_hasher(FnvBuildHasher::default())` or the
+/// [`FnvHashMap`] alias.
+pub type FnvBuildHasher = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` keyed by the word-folding FNV-1a hasher; `Default` gives
+/// an empty map, so `FnvHashMap::default()` replaces `HashMap::new()`.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +111,19 @@ mod tests {
         let whole = fnv1a_fold_bytes(FNV1A_OFFSET, b"hello world");
         let split = fnv1a_fold_bytes(fnv1a_fold_bytes(FNV1A_OFFSET, b"hello "), b"world");
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn map_hasher_separates_adjacent_float_bit_keys() {
+        use std::hash::BuildHasher;
+        let build = FnvBuildHasher::default();
+        let a = build.hash_one((0u32, 1.5f64.to_bits()));
+        let b = build.hash_one((0u32, f64::to_bits(1.5 + f64::EPSILON)));
+        assert_ne!(a, b, "adjacent charge bit patterns must not collide");
+
+        let mut map: FnvHashMap<(u32, u64), f64> = FnvHashMap::default();
+        map.insert((3, 42), 1.0);
+        assert_eq!(map.get(&(3, 42)), Some(&1.0));
+        assert_eq!(map.get(&(3, 43)), None);
     }
 }

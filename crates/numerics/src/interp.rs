@@ -254,10 +254,10 @@ pub fn hermite_segment(t: f64, t0: f64, t1: f64, y0: f64, y1: f64, d0: f64, d1: 
 /// `None` when `target` lies outside the trajectory's value range or the
 /// inputs are degenerate (fewer than two nodes, mismatched lengths).
 ///
-/// Within the bracketing segment the crossing is localised by bisection
-/// on the Hermite interpolant, which needs only continuity and the
-/// node-value bracket — ~80 halvings take the interval below f64
-/// resolution at any scale.
+/// Within the bracketing segment the crossing is localised by a guarded
+/// Newton iteration on the Hermite interpolant (bisection fallback), which
+/// needs only continuity and the node-value bracket and converges to f64
+/// resolution in a handful of value+derivative evaluations.
 #[must_use]
 pub fn invert_monotone_hermite(ts: &[f64], ys: &[f64], ds: &[f64], target: f64) -> Option<f64> {
     if ts.len() < 2 || ts.len() != ys.len() || ts.len() != ds.len() {
@@ -285,24 +285,84 @@ pub fn invert_monotone_hermite(ts: &[f64], ys: &[f64], ds: &[f64], target: f64) 
         };
     let hi = idx.min(ys.len() - 1).max(1);
     let lo = hi - 1;
-    let eval = |t: f64| hermite_segment(t, ts[lo], ts[hi], ys[lo], ys[hi], ds[lo], ds[hi]);
-    let (mut a, mut b) = (ts[lo], ts[hi]);
-    let mut g_a = sign * eval(a) - tv;
-    for _ in 0..80 {
-        let mid = 0.5 * (a + b);
-        let g_mid = sign * eval(mid) - tv;
-        // The target sits where g changes sign; keep the bracketing half.
-        if (g_a <= 0.0) == (g_mid <= 0.0) {
-            a = mid;
-            g_a = g_mid;
+    Some(invert_hermite_segment(
+        ts[lo], ts[hi], ys[lo], ys[hi], ds[lo], ds[hi], target,
+    ))
+}
+
+/// Inverse lookup on one monotone Hermite segment `[t0, t1]`: the `t`
+/// with `y(t) == target`, localised by the same guarded Newton–bisection
+/// hybrid as [`invert_monotone_hermite`] — which delegates here, so batched
+/// callers that find the bracketing segment themselves (e.g. a sorted-query
+/// merge walk over a trajectory) produce bit-identical results to the
+/// scalar binary-search path. The caller must supply a segment whose node
+/// values bracket `target`; on strictly monotone data the segment-local
+/// orientation `y1 > y0` equals the trajectory-global one.
+///
+/// The iteration runs in the normalised coordinate `s ∈ [0, 1]` so the
+/// cubic and its derivative cost one Horner pass each. A Newton step that
+/// lands outside the current sign-change bracket (or divides by a vanishing
+/// slope) is replaced by the bracket midpoint, so convergence never regresses
+/// below bisection even on locally flat or slightly non-monotone segments.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn invert_hermite_segment(
+    t0: f64,
+    t1: f64,
+    y0: f64,
+    y1: f64,
+    d0: f64,
+    d1: f64,
+    target: f64,
+) -> f64 {
+    let sign = if y1 > y0 { 1.0 } else { -1.0 };
+    let tv = sign * target;
+    let h = t1 - t0;
+    // Hermite basis in the normalised coordinate s = (t - t0) / h.
+    let val = |s: f64| {
+        let s2 = s * s;
+        let s3 = s2 * s;
+        (2.0 * s3 - 3.0 * s2 + 1.0) * y0
+            + h * (s3 - 2.0 * s2 + s) * d0
+            + (3.0 * s2 - 2.0 * s3) * y1
+            + h * (s3 - s2) * d1
+    };
+    let slope = |s: f64| {
+        let s2 = s * s;
+        (6.0 * s2 - 6.0 * s) * y0
+            + h * (3.0 * s2 - 4.0 * s + 1.0) * d0
+            + (6.0 * s - 6.0 * s2) * y1
+            + h * (3.0 * s2 - 2.0 * s) * d1
+    };
+    // Invariant: g(a) and g(b) straddle zero on the sign-adjusted axis.
+    let (mut a, mut b) = (0.0_f64, 1.0_f64);
+    let mut s = 0.5;
+    for _ in 0..64 {
+        let g = sign * val(s) - tv;
+        if g < 0.0 {
+            a = s;
+        } else if g > 0.0 {
+            b = s;
         } else {
-            b = mid;
+            return t0 + s * h;
         }
-        if (b - a) <= f64::EPSILON * b.abs().max(1.0) {
+        let newton = s - g / (sign * slope(s));
+        // NaN/inf and out-of-bracket steps all fail this test, falling
+        // back to the bracket midpoint.
+        let next = if newton > a && newton < b {
+            newton
+        } else {
+            0.5 * (a + b)
+        };
+        if (next - s).abs() <= f64::EPSILON * next.abs() {
+            return t0 + next * h;
+        }
+        s = next;
+        if (b - a) <= f64::EPSILON {
             break;
         }
     }
-    Some(0.5 * (a + b))
+    t0 + s * h
 }
 
 /// Fritsch–Carlson one-sided three-point end slope with monotonicity guard.
@@ -436,6 +496,18 @@ mod tests {
         let ds: Vec<f64> = ts.iter().map(|&t| 2.0 * t).collect();
         let t = invert_monotone_hermite(&ts, &ys, &ds, 26.0).unwrap();
         assert!((t - 5.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn segment_inverse_matches_scalar_path_bitwise() {
+        let (ts, ys, ds) = decay_nodes();
+        // A strictly interior target on a known segment: the scalar
+        // binary search lands on [lo, hi] = [3, 4]; the segment helper
+        // fed that same bracket must return the identical bits.
+        let target = 0.5 * (ys[3] + ys[4]);
+        let scalar = invert_monotone_hermite(&ts, &ys, &ds, target).unwrap();
+        let seg = invert_hermite_segment(ts[3], ts[4], ys[3], ys[4], ds[3], ds[4], target);
+        assert_eq!(scalar.to_bits(), seg.to_bits());
     }
 
     #[test]

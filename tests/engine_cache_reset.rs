@@ -1,0 +1,49 @@
+//! `engine::cache::reset()` — the phase-scoping hook the benches use so
+//! committed `engine_cache` stats cover the measured phase only.
+//!
+//! Isolated in its own integration binary on purpose: the counters are
+//! process-global, and a reset racing the delta-asserting tests that
+//! share the default test binary (e.g. `flow_map_cache_reports_traffic`)
+//! would make those flaky. One test, one process, no interleaving.
+
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_flash::engine::{cache, flowmap, ChargeBalanceEngine};
+use gnr_units::Voltage;
+
+#[test]
+fn reset_zeroes_the_telemetry_but_keeps_the_entries() {
+    // Drive traffic through both tiers: engine construction probes the
+    // tabulated-J cache, and a repeated flow-map probe records a miss
+    // then a hit.
+    let engine = ChargeBalanceEngine::new(&FloatingGateTransistor::mlgnr_cnt_paper());
+    let bias = Voltage::from_volts(13.5);
+    let _ = flowmap::cached(&engine, bias, Voltage::ZERO);
+    let _ = flowmap::cached(&engine, bias, Voltage::ZERO);
+    let before = cache::stats();
+    assert!(
+        before.flow_maps.hits + before.flow_maps.misses > 0,
+        "setup must generate flow-map traffic"
+    );
+    assert!(
+        before.j_tables.hits + before.j_tables.misses > 0,
+        "setup must generate J-table traffic"
+    );
+
+    cache::reset();
+    let after = cache::stats();
+    assert_eq!(after.flow_maps.hits, 0);
+    assert_eq!(after.flow_maps.misses, 0);
+    assert_eq!(after.j_tables.hits, 0);
+    assert_eq!(after.j_tables.misses, 0);
+    // Reset scopes the *telemetry*, not the caches: the entries (and
+    // the work they embody) survive, so a post-reset phase still runs
+    // warm.
+    assert!(after.flow_maps.entries >= 1);
+
+    // Counting resumes from zero — the next probe of a retained entry
+    // is a hit against the fresh counters.
+    let _ = flowmap::cached(&engine, bias, Voltage::ZERO);
+    let resumed = cache::stats();
+    assert_eq!(resumed.flow_maps.misses, 0);
+    assert!(resumed.flow_maps.hits >= 1);
+}

@@ -13,7 +13,11 @@
 //!   trustworthy);
 //! * **Monotone inverse + fallback boundary** — queries preserve charge
 //!   order, leave the tabulated range as `None`, and the engine's
-//!   fallback then reproduces the exact path bit-for-bit.
+//!   fallback then reproduces the exact path bit-for-bit;
+//! * **Batch/scalar bit-identity** — the column-batched merge walk
+//!   answers every cell (including fallback flags) bit-identically to a
+//!   scalar `final_charge` loop, for unsorted and duplicate-laden
+//!   columns.
 
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::{flowmap, ChargeBalanceEngine, EngineMode};
@@ -139,6 +143,43 @@ proptest! {
             prop_assert!(
                 d_long.abs() >= d_short.abs() - 1e-24 && d_short * d_long >= 0.0,
                 "longer hold moved less: {d_short:e} vs {d_long:e}"
+            );
+        }
+    }
+
+    /// The column-batched merge walk is the scalar lookup, cell for
+    /// cell: every answer — including the `None` fallback flags for
+    /// out-of-span charges and past-horizon holds — is bit-identical to
+    /// a `final_charge` loop. The drawn VT range deliberately overshoots
+    /// the tabulated span on both sides, the hold range runs past the
+    /// horizon, and a sampled suffix of duplicates keeps the column
+    /// unsorted, so the cursors' re-seek path is exercised too.
+    #[test]
+    fn batched_queries_match_the_scalar_loop_bitwise(
+        amp_idx in 0usize..AMPLITUDES.len(),
+        vts in proptest::collection::vec(-4.0f64..9.0, 1..24),
+        dups in proptest::collection::vec(0usize..1usize << 16, 0..8),
+        dt_log in -7.0f64..-1.0,
+    ) {
+        let engine = engine();
+        let vgs = AMPLITUDES[amp_idx];
+        let cfc = engine.device().capacitances().cfc().as_farads();
+        let mut q0s: Vec<f64> = vts.iter().map(|&vt| -vt * cfc).collect();
+        for &pick in &dups {
+            let repeat = q0s[pick % vts.len()];
+            q0s.push(repeat);
+        }
+        let dt = 10.0f64.powf(dt_log);
+        let map = flowmap::cached(&engine, Voltage::from_volts(vgs), Voltage::ZERO);
+
+        let mut batch = vec![None; q0s.len()];
+        map.final_charges_batch(&q0s, dt, &mut batch);
+        for (i, (&q0, &got)) in q0s.iter().zip(&batch).enumerate() {
+            let want = map.final_charge(q0, dt);
+            prop_assert!(
+                want.map(f64::to_bits) == got.map(f64::to_bits),
+                "cell {i} (vgs {vgs} V, q0 {q0:e} C, dt {dt:e} s): \
+                 scalar {want:?} vs batch {got:?}"
             );
         }
     }

@@ -135,12 +135,119 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
     }
 }
 
-/// Current worker count: one per available core.
+/// Process-wide thread-count override installed by
+/// [`ThreadPoolBuilder::build_global`] or a [`ThreadPool::install`]
+/// scope. Zero means "auto": one worker per available core.
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Current worker count: the installed override when one is active,
+/// otherwise one per available core.
 #[must_use]
 pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] — the shim never
+/// actually fails, but the real rayon API returns a `Result`, so callers
+/// written against it keep compiling.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon-shim thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the worker-count
+/// knob the workspace uses (`GNR_BENCH_THREADS`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the automatic (per-core) worker count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = auto).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the worker count process-wide: every subsequent parallel
+    /// pipeline uses it.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real rayon API.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        THREAD_OVERRIDE.store(self.num_threads, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Builds a scoped pool handle for [`ThreadPool::install`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real rayon API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A worker-count scope. The shim spawns scoped threads per pipeline
+/// rather than owning a pool, so "the pool" is just a count that
+/// [`Self::install`] swaps in around `f`. Unlike real rayon the swap is
+/// process-global, not pool-local — fine for the sequential call sites
+/// (the bench thread matrix) this shim serves, not for concurrent
+/// `install` calls from multiple threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count this pool was built with (0 = auto).
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Runs `f` with this pool's worker count installed, restoring the
+    /// previous count afterwards (panic-safe via a drop guard).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.store(self.0, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let _restore =
+            Restore(THREAD_OVERRIDE.swap(self.num_threads, std::sync::atomic::Ordering::Relaxed));
+        f()
+    }
 }
 
 fn parallel_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
@@ -217,6 +324,55 @@ mod tests {
         let v: Vec<i32> = Vec::new();
         let out: Vec<i32> = v.into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    // NOTE: the worker-count override is process-global, so the tests
+    // below only ever install counts ≥ 2 — forcing 1 could race the
+    // thread-id assertion of `actually_uses_multiple_threads`.
+
+    #[test]
+    fn install_scopes_the_worker_count_and_restores_it() {
+        let before = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn install_restores_on_panic() {
+        let before = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn overridden_pipelines_stay_order_preserving() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..500usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x * 3)
+                .collect()
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
     }
 
     #[test]
