@@ -43,9 +43,10 @@ impl TierStats {
     }
 }
 
-/// Telemetry of the engine's process-wide caches: the `J(E)` table tier
-/// and the pulse flow-map tier. Benches record this in their JSON so
-/// cache efficiency shows up in the perf trajectory.
+/// Telemetry of the engine's process-wide caches: the `J(E)` table
+/// tier, the pulse flow-map tier and the P/E cycle-map tier. Benches
+/// record this in their JSON so cache efficiency shows up in the perf
+/// trajectory.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineCacheStats {
     /// The [`TabulatedJ`] table cache (keyed on FN `(A, B)` bits).
@@ -53,9 +54,12 @@ pub struct EngineCacheStats {
     /// The [`super::flowmap`] cache (keyed on device dynamics + pulse
     /// bias bits).
     pub flow_maps: TierStats,
+    /// The [`super::cyclemap`] cache (keyed on device dynamics + cycle
+    /// recipe digest).
+    pub cycle_maps: TierStats,
 }
 
-/// Snapshot of both cache tiers' counters.
+/// Snapshot of every cache tier's counters.
 #[must_use]
 pub fn stats() -> EngineCacheStats {
     EngineCacheStats {
@@ -65,6 +69,7 @@ pub fn stats() -> EngineCacheStats {
             entries: cached_tables(),
         },
         flow_maps: super::flowmap::tier_stats(),
+        cycle_maps: super::cyclemap::tier_stats(),
     }
 }
 
@@ -153,14 +158,34 @@ pub fn cached_tables() -> usize {
         .map_or(0, |shards| shards.iter().map(|s| s.read().len()).sum())
 }
 
-/// Zeroes the hit/miss counters of both cache tiers (entries stay warm).
-/// Benches call this right before their measured phase so the recorded
-/// `engine_cache` stats reflect only that phase — setup traffic (parity
-/// sweeps, exact-mode baselines) would otherwise swamp the counters.
+/// Zeroes the hit/miss counters of every cache tier — **entries stay
+/// warm**. Benches call this right before their measured phase so the
+/// recorded `engine_cache` stats reflect only that phase — setup
+/// traffic (parity sweeps, exact-mode baselines) would otherwise swamp
+/// the counters. Resumed campaigns rely on the same split: calling
+/// `reset` after a checkpoint restore scopes the recorded stats to
+/// exactly the post-restore segment *without* cold-rebuilding masters
+/// (eviction is the separate, explicit [`clear_entries`]).
 pub fn reset() {
     TABLE_HITS.store(0, Ordering::Relaxed);
     TABLE_MISSES.store(0, Ordering::Relaxed);
     super::flowmap::reset_counters();
+    super::cyclemap::reset_counters();
+}
+
+/// Evicts every retained entry from every cache tier (counters
+/// untouched; outstanding `Arc`s stay valid and entries rebuild on
+/// demand). The cold-start escape hatch `reset` deliberately is not:
+/// use it to measure build costs or to bound memory, never as part of
+/// scoping telemetry to a measured phase.
+pub fn clear_entries() {
+    if let Some(shards) = TABLES.get() {
+        for shard in shards {
+            shard.write().clear();
+        }
+    }
+    super::flowmap::clear_entries();
+    super::cyclemap::clear_entries();
 }
 
 #[cfg(test)]

@@ -322,6 +322,14 @@ impl PulseFlowMap {
         Some(branch.charge_at(te))
     }
 
+    /// The master trajectory's charge nodes across all branches —
+    /// exactly where the dense output is most accurate, which is why
+    /// [`super::cyclemap::CycleMap`] samples its composed maps on this
+    /// grid instead of a uniform one. Unordered; callers sort/dedup.
+    pub(crate) fn charge_nodes(&self) -> impl Iterator<Item = f64> + '_ {
+        self.branches.iter().flat_map(|b| b.charges.iter().copied())
+    }
+
     /// Column-batched form of [`Self::final_charge`]: answers
     /// `out[i] = final_charge(q0s[i], dt)` for a whole column of initial
     /// charges in one pass. `None` entries are the per-query fallback
@@ -574,6 +582,19 @@ pub fn tier_stats() -> TierStats {
 pub(crate) fn reset_counters() {
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Evicts every cached flow map (counters untouched). Outstanding
+/// `Arc`s stay valid; subsequent queries rebuild on demand. Exposed via
+/// [`super::cache::clear_entries`] — `reset` deliberately does *not* do
+/// this, so a resumed campaign keeps warm masters while its recorded
+/// stats cover only the post-restore segment.
+pub(crate) fn clear_entries() {
+    if let Some(shards) = MAPS.get() {
+        for shard in shards {
+            shard.write().clear();
+        }
+    }
 }
 
 #[cfg(test)]

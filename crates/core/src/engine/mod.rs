@@ -49,6 +49,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod cyclemap;
 pub mod flowmap;
 pub mod table;
 
@@ -64,6 +65,7 @@ use crate::transient::{ProgramPulseSpec, TransientResult, TransientSample};
 use crate::{DeviceError, Result};
 
 pub use batch::BatchSimulator;
+pub use cyclemap::{cycle_once, CycleMap, CycleOutcome, CycleRecipe};
 pub use flowmap::PulseFlowMap;
 pub use table::TabulatedJ;
 
@@ -399,6 +401,21 @@ impl ChargeBalanceEngine {
             }
         }
         self.run(spec).map(|r| r.final_charge())
+    }
+
+    /// The shared [`cyclemap::CycleMap`] for this engine's device and a
+    /// P/E cycle `recipe` — the time-scale-jumping tier above the flow
+    /// map. `None` whenever fixed-pulse queries would not ride the flow
+    /// map either (exact mode, custom paths, overridden tolerances):
+    /// an interpolated multi-cycle jump has no business answering for
+    /// an engine whose per-pulse contract is exact integration, so
+    /// callers must then iterate cycles explicitly (e.g. through
+    /// [`cyclemap::cycle_once`], which honours this engine's own
+    /// per-pulse path).
+    #[must_use]
+    pub fn cycle_map(&self, recipe: &cyclemap::CycleRecipe) -> Option<Arc<CycleMap>> {
+        (self.mode == EngineMode::FlowMap && self.standard_paths && !self.custom_ode_options)
+            .then(|| cyclemap::cached(self, recipe))
     }
 
     /// Column-batched form of [`Self::pulse_final_charge`]: final

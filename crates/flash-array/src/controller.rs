@@ -23,7 +23,10 @@
 
 use std::collections::HashMap;
 
-use crate::nand::{NandArray, NandConfig};
+use gnr_flash::device::FloatingGateTransistor;
+use gnr_numerics::hash::{fnv1a_fold_bytes, fnv1a_fold_f64, FNV1A_OFFSET};
+
+use crate::nand::{ArraySnapshot, NandArray, NandConfig};
 use crate::pe::scheduler::{CommandOutcome, PeCommand, PlaneScheduler};
 use crate::{ArrayError, Result};
 
@@ -77,6 +80,80 @@ struct PendingProgram {
     /// Assigned from the rotating cursor (`None` lpn): the cursor only
     /// commits once this job's program verifies.
     cursor_assigned: bool,
+}
+
+/// Serializable full state of a [`FlashController`]: the wrapped
+/// array's snapshot plus the FTL bookkeeping. The logical map and page
+/// lifecycle columns are integer-encoded for the JSON shim:
+/// `map[lpn]` holds the live copy's flat physical page slot
+/// (`block * pages_per_block + page`) or `-1` for unmapped;
+/// `state[slot]` holds the live logical page number, `-1` for a free
+/// page, `-2` for a stale one.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerSnapshot {
+    /// The wrapped array's full state.
+    pub array: ArraySnapshot,
+    /// Logical page → flat physical slot of its live copy (`-1` = none).
+    pub map: Vec<i64>,
+    /// Per physical page: live lpn, `-1` free, `-2` stale.
+    pub state: Vec<i64>,
+    /// Rotating allocation scan start.
+    pub next_slot: u64,
+    /// Auto-assign logical-page cursor.
+    pub next_lpn: u64,
+    /// Erases initiated to reclaim fully-stale blocks.
+    pub reclaim_erases: u64,
+    /// Erases initiated by garbage collection.
+    pub gc_erases: u64,
+    /// Live pages rewritten during garbage collection.
+    pub gc_relocations: u64,
+    /// Plane count of the multi-plane scheduler (its entire round
+    /// state: scheduling is stateless across rounds by design).
+    pub planes: u64,
+}
+
+impl ControllerSnapshot {
+    /// Decodes a snapshot from an already-parsed [`serde::Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on missing/ill-typed fields.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| ArrayError::Snapshot(format!("missing field `{name}`")))
+        };
+        let counter = |name: &str| -> Result<u64> {
+            field(name)?
+                .as_u64()
+                .ok_or_else(|| ArrayError::Snapshot(format!("bad counter `{name}`")))
+        };
+        let i64_column = |name: &str| -> Result<Vec<i64>> {
+            field(name)?
+                .as_array()
+                .ok_or_else(|| ArrayError::Snapshot(format!("`{name}` must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|f| f.fract() == 0.0 && f.abs() < 9.0e15)
+                        .map(|f| f as i64)
+                        .ok_or_else(|| ArrayError::Snapshot(format!("non-integer in `{name}`")))
+                })
+                .collect()
+        };
+        Ok(Self {
+            array: ArraySnapshot::from_value(field("array")?)?,
+            map: i64_column("map")?,
+            state: i64_column("state")?,
+            next_slot: counter("next_slot")?,
+            next_lpn: counter("next_lpn")?,
+            reclaim_erases: counter("reclaim_erases")?,
+            gc_erases: counter("gc_erases")?,
+            gc_relocations: counter("gc_relocations")?,
+            planes: counter("planes")?,
+        })
+    }
 }
 
 /// Lifecycle of one physical page.
@@ -518,6 +595,208 @@ impl FlashController {
             gc_erases: self.gc_erases,
             gc_relocations: self.gc_relocations,
         })
+    }
+
+    /// Jumps the whole array through `cycles` composed P/E cycles of
+    /// `recipe` (see [`NandArray::run_epoch`]) and resets the page
+    /// lifecycle to match: the epoch ends with every page physically
+    /// erased, so all logical mappings are dropped, every slot returns
+    /// to `Free` and the allocation scan restarts at slot 0. Wear state
+    /// (injected charge, op counters, per-block erase counts) carries
+    /// the epoch's ageing forward — this is the time-scale-jumping
+    /// primitive endurance campaigns alternate with full-fidelity
+    /// observation windows.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from the composed cycles propagate.
+    pub fn run_epoch(
+        &mut self,
+        recipe: &gnr_flash::engine::CycleRecipe,
+        cycles: u64,
+    ) -> Result<crate::population::EpochReport> {
+        let report = self.array.run_epoch(recipe, cycles)?;
+        self.map.fill(None);
+        self.state.fill(PageState::Free);
+        self.next_slot = 0;
+        Ok(report)
+    }
+
+    /// Captures the controller's full serializable state: array state,
+    /// logical map, page lifecycle, allocation cursors, wear-reason
+    /// counters and scheduler configuration (see [`ControllerSnapshot`]).
+    ///
+    /// Snapshots are only taken *between* operations, so there is no
+    /// pending-program state to capture — batched writes flush inside
+    /// one [`Self::write_batch`] call.
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        let ppb = self.array.config().pages_per_block;
+        ControllerSnapshot {
+            array: self.array.snapshot_state(),
+            map: self
+                .map
+                .iter()
+                .map(|addr| addr.map_or(-1, |a| (a.block * ppb + a.page) as i64))
+                .collect(),
+            state: self
+                .state
+                .iter()
+                .map(|s| match s {
+                    PageState::Free => -1,
+                    PageState::Stale => -2,
+                    PageState::Live(lpn) => *lpn as i64,
+                })
+                .collect(),
+            next_slot: self.next_slot as u64,
+            next_lpn: self.next_lpn as u64,
+            reclaim_erases: self.reclaim_erases,
+            gc_erases: self.gc_erases,
+            gc_relocations: self.gc_relocations,
+            planes: self.scheduler.planes() as u64,
+        }
+    }
+
+    /// Rebuilds a controller from a device blueprint and a snapshot —
+    /// the inverse of [`Self::snapshot`]. The restored controller is
+    /// digest-identical ([`Self::state_digest`]) to the snapshotted one
+    /// and continues any workload bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on shape mismatches or out-of-range
+    /// encodings; array restore errors propagate.
+    pub fn restore(
+        blueprint: FloatingGateTransistor,
+        snapshot: ControllerSnapshot,
+    ) -> Result<Self> {
+        let array = NandArray::restore_state(blueprint, snapshot.array)?;
+        let config = array.config();
+        if config.blocks < 2 {
+            return Err(ArrayError::Snapshot(
+                "controller snapshots need >= 2 blocks".into(),
+            ));
+        }
+        let pages = config.pages();
+        let logical = config.logical_pages();
+        if snapshot.map.len() != pages {
+            return Err(ArrayError::Snapshot(format!(
+                "map has {} entries, shape wants {pages}",
+                snapshot.map.len()
+            )));
+        }
+        if snapshot.state.len() != pages {
+            return Err(ArrayError::Snapshot(format!(
+                "state has {} entries, shape wants {pages}",
+                snapshot.state.len()
+            )));
+        }
+        let ppb = config.pages_per_block;
+        let map = snapshot
+            .map
+            .iter()
+            .map(|&slot| match slot {
+                -1 => Ok(None),
+                s if s >= 0 && (s as usize) < pages => Ok(Some(PageAddress {
+                    block: s as usize / ppb,
+                    page: s as usize % ppb,
+                })),
+                s => Err(ArrayError::Snapshot(format!("bad map slot {s}"))),
+            })
+            .collect::<Result<Vec<Option<PageAddress>>>>()?;
+        let state = snapshot
+            .state
+            .iter()
+            .map(|&s| match s {
+                -1 => Ok(PageState::Free),
+                -2 => Ok(PageState::Stale),
+                lpn if lpn >= 0 && (lpn as usize) < logical => Ok(PageState::Live(lpn as usize)),
+                bad => Err(ArrayError::Snapshot(format!("bad page state {bad}"))),
+            })
+            .collect::<Result<Vec<PageState>>>()?;
+        let cursor = |name: &str, v: u64, len: usize| -> Result<usize> {
+            usize::try_from(v)
+                .ok()
+                .filter(|&c| c <= len)
+                .ok_or_else(|| ArrayError::Snapshot(format!("bad cursor `{name}` = {v}")))
+        };
+        let planes = usize::try_from(snapshot.planes)
+            .ok()
+            .filter(|&p| p > 0)
+            .ok_or_else(|| ArrayError::Snapshot(format!("bad plane count {}", snapshot.planes)))?;
+        Ok(Self {
+            array,
+            map,
+            state,
+            next_slot: cursor("next_slot", snapshot.next_slot, pages)?,
+            next_lpn: cursor("next_lpn", snapshot.next_lpn, logical)?,
+            reclaim_erases: snapshot.reclaim_erases,
+            gc_erases: snapshot.gc_erases,
+            gc_relocations: snapshot.gc_relocations,
+            scheduler: PlaneScheduler::new(planes),
+        })
+    }
+
+    /// FNV-1a digest over the controller's *complete* state: every
+    /// population column (charge, wear, op counters, variation deltas),
+    /// page flags, per-block erase counts, the logical map, page
+    /// lifecycle, allocation cursors and wear-reason counters. Two
+    /// controllers with equal digests continue any workload
+    /// bit-identically — the restore-equals-uninterrupted assertion of
+    /// checkpointed campaigns compares exactly this.
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn state_digest(&self) -> u64 {
+        let pop = self.array.population();
+        let mut h = FNV1A_OFFSET;
+        for &q in pop.charge_column() {
+            h = fnv1a_fold_f64(h, q);
+        }
+        for &w in pop.injected_charge_column() {
+            h = fnv1a_fold_f64(h, w);
+        }
+        for &ops in pop.program_ops_column() {
+            h = fnv1a_fold_bytes(h, &ops.to_le_bytes());
+        }
+        for &ops in pop.erase_ops_column() {
+            h = fnv1a_fold_bytes(h, &ops.to_le_bytes());
+        }
+        let cfg = self.array.config();
+        for b in 0..cfg.blocks {
+            let e = self.array.erase_count(b).expect("block index in range");
+            h = fnv1a_fold_bytes(h, &e.to_le_bytes());
+        }
+        for (b, p) in (0..cfg.blocks).flat_map(|b| (0..cfg.pages_per_block).map(move |p| (b, p))) {
+            let erased = self
+                .array
+                .is_page_erased(b, p)
+                .expect("page index in range");
+            h = fnv1a_fold_bytes(h, &[u8::from(erased)]);
+        }
+        let ppb = cfg.pages_per_block;
+        for addr in &self.map {
+            let slot: i64 = addr.map_or(-1, |a| (a.block * ppb + a.page) as i64);
+            h = fnv1a_fold_bytes(h, &slot.to_le_bytes());
+        }
+        for s in &self.state {
+            let code: i64 = match s {
+                PageState::Free => -1,
+                PageState::Stale => -2,
+                PageState::Live(lpn) => *lpn as i64,
+            };
+            h = fnv1a_fold_bytes(h, &code.to_le_bytes());
+        }
+        for v in [
+            self.next_slot as u64,
+            self.next_lpn as u64,
+            self.reclaim_erases,
+            self.gc_erases,
+            self.gc_relocations,
+        ] {
+            h = fnv1a_fold_bytes(h, &v.to_le_bytes());
+        }
+        h
     }
 
     /// The physical address of logical page `lpn`'s live copy, if any.

@@ -71,6 +71,12 @@ impl IsppProgrammer {
         self.target
     }
 
+    /// The rung ladder.
+    #[must_use]
+    pub fn ladder(&self) -> IsppLadder {
+        self.ladder
+    }
+
     /// Programs the cell, verifying after every rung.
     ///
     /// # Errors
@@ -273,6 +279,12 @@ impl IsppEraser {
         )
     }
 
+    /// The rung ladder.
+    #[must_use]
+    pub fn ladder(&self) -> IsppLadder {
+        self.ladder
+    }
+
     /// Erases the cell, verifying after every rung.
     ///
     /// # Errors
@@ -352,6 +364,48 @@ impl IsppEraser {
             self.erase_with(cell, &engine)
         })
     }
+}
+
+/// Freezes one program→erase verify outcome into a fixed pulse train:
+/// runs `programmer` then `eraser` on a fresh scratch cell of `cell`'s
+/// device and records exactly the rungs each ladder applied. The result
+/// is the [`CycleRecipe`] an epoch-jumping
+/// [`crate::population::CellPopulation::run_epoch`] composes — a P/E
+/// cycle with the verify decisions *pinned* to the fresh-cell
+/// trajectory, which is the steady-state rung count because the recipe
+/// ends erased (each composed cycle starts where the scratch cycle
+/// did).
+///
+/// # Errors
+///
+/// Propagates verify/device failures from the scratch cycle.
+pub fn cycle_recipe(
+    cell: &FlashCell,
+    programmer: &IsppProgrammer,
+    eraser: &IsppEraser,
+) -> Result<gnr_flash::engine::CycleRecipe> {
+    let mut scratch = FlashCell::new(cell.device().clone());
+    let programmed = programmer.program(&mut scratch)?;
+    let erased = eraser.erase(&mut scratch)?;
+    let pulses: Vec<SquarePulse> = programmer
+        .ladder()
+        .take(programmed.pulses)
+        .chain(eraser.ladder().take(erased.pulses))
+        .collect();
+    Ok(gnr_flash::engine::CycleRecipe::new(pulses))
+}
+
+/// [`cycle_recipe`] of the nominal program/erase pair on the paper cell.
+///
+/// # Errors
+///
+/// Same contract as [`cycle_recipe`].
+pub fn nominal_cycle_recipe() -> Result<gnr_flash::engine::CycleRecipe> {
+    cycle_recipe(
+        &FlashCell::paper_cell(),
+        &IsppProgrammer::nominal(),
+        &IsppEraser::nominal(),
+    )
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! Bit convention: `true` = erased = logic '1'; `false` = programmed =
 //! logic '0' (matching the paper's state naming).
 
+use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash::threshold::LogicState;
 use gnr_units::Voltage;
@@ -24,7 +25,7 @@ use crate::cell::FlashCell;
 use crate::disturb::DisturbBias;
 use crate::ispp::{IsppEraser, IsppProgrammer};
 use crate::pe::operation::{erase_verify_cells, BlockEraseReport, EraseVerify, SoftProgram};
-use crate::population::CellPopulation;
+use crate::population::{CellPopulation, PopulationSnapshot};
 use crate::{ArrayError, Result};
 
 /// Shape of a NAND array.
@@ -69,6 +70,76 @@ impl Default for NandConfig {
             pages_per_block: 4,
             page_width: 16,
         }
+    }
+}
+
+/// Serializable full state of a [`NandArray`]: the shape, the per-cell
+/// state columns, and the page/block bookkeeping. The disturb bias,
+/// ISPP programmer/eraser and batch executor are non-configurable
+/// nominals — [`NandArray::restore_state`] re-creates them exactly as
+/// [`NandArray::with_population`] would, so a restored array behaves
+/// bit-identically to the one that was snapshotted.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ArraySnapshot {
+    /// The array shape.
+    pub config: NandConfig,
+    /// The per-cell state columns.
+    pub population: PopulationSnapshot,
+    /// Per-page erased flags, indexed `block * pages_per_block + page`.
+    pub page_erased: Vec<bool>,
+    /// Per-block erase counters.
+    pub erase_count: Vec<u64>,
+}
+
+impl ArraySnapshot {
+    /// Decodes a snapshot from an already-parsed [`serde::Value`] tree
+    /// (what this shim's serializer writes).
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on missing/ill-typed fields.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| ArrayError::Snapshot(format!("missing field `{name}`")))
+        };
+        let dim = |name: &str| -> Result<usize> {
+            field("config")?
+                .get(name)
+                .and_then(serde::Value::as_u64)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| ArrayError::Snapshot(format!("bad config field `{name}`")))
+        };
+        let config = NandConfig {
+            blocks: dim("blocks")?,
+            pages_per_block: dim("pages_per_block")?,
+            page_width: dim("page_width")?,
+        };
+        let page_erased = field("page_erased")?
+            .as_array()
+            .ok_or_else(|| ArrayError::Snapshot("`page_erased` must be an array".into()))?
+            .iter()
+            .map(|v| match v {
+                serde::Value::Bool(b) => Ok(*b),
+                _ => Err(ArrayError::Snapshot("non-bool in `page_erased`".into())),
+            })
+            .collect::<Result<Vec<bool>>>()?;
+        let erase_count = field("erase_count")?
+            .as_array()
+            .ok_or_else(|| ArrayError::Snapshot("`erase_count` must be an array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| ArrayError::Snapshot("non-integer in `erase_count`".into()))
+            })
+            .collect::<Result<Vec<u64>>>()?;
+        Ok(Self {
+            config,
+            population: PopulationSnapshot::from_value(field("population")?)?,
+            page_erased,
+            erase_count,
+        })
     }
 }
 
@@ -158,6 +229,87 @@ impl NandArray {
     /// lifecycle.
     pub fn population_mut(&mut self) -> &mut CellPopulation {
         &mut self.pop
+    }
+
+    /// Captures the array's full serializable state (see
+    /// [`ArraySnapshot`]).
+    #[must_use]
+    pub fn snapshot_state(&self) -> ArraySnapshot {
+        ArraySnapshot {
+            config: self.config,
+            population: self.pop.snapshot(),
+            page_erased: self.page_erased.clone(),
+            erase_count: self.erase_count.clone(),
+        }
+    }
+
+    /// Rebuilds an array from a device blueprint and a snapshot — the
+    /// inverse of [`Self::snapshot_state`]. The population's variant
+    /// table is re-derived from the delta columns; bias, programmer,
+    /// eraser and batch executor come back as the nominals
+    /// [`Self::with_population`] installs.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] when the bookkeeping columns disagree
+    /// with the shape; population restore errors propagate.
+    pub fn restore_state(
+        blueprint: FloatingGateTransistor,
+        snapshot: ArraySnapshot,
+    ) -> Result<Self> {
+        let config = snapshot.config;
+        let pop = CellPopulation::restore(blueprint, snapshot.population)?;
+        if pop.len() != config.cells() {
+            return Err(ArrayError::Snapshot(format!(
+                "population has {} cells, shape wants {}",
+                pop.len(),
+                config.cells()
+            )));
+        }
+        if snapshot.page_erased.len() != config.pages() {
+            return Err(ArrayError::Snapshot(format!(
+                "page_erased has {} entries, shape wants {}",
+                snapshot.page_erased.len(),
+                config.pages()
+            )));
+        }
+        if snapshot.erase_count.len() != config.blocks {
+            return Err(ArrayError::Snapshot(format!(
+                "erase_count has {} entries, shape wants {}",
+                snapshot.erase_count.len(),
+                config.blocks
+            )));
+        }
+        let mut array = Self::with_population(config, pop);
+        array.page_erased = snapshot.page_erased;
+        array.erase_count = snapshot.erase_count;
+        Ok(array)
+    }
+
+    /// Jumps every cell of the array through `cycles` composed P/E
+    /// cycles of `recipe` (see
+    /// [`CellPopulation::run_epoch`](crate::population::CellPopulation::run_epoch))
+    /// and applies the closed-form page bookkeeping: the recipe ends
+    /// with its erase rungs, so after the jump every page is erased and
+    /// every block's erase counter has advanced by `cycles`. Any data
+    /// the array held is gone — epoch jumps model cycling burn-in
+    /// between workload windows, not in-place ageing of live data.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from the composed cycles propagate.
+    pub fn run_epoch(
+        &mut self,
+        recipe: &gnr_flash::engine::CycleRecipe,
+        cycles: u64,
+    ) -> Result<crate::population::EpochReport> {
+        let indices: Vec<usize> = (0..self.pop.len()).collect();
+        let report = self.pop.run_epoch(&indices, &self.batch, recipe, cycles)?;
+        self.page_erased.fill(true);
+        for count in &mut self.erase_count {
+            *count += cycles;
+        }
+        Ok(report)
     }
 
     /// Erase count of a block (wear metric).

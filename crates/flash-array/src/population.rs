@@ -54,9 +54,11 @@
 //! per chunk instead of rebuilding them per group.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gnr_flash::device::{FgtBuilder, FloatingGateTransistor};
-use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
+use gnr_flash::engine::cyclemap;
+use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine, CycleMap, CycleOutcome, CycleRecipe};
 use gnr_flash::pulse::SquarePulse;
 use gnr_flash::threshold::{classify, LogicState, ReadModel};
 use gnr_flash::variation::standard_normal;
@@ -90,6 +92,22 @@ pub(crate) struct DeviceVariant {
     pub(crate) device: FloatingGateTransistor,
     /// Cached `CFC` in farads for the `ΔVT = −Q/CFC` hot path.
     pub(crate) cfc_farads: f64,
+}
+
+/// Telemetry of one [`CellPopulation::run_epoch`] jump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EpochReport {
+    /// Cells the epoch covered.
+    pub cells: usize,
+    /// Distinct full-state groups among them.
+    pub groups: usize,
+    /// Unique `(variant, charge)` cycle-map probes after deduplication
+    /// (the jump outcome depends only on those).
+    pub map_probes: usize,
+    /// Probes that could not answer from a cycle-map table (no map for
+    /// the engine, or the start charge outside the tabulated span) and
+    /// therefore iterated their cycles explicitly.
+    pub fallback_probes: usize,
 }
 
 /// Gaussian per-cell process variation for a population.
@@ -144,6 +162,17 @@ impl PopulationSnapshot {
     /// columns.
     pub fn from_json(text: &str) -> Result<Self> {
         let value = serde_json::from_str(text).map_err(|e| ArrayError::Snapshot(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Decodes a snapshot from an already-parsed [`serde::Value`] tree
+    /// (the nested-checkpoint path: array and campaign snapshots embed
+    /// population snapshots as sub-objects).
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on missing/ill-typed columns.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
         let f64_column = |name: &str| -> Result<Vec<f64>> {
             value
                 .get(name)
@@ -498,6 +527,18 @@ impl CellPopulation {
     #[must_use]
     pub fn injected_charge_column(&self) -> &[f64] {
         &self.injected_charge
+    }
+
+    /// The per-cell completed-program-operation counters.
+    #[must_use]
+    pub fn program_ops_column(&self) -> &[u64] {
+        &self.program_ops
+    }
+
+    /// The per-cell completed-erase-operation counters.
+    #[must_use]
+    pub fn erase_ops_column(&self) -> &[u64] {
+        &self.erase_ops
     }
 
     /// Per-cell `CFC` (F), fanned out over `batch` — the denominators of
@@ -941,6 +982,136 @@ impl CellPopulation {
         };
         debug_assert_eq!(results.len(), states.len(), "one result per group");
         self.write_back(indices, group_of, &states, &results)
+    }
+
+    /// Jumps `cycles` whole P/E cycles of `recipe` for every cell in
+    /// `indices` — the epoch kernel of long-horizon endurance
+    /// campaigns.
+    ///
+    /// Cells are state-grouped exactly like the pulse kernels, then the
+    /// group probes are **deduplicated by `(variant, charge bits)`**: a
+    /// cycle jump depends only on where the charge starts, so groups
+    /// that differ merely in wear history share one probe. Each unique
+    /// probe answers through the variant's cached
+    /// [`CycleMap`] (O(log cycles) Hermite
+    /// evaluations, explicit pulse-by-pulse fallback outside its span);
+    /// batch-ineligible engines (exact mode, custom tolerances) iterate
+    /// every cycle explicitly through [`cyclemap::cycle_once`], which
+    /// honours their per-pulse contract. Probes fan out over `batch`
+    /// order-preserving, so parallel and sequential runs agree bitwise.
+    ///
+    /// Counters advance in closed form for the identical-recipe run:
+    /// per cycle one program op, one erase op, and the composed wear
+    /// table's `Σ|ΔQ|` onto the injected-charge column.
+    ///
+    /// # Errors
+    ///
+    /// Per cell, engine failures ([`ArrayError::Device`]) from fallback
+    /// integrations; failed groups keep their pre-epoch state.
+    pub fn run_epoch(
+        &mut self,
+        indices: &[usize],
+        batch: &BatchSimulator,
+        recipe: &CycleRecipe,
+        cycles: u64,
+    ) -> Result<EpochReport> {
+        let mut report = EpochReport {
+            cells: indices.len(),
+            ..EpochReport::default()
+        };
+        if indices.is_empty() || cycles == 0 {
+            return Ok(report);
+        }
+        let (group_of, mut states) = self.group_states(indices);
+        report.groups = states.len();
+
+        // One engine (and, when eligible, one shared cycle map) per
+        // variant actually present.
+        let mut lanes: Vec<Option<(ChargeBalanceEngine, Option<Arc<CycleMap>>)>> =
+            vec![None; self.variants.len()];
+        for s in &states {
+            let v = s.variant as usize;
+            if lanes[v].is_none() {
+                let engine = batch.engine_for(&self.variants[v].device);
+                let map = engine.cycle_map(recipe);
+                lanes[v] = Some((engine, map));
+            }
+        }
+
+        // Unique (variant, charge) probes, in first-seen order.
+        let mut probe_of: FnvHashMap<(u32, u64), usize> = FnvHashMap::default();
+        let mut probes: Vec<(u32, f64)> = Vec::new();
+        for s in &states {
+            probe_of
+                .entry((s.variant, s.charge.to_bits()))
+                .or_insert_with(|| {
+                    probes.push((s.variant, s.charge));
+                    probes.len() - 1
+                });
+        }
+        report.map_probes = probes.len();
+        for &(v, q) in &probes {
+            let covered = lanes[v as usize]
+                .as_ref()
+                .and_then(|(_, map)| map.as_ref())
+                .is_some_and(|map| map.covers(q));
+            if !covered {
+                report.fallback_probes += 1;
+            }
+        }
+
+        // Answer the probes over the batch fan-out (order-preserving).
+        let lanes_ref = &lanes;
+        let probes_ref = &probes;
+        const PROBE_CHUNK: usize = 64;
+        let answers: Vec<Result<CycleOutcome>> = batch
+            .map_chunks(probes.len(), PROBE_CHUNK, |start, len| {
+                probes_ref[start..start + len]
+                    .iter()
+                    .map(|&(v, q)| {
+                        let (engine, map) = lanes_ref[v as usize]
+                            .as_ref()
+                            .expect("variant lane built above");
+                        let out = match map {
+                            Some(map) => map.iterate(engine, q, cycles),
+                            None => (|| {
+                                let mut q = q;
+                                let mut wear = 0.0;
+                                for _ in 0..cycles {
+                                    let step = cyclemap::cycle_once(engine, recipe, q)?;
+                                    q = step.charge;
+                                    wear += step.wear;
+                                }
+                                Ok(CycleOutcome { charge: q, wear })
+                            })(),
+                        };
+                        out.map_err(ArrayError::Device)
+                    })
+                    .collect::<Vec<Result<CycleOutcome>>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        let results: Vec<Result<()>> = states
+            .iter_mut()
+            .map(|s| {
+                let probe = probe_of[&(s.variant, s.charge.to_bits())];
+                match &answers[probe] {
+                    Ok(out) => {
+                        s.charge = out.charge;
+                        s.stats.injected_charge += out.wear;
+                        s.stats.program_ops += cycles;
+                        s.stats.erase_ops += cycles;
+                        Ok(())
+                    }
+                    Err(e) => Err(e.clone()),
+                }
+            })
+            .collect();
+        let per_cell = self.write_back(indices, group_of, &states, &results);
+        per_cell.into_iter().collect::<Result<Vec<()>>>()?;
+        Ok(report)
     }
 
     /// Runs an arbitrary per-cell closure once per state group on a

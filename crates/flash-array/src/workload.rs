@@ -257,6 +257,116 @@ impl WorkloadTrace {
     }
 }
 
+/// A random-access stream of workload operations — the seam the
+/// replayer actually consumes. `op(index)` must be a pure function of
+/// the index, which buys two properties a materialized `Vec` cannot:
+/// traces of billions of ops cost no memory (each op is synthesized on
+/// demand), and any suffix can be replayed without regenerating the
+/// prefix — the property checkpointed campaigns resume on.
+///
+/// [`WorkloadTrace`] implements the trait by indexing its `ops` vector,
+/// so every existing generator works unchanged; [`GcChurnSource`] is
+/// the streaming counterpart that never materializes.
+pub trait TraceSource {
+    /// Trace name (recorded in reports).
+    fn name(&self) -> &str;
+    /// Total operation count.
+    fn len(&self) -> usize;
+    /// `true` when the trace has no operations.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The operation at `index` (`index < len()`). Must be pure: two
+    /// calls with the same index return the same op.
+    fn op(&self, index: usize) -> WorkloadOp;
+
+    /// Iterates the ops in order without materializing them.
+    fn iter_ops(&self) -> Box<dyn Iterator<Item = WorkloadOp> + '_>
+    where
+        Self: Sized,
+    {
+        Box::new((0..self.len()).map(move |i| self.op(i)))
+    }
+}
+
+impl TraceSource for WorkloadTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn op(&self, index: usize) -> WorkloadOp {
+        self.ops[index]
+    }
+}
+
+/// Streaming steady-state GC churn: the counter-based counterpart of
+/// [`WorkloadTrace::gc_churn`]. The first `capacity` ops fill the
+/// logical space sequentially; every later op rewrites a
+/// pseudo-randomly chosen logical page. Each op is a pure hash of
+/// `(seed, index)`, so a billion-op churn stream costs 24 bytes and
+/// resumes from any index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcChurnSource {
+    capacity: usize,
+    overwrites: usize,
+    seed: u64,
+}
+
+impl GcChurnSource {
+    /// A churn stream over `capacity` logical pages: one sequential
+    /// fill, then `overwrites` random rewrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (there is nothing to overwrite).
+    #[must_use]
+    pub fn new(capacity: usize, overwrites: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "GC churn needs a non-empty logical space");
+        Self {
+            capacity,
+            overwrites,
+            seed,
+        }
+    }
+
+    /// SplitMix64 finalizer — a full-avalanche mix of `(seed, i)`, so
+    /// op targets are uniform without any sequential RNG state.
+    fn mix(&self, i: u64) -> u64 {
+        let mut z = self.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl TraceSource for GcChurnSource {
+    fn name(&self) -> &str {
+        "gc_churn_stream"
+    }
+
+    fn len(&self) -> usize {
+        self.capacity + self.overwrites
+    }
+
+    fn op(&self, index: usize) -> WorkloadOp {
+        let lpn = if index < self.capacity {
+            index
+        } else {
+            (self.mix(index as u64) % self.capacity as u64) as usize
+        };
+        WorkloadOp::Write {
+            lpn: Some(lpn),
+            pattern: PagePattern::Seeded {
+                seed: self.seed ^ index as u64,
+            },
+        }
+    }
+}
+
 fn decode_pattern(value: &serde::Value) -> Result<PagePattern> {
     let bad = |m: &str| ArrayError::Snapshot(m.to_string());
     let kind = value
@@ -510,8 +620,105 @@ pub fn replay_observed(
     options: &ReplayOptions,
     observer: &mut dyn ReplayObserver,
 ) -> Result<WorkloadReport> {
+    replay_streamed(controller, trace, options, observer)
+}
+
+/// Execution counts of one replayed segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SegmentCounts {
+    pub writes: u64,
+    pub reads: u64,
+    pub read_misses: u64,
+    pub erases: u64,
+}
+
+/// Executes ops `[start, end)` of `source` against the controller,
+/// batching consecutive same-kind operations through the multi-plane
+/// entry points. Batches never cross the segment boundary, so running a
+/// trace segment-by-segment (on any segmentation) is bit-identical to
+/// running it whole with the same boundaries — the property that makes
+/// checkpointed campaigns resume digest-identical: the replayer always
+/// cuts segments at snapshot boundaries.
+fn execute_segment(
+    controller: &mut FlashController,
+    source: &dyn TraceSource,
+    start: usize,
+    end: usize,
+    write_lat: &mut Vec<f64>,
+    read_lat: &mut Vec<f64>,
+) -> Result<SegmentCounts> {
+    let width = controller.array().config().page_width;
+    let mut counts = SegmentCounts::default();
+    let mut i = start;
+    while i < end {
+        match source.op(i) {
+            WorkloadOp::Write { .. } => {
+                let mut jobs: Vec<(Option<usize>, Vec<bool>)> = Vec::new();
+                while i + jobs.len() < end {
+                    let WorkloadOp::Write { lpn, pattern } = source.op(i + jobs.len()) else {
+                        break;
+                    };
+                    jobs.push((lpn, pattern.expand(width)));
+                }
+                let n = jobs.len();
+                let t0 = Instant::now();
+                controller.write_batch(jobs)?;
+                #[allow(clippy::cast_precision_loss)]
+                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / n as f64;
+                write_lat.extend(std::iter::repeat_n(per_op, n));
+                counts.writes += n as u64;
+                i += n;
+            }
+            WorkloadOp::Read { .. } => {
+                let mut lpns: Vec<usize> = Vec::new();
+                while i + lpns.len() < end {
+                    let WorkloadOp::Read { lpn } = source.op(i + lpns.len()) else {
+                        break;
+                    };
+                    lpns.push(lpn);
+                }
+                let t0 = Instant::now();
+                let results = controller.read_batch(&lpns);
+                #[allow(clippy::cast_precision_loss)]
+                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / lpns.len() as f64;
+                for result in results {
+                    match result {
+                        Ok(_) => {
+                            read_lat.push(per_op);
+                            counts.reads += 1;
+                        }
+                        Err(ArrayError::AddressOutOfRange { .. }) => counts.read_misses += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                i += lpns.len();
+            }
+            WorkloadOp::EraseBlock { block } => {
+                controller.erase_block(block)?;
+                counts.erases += 1;
+                i += 1;
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// [`replay_observed`] over any [`TraceSource`] — ops are synthesized
+/// on demand, so streaming sources replay without ever materializing
+/// their operation list.
+///
+/// # Errors
+///
+/// Propagates replay failures and observer errors.
+pub fn replay_streamed(
+    controller: &mut FlashController,
+    source: &dyn TraceSource,
+    options: &ReplayOptions,
+    observer: &mut dyn ReplayObserver,
+) -> Result<WorkloadReport> {
     let config = controller.array().config();
     let width = config.page_width;
+    let total = source.len();
     let mut writes = 0u64;
     let mut reads = 0u64;
     let mut read_misses = 0u64;
@@ -529,59 +736,24 @@ pub fn replay_observed(
     // only the wall clock changes. Per-op latency within a batch is the
     // batch wall time divided evenly across its ops.
     let mut i = 0;
-    while i < trace.ops.len() {
+    while i < total {
         let boundary = match options.snapshot_interval {
-            0 => trace.ops.len(),
-            interval => ((i / interval + 1) * interval).min(trace.ops.len()),
+            0 => total,
+            interval => ((i / interval + 1) * interval).min(total),
         };
-        match trace.ops[i] {
-            WorkloadOp::Write { .. } => {
-                let mut jobs: Vec<(Option<usize>, Vec<bool>)> = Vec::new();
-                while i + jobs.len() < boundary {
-                    let WorkloadOp::Write { lpn, pattern } = trace.ops[i + jobs.len()] else {
-                        break;
-                    };
-                    jobs.push((lpn, pattern.expand(width)));
-                }
-                let n = jobs.len();
-                let t0 = Instant::now();
-                controller.write_batch(jobs)?;
-                #[allow(clippy::cast_precision_loss)]
-                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / n as f64;
-                write_lat.extend(std::iter::repeat_n(per_op, n));
-                writes += n as u64;
-                i += n;
-            }
-            WorkloadOp::Read { .. } => {
-                let mut lpns: Vec<usize> = Vec::new();
-                while i + lpns.len() < boundary {
-                    let WorkloadOp::Read { lpn } = trace.ops[i + lpns.len()] else {
-                        break;
-                    };
-                    lpns.push(lpn);
-                }
-                let t0 = Instant::now();
-                let results = controller.read_batch(&lpns);
-                #[allow(clippy::cast_precision_loss)]
-                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / lpns.len() as f64;
-                for result in results {
-                    match result {
-                        Ok(_) => {
-                            read_lat.push(per_op);
-                            reads += 1;
-                        }
-                        Err(ArrayError::AddressOutOfRange { .. }) => read_misses += 1,
-                        Err(e) => return Err(e),
-                    }
-                }
-                i += lpns.len();
-            }
-            WorkloadOp::EraseBlock { block } => {
-                controller.erase_block(block)?;
-                erases += 1;
-                i += 1;
-            }
-        }
+        let counts = execute_segment(
+            controller,
+            source,
+            i,
+            boundary,
+            &mut write_lat,
+            &mut read_lat,
+        )?;
+        writes += counts.writes;
+        reads += counts.reads;
+        read_misses += counts.read_misses;
+        erases += counts.erases;
+        i = boundary;
         if options.snapshot_interval > 0 && i % options.snapshot_interval == 0 {
             snapshots.push(take_snapshot(controller, i, options.margin_scan)?);
             observer.observe(controller, i)?;
@@ -593,13 +765,9 @@ pub fn replay_observed(
     // it double-counted the final state in every trajectory (and fired
     // observers twice); and without this fallback, a trace whose length
     // is not a multiple of the cadence would drop its final state.
-    if snapshots.last().map(|s| s.op_index) != Some(trace.ops.len()) {
-        snapshots.push(take_snapshot(
-            controller,
-            trace.ops.len(),
-            options.margin_scan,
-        )?);
-        observer.observe(controller, trace.ops.len())?;
+    if snapshots.last().map(|s| s.op_index) != Some(total) {
+        snapshots.push(take_snapshot(controller, total, options.margin_scan)?);
+        observer.observe(controller, total)?;
     }
 
     let cells_written = writes * width as u64;
@@ -616,9 +784,9 @@ pub fn replay_observed(
             .map_err(|e| ArrayError::Device(e.into()))
     };
     Ok(WorkloadReport {
-        trace: trace.name.clone(),
+        trace: source.name().to_string(),
         config,
-        ops: trace.ops.len(),
+        ops: total,
         writes,
         reads,
         read_misses,
@@ -632,6 +800,311 @@ pub fn replay_observed(
         read_latency_us: summarize(&read_lat)?,
         snapshots,
     })
+}
+
+/// A long-horizon endurance campaign: `rounds` alternations of one
+/// epoch jump (`cycles_per_round` composed P/E cycles of `recipe`
+/// through [`FlashController::run_epoch`]) and one full-fidelity
+/// observation window (a streaming GC-churn workload replayed through
+/// the ordinary FTL/scheduler path, with a [`ReplayObserver`] sampling
+/// at every segment boundary).
+///
+/// The campaign advances through [`CampaignRunner::step`], each step
+/// being exactly one checkpointable unit — callers may serialize a
+/// [`CampaignCheckpoint`] between any two steps and resume in another
+/// process with bit-identical continuation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnduranceCampaign {
+    /// Epoch/window alternations.
+    pub rounds: usize,
+    /// Composed P/E cycles per round's epoch jump.
+    pub cycles_per_round: u64,
+    /// Cycles advanced per [`CampaignRunner::step`] within an epoch
+    /// (`0` = the whole round's cycles in one step). Smaller chunks
+    /// buy finer checkpoint granularity at the cost of more composed
+    /// jumps — the jump count, not the cycle count, is what costs.
+    pub epoch_chunk: u64,
+    /// The pinned P/E pulse train each epoch composes.
+    pub recipe: gnr_flash::engine::CycleRecipe,
+    /// Random rewrites per observation window (each window first
+    /// refills the logical space sequentially — the epoch jump left
+    /// the array erased).
+    pub window_overwrites: usize,
+    /// Ops per window segment — the observer cadence *and* the
+    /// checkpoint granularity inside a window (`0` = the whole window
+    /// is one segment).
+    pub window_segment: usize,
+    /// Base seed; each round's window stream reseeds from it.
+    pub window_seed: u64,
+}
+
+impl EnduranceCampaign {
+    /// The window workload of `round`: a fresh GC-churn stream over
+    /// the controller's logical space, decorrelated per round.
+    #[must_use]
+    pub fn window_source(&self, capacity: usize, round: usize) -> GcChurnSource {
+        GcChurnSource::new(
+            capacity,
+            self.window_overwrites,
+            self.window_seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )
+    }
+}
+
+/// Where a campaign stands inside its current round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignPhase {
+    /// Mid-epoch: `cycles_done` of the round's cycles composed so far.
+    Epoch {
+        /// Cycles already composed this round.
+        cycles_done: u64,
+    },
+    /// Mid-window: `ops_done` of the round's window ops replayed.
+    Window {
+        /// Window ops already replayed this round.
+        ops_done: usize,
+    },
+}
+
+/// The campaign's resumable position: the round index and the phase
+/// position inside it. Together with a [`ControllerSnapshot`] this is
+/// everything a resumed process needs — the campaign *configuration*
+/// (recipe, seeds, shape) is reconstructed by the caller exactly like
+/// the device blueprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignState {
+    /// Current round (0-based); `round == rounds` means done.
+    pub round: usize,
+    /// Position inside the round.
+    pub phase: CampaignPhase,
+}
+
+impl serde::Serialize for CampaignState {
+    fn to_value(&self) -> serde::Value {
+        #[allow(clippy::cast_precision_loss)]
+        let (phase, progress) = match self.phase {
+            CampaignPhase::Epoch { cycles_done } => ("epoch", cycles_done as f64),
+            CampaignPhase::Window { ops_done } => ("window", ops_done as f64),
+        };
+        #[allow(clippy::cast_precision_loss)]
+        serde::Value::Object(vec![
+            ("round".to_string(), serde::Value::Number(self.round as f64)),
+            ("phase".to_string(), serde::Value::String(phase.to_string())),
+            ("progress".to_string(), serde::Value::Number(progress)),
+        ])
+    }
+}
+impl serde::Deserialize for CampaignState {}
+
+impl CampaignState {
+    /// Decodes a state from its JSON serialization.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on missing or ill-typed fields.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
+        let bad = |m: &str| ArrayError::Snapshot(m.to_string());
+        let num = |name: &str| {
+            value
+                .get(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| bad(&format!("campaign state missing `{name}`")))
+        };
+        let round = num("round")? as usize;
+        let progress = num("progress")?;
+        let phase = match value.get("phase").and_then(serde::Value::as_str) {
+            Some("epoch") => CampaignPhase::Epoch {
+                cycles_done: progress,
+            },
+            Some("window") => CampaignPhase::Window {
+                ops_done: progress as usize,
+            },
+            _ => return Err(bad("campaign state has no phase tag")),
+        };
+        Ok(Self { round, phase })
+    }
+}
+
+/// A full campaign checkpoint: the controller's complete state plus
+/// the campaign position. Serializable between any two
+/// [`CampaignRunner::step`] calls; restoring and continuing produces
+/// the same [`FlashController::state_digest`] as never stopping.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CampaignCheckpoint {
+    /// The controller snapshot.
+    pub controller: crate::controller::ControllerSnapshot,
+    /// The campaign position.
+    pub state: CampaignState,
+}
+
+impl CampaignCheckpoint {
+    /// Decodes a checkpoint from its JSON serialization.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on syntax or schema errors.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value = serde_json::from_str(text).map_err(|e| ArrayError::Snapshot(e.to_string()))?;
+        Ok(Self {
+            controller: crate::controller::ControllerSnapshot::from_value(
+                value
+                    .get("controller")
+                    .ok_or_else(|| ArrayError::Snapshot("checkpoint missing controller".into()))?,
+            )?,
+            state: CampaignState::from_value(
+                value
+                    .get("state")
+                    .ok_or_else(|| ArrayError::Snapshot("checkpoint missing state".into()))?,
+            )?,
+        })
+    }
+}
+
+/// What one [`CampaignRunner::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignStepReport {
+    /// Round the step worked in.
+    pub round: usize,
+    /// Cycles composed (epoch steps; 0 for window steps).
+    pub cycles: u64,
+    /// Window ops replayed (window steps; 0 for epoch steps).
+    pub ops: usize,
+    /// Epoch telemetry (epoch steps only).
+    pub epoch: Option<crate::population::EpochReport>,
+}
+
+/// Drives an [`EnduranceCampaign`] one checkpointable unit at a time.
+///
+/// Each [`Self::step`] advances either one epoch chunk or one window
+/// segment and then returns, leaving the controller and the runner's
+/// [`Self::state`] mutually consistent — the caller may checkpoint
+/// there, or just keep stepping. An uninterrupted run and a
+/// restore-and-continue run execute the *same* sequence of segment
+/// boundaries, which is what makes them digest-identical (replay
+/// batching never crosses a segment boundary).
+#[derive(Debug)]
+pub struct CampaignRunner<'a> {
+    campaign: &'a EnduranceCampaign,
+    state: CampaignState,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// A runner at the campaign's start.
+    #[must_use]
+    pub fn new(campaign: &'a EnduranceCampaign) -> Self {
+        Self::resume(
+            campaign,
+            CampaignState {
+                round: 0,
+                phase: CampaignPhase::Epoch { cycles_done: 0 },
+            },
+        )
+    }
+
+    /// A runner continuing from a checkpointed position (the paired
+    /// controller must be restored from the same checkpoint).
+    #[must_use]
+    pub fn resume(campaign: &'a EnduranceCampaign, state: CampaignState) -> Self {
+        Self { campaign, state }
+    }
+
+    /// The current position (what a checkpoint stores).
+    #[must_use]
+    pub fn state(&self) -> CampaignState {
+        self.state
+    }
+
+    /// `true` when every round has run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state.round >= self.campaign.rounds
+    }
+
+    /// Advances one checkpointable unit: one epoch chunk, or one window
+    /// segment followed by one observer call. Returns `None` when the
+    /// campaign is already done.
+    ///
+    /// # Errors
+    ///
+    /// Device, replay and observer errors propagate; the runner's state
+    /// is unspecified after an error.
+    pub fn step(
+        &mut self,
+        controller: &mut FlashController,
+        observer: &mut dyn ReplayObserver,
+    ) -> Result<Option<CampaignStepReport>> {
+        let campaign = self.campaign;
+        if self.is_done() {
+            return Ok(None);
+        }
+        let round = self.state.round;
+        match self.state.phase {
+            CampaignPhase::Epoch { cycles_done } => {
+                let remaining = campaign.cycles_per_round.saturating_sub(cycles_done);
+                let chunk = match campaign.epoch_chunk {
+                    0 => remaining,
+                    c => c.min(remaining),
+                };
+                let epoch = (chunk > 0)
+                    .then(|| controller.run_epoch(&campaign.recipe, chunk))
+                    .transpose()?;
+                let done = cycles_done + chunk;
+                self.state.phase = if done >= campaign.cycles_per_round {
+                    CampaignPhase::Window { ops_done: 0 }
+                } else {
+                    CampaignPhase::Epoch { cycles_done: done }
+                };
+                Ok(Some(CampaignStepReport {
+                    round,
+                    cycles: chunk,
+                    ops: 0,
+                    epoch,
+                }))
+            }
+            CampaignPhase::Window { ops_done } => {
+                let source = campaign.window_source(controller.logical_capacity(), round);
+                let total = source.len();
+                let end = match campaign.window_segment {
+                    0 => total,
+                    seg => (ops_done + seg).min(total),
+                };
+                // Latency samples are observability-only; the campaign
+                // records trajectories through its observer instead.
+                let (mut wl, mut rl) = (Vec::new(), Vec::new());
+                execute_segment(controller, &source, ops_done, end, &mut wl, &mut rl)?;
+                observer.observe(controller, round * total + end)?;
+                if end >= total {
+                    self.state.round += 1;
+                    self.state.phase = CampaignPhase::Epoch { cycles_done: 0 };
+                } else {
+                    self.state.phase = CampaignPhase::Window { ops_done: end };
+                }
+                Ok(Some(CampaignStepReport {
+                    round,
+                    cycles: 0,
+                    ops: end - ops_done,
+                    epoch: None,
+                }))
+            }
+        }
+    }
+
+    /// Runs every remaining step.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::step`].
+    pub fn run_to_end(
+        &mut self,
+        controller: &mut FlashController,
+        observer: &mut dyn ReplayObserver,
+    ) -> Result<Vec<CampaignStepReport>> {
+        let mut reports = Vec::new();
+        while let Some(report) = self.step(controller, observer)? {
+            reports.push(report);
+        }
+        Ok(reports)
+    }
 }
 
 fn take_snapshot(
@@ -816,6 +1289,93 @@ mod tests {
         // snapshot the old cadence dropped.
         assert_eq!(report.snapshots.last().unwrap().live_pages, 4);
         assert_eq!(report.writes, 5);
+    }
+
+    #[test]
+    fn streamed_replay_matches_materialized_trace() {
+        let source = GcChurnSource::new(4, 6, 11);
+        // Materialize the stream into a classic trace; both replays must
+        // leave bit-identical controllers and equal reports.
+        let trace = WorkloadTrace {
+            name: source.name().to_string(),
+            ops: source.iter_ops().collect(),
+        };
+        let options = ReplayOptions {
+            snapshot_interval: 3,
+            margin_scan: false,
+        };
+        let mut streamed = FlashController::new(small());
+        let mut materialized = FlashController::new(small());
+        let a = replay_streamed(&mut streamed, &source, &options, &mut ()).unwrap();
+        let b = replay_observed(&mut materialized, &trace, &options, &mut ()).unwrap();
+        assert_eq!(streamed.state_digest(), materialized.state_digest());
+        assert_eq!(a.writes, b.writes);
+        assert_eq!(a.snapshots.len(), b.snapshots.len());
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn churn_stream_is_pure_in_the_index() {
+        let source = GcChurnSource::new(3, 5, 99);
+        assert_eq!(source.len(), 8);
+        for i in 0..source.len() {
+            assert_eq!(source.op(i), source.op(i));
+        }
+        // The fill prefix is sequential; overwrites stay in range.
+        for i in 0..3 {
+            assert!(matches!(source.op(i), WorkloadOp::Write { lpn: Some(l), .. } if l == i));
+        }
+        for i in 3..8 {
+            assert!(matches!(source.op(i), WorkloadOp::Write { lpn: Some(l), .. } if l < 3));
+        }
+    }
+
+    #[test]
+    fn campaign_alternates_epochs_and_windows() {
+        let campaign = EnduranceCampaign {
+            rounds: 2,
+            cycles_per_round: 5,
+            epoch_chunk: 0,
+            recipe: crate::ispp::nominal_cycle_recipe().unwrap(),
+            window_overwrites: 4,
+            window_segment: 0,
+            window_seed: 7,
+        };
+        let mut controller = FlashController::new(small());
+        let mut runner = CampaignRunner::new(&campaign);
+        let reports = runner.run_to_end(&mut controller, &mut ()).unwrap();
+        assert!(runner.is_done());
+        // One epoch step and one window step per round.
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.iter().map(|r| r.cycles).sum::<u64>(), 10);
+        let window_ops = controller.logical_capacity() + 4;
+        assert_eq!(reports.iter().map(|r| r.ops).sum::<usize>(), 2 * window_ops);
+        // The epochs aged every block by their cycle count.
+        for block in 0..small().blocks {
+            assert!(controller.array().erase_count(block).unwrap() >= 10);
+        }
+        // The epoch wear landed in the population's closed-form counters.
+        let pop = controller.array().population();
+        assert!(pop.program_ops_column().iter().all(|&ops| ops >= 10));
+        assert!(pop.wear_summary().unwrap().mean > 0.0);
+    }
+
+    #[test]
+    fn campaign_states_round_trip_through_json() {
+        for state in [
+            CampaignState {
+                round: 0,
+                phase: CampaignPhase::Epoch { cycles_done: 123 },
+            },
+            CampaignState {
+                round: 7,
+                phase: CampaignPhase::Window { ops_done: 42 },
+            },
+        ] {
+            let json = serde_json::to_string(&state).unwrap();
+            let decoded = CampaignState::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+            assert_eq!(decoded, state);
+        }
     }
 
     #[test]

@@ -170,6 +170,23 @@ impl ReliabilityObserver {
     pub fn codec(&self) -> &dyn PageCodec {
         self.codec.as_ref()
     }
+
+    /// The pass counter the next observation will sample with — the
+    /// piece of observer state a campaign checkpoint must carry: the
+    /// read-noise stream is seeded per pass, so a resumed observer
+    /// continues the *same* noise sequence only if its counter is
+    /// restored (the trajectory itself may restart empty; trajectories
+    /// concatenate across a resume, noise streams must not).
+    #[must_use]
+    pub fn next_pass(&self) -> u64 {
+        self.next_pass
+    }
+
+    /// Restores the pass counter after a checkpoint resume (see
+    /// [`Self::next_pass`]).
+    pub fn set_next_pass(&mut self, pass: u64) {
+        self.next_pass = pass;
+    }
 }
 
 impl core::fmt::Debug for ReliabilityObserver {

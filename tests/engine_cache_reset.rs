@@ -7,18 +7,27 @@
 //! would make those flaky. One test, one process, no interleaving.
 
 use gnr_flash::device::FloatingGateTransistor;
-use gnr_flash::engine::{cache, flowmap, ChargeBalanceEngine};
-use gnr_units::Voltage;
+use gnr_flash::engine::{cache, flowmap, ChargeBalanceEngine, CycleRecipe};
+use gnr_flash::pulse::SquarePulse;
+use gnr_units::{Time, Voltage};
 
 #[test]
 fn reset_zeroes_the_telemetry_but_keeps_the_entries() {
-    // Drive traffic through both tiers: engine construction probes the
-    // tabulated-J cache, and a repeated flow-map probe records a miss
-    // then a hit.
+    // Drive traffic through all three tiers: engine construction probes
+    // the tabulated-J cache, a repeated flow-map probe records a miss
+    // then a hit, and a repeated cycle-map probe does the same.
     let engine = ChargeBalanceEngine::new(&FloatingGateTransistor::mlgnr_cnt_paper());
     let bias = Voltage::from_volts(13.5);
     let _ = flowmap::cached(&engine, bias, Voltage::ZERO);
     let _ = flowmap::cached(&engine, bias, Voltage::ZERO);
+    let recipe = CycleRecipe::new(vec![
+        SquarePulse::new(Voltage::from_volts(13.5), Time::from_microseconds(10.0)),
+        SquarePulse::new(Voltage::from_volts(-13.5), Time::from_microseconds(10.0)),
+    ]);
+    let map = engine
+        .cycle_map(&recipe)
+        .expect("flow-map engine is eligible");
+    let _ = engine.cycle_map(&recipe);
     let before = cache::stats();
     assert!(
         before.flow_maps.hits + before.flow_maps.misses > 0,
@@ -28,6 +37,11 @@ fn reset_zeroes_the_telemetry_but_keeps_the_entries() {
         before.j_tables.hits + before.j_tables.misses > 0,
         "setup must generate J-table traffic"
     );
+    assert!(
+        before.cycle_maps.hits >= 1 && before.cycle_maps.entries >= 1,
+        "setup must generate cycle-map traffic: {:?}",
+        before.cycle_maps
+    );
 
     cache::reset();
     let after = cache::stats();
@@ -35,15 +49,48 @@ fn reset_zeroes_the_telemetry_but_keeps_the_entries() {
     assert_eq!(after.flow_maps.misses, 0);
     assert_eq!(after.j_tables.hits, 0);
     assert_eq!(after.j_tables.misses, 0);
+    assert_eq!(after.cycle_maps.hits, 0);
+    assert_eq!(after.cycle_maps.misses, 0);
     // Reset scopes the *telemetry*, not the caches: the entries (and
     // the work they embody) survive, so a post-reset phase still runs
-    // warm.
+    // warm. This split is what the historical combined reset got wrong
+    // — scoping bench counters used to cold-start the caches too.
     assert!(after.flow_maps.entries >= 1);
+    assert!(after.cycle_maps.entries >= 1);
 
     // Counting resumes from zero — the next probe of a retained entry
     // is a hit against the fresh counters.
     let _ = flowmap::cached(&engine, bias, Voltage::ZERO);
+    let again = engine.cycle_map(&recipe).expect("still eligible");
+    assert!(
+        std::sync::Arc::ptr_eq(&map, &again),
+        "reset must not evict: the same Arc answers"
+    );
     let resumed = cache::stats();
     assert_eq!(resumed.flow_maps.misses, 0);
     assert!(resumed.flow_maps.hits >= 1);
+    assert_eq!(resumed.cycle_maps.misses, 0);
+    assert!(resumed.cycle_maps.hits >= 1);
+
+    // The other half of the split: `clear_entries` evicts every tier's
+    // entries but leaves the counters alone — outstanding Arcs stay
+    // valid, and the next probe is a (counted) rebuild miss.
+    let hits_before_clear = resumed.cycle_maps.hits;
+    cache::clear_entries();
+    let cleared = cache::stats();
+    assert_eq!(cleared.flow_maps.entries, 0);
+    assert_eq!(cleared.cycle_maps.entries, 0);
+    assert_eq!(cleared.j_tables.entries, 0);
+    assert_eq!(
+        cleared.cycle_maps.hits, hits_before_clear,
+        "eviction must not touch the counters"
+    );
+    let rebuilt = engine.cycle_map(&recipe).expect("still eligible");
+    assert!(
+        !std::sync::Arc::ptr_eq(&map, &rebuilt),
+        "post-eviction probe must rebuild"
+    );
+    let final_stats = cache::stats();
+    assert!(final_stats.cycle_maps.misses >= 1);
+    assert!(final_stats.cycle_maps.entries >= 1);
 }
