@@ -11,7 +11,9 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_shape, bench_threads, cache_stats_json};
+use gnr_bench::{
+    bench_shape, bench_threads, cache_stats_json, telemetry_phase, telemetry_snapshot_json,
+};
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::nand::{NandArray, NandConfig};
 use std::hint::black_box;
@@ -109,6 +111,19 @@ fn measure_batch_speedup() {
             "null".to_string()
         }
     };
+    // Telemetry pass: one fully-instrumented program sweep on the fixed
+    // smoke shape — the measured sweeps above stay telemetry-off.
+    let (_, telemetry) = telemetry_phase(|| {
+        program_all_pages(
+            NandConfig {
+                blocks: 4,
+                pages_per_block: 4,
+                page_width: 16,
+            },
+            BatchSimulator::new(),
+        )
+    });
+
     let json = format!(
         "{{\n  \"bench\": \"array_throughput\",\n  \"config\": \"{shape}\",\n  \
          \"cores\": {cores},\n  \"threads\": {threads},\n  \
@@ -116,7 +131,7 @@ fn measure_batch_speedup() {
          \"sequential_program_ms\": {:.3},\n  \
          \"parallel_program_ms\": {:.3},\n  \"program_speedup\": {},\n  \
          \"sequential_erase_ms\": {:.3},\n  \"parallel_erase_ms\": {:.3},\n  \
-         \"erase_speedup\": {},\n  \"engine_cache\": {}\n}}\n",
+         \"erase_speedup\": {},\n  \"engine_cache\": {},\n  \"telemetry\": {}\n}}\n",
         seq_program.as_secs_f64() * 1e3,
         par_program.as_secs_f64() * 1e3,
         fmt_speedup(program_speedup),
@@ -124,6 +139,7 @@ fn measure_batch_speedup() {
         par_erase.as_secs_f64() * 1e3,
         fmt_speedup(erase_speedup),
         cache_stats_json(),
+        telemetry_snapshot_json(&telemetry),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -23,7 +23,9 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_config, bench_threads, cache_stats_json};
+use gnr_bench::{
+    bench_config, bench_threads, cache_stats_json, telemetry_phase, telemetry_snapshot_json,
+};
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::{cycle_once, ChargeBalanceEngine};
 use gnr_flash_array::controller::FlashController;
@@ -220,6 +222,26 @@ fn measure_endurance_campaign() {
         observer.trajectory.last().map_or(0.0, |p| p.uber),
     );
 
+    // Telemetry pass: a smoke-shaped campaign (with a reliability
+    // observer, so decode/retry instrumentation fires too) under full
+    // instrumentation — the measured campaign above stays telemetry-off.
+    let (_, telemetry) = telemetry_phase(|| {
+        let config = NandConfig {
+            blocks: 4,
+            pages_per_block: 4,
+            page_width: 16,
+        };
+        let mut controller = FlashController::new(config);
+        let campaign = campaign_for(controller.logical_capacity(), 2, 50);
+        let ecc = EccConfig::bch_for_width(config.page_width, 2).expect("codec fits the page");
+        let mut observer =
+            ReliabilityObserver::new(&ecc, BerModel::default(), None).expect("observer builds");
+        let mut runner = CampaignRunner::new(&campaign);
+        runner
+            .run_to_end(&mut controller, &mut observer)
+            .expect("telemetry campaign runs")
+    });
+
     let json = format!(
         "{{\n  \"bench\": \"endurance_campaign\",\n  \"config\": \"{}x{}x{}\",\n  \
          \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"cells\": {},\n  \
@@ -233,7 +255,7 @@ fn measure_endurance_campaign() {
          \"rber_trajectory\": {},\n  \"uber_trajectory\": {},\n  \
          \"mean_injected_charge_trajectory\": {},\n  \
          \"resume_digest\": \"{}\",\n  \"resume_check\": \"ok\",\n  \
-         \"engine_cache\": {}\n}}\n",
+         \"engine_cache\": {},\n  \"telemetry\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -259,6 +281,7 @@ fn measure_endurance_campaign() {
         wear_trajectory,
         resume_digest,
         cache_stats_json(),
+        telemetry_snapshot_json(&telemetry),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

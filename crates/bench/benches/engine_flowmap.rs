@@ -34,8 +34,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnr_bench::{
-    bench_config, bench_threads, cache_stats_snapshot_json, scheduler_trace, SCHEDULER_FULL_SHAPE,
-    SCHEDULER_SMOKE_SHAPE,
+    bench_config, bench_threads, cache_stats_snapshot_json, scheduler_trace, telemetry_phase,
+    telemetry_snapshot_json, write_amplification, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE,
 };
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine, EngineMode};
@@ -314,6 +314,49 @@ fn measure_engine_flowmap() {
         .collect::<Vec<_>>()
         .join(", ");
 
+    // Telemetry pass: a short fully-instrumented churn *after* the
+    // measured phases (which run at ambient — i.e. normally disabled —
+    // telemetry, keeping the timings comparable to the committed
+    // baselines). Always smoke-shaped: the snapshot documents coverage,
+    // not scale.
+    let (_, telemetry) = telemetry_phase(|| {
+        run_churn(
+            NandConfig {
+                blocks: 4,
+                pages_per_block: 4,
+                page_width: 16,
+            },
+            true,
+            BatchSimulator::new(),
+        )
+    });
+    for zone in [
+        "replay.segment",
+        "ftl.write_batch",
+        "scheduler.execute",
+        "population.group",
+        "engine.pulse_batch",
+    ] {
+        let z = telemetry
+            .zone(zone)
+            .unwrap_or_else(|| panic!("telemetry churn must profile zone `{zone}`"));
+        assert!(z.calls > 0, "zone `{zone}` must record calls");
+    }
+    for z in &telemetry.zones {
+        println!(
+            "telemetry zone {}: {} calls, total {:.3} ms, self {:.3} ms",
+            z.name,
+            z.calls,
+            z.total_ns as f64 / 1.0e6,
+            z.self_ns as f64 / 1.0e6
+        );
+    }
+    let telemetry_write_amp = write_amplification(&telemetry);
+    println!(
+        "telemetry churn: {} events journaled, write amplification {telemetry_write_amp:.3}",
+        telemetry.journal.recorded
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"engine_flowmap\",\n  \"config\": \"{}x{}x{}\",\n  \
          \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \
@@ -331,7 +374,9 @@ fn measure_engine_flowmap() {
          \"scheduler_speedup\": {:.2},\n  \
          \"committed_baseline_scheduler_ops_per_second\": \
          {BASELINE_SCHEDULER_OPS_PER_SECOND},\n  \
-         \"engine_cache\": {}\n}}\n",
+         \"engine_cache\": {},\n  \
+         \"telemetry_write_amplification\": {telemetry_write_amp:.3},\n  \
+         \"telemetry\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -356,6 +401,7 @@ fn measure_engine_flowmap() {
         sched_flow,
         sched_speedup,
         cache_stats_snapshot_json(&churn_cache_stats),
+        telemetry_snapshot_json(&telemetry),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
@@ -393,6 +439,30 @@ fn bench_engine_flowmap(c: &mut Criterion) {
             });
         });
     }
+    // Telemetry overhead guard: the same instrumented page program with
+    // the registry/journal/zones off vs fully on, so the disabled-path
+    // cost (one relaxed load + branch per site) is tracked per run —
+    // the ≤2% churn budget is pinned against the committed baseline by
+    // the full-run JSON above; this pair keeps the per-op gap visible.
+    let ambient_enabled = gnr_flash::telemetry::enabled();
+    let ambient_profiling = gnr_flash::telemetry::profiling_enabled();
+    for (label, on) in [
+        ("program_page_telemetry_off", false),
+        ("program_page_telemetry_on", true),
+    ] {
+        group.bench_function(label, |b| {
+            gnr_flash::telemetry::set_enabled(on);
+            gnr_flash::telemetry::set_profiling(on);
+            b.iter(|| {
+                let mut array = NandArray::new(config)
+                    .with_batch(BatchSimulator::new().with_mode(EngineMode::FlowMap));
+                array.program_page(0, 0, &bits).expect("program");
+                array
+            });
+        });
+    }
+    gnr_flash::telemetry::set_enabled(ambient_enabled);
+    gnr_flash::telemetry::set_profiling(ambient_profiling);
     group.finish();
 }
 

@@ -19,8 +19,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnr_bench::{
-    bench_config, bench_threads, cache_stats_json, scheduler_trace, SCHEDULER_FULL_SHAPE,
-    SCHEDULER_SMOKE_SHAPE,
+    bench_config, bench_threads, cache_stats_json, scheduler_trace, telemetry_phase,
+    telemetry_snapshot_json, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE,
 };
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash_array::controller::FlashController;
@@ -227,6 +227,24 @@ fn measure_pe_scheduler() {
         erase.soft_programmed_cells,
     );
 
+    // Telemetry pass: the smoke-shaped trace through a multi-plane
+    // controller with full instrumentation on — the measured phases
+    // above stay telemetry-off.
+    let (_, telemetry) = telemetry_phase(|| {
+        let config = SCHEDULER_SMOKE_SHAPE;
+        let trace = scheduler_trace(config.logical_pages());
+        let mut controller = FlashController::new(config).with_planes(config.blocks.min(4));
+        replay(
+            &mut controller,
+            &trace,
+            &ReplayOptions {
+                snapshot_interval: 0,
+                margin_scan: false,
+            },
+        )
+        .expect("telemetry replay")
+    });
+
     let json = format!(
         "{{\n  \"bench\": \"pe_scheduler\",\n  \"config\": \"{}x{}x{}\",\n  \
          \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"ops\": {},\n  \
@@ -239,7 +257,7 @@ fn measure_pe_scheduler() {
          \"adaptive_mean_overshoot_volts\": {:.4},\n  \"erase_block_cells\": {},\n  \
          \"raw_erase_width_volts\": {:.4},\n  \"verified_erase_width_volts\": {:.4},\n  \
          \"erase_pulses\": {},\n  \"soft_programmed_cells\": {},\n  \
-         \"engine_cache\": {}\n}}\n",
+         \"engine_cache\": {},\n  \"telemetry\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -264,6 +282,7 @@ fn measure_pe_scheduler() {
         erase.erase_pulses,
         erase.soft_programmed_cells,
         cache_stats_json(),
+        telemetry_snapshot_json(&telemetry),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pe_scheduler.json");
     match std::fs::write(path, &json) {

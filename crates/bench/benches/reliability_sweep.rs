@@ -18,7 +18,7 @@
 //!   guard, seconds).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_config, bench_threads};
+use gnr_bench::{bench_config, bench_threads, telemetry_phase};
 use gnr_flash::engine::cache::EngineCacheStats;
 use gnr_flash_array::cell::FlashCell;
 use gnr_flash_array::endurance::EnduranceModel;
@@ -68,6 +68,7 @@ struct SweepReport {
     fill_seconds: f64,
     sweep_seconds: f64,
     engine_cache: EngineCacheStats,
+    telemetry: gnr_flash::telemetry::TelemetrySnapshot,
 }
 
 /// Programs every page of a fresh array with seeded pseudo-random data.
@@ -215,6 +216,25 @@ fn measure_reliability_sweep() {
         codec.name(),
     );
 
+    // Telemetry pass: one fully-instrumented smoke-shaped fill + scan —
+    // the measured fill/sweep above stay telemetry-off.
+    let (_, telemetry) = telemetry_phase(|| {
+        let config = NandConfig {
+            blocks: 4,
+            pages_per_block: 4,
+            page_width: 16,
+        };
+        let array = fill_array(config);
+        let ber = BerModel {
+            read_noise_sigma: 0.40,
+            ..BerModel::default()
+        };
+        let ecc = EccConfig::bch_for_width(config.page_width, 2).expect("codec fits page");
+        let codec = ecc.build().expect("codec builds");
+        let truth = ber.noiseless_bits(array.population(), array.batch());
+        scan_array(&array, &truth, codec.as_ref(), &ber, None, 0).expect("telemetry scan")
+    });
+
     let report = SweepReport {
         bench: "reliability_sweep".into(),
         config: format!(
@@ -243,6 +263,7 @@ fn measure_reliability_sweep() {
         fill_seconds,
         sweep_seconds,
         engine_cache: gnr_flash::engine::cache::stats(),
+        telemetry,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     let path = concat!(

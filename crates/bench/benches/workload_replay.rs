@@ -15,7 +15,9 @@
 //!   guard, ~a second).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnr_bench::{bench_config, bench_threads, cache_stats_json};
+use gnr_bench::{
+    bench_config, bench_threads, cache_stats_json, telemetry_phase, telemetry_snapshot_json,
+};
 use gnr_flash_array::controller::FlashController;
 use gnr_flash_array::nand::NandConfig;
 use gnr_flash_array::workload::{replay, ReplayOptions, WorkloadTrace};
@@ -109,6 +111,25 @@ fn measure_workload_replay() {
         churn_wear.spread(),
     );
 
+    // Telemetry pass: a short smoke-shaped churn replay with the full
+    // instrumentation stack on, so the report carries a real
+    // `"telemetry"` block without perturbing the measured timings above.
+    let (_, telemetry) = telemetry_phase(|| {
+        let config = NandConfig {
+            blocks: 4,
+            pages_per_block: 4,
+            page_width: 16,
+        };
+        let mut controller = FlashController::new(config);
+        let capacity = controller.logical_capacity();
+        replay(
+            &mut controller,
+            &WorkloadTrace::gc_churn(32, capacity, 0xbead),
+            &ReplayOptions::default(),
+        )
+        .expect("telemetry churn replays")
+    });
+
     let json = format!(
         "{{\n  \"bench\": \"workload_replay\",\n  \"config\": \"{}x{}x{}\",\n  \
          \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"cells\": {},\n  \
@@ -118,7 +139,7 @@ fn measure_workload_replay() {
          \"churn_seconds\": {:.3},\n  \"churn_gc_relocations\": {},\n  \
          \"churn_write_amplification\": {:.4},\n  \
          \"total_erases\": {},\n  \"wear_spread\": {},\n  \
-         \"engine_cache\": {}\n}}\n",
+         \"engine_cache\": {},\n  \"telemetry\": {}\n}}\n",
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -138,6 +159,7 @@ fn measure_workload_replay() {
         churn_wear.total_erases,
         churn_wear.spread(),
         cache_stats_json(),
+        telemetry_snapshot_json(&telemetry),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

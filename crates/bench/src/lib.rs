@@ -23,6 +23,7 @@ pub mod workload_experiment;
 
 pub use report::{
     ascii_table, cache_stats_json, cache_stats_snapshot_json, format_series_summary,
+    telemetry_json, telemetry_phase, telemetry_snapshot_json, write_amplification,
     write_results_file,
 };
 pub use shape::{bench_config, bench_shape, bench_threads, parse_shape, smoke_mode};

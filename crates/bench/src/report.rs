@@ -64,6 +64,55 @@ pub fn cache_stats_snapshot_json(stats: &gnr_flash::engine::cache::EngineCacheSt
     serde_json::to_string(stats).expect("cache stats serialize")
 }
 
+/// The live unified-telemetry snapshot as a JSON object fragment,
+/// recorded under the `"telemetry"` key of every bench JSON — counters,
+/// histograms, the zone profile and the event journal in one block.
+#[must_use]
+pub fn telemetry_json() -> String {
+    telemetry_snapshot_json(&gnr_flash::telemetry::snapshot())
+}
+
+/// [`telemetry_json`] over an explicit snapshot, for benches that
+/// capture telemetry at a phase boundary and serialize it later.
+#[must_use]
+pub fn telemetry_snapshot_json(snapshot: &gnr_flash::telemetry::TelemetrySnapshot) -> String {
+    serde_json::to_string(snapshot).expect("telemetry snapshot serialize")
+}
+
+/// Runs `f` as a fully-instrumented telemetry phase: enables metrics,
+/// journal and profiling, resets the registry so the snapshot covers
+/// exactly this phase, and restores the ambient flags afterwards — the
+/// measured (telemetry-off) bench phases stay comparable to historical
+/// numbers while every bench still emits a real `"telemetry"` block.
+pub fn telemetry_phase<T>(f: impl FnOnce() -> T) -> (T, gnr_flash::telemetry::TelemetrySnapshot) {
+    use gnr_flash::telemetry;
+    let was_enabled = telemetry::enabled();
+    let was_profiling = telemetry::profiling_enabled();
+    telemetry::set_enabled(true);
+    telemetry::set_profiling(true);
+    telemetry::reset();
+    let out = f();
+    let snapshot = telemetry::snapshot();
+    telemetry::set_enabled(was_enabled);
+    telemetry::set_profiling(was_profiling);
+    (out, snapshot)
+}
+
+/// Derived write amplification from a telemetry snapshot:
+/// `(host pages + GC relocations) / host pages` (1.0 when no host
+/// pages were written — an idle FTL amplifies nothing).
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn write_amplification(snapshot: &gnr_flash::telemetry::TelemetrySnapshot) -> f64 {
+    let host = snapshot.counter("ftl.host_pages_written").unwrap_or(0);
+    let reloc = snapshot.counter("ftl.gc.relocations").unwrap_or(0);
+    if host == 0 {
+        1.0
+    } else {
+        (host + reloc) as f64 / host as f64
+    }
+}
+
 /// Writes `contents` under `results/` (created on demand) and returns the
 /// path.
 ///

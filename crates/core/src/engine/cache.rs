@@ -59,9 +59,37 @@ pub struct EngineCacheStats {
     pub cycle_maps: TierStats,
 }
 
+/// Mirrors the tier counters into the unified telemetry registry as the
+/// `engine.cache` gauge collector. The tier atomics stay the source of
+/// truth (this function and [`stats`] are pure reads of them), so the
+/// facade and the registry can never disagree; registration happens on
+/// first cache touch *after* telemetry is enabled, keeping a disabled
+/// process entirely out of the registry.
+fn install_telemetry_collector() {
+    static INSTALLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    if !gnr_telemetry::enabled() || INSTALLED.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    gnr_telemetry::register_collector("engine.cache", || {
+        let s = stats();
+        let tier = |name: &str, t: TierStats| {
+            vec![
+                (format!("engine.cache.{name}.hits"), t.hits),
+                (format!("engine.cache.{name}.misses"), t.misses),
+                (format!("engine.cache.{name}.entries"), t.entries as u64),
+            ]
+        };
+        let mut out = tier("j_tables", s.j_tables);
+        out.extend(tier("flow_maps", s.flow_maps));
+        out.extend(tier("cycle_maps", s.cycle_maps));
+        out
+    });
+}
+
 /// Snapshot of every cache tier's counters.
 #[must_use]
 pub fn stats() -> EngineCacheStats {
+    install_telemetry_collector();
     EngineCacheStats {
         j_tables: TierStats {
             hits: TABLE_HITS.load(Ordering::Relaxed),
@@ -120,6 +148,7 @@ fn shard_of(key: &FnKey) -> usize {
 /// table twice while never holding any shard lock across the build.
 #[must_use]
 pub fn tabulated(model: &FnModel) -> Arc<TabulatedJ> {
+    install_telemetry_collector();
     let coeffs = model.coefficients();
     let key = FnKey {
         a_bits: coeffs.a.to_bits(),

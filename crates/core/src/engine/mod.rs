@@ -393,11 +393,14 @@ impl ChargeBalanceEngine {
                     });
                 }
                 let map = flowmap::cached(self, spec.vgs, spec.vs);
+                gnr_telemetry::counter_add!("engine.flowmap.queries", 1);
                 if let Some(q) =
                     map.final_charge(spec.initial_charge.as_coulombs(), duration.as_seconds())
                 {
+                    gnr_telemetry::counter_add!("engine.flowmap.answers", 1);
                     return Ok(Charge::from_coulombs(q));
                 }
+                gnr_telemetry::counter_add!("engine.flowmap.escapes", 1);
             }
         }
         self.run(spec).map(|r| r.final_charge())
@@ -450,6 +453,7 @@ impl ChargeBalanceEngine {
         if q0s.is_empty() {
             return Vec::new();
         }
+        let _zone = gnr_telemetry::zone!("engine.pulse_batch");
         let eligible =
             self.mode == EngineMode::FlowMap && self.standard_paths && !self.custom_ode_options;
         if !eligible {
@@ -471,6 +475,18 @@ impl ChargeBalanceEngine {
         let sorted: Vec<f64> = order.iter().map(|&i| q0s[i]).collect();
         let mut sorted_out = vec![None; q0s.len()];
         map.final_charges_batch(&sorted, pulse.width.as_seconds(), &mut sorted_out);
+        let escaped = sorted_out.iter().filter(|a| a.is_none()).count() as u64;
+        gnr_telemetry::counter_add!("engine.flowmap.queries", q0s.len() as u64);
+        gnr_telemetry::counter_add!("engine.flowmap.answers", q0s.len() as u64 - escaped);
+        gnr_telemetry::counter_add!("engine.flowmap.escapes", escaped);
+        if escaped > 0 {
+            // One aggregated event per column keeps the journal
+            // deterministic: this kernel always runs on the caller
+            // thread (the array layer buckets columns sequentially).
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::FlowMapEscape {
+                queries: escaped,
+            });
+        }
         let mut answers = vec![None; q0s.len()];
         for (&i, &a) in order.iter().zip(&sorted_out) {
             answers[i] = a;
@@ -507,6 +523,7 @@ impl ChargeBalanceEngine {
         t_end: f64,
         terminal: bool,
     ) -> Result<TransientResult> {
+        let _zone = gnr_telemetry::zone!("engine.ode");
         let ct = self.device.capacitances().total().as_farads();
         let vgs = spec.vgs;
         let vs = spec.vs;
@@ -554,6 +571,10 @@ impl ChargeBalanceEngine {
                 }
             })
             .collect();
+
+        gnr_telemetry::counter_add!("engine.ode.integrations", 1);
+        gnr_telemetry::counter_add!("engine.ode.steps", sol.accepted_steps() as u64);
+        gnr_telemetry::counter_add!("engine.ode.rhs_evals", sol.rhs_evaluations() as u64);
 
         let first_hit = hits.first();
         Ok(TransientResult::from_parts(

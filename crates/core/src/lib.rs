@@ -58,6 +58,13 @@ pub mod threshold;
 pub mod transient;
 pub mod variation;
 
+/// The unified telemetry layer (metrics registry, profiling zones,
+/// event journal) — a re-export of the `gnr-telemetry` crate so
+/// downstream crates and tests reach it as `gnr_flash::telemetry`. The
+/// `counter_add!`/`histogram_record!`/`zone!` macros resolve through
+/// `$crate` and work from any crate that depends on `gnr-telemetry`.
+pub use gnr_telemetry as telemetry;
+
 mod error;
 
 pub use error::DeviceError;

@@ -326,6 +326,7 @@ impl FlashController {
         }
         let slot = self.slot(addr);
         self.state[slot] = PageState::Live(lpn);
+        gnr_telemetry::counter_add!("ftl.host_pages_written", 1);
         Ok(addr)
     }
 
@@ -356,6 +357,8 @@ impl FlashController {
         &mut self,
         jobs: Vec<(Option<usize>, Vec<bool>)>,
     ) -> Result<Vec<PageAddress>> {
+        let _zone = gnr_telemetry::zone!("ftl.write_batch");
+        gnr_telemetry::counter_add!("ftl.host_pages_written", jobs.len() as u64);
         let cfg = self.array.config();
         for (lpn, bits) in &jobs {
             if bits.len() != cfg.page_width {
@@ -489,6 +492,7 @@ impl FlashController {
     /// aborting the batch.
     #[must_use]
     pub fn read_batch(&mut self, lpns: &[usize]) -> Vec<Result<Vec<bool>>> {
+        let _zone = gnr_telemetry::zone!("ftl.read_batch");
         let mut results: Vec<Option<Result<Vec<bool>>>> = Vec::with_capacity(lpns.len());
         let mut commands = Vec::new();
         let mut scheduled: Vec<usize> = Vec::new();
@@ -615,6 +619,9 @@ impl FlashController {
         recipe: &gnr_flash::engine::CycleRecipe,
         cycles: u64,
     ) -> Result<crate::population::EpochReport> {
+        let _zone = gnr_telemetry::zone!("ftl.epoch");
+        gnr_telemetry::counter_add!("ftl.epoch_jumps", 1);
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::EpochJump { cycles });
         let report = self.array.run_epoch(recipe, cycles)?;
         self.map.fill(None);
         self.state.fill(PageState::Free);
@@ -725,7 +732,7 @@ impl FlashController {
             .ok()
             .filter(|&p| p > 0)
             .ok_or_else(|| ArrayError::Snapshot(format!("bad plane count {}", snapshot.planes)))?;
-        Ok(Self {
+        let controller = Self {
             array,
             map,
             state,
@@ -735,7 +742,15 @@ impl FlashController {
             gc_erases: snapshot.gc_erases,
             gc_relocations: snapshot.gc_relocations,
             scheduler: PlaneScheduler::new(planes),
-        })
+        };
+        // The digest is a full-state fold — only pay for it when the
+        // journal will actually keep the event.
+        if gnr_telemetry::enabled() {
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::CheckpointRestore {
+                digest: controller.state_digest(),
+            });
+        }
+        Ok(controller)
     }
 
     /// FNV-1a digest over the controller's *complete* state: every
@@ -840,6 +855,10 @@ impl FlashController {
         if let Some(block) = self.reclaim_candidate() {
             self.array.erase_block(block)?;
             self.reclaim_erases += 1;
+            gnr_telemetry::counter_add!("ftl.reclaims", 1);
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::Reclaim {
+                block: block as u64,
+            });
             self.free_block_state(block);
             return self.scan_free().ok_or(ArrayError::AddressOutOfRange {
                 kind: "free page",
@@ -900,6 +919,7 @@ impl FlashController {
     /// ever left pointing at a freed or reallocated physical page; the
     /// loss is visible as a read miss, never as aliased data.
     fn collect_garbage(&mut self) -> Result<()> {
+        let _zone = gnr_telemetry::zone!("ftl.gc");
         let cfg = self.array.config();
         let victim = (0..cfg.blocks)
             .filter_map(|b| {
@@ -942,6 +962,11 @@ impl FlashController {
         // misses (mappings already cleared), never as aliased data.
         self.array.erase_block(victim)?;
         self.gc_erases += 1;
+        gnr_telemetry::counter_add!("ftl.gc.erases", 1);
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::GcErase {
+            block: victim as u64,
+            survivors: survivors.len() as u64,
+        });
         self.free_block_state(victim);
         let mut page = 0usize;
         for (lpn, bits) in survivors {
@@ -961,6 +986,14 @@ impl FlashController {
                             page,
                         });
                         self.gc_relocations += 1;
+                        gnr_telemetry::counter_add!("ftl.gc.relocations", 1);
+                        gnr_telemetry::journal::record(
+                            gnr_telemetry::journal::EventKind::GcRelocation {
+                                lpn: lpn as u64,
+                                block: victim as u64,
+                                page: page as u64,
+                            },
+                        );
                         page += 1;
                         placed = true;
                         break;

@@ -155,6 +155,9 @@ impl PlaneScheduler {
     /// not every verify passes).
     #[must_use]
     pub fn execute(&self, array: &mut NandArray, commands: Vec<PeCommand>) -> PlaneExecution {
+        let _zone = gnr_telemetry::zone!("scheduler.execute");
+        gnr_telemetry::counter_add!("scheduler.executions", 1);
+        gnr_telemetry::counter_add!("scheduler.commands", commands.len() as u64);
         let mut queues: Vec<VecDeque<(usize, PeCommand)>> = vec![VecDeque::new(); self.planes];
         let blocks = array.config().blocks;
         let mut results: Vec<Option<Result<CommandOutcome>>> = Vec::new();
@@ -208,6 +211,10 @@ impl PlaneScheduler {
                     PeCommand::Read { block, page } => reads.push((idx, block, page)),
                 }
             }
+            gnr_telemetry::histogram_record!(
+                "scheduler.round_commands",
+                (programs.len() + erases.len() + reads.len()) as u64
+            );
             // Reads run first within the round — the priority the
             // hoisting already established; order across kinds cannot
             // change any outcome (disjoint blocks), only the latency
@@ -240,6 +247,8 @@ impl PlaneScheduler {
             }
         }
 
+        gnr_telemetry::counter_add!("scheduler.rounds", rounds as u64);
+        gnr_telemetry::counter_add!("scheduler.reads_hoisted", reads_hoisted as u64);
         PlaneExecution {
             rounds,
             results: results

@@ -895,6 +895,7 @@ impl CellPopulation {
     /// equal charge but different wear histories simply land in
     /// different groups (rare outside aged mixed workloads).
     fn group_states(&self, indices: &[usize]) -> (Vec<usize>, Vec<GroupState>) {
+        let _zone = gnr_telemetry::zone!("population.group");
         let mut group_of: Vec<usize> = Vec::with_capacity(indices.len());
         let mut states: Vec<GroupState> = Vec::new();
         // Same two-layer lookup as `apply_disturb_cells`: block-granular
@@ -932,6 +933,10 @@ impl CellPopulation {
             };
             group_of.push(g);
         }
+        gnr_telemetry::counter_add!("population.ops", 1);
+        gnr_telemetry::counter_add!("population.cells", indices.len() as u64);
+        gnr_telemetry::counter_add!("population.groups", states.len() as u64);
+        gnr_telemetry::histogram_record!("population.groups_per_op", states.len() as u64);
         (group_of, states)
     }
 
@@ -1058,6 +1063,15 @@ impl CellPopulation {
             if !covered {
                 report.fallback_probes += 1;
             }
+        }
+        // Recorded here, on the caller thread before the probe fan-out,
+        // so the journal stays deterministic under rayon.
+        gnr_telemetry::counter_add!("population.epoch.probes", report.map_probes as u64);
+        gnr_telemetry::counter_add!("population.epoch.fallbacks", report.fallback_probes as u64);
+        if report.fallback_probes > 0 {
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::CycleMapFallback {
+                probes: report.fallback_probes as u64,
+            });
         }
 
         // Answer the probes over the batch fan-out (order-preserving).

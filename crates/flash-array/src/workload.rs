@@ -560,9 +560,13 @@ pub struct WorkloadReport {
     /// Per-write wall latency (µs). Writes executed inside one scheduled
     /// batch share that batch's mean, so percentiles resolve *batch*
     /// boundaries (a GC stall shows up in the batch that paid it), not
-    /// individual ops within a batch.
+    /// individual ops within a batch. For true per-batch wall times —
+    /// no mean-splitting — enable telemetry and read the
+    /// `replay.write_batch_us` histogram, which records each batch's
+    /// total duration as one sample.
     pub write_latency_us: Option<Summary>,
-    /// Per-read wall latency (µs); batch-mean semantics as for writes.
+    /// Per-read wall latency (µs); batch-mean semantics as for writes
+    /// (the true per-batch histogram is `replay.read_batch_us`).
     pub read_latency_us: Option<Summary>,
     /// Trajectories sampled during the replay (always ends with the
     /// final state).
@@ -590,6 +594,68 @@ impl ReplayObserver for () {
     fn observe(&mut self, _controller: &FlashController, _op_index: usize) -> Result<()> {
         Ok(())
     }
+}
+
+/// A [`ReplayObserver`] that samples the unified telemetry registry at
+/// every snapshot point, pairing each [`gnr_telemetry::snapshot`] with
+/// the op index it was taken at — a per-phase telemetry trajectory on
+/// the same cadence as the built-in [`WorkloadSnapshot`]s.
+#[derive(Debug, Default)]
+pub struct TelemetryObserver {
+    samples: Vec<(usize, gnr_telemetry::TelemetrySnapshot)>,
+}
+
+impl TelemetryObserver {
+    /// An observer with no samples yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `(op_index, snapshot)` samples collected so far.
+    #[must_use]
+    pub fn samples(&self) -> &[(usize, gnr_telemetry::TelemetrySnapshot)] {
+        &self.samples
+    }
+
+    /// Consumes the observer, yielding its samples.
+    #[must_use]
+    pub fn into_samples(self) -> Vec<(usize, gnr_telemetry::TelemetrySnapshot)> {
+        self.samples
+    }
+}
+
+impl ReplayObserver for TelemetryObserver {
+    fn observe(&mut self, _controller: &FlashController, op_index: usize) -> Result<()> {
+        self.samples.push((op_index, gnr_telemetry::snapshot()));
+        Ok(())
+    }
+}
+
+/// Interns the replay-level metric catalogue with explicit zeros so a
+/// telemetry-enabled replay always reports every acceptance-relevant
+/// metric, even ones the particular trace never fires (a churn trace
+/// with no epoch jump still shows `population.epoch.probes: 0`). A
+/// no-op — no interning, no registry touch — while telemetry is
+/// disabled.
+fn intern_metric_catalogue() {
+    gnr_telemetry::counter_add!("engine.flowmap.queries", 0);
+    gnr_telemetry::counter_add!("engine.flowmap.answers", 0);
+    gnr_telemetry::counter_add!("engine.flowmap.escapes", 0);
+    gnr_telemetry::counter_add!("engine.ode.integrations", 0);
+    gnr_telemetry::counter_add!("population.ops", 0);
+    gnr_telemetry::counter_add!("population.groups", 0);
+    gnr_telemetry::counter_add!("population.epoch.probes", 0);
+    gnr_telemetry::counter_add!("population.epoch.fallbacks", 0);
+    gnr_telemetry::counter_add!("ftl.host_pages_written", 0);
+    gnr_telemetry::counter_add!("ftl.reclaims", 0);
+    gnr_telemetry::counter_add!("ftl.gc.erases", 0);
+    gnr_telemetry::counter_add!("ftl.gc.relocations", 0);
+    gnr_telemetry::counter_add!("ftl.epoch_jumps", 0);
+    gnr_telemetry::counter_add!("scheduler.executions", 0);
+    gnr_telemetry::counter_add!("scheduler.reads_hoisted", 0);
+    gnr_telemetry::counter_add!("replay.write_batches", 0);
+    gnr_telemetry::counter_add!("replay.read_batches", 0);
 }
 
 /// Replays a trace against a controller, recording per-op latency and
@@ -661,10 +727,17 @@ fn execute_segment(
                     jobs.push((lpn, pattern.expand(width)));
                 }
                 let n = jobs.len();
+                gnr_telemetry::set_op_index(i as u64);
                 let t0 = Instant::now();
                 controller.write_batch(jobs)?;
+                let elapsed = t0.elapsed();
+                gnr_telemetry::counter_add!("replay.write_batches", 1);
+                gnr_telemetry::histogram_record!(
+                    "replay.write_batch_us",
+                    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+                );
                 #[allow(clippy::cast_precision_loss)]
-                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / n as f64;
+                let per_op = elapsed.as_secs_f64() * 1.0e6 / n as f64;
                 write_lat.extend(std::iter::repeat_n(per_op, n));
                 counts.writes += n as u64;
                 i += n;
@@ -677,10 +750,17 @@ fn execute_segment(
                     };
                     lpns.push(lpn);
                 }
+                gnr_telemetry::set_op_index(i as u64);
                 let t0 = Instant::now();
                 let results = controller.read_batch(&lpns);
+                let elapsed = t0.elapsed();
+                gnr_telemetry::counter_add!("replay.read_batches", 1);
+                gnr_telemetry::histogram_record!(
+                    "replay.read_batch_us",
+                    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+                );
                 #[allow(clippy::cast_precision_loss)]
-                let per_op = t0.elapsed().as_secs_f64() * 1.0e6 / lpns.len() as f64;
+                let per_op = elapsed.as_secs_f64() * 1.0e6 / lpns.len() as f64;
                 for result in results {
                     match result {
                         Ok(_) => {
@@ -694,6 +774,7 @@ fn execute_segment(
                 i += lpns.len();
             }
             WorkloadOp::EraseBlock { block } => {
+                gnr_telemetry::set_op_index(i as u64);
                 controller.erase_block(block)?;
                 counts.erases += 1;
                 i += 1;
@@ -727,6 +808,7 @@ pub fn replay_streamed(
     let mut read_lat = Vec::new();
     let mut snapshots = Vec::new();
 
+    intern_metric_catalogue();
     let start = Instant::now();
     // Consecutive same-kind operations batch through the controller's
     // multi-plane entry points (split at snapshot boundaries so the
@@ -741,14 +823,17 @@ pub fn replay_streamed(
             0 => total,
             interval => ((i / interval + 1) * interval).min(total),
         };
-        let counts = execute_segment(
-            controller,
-            source,
-            i,
-            boundary,
-            &mut write_lat,
-            &mut read_lat,
-        )?;
+        let counts = {
+            let _zone = gnr_telemetry::zone!("replay.segment");
+            execute_segment(
+                controller,
+                source,
+                i,
+                boundary,
+                &mut write_lat,
+                &mut read_lat,
+            )?
+        };
         writes += counts.writes;
         reads += counts.reads;
         read_misses += counts.read_misses;

@@ -172,11 +172,26 @@ impl ReadPath {
                 reference,
             };
             if !matches!(outcome, DecodeOutcome::Detected) {
+                Self::record_retry_telemetry(k);
                 return Ok(read);
             }
             last = Some(read);
         }
+        Self::record_retry_telemetry(self.retry.max_retries);
         Ok(last.expect("at least the initial read ran"))
+    }
+
+    /// Telemetry of one completed read: the retry-depth histogram, the
+    /// cumulative retry counter, and one journal event per read that had
+    /// to step past the nominal reference.
+    fn record_retry_telemetry(depth: usize) {
+        gnr_telemetry::histogram_record!("reliability.retry_depth", depth as u64);
+        gnr_telemetry::counter_add!("reliability.read_retries", depth as u64);
+        if depth > 0 {
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::ReadRetryStep {
+                depth: depth as u64,
+            });
+        }
     }
 }
 

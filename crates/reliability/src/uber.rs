@@ -71,6 +71,7 @@ pub fn scan_array(
     reference: Option<f64>,
     pass: u64,
 ) -> Result<ReliabilityPoint> {
+    let _zone = gnr_telemetry::zone!("reliability.scan");
     let config = array.config();
     let width = config.page_width;
     let n = codec.code_bits();
@@ -118,6 +119,19 @@ pub fn scan_array(
         raw_errors += raw;
         residual_errors += residual;
         decode.record(outcome);
+    }
+    // Telemetry lands after the page-ordered reduction, on the caller
+    // thread, so the journal stays deterministic under rayon.
+    gnr_telemetry::counter_add!("reliability.scans", 1);
+    gnr_telemetry::counter_add!("reliability.decode.pages", decode.pages as u64);
+    gnr_telemetry::counter_add!(
+        "reliability.decode.uncorrectable",
+        decode.uncorrectable_pages as u64
+    );
+    if decode.uncorrectable_pages > 0 {
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::DecodeFailure {
+            pages: decode.uncorrectable_pages as u64,
+        });
     }
     let coded_bits = pages * n;
     #[allow(clippy::cast_precision_loss)]

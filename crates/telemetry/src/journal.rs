@@ -1,0 +1,358 @@
+//! The bounded event journal: a fixed-capacity ring of structured
+//! FTL/engine events.
+//!
+//! Events are recorded only from code that runs on the replay caller
+//! thread (controller bookkeeping, the column-kernel escape summary,
+//! epoch pre-fan-out aggregation, replay observers) — never from inside
+//! a rayon fan-out — so the journal of an identical replay is
+//! bit-identical. Each event is stamped with the op clock
+//! ([`crate::set_op_index`]) at record time. When the ring is full the
+//! oldest event is evicted; `recorded`/`dropped` totals keep the loss
+//! visible.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Default ring capacity; override with [`set_capacity`].
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// A structured FTL/engine event. Payload fields are the minimum needed
+/// to replay-diff a trace; bulk statistics live in the metrics
+/// registry, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The FTL ran out of free blocks on allocation and erased a
+    /// fully-invalid block in place.
+    Reclaim {
+        /// Physical block erased.
+        block: u64,
+    },
+    /// Garbage collection erased a victim block.
+    GcErase {
+        /// Physical block erased.
+        block: u64,
+        /// Live pages relocated out of the victim before the erase.
+        survivors: u64,
+    },
+    /// Garbage collection relocated one live page.
+    GcRelocation {
+        /// Logical page moved.
+        lpn: u64,
+        /// Destination physical block.
+        block: u64,
+        /// Destination page within the block.
+        page: u64,
+    },
+    /// The endurance campaign jumped the P/E epoch forward.
+    EpochJump {
+        /// Cycles advanced in the jump.
+        cycles: u64,
+    },
+    /// Controller state was restored from a checkpoint.
+    CheckpointRestore {
+        /// State digest of the restored controller.
+        digest: u64,
+    },
+    /// A flow-map batch left queries unanswered and fell back to exact
+    /// ODE integration (one event per batch, aggregated).
+    FlowMapEscape {
+        /// Queries that escaped to the exact engine.
+        queries: u64,
+    },
+    /// A cycle-map epoch batch had probes outside the map's domain and
+    /// fell back per probe (one event per epoch, aggregated).
+    CycleMapFallback {
+        /// Probes that fell back.
+        probes: u64,
+    },
+    /// An ECC decode scan saw uncorrectable pages.
+    DecodeFailure {
+        /// Uncorrectable pages in the scan.
+        pages: u64,
+    },
+    /// A read-retry ladder had to step past the nominal threshold.
+    ReadRetryStep {
+        /// Deepest retry rung used (1 = first retry).
+        depth: u64,
+    },
+}
+
+impl EventKind {
+    /// The event's tag string, as serialized under `"kind"`.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Reclaim { .. } => "reclaim",
+            Self::GcErase { .. } => "gc_erase",
+            Self::GcRelocation { .. } => "gc_relocation",
+            Self::EpochJump { .. } => "epoch_jump",
+            Self::CheckpointRestore { .. } => "checkpoint_restore",
+            Self::FlowMapEscape { .. } => "flowmap_escape",
+            Self::CycleMapFallback { .. } => "cyclemap_fallback",
+            Self::DecodeFailure { .. } => "decode_failure",
+            Self::ReadRetryStep { .. } => "read_retry_step",
+        }
+    }
+}
+
+/// One journal entry: an event stamped with the replay op index current
+/// at record time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Op clock value when the event fired.
+    pub op: u64,
+    /// The structured event.
+    pub kind: EventKind,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn num(v: u64) -> serde::Value {
+    serde::Value::Number(v as f64)
+}
+
+impl serde::Serialize for JournalEvent {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("op".to_string(), num(self.op)),
+            (
+                "kind".to_string(),
+                serde::Value::String(self.kind.tag().to_string()),
+            ),
+        ];
+        match self.kind {
+            EventKind::Reclaim { block } => fields.push(("block".to_string(), num(block))),
+            EventKind::GcErase { block, survivors } => {
+                fields.push(("block".to_string(), num(block)));
+                fields.push(("survivors".to_string(), num(survivors)));
+            }
+            EventKind::GcRelocation { lpn, block, page } => {
+                fields.push(("lpn".to_string(), num(lpn)));
+                fields.push(("block".to_string(), num(block)));
+                fields.push(("page".to_string(), num(page)));
+            }
+            EventKind::EpochJump { cycles } => fields.push(("cycles".to_string(), num(cycles))),
+            EventKind::CheckpointRestore { digest } => {
+                // Full-width hex: u64 digests exceed f64's 2^53 integer
+                // range, so a JSON number would corrupt them.
+                fields.push((
+                    "digest".to_string(),
+                    serde::Value::String(format!("{digest:#018x}")),
+                ));
+            }
+            EventKind::FlowMapEscape { queries } => {
+                fields.push(("queries".to_string(), num(queries)));
+            }
+            EventKind::CycleMapFallback { probes } => {
+                fields.push(("probes".to_string(), num(probes)));
+            }
+            EventKind::DecodeFailure { pages } => fields.push(("pages".to_string(), num(pages))),
+            EventKind::ReadRetryStep { depth } => fields.push(("depth".to_string(), num(depth))),
+        }
+        serde::Value::Object(fields)
+    }
+}
+impl serde::Deserialize for JournalEvent {}
+
+impl JournalEvent {
+    /// Parses an event back from its [`serde::Serialize::to_value`]
+    /// form. Returns `None` on an unknown tag or missing field.
+    #[must_use]
+    pub fn from_value(value: &serde::Value) -> Option<Self> {
+        let op = value.get("op")?.as_u64()?;
+        let field = |name: &str| value.get(name).and_then(serde::Value::as_u64);
+        let kind = match value.get("kind")?.as_str()? {
+            "reclaim" => EventKind::Reclaim {
+                block: field("block")?,
+            },
+            "gc_erase" => EventKind::GcErase {
+                block: field("block")?,
+                survivors: field("survivors")?,
+            },
+            "gc_relocation" => EventKind::GcRelocation {
+                lpn: field("lpn")?,
+                block: field("block")?,
+                page: field("page")?,
+            },
+            "epoch_jump" => EventKind::EpochJump {
+                cycles: field("cycles")?,
+            },
+            "checkpoint_restore" => {
+                let hex = value.get("digest")?.as_str()?;
+                let digest = u64::from_str_radix(hex.strip_prefix("0x")?, 16).ok()?;
+                EventKind::CheckpointRestore { digest }
+            }
+            "flowmap_escape" => EventKind::FlowMapEscape {
+                queries: field("queries")?,
+            },
+            "cyclemap_fallback" => EventKind::CycleMapFallback {
+                probes: field("probes")?,
+            },
+            "decode_failure" => EventKind::DecodeFailure {
+                pages: field("pages")?,
+            },
+            "read_retry_step" => EventKind::ReadRetryStep {
+                depth: field("depth")?,
+            },
+            _ => return None,
+        };
+        Some(Self { op, kind })
+    }
+}
+
+struct Journal {
+    events: VecDeque<JournalEvent>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+static JOURNAL: Mutex<Journal> = Mutex::new(Journal {
+    events: VecDeque::new(),
+    capacity: DEFAULT_CAPACITY,
+    recorded: 0,
+    dropped: 0,
+});
+
+/// Records an event (stamped with the current op clock) if telemetry is
+/// enabled; evicts the oldest entry when the ring is full.
+pub fn record(kind: EventKind) {
+    if !crate::enabled() {
+        return;
+    }
+    let event = JournalEvent {
+        op: crate::op_index(),
+        kind,
+    };
+    let mut journal = JOURNAL.lock();
+    journal.recorded += 1;
+    if journal.events.len() >= journal.capacity {
+        journal.events.pop_front();
+        journal.dropped += 1;
+    }
+    journal.events.push_back(event);
+}
+
+/// Resizes the ring, evicting oldest entries if shrinking below the
+/// current length. Capacity 0 is clamped to 1.
+pub fn set_capacity(capacity: usize) {
+    let capacity = capacity.max(1);
+    let mut journal = JOURNAL.lock();
+    while journal.events.len() > capacity {
+        journal.events.pop_front();
+        journal.dropped += 1;
+    }
+    journal.capacity = capacity;
+}
+
+/// Clears the ring and zeroes the `recorded`/`dropped` totals; the
+/// capacity is kept.
+pub fn clear() {
+    let mut journal = JOURNAL.lock();
+    journal.events.clear();
+    journal.recorded = 0;
+    journal.dropped = 0;
+}
+
+/// The retained events, oldest first.
+#[must_use]
+pub fn events() -> Vec<JournalEvent> {
+    JOURNAL.lock().events.iter().copied().collect()
+}
+
+/// Frozen view of the journal ring in a [`crate::TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSnapshot {
+    /// Events recorded since the last [`clear`], evicted ones included.
+    pub recorded: u64,
+    /// Events evicted by capacity pressure.
+    pub dropped: u64,
+    /// Ring capacity at snapshot time.
+    pub capacity: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<JournalEvent>,
+}
+
+impl serde::Serialize for JournalSnapshot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("recorded".to_string(), num(self.recorded)),
+            ("dropped".to_string(), num(self.dropped)),
+            ("capacity".to_string(), num(self.capacity)),
+            (
+                "events".to_string(),
+                serde::Value::Array(self.events.iter().map(serde::Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+impl serde::Deserialize for JournalSnapshot {}
+
+impl JournalSnapshot {
+    /// Parses a snapshot back from its serialized form.
+    #[must_use]
+    pub fn from_value(value: &serde::Value) -> Option<Self> {
+        Some(Self {
+            recorded: value.get("recorded")?.as_u64()?,
+            dropped: value.get("dropped")?.as_u64()?,
+            capacity: value.get("capacity")?.as_u64()?,
+            events: value
+                .get("events")?
+                .as_array()?
+                .iter()
+                .map(JournalEvent::from_value)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// Captures the current ring state.
+#[must_use]
+pub fn snapshot() -> JournalSnapshot {
+    let journal = JOURNAL.lock();
+    JournalSnapshot {
+        recorded: journal.recorded,
+        dropped: journal.dropped,
+        capacity: journal.capacity as u64,
+        events: journal.events.iter().copied().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize as _;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        crate::set_enabled(true);
+        clear();
+        set_capacity(4);
+        for i in 0..10 {
+            crate::set_op_index(i);
+            record(EventKind::Reclaim { block: i });
+        }
+        let snap = snapshot();
+        assert_eq!(snap.recorded, 10);
+        assert_eq!(snap.dropped, 6);
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.events[0].op, 6, "oldest retained event");
+        assert_eq!(snap.events[3].op, 9, "newest event kept");
+        crate::set_enabled(false);
+        set_capacity(DEFAULT_CAPACITY);
+        clear();
+        crate::set_op_index(0);
+    }
+
+    #[test]
+    fn digest_survives_json_round_trip() {
+        let event = JournalEvent {
+            op: 3,
+            kind: EventKind::CheckpointRestore {
+                digest: 0xc36e_c1a2_b87d_0fee,
+            },
+        };
+        let parsed = JournalEvent::from_value(&event.to_value()).unwrap();
+        assert_eq!(parsed, event);
+    }
+}
