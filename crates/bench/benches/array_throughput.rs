@@ -126,6 +126,7 @@ fn measure_batch_speedup() {
 
     let json = format!(
         "{{\n  \"bench\": \"array_throughput\",\n  \"config\": \"{shape}\",\n  \
+         \"backend\": \"gnr-floating-gate\",\n  \
          \"cores\": {cores},\n  \"threads\": {threads},\n  \
          \"speedup_meaningful\": {speedup_meaningful},\n  \
          \"sequential_program_ms\": {:.3},\n  \

@@ -244,7 +244,7 @@ fn measure_endurance_campaign() {
 
     let json = format!(
         "{{\n  \"bench\": \"endurance_campaign\",\n  \"config\": \"{}x{}x{}\",\n  \
-         \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"cells\": {},\n  \
+         \"smoke\": {},\n  \"backend\": \"gnr-floating-gate\",\n  \"cores\": {},\n  \"threads\": {},\n  \"cells\": {},\n  \
          \"rounds\": {},\n  \"cycles_per_round\": {},\n  \"total_cycles\": {},\n  \
          \"epoch_seconds\": {:.3},\n  \"epoch_cell_cycles_per_second\": {:.3e},\n  \
          \"epoch_map_probes\": {},\n  \"epoch_fallback_probes\": {},\n  \

@@ -359,7 +359,7 @@ fn measure_engine_flowmap() {
 
     let json = format!(
         "{{\n  \"bench\": \"engine_flowmap\",\n  \"config\": \"{}x{}x{}\",\n  \
-         \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \
+         \"smoke\": {},\n  \"backend\": \"gnr-floating-gate\",\n  \"cores\": {},\n  \"threads\": {},\n  \
          \"parity_queries\": {},\n  \"parity_max_rel_err\": {:.3e},\n  \
          \"parity_digest\": \"{:#018x}\",\n  \
          \"churn_writes\": {},\n  \"churn_gc_relocations\": {},\n  \

@@ -247,7 +247,7 @@ fn measure_pe_scheduler() {
 
     let json = format!(
         "{{\n  \"bench\": \"pe_scheduler\",\n  \"config\": \"{}x{}x{}\",\n  \
-         \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"ops\": {},\n  \
+         \"smoke\": {},\n  \"backend\": \"gnr-floating-gate\",\n  \"cores\": {},\n  \"threads\": {},\n  \"ops\": {},\n  \
          \"planes\": {},\n  \
          \"sequential_seconds\": {:.4},\n  \"sequential_ops_per_second\": {:.1},\n  \
          \"multi_plane_seconds\": {:.4},\n  \"multi_plane_ops_per_second\": {:.1},\n  \

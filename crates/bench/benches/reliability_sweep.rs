@@ -45,6 +45,7 @@ struct SweepReport {
     bench: String,
     config: String,
     smoke: bool,
+    backend: String,
     cores: usize,
     threads: usize,
     cells: usize,
@@ -242,6 +243,9 @@ fn measure_reliability_sweep() {
             config.blocks, config.pages_per_block, config.page_width
         ),
         smoke,
+        backend: gnr_flash::backend::BackendKind::GnrFloatingGate
+            .name()
+            .into(),
         cores: rayon::current_num_threads(),
         threads: bench_threads(),
         cells: config.cells(),

@@ -12,18 +12,23 @@
 //!
 //! * `GNR_BENCH_SHAPE=BxPxW` overrides the array shape;
 //! * `GNR_BENCH_SMOKE=1` shrinks to a 4×4×16 smoke run (CI bit-rot
-//!   guard, ~a second).
+//!   guard, ~a second);
+//! * `GNR_BENCH_BACKEND=gnr|cnt|pcm` selects the device backend the
+//!   replay runs on (GNR floating gate by default).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gnr_bench::{
-    bench_config, bench_threads, cache_stats_json, telemetry_phase, telemetry_snapshot_json,
+    bench_backend, bench_config, bench_threads, cache_stats_json, telemetry_phase,
+    telemetry_snapshot_json,
 };
+use gnr_flash::backend::CellBackend;
 use gnr_flash_array::controller::FlashController;
 use gnr_flash_array::nand::NandConfig;
 use gnr_flash_array::workload::{replay, ReplayOptions, WorkloadTrace};
 
 fn full_cycle_report(
     config: NandConfig,
+    backend: &CellBackend,
     smoke: bool,
 ) -> (
     gnr_flash_array::workload::WorkloadReport,
@@ -35,7 +40,7 @@ fn full_cycle_report(
         margin_scan,
     };
 
-    let mut controller = FlashController::new(config);
+    let mut controller = FlashController::with_backend(config, backend);
     let cycle = replay(
         &mut controller,
         &WorkloadTrace::full_array_cycle(config),
@@ -76,10 +81,12 @@ fn measure_workload_replay() {
         },
     );
 
+    let backend = bench_backend();
+
     // Stats cover the measured replay only, not warmup from earlier
     // phases sharing this process.
     gnr_flash::engine::cache::reset();
-    let (cycle, churn) = full_cycle_report(config, smoke);
+    let (cycle, churn) = full_cycle_report(config, &backend, smoke);
     let churn_wear = &churn.snapshots.last().expect("snapshot").wear;
 
     // Write amplification of the churn phase: physical page programs
@@ -93,9 +100,10 @@ fn measure_workload_replay() {
     };
 
     println!(
-        "workload_replay {}x{}x{} ({} cells, {} B/cell state): \
+        "workload_replay [{}] {}x{}x{} ({} cells, {} B/cell state): \
          full cycle {} writes + {} erases in {:.2} s ({:.0} cells/s); \
          churn {} writes, {} GC relocations (WA {:.3}), wear spread {}",
+        backend.kind().name(),
         config.blocks,
         config.pages_per_block,
         config.page_width,
@@ -120,7 +128,7 @@ fn measure_workload_replay() {
             pages_per_block: 4,
             page_width: 16,
         };
-        let mut controller = FlashController::new(config);
+        let mut controller = FlashController::with_backend(config, &backend);
         let capacity = controller.logical_capacity();
         replay(
             &mut controller,
@@ -132,7 +140,8 @@ fn measure_workload_replay() {
 
     let json = format!(
         "{{\n  \"bench\": \"workload_replay\",\n  \"config\": \"{}x{}x{}\",\n  \
-         \"smoke\": {},\n  \"cores\": {},\n  \"threads\": {},\n  \"cells\": {},\n  \
+         \"smoke\": {},\n  \"backend\": \"{}\",\n  \"cores\": {},\n  \"threads\": {},\n  \
+         \"cells\": {},\n  \
          \"bytes_per_cell\": {},\n  \"full_cycle_writes\": {},\n  \
          \"full_cycle_erases\": {},\n  \"full_cycle_seconds\": {:.3},\n  \
          \"cells_per_second\": {:.1},\n  \"churn_writes\": {},\n  \
@@ -144,6 +153,7 @@ fn measure_workload_replay() {
         config.pages_per_block,
         config.page_width,
         smoke,
+        backend.kind().name(),
         rayon::current_num_threads(),
         bench_threads(),
         cycle.cells,

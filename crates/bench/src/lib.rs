@@ -26,6 +26,6 @@ pub use report::{
     telemetry_json, telemetry_phase, telemetry_snapshot_json, write_amplification,
     write_results_file,
 };
-pub use shape::{bench_config, bench_shape, bench_threads, parse_shape, smoke_mode};
+pub use shape::{bench_backend, bench_config, bench_shape, bench_threads, parse_shape, smoke_mode};
 pub use traces::{scheduler_trace, SCHEDULER_FULL_SHAPE, SCHEDULER_SMOKE_SHAPE};
 pub use workload_experiment::extra_experiments;

@@ -1,9 +1,10 @@
 //! Bench-shape selection: honest defaults plus the `GNR_BENCH_SHAPE`,
-//! `GNR_BENCH_SMOKE` and `GNR_BENCH_THREADS` environment overrides
-//! shared by the array-level benches.
+//! `GNR_BENCH_SMOKE`, `GNR_BENCH_THREADS` and `GNR_BENCH_BACKEND`
+//! environment overrides shared by the array-level benches.
 
 use std::sync::OnceLock;
 
+use gnr_flash::backend::{BackendKind, CellBackend};
 use gnr_flash_array::nand::NandConfig;
 
 /// The rayon worker count in effect for this bench process, resolved
@@ -86,6 +87,32 @@ pub fn bench_shape(default: NandConfig) -> NandConfig {
     match std::env::var("GNR_BENCH_SHAPE") {
         Ok(spec) => parse_shape(&spec).expect("GNR_BENCH_SHAPE"),
         Err(_) => default,
+    }
+}
+
+/// The device backend a bench should run: `GNR_BENCH_BACKEND` when set
+/// (the stable names `gnr-floating-gate`/`cnt-floating-gate`/
+/// `pcm-resistive` or the short aliases `gnr`/`cnt`/`pcm`), otherwise
+/// the paper's GNR floating gate. Every backend-aware bench records the
+/// resolved name as the `backend` field of its JSON, next to
+/// `cores`/`threads`, so backend-matrix runs are attributable from the
+/// committed record alone.
+///
+/// # Panics
+///
+/// Panics when `GNR_BENCH_BACKEND` is set but names no known backend,
+/// so CI misconfigurations fail loudly instead of silently benching the
+/// default cell physics.
+#[must_use]
+pub fn bench_backend() -> CellBackend {
+    match std::env::var("GNR_BENCH_BACKEND") {
+        Ok(spec) => {
+            let kind = BackendKind::from_name(spec.trim()).unwrap_or_else(|| {
+                panic!("GNR_BENCH_BACKEND must name a known backend, got `{spec}`")
+            });
+            CellBackend::preset(kind)
+        }
+        Err(_) => CellBackend::preset(BackendKind::GnrFloatingGate),
     }
 }
 

@@ -10,6 +10,7 @@
 
 use rayon::prelude::*;
 
+use crate::backend::BackendKind;
 use crate::device::FloatingGateTransistor;
 use crate::transient::{ProgramPulseSpec, TransientResult};
 use crate::Result;
@@ -93,7 +94,19 @@ impl BatchSimulator {
     /// so the batch configuration reaches every transient.
     #[must_use]
     pub fn engine_for(&self, device: &FloatingGateTransistor) -> ChargeBalanceEngine {
-        let mut engine = ChargeBalanceEngine::new(device).with_mode(self.mode);
+        self.engine_for_kind(BackendKind::GnrFloatingGate, device)
+    }
+
+    /// [`Self::engine_for`] under an explicit floating-gate backend —
+    /// the array layer routes its per-variant engine construction here
+    /// so a CNT population never shares a cache entry with a GNR one.
+    #[must_use]
+    pub fn engine_for_kind(
+        &self,
+        kind: BackendKind,
+        device: &FloatingGateTransistor,
+    ) -> ChargeBalanceEngine {
+        let mut engine = ChargeBalanceEngine::new_for(kind, device).with_mode(self.mode);
         if let Some(fraction) = self.saturation_fraction {
             engine = engine.with_saturation_fraction(fraction);
         }

@@ -2,8 +2,9 @@
 //!
 //! Two devices with the same emitting barrier and oxide mass share the
 //! same FN law regardless of geometry or GCR, so their tables are
-//! interchangeable. The cache keys on the `(A, B)` coefficient bits of
-//! the [`FnModel`] and hands out `Arc`s: a NAND array of thousands of
+//! interchangeable *within one backend*. The cache keys on the backend
+//! discriminant plus the `(A, B)` coefficient bits of the [`FnModel`]
+//! and hands out `Arc`s: a NAND array of thousands of
 //! nominally identical cells builds each of its four tunneling-path
 //! tables exactly once, and every simulator thread reads them without
 //! further synchronisation.
@@ -17,6 +18,7 @@ use parking_lot::RwLock;
 use gnr_tunneling::fn_model::FnModel;
 
 use super::table::TabulatedJ;
+use crate::backend::BackendKind;
 
 /// Hit/miss/entry counters of one memoization tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -104,9 +106,14 @@ pub fn stats() -> EngineCacheStats {
 static TABLE_HITS: AtomicU64 = AtomicU64::new(0);
 static TABLE_MISSES: AtomicU64 = AtomicU64::new(0);
 
-/// Cache key: the exact bit patterns of the FN `(A, B)` coefficients.
+/// Cache key: the exact bit patterns of the FN `(A, B)` coefficients
+/// plus the backend discriminant — two backends can share coefficient
+/// bits (a CNT device reusing the paper's floating gate, say) yet must
+/// never alias a cache entry, or a backend-level change of table policy
+/// would silently leak across technologies.
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
 struct FnKey {
+    backend: u64,
     a_bits: u64,
     b_bits: u64,
 }
@@ -139,18 +146,27 @@ fn shards() -> &'static [Shard] {
 }
 
 fn shard_of(key: &FnKey) -> usize {
-    let mixed = key.a_bits ^ key.b_bits.rotate_left(23);
+    let mixed = key.a_bits ^ key.b_bits.rotate_left(23) ^ key.backend.rotate_left(41);
     (mixed as usize) % SHARD_COUNT
 }
 
-/// Returns the shared table for `model`, building it on first use. The
-/// per-key `OnceLock` keeps concurrent first lookups from building the
-/// table twice while never holding any shard lock across the build.
+/// Returns the shared table for `model` under the default
+/// ([`BackendKind::GnrFloatingGate`]) backend — see [`tabulated_for`].
 #[must_use]
 pub fn tabulated(model: &FnModel) -> Arc<TabulatedJ> {
+    tabulated_for(BackendKind::GnrFloatingGate, model)
+}
+
+/// Returns the shared table for `model` under `backend`, building it on
+/// first use. The per-key `OnceLock` keeps concurrent first lookups
+/// from building the table twice while never holding any shard lock
+/// across the build.
+#[must_use]
+pub fn tabulated_for(backend: BackendKind, model: &FnModel) -> Arc<TabulatedJ> {
     install_telemetry_collector();
     let coeffs = model.coefficients();
     let key = FnKey {
+        backend: backend.discriminant(),
         a_bits: coeffs.a.to_bits(),
         b_bits: coeffs.b.to_bits(),
     };
@@ -232,6 +248,19 @@ mod tests {
             Arc::ptr_eq(&t1, &t2),
             "same coefficients must share a table"
         );
+    }
+
+    #[test]
+    fn same_model_under_distinct_backends_never_aliases() {
+        let m = FnModel::new(Energy::from_ev(3.44), Mass::from_electron_masses(0.42));
+        let gnr = tabulated_for(BackendKind::GnrFloatingGate, &m);
+        let cnt = tabulated_for(BackendKind::CntFloatingGate, &m);
+        assert!(
+            !Arc::ptr_eq(&gnr, &cnt),
+            "backend discriminant must separate identical coefficient bits"
+        );
+        // The default-path helper is the GNR entry.
+        assert!(Arc::ptr_eq(&gnr, &tabulated(&m)));
     }
 
     #[test]

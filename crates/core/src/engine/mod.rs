@@ -60,6 +60,7 @@ use gnr_numerics::ode::{CrossingDirection, Dopri45, Event, OdeOptions};
 use gnr_tunneling::TunnelingModel;
 use gnr_units::{Charge, CurrentDensity, Voltage};
 
+use crate::backend::BackendKind;
 use crate::device::{FloatingGateTransistor, TunnelingState};
 use crate::transient::{ProgramPulseSpec, TransientResult, TransientSample};
 use crate::{DeviceError, Result};
@@ -119,14 +120,23 @@ pub struct TunnelPaths {
 }
 
 impl TunnelPaths {
-    /// Cache-backed tables for the device's four FN paths (the default).
+    /// Cache-backed tables for the device's four FN paths under the
+    /// default [`BackendKind::GnrFloatingGate`] backend.
     #[must_use]
     pub fn cached(device: &FloatingGateTransistor) -> Self {
+        Self::cached_for(BackendKind::GnrFloatingGate, device)
+    }
+
+    /// Cache-backed tables for the device's four FN paths, keyed under
+    /// `backend` so two backends sharing coefficient bits never alias a
+    /// table entry.
+    #[must_use]
+    pub fn cached_for(backend: BackendKind, device: &FloatingGateTransistor) -> Self {
         Self {
-            channel_emit: cache::tabulated(device.channel_emission_model()),
-            fg_emit_tunnel: cache::tabulated(device.fg_emission_model()),
-            fg_emit_control: cache::tabulated(device.fg_control_emission_model()),
-            gate_emit: cache::tabulated(device.gate_emission_model()),
+            channel_emit: cache::tabulated_for(backend, device.channel_emission_model()),
+            fg_emit_tunnel: cache::tabulated_for(backend, device.fg_emission_model()),
+            fg_emit_control: cache::tabulated_for(backend, device.fg_control_emission_model()),
+            gate_emit: cache::tabulated_for(backend, device.gate_emission_model()),
         }
     }
 
@@ -175,21 +185,38 @@ pub struct ChargeBalanceEngine {
     /// accuracy, which the flow map (built at its own fixed tolerance)
     /// cannot honour — such engines answer pulse queries exactly.
     custom_ode_options: bool,
-    /// [`FloatingGateTransistor::dynamics_key`] of the owned device,
-    /// computed once at construction so the per-pulse flow-map lookup
-    /// does not re-hash the (immutable) device parameters.
+    /// The device backend this engine's dynamics belong to — folded
+    /// into [`Self::device_key`] so every memoization tier (J-tables,
+    /// flow maps, cycle maps) is backend-disjoint.
+    backend: BackendKind,
+    /// [`BackendKind::fold_key`] over the owned device's
+    /// [`FloatingGateTransistor::dynamics_key`], computed once at
+    /// construction so the per-pulse flow-map lookup does not re-hash
+    /// the (immutable) device parameters.
     device_key: u64,
 }
 
 impl ChargeBalanceEngine {
     /// Builds the engine with cache-backed `J(E)` tables and default
     /// tolerances (rtol 1e-8, atol 1e-10, saturation at 1 % of the
-    /// initial net current).
+    /// initial net current) under the default
+    /// [`BackendKind::GnrFloatingGate`] backend.
     #[must_use]
     pub fn new(device: &FloatingGateTransistor) -> Self {
-        let paths = TunnelPaths::cached(device);
+        Self::new_for(BackendKind::GnrFloatingGate, device)
+    }
+
+    /// [`Self::new`] under an explicit floating-gate backend: the four
+    /// `J(E)` tables and the engine's [`Self::device_key`] are keyed on
+    /// `(backend, dynamics)` so CNT and GNR devices sharing parameter
+    /// bits never alias a cache entry at any memoization tier.
+    #[must_use]
+    pub fn new_for(backend: BackendKind, device: &FloatingGateTransistor) -> Self {
+        let paths = TunnelPaths::cached_for(backend, device);
         let mut engine = Self::with_paths(device, paths);
         engine.standard_paths = true;
+        engine.backend = backend;
+        engine.device_key = backend.fold_key(device.dynamics_key());
         engine
     }
 
@@ -207,7 +234,8 @@ impl ChargeBalanceEngine {
             mode: EngineMode::default(),
             standard_paths: false,
             custom_ode_options: false,
-            device_key: device.dynamics_key(),
+            backend: BackendKind::GnrFloatingGate,
+            device_key: BackendKind::GnrFloatingGate.fold_key(device.dynamics_key()),
         }
     }
 
@@ -226,8 +254,16 @@ impl ChargeBalanceEngine {
         self.mode
     }
 
-    /// The owned device's [`FloatingGateTransistor::dynamics_key`],
-    /// memoized at construction (the flow-map cache key component).
+    /// The backend this engine's dynamics belong to.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The backend-qualified dynamics key
+    /// ([`BackendKind::fold_key`] over the owned device's
+    /// [`FloatingGateTransistor::dynamics_key`]), memoized at
+    /// construction (the flow-map cache key component).
     #[must_use]
     pub fn device_key(&self) -> u64 {
         self.device_key
@@ -620,6 +656,22 @@ mod tests {
             let b = engine.tunneling_state(vgs, Voltage::ZERO, q);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn backend_engines_separate_keys_but_gnr_stays_the_default() {
+        let device = FloatingGateTransistor::mlgnr_cnt_paper();
+        let gnr = ChargeBalanceEngine::new(&device);
+        let gnr2 = ChargeBalanceEngine::new_for(BackendKind::GnrFloatingGate, &device);
+        let cnt = ChargeBalanceEngine::new_for(BackendKind::CntFloatingGate, &device);
+        assert_eq!(gnr.backend(), BackendKind::GnrFloatingGate);
+        assert_eq!(gnr.device_key(), gnr2.device_key());
+        assert_ne!(
+            gnr.device_key(),
+            cnt.device_key(),
+            "same device bits under two backends must not share flow/cycle keys"
+        );
+        assert_eq!(cnt.backend(), BackendKind::CntFloatingGate);
     }
 
     #[test]

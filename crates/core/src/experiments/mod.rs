@@ -11,12 +11,14 @@
 //! | [`fig9`] | Fig. 9 — erase `JFN` vs `VGS` for five `XTO` |
 //! | [`fn_plot_fig`] | extension — §IV's FN-plot parameter extraction |
 //! | [`temperature_fig`] | extension — Lenzlinger–Snow 250–400 K study |
+//! | [`backend_transients`] | extension — GNR-FG vs CNT-FG transient comparison |
 //!
 //! Each generator returns serialisable series and a `check` function that
 //! asserts the *shape* the paper reports (orderings, monotonicity,
 //! crossovers) — absolute magnitudes depend on material constants the
 //! paper does not tabulate (see EXPERIMENTS.md).
 
+pub mod backend_transients;
 pub mod band_diagram;
 pub mod erase_transient;
 pub mod fig4;

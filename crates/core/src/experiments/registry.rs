@@ -26,8 +26,8 @@ use gnr_units::Charge;
 use crate::device::FloatingGateTransistor;
 use crate::engine::BatchSimulator;
 use crate::experiments::{
-    band_diagram, erase_transient, fig4, fig5, fig6, fig7, fig8, fig9, fn_plot_fig,
-    saturation_sweep, temperature_fig, FigureData,
+    backend_transients, band_diagram, erase_transient, fig4, fig5, fig6, fig7, fig8, fig9,
+    fn_plot_fig, saturation_sweep, temperature_fig, FigureData,
 };
 use crate::{presets, Result};
 
@@ -139,6 +139,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(TemperatureExperiment),
         Box::new(EraseTransientExperiment),
         Box::new(SaturationSweepExperiment),
+        Box::new(BackendTransientsExperiment),
     ]
 }
 
@@ -417,6 +418,34 @@ impl Experiment for SaturationSweepExperiment {
     }
 }
 
+struct BackendTransientsExperiment;
+
+impl Experiment for BackendTransientsExperiment {
+    fn id(&self) -> &'static str {
+        "backend-transients"
+    }
+    fn title(&self) -> &'static str {
+        "GNR-FG vs CNT-FG programming transient (device backends)"
+    }
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport> {
+        let data = backend_transients::generate(&ctx.device)?;
+        Ok(ExperimentReport {
+            summary: backend_transients::summary(&data),
+            artifacts: vec![
+                Artifact {
+                    name: "backend_transients.csv".into(),
+                    contents: backend_transients::to_csv(&data),
+                },
+                Artifact {
+                    name: "backend_transients.json".into(),
+                    contents: serde_json::to_string_pretty(&data).expect("serializable"),
+                },
+            ],
+            check: backend_transients::check(&data),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +465,7 @@ mod tests {
             "temperature",
             "erase-transient",
             "saturation-sweep",
+            "backend-transients",
         ] {
             assert_eq!(
                 ids.iter().filter(|id| **id == expected).count(),
@@ -443,7 +473,7 @@ mod tests {
                 "{expected} must appear exactly once"
             );
         }
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
     }
 
     #[test]

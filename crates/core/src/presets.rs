@@ -3,7 +3,10 @@
 //! Values stated in the paper are cited to their section; values the paper
 //! leaves implicit are documented assumptions (see DESIGN.md §5).
 
-use gnr_units::Voltage;
+use gnr_materials::cnt::{Chirality, Cnt};
+use gnr_units::{Energy, Voltage};
+
+use crate::device::FloatingGateTransistor;
 
 /// Programming control-gate voltage, §II/§III: "a programming voltage
 /// around 15V in our proposed design".
@@ -54,6 +57,33 @@ pub fn erase_vgs() -> Voltage {
     Voltage::from_volts(ERASE_VGS_VOLTS)
 }
 
+/// The CNT-channel floating-gate sibling device (JETC 2015 companion
+/// work): the paper's geometry, oxides and CNT floating gate with the
+/// MLGNR channel replaced by a semiconducting (17,0) carbon nanotube.
+///
+/// The channel's effective emission energy is the tube's mid-gap work
+/// function shifted to the conduction-band edge, `Φ − E_g/2` — FN
+/// emission is from the band edge, not mid-gap — which lands the
+/// channel/SiO₂ barrier near 3.49 eV versus the MLGNR channel's
+/// 3.6 eV, so the CNT device programs measurably faster through the
+/// same FN machinery.
+///
+/// # Panics
+///
+/// Never in practice: the (17,0) tube's derived barrier is validated by
+/// the builder, and the parameters are compile-time constants.
+#[must_use]
+pub fn cnt_floating_gate() -> FloatingGateTransistor {
+    let chirality = Chirality::new(17, 0).expect("(17,0) is a valid chirality");
+    let channel = Cnt::new(chirality);
+    let emission_ev = channel.work_function().as_ev() - 0.5 * channel.band_gap().as_ev();
+    FloatingGateTransistor::builder()
+        .name("CNT-CNT FGT (17,0) channel")
+        .channel_work_function(Energy::from_ev(emission_ev))
+        .build()
+        .expect("CNT preset parameters are valid")
+}
+
 /// Evenly spaced sweep grid over `[lo, hi]` with [`SWEEP_POINTS`] points.
 #[must_use]
 pub fn vgs_grid(range: (f64, f64)) -> Vec<f64> {
@@ -79,6 +109,21 @@ mod tests {
     fn sweeps_include_paper_nominals() {
         assert!(GCR_SWEEP.contains(&PAPER_GCR));
         assert!(XTO_SWEEP_NM.contains(&5.0));
+    }
+
+    #[test]
+    fn cnt_preset_differs_from_the_paper_device_where_it_should() {
+        let gnr = FloatingGateTransistor::mlgnr_cnt_paper();
+        let cnt = cnt_floating_gate();
+        // Same stack, different channel: geometry and capacitances are
+        // shared, the channel emission barrier is not.
+        assert_eq!(gnr.geometry(), cnt.geometry());
+        assert_eq!(gnr.capacitances(), cnt.capacitances());
+        assert!(
+            cnt.channel_work_function().as_ev() < gnr.channel_work_function().as_ev(),
+            "the (17,0) conduction-band edge sits below the MLGNR work function"
+        );
+        assert_ne!(gnr.dynamics_key(), cnt.dynamics_key());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! A stateful flash cell: the device model plus its stored charge.
 
+use gnr_flash::backend::{BackendKind, CellBackend, PcmDevice};
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::ChargeBalanceEngine;
 use gnr_flash::pulse::SquarePulse;
@@ -26,7 +27,12 @@ pub struct CellStats {
     pub injected_charge: f64,
 }
 
-/// One flash cell: device + stored charge + read model.
+/// One flash cell: device + stored 1-D state + read model.
+///
+/// The `charge` column is the backend's state variable: floating-gate
+/// coulombs for the FN backends, the (dimensionless) amorphous fraction
+/// for [`BackendKind::PcmResistive`] — exactly the contract of
+/// [`gnr_flash::backend::DeviceBackend`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FlashCell {
     device: FloatingGateTransistor,
@@ -35,6 +41,8 @@ pub struct FlashCell {
     read_voltage: Voltage,
     decision_level: Voltage,
     stats: CellStats,
+    kind: BackendKind,
+    pcm: Option<PcmDevice>,
 }
 
 impl FlashCell {
@@ -48,6 +56,8 @@ impl FlashCell {
             read_voltage: Voltage::from_volts(2.0),
             decision_level: Voltage::from_volts(1.0),
             stats: CellStats::default(),
+            kind: BackendKind::GnrFloatingGate,
+            pcm: None,
         }
     }
 
@@ -55,6 +65,22 @@ impl FlashCell {
     #[must_use]
     pub fn paper_cell() -> Self {
         Self::new(FloatingGateTransistor::mlgnr_cnt_paper())
+    }
+
+    /// Creates a cell over an arbitrary device backend. For floating
+    /// gates this is [`Self::new`] plus the material tag; for PCM the
+    /// device slot holds the paper's FG device purely as a placeholder
+    /// (its capacitances are never consulted — the PCM element owns the
+    /// threshold map).
+    #[must_use]
+    pub fn with_backend(backend: &CellBackend) -> Self {
+        let mut cell = match backend.floating_gate_device() {
+            Some(device) => Self::new(device.clone()),
+            None => Self::new(FloatingGateTransistor::mlgnr_cnt_paper()),
+        };
+        cell.kind = backend.kind();
+        cell.pcm = backend.pcm_device().copied();
+        cell
     }
 
     /// Rebuilds a cell from raw state — the materialisation path of
@@ -65,6 +91,22 @@ impl FlashCell {
         let mut cell = Self::new(device);
         cell.charge = charge;
         cell.stats = stats;
+        cell
+    }
+
+    /// [`Self::restore`] with an explicit backend tag — the population's
+    /// materialisation path for non-GNR backends.
+    #[must_use]
+    pub(crate) fn restore_backend(
+        kind: BackendKind,
+        pcm: Option<PcmDevice>,
+        device: FloatingGateTransistor,
+        charge: Charge,
+        stats: CellStats,
+    ) -> Self {
+        let mut cell = Self::restore(device, charge, stats);
+        cell.kind = kind;
+        cell.pcm = pcm;
         cell
     }
 
@@ -83,10 +125,23 @@ impl FlashCell {
         Self::new(FloatingGateTransistor::silicon_conventional())
     }
 
-    /// The underlying device.
+    /// The underlying device (for PCM cells: the placeholder FG device,
+    /// see [`Self::with_backend`]).
     #[must_use]
     pub fn device(&self) -> &FloatingGateTransistor {
         &self.device
+    }
+
+    /// Which device backend this cell evolves under.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// The PCM element, when this is a PCM-backed cell.
+    #[must_use]
+    pub fn pcm_device(&self) -> Option<&PcmDevice> {
+        self.pcm.as_ref()
     }
 
     /// Current stored charge.
@@ -109,7 +164,10 @@ impl FlashCell {
     /// Threshold shift of the current state.
     #[must_use]
     pub fn vt_shift(&self) -> Voltage {
-        gnr_flash::threshold::vt_shift(&self.device, self.charge)
+        match &self.pcm {
+            Some(pcm) => Voltage::from_volts(pcm.vt_shift_volts(self.charge.as_coulombs())),
+            None => gnr_flash::threshold::vt_shift(&self.device, self.charge),
+        }
     }
 
     /// Applies one gate pulse, advancing the stored charge through the
@@ -122,8 +180,25 @@ impl FlashCell {
     /// unchanged and is *not* an error here — sub-threshold pulses are
     /// legitimate array biases (inhibit levels).
     pub fn apply_pulse(&mut self, pulse: SquarePulse) -> Result<()> {
-        let engine = ChargeBalanceEngine::new(&self.device);
+        if let Some(pcm) = self.pcm {
+            return self.apply_pulse_pcm(&pcm, pulse);
+        }
+        let engine = ChargeBalanceEngine::new_for(self.kind, &self.device);
         self.apply_pulse_with(&engine, pulse)
+    }
+
+    /// The PCM pulse path: closed-form set/reset kinetics, sub-threshold
+    /// biases are no-ops — the same contract the FN path exposes.
+    fn apply_pulse_pcm(&mut self, pcm: &PcmDevice, pulse: SquarePulse) -> Result<()> {
+        let a0 = self.charge.as_coulombs();
+        match pcm.pulse_final_fraction(pulse.amplitude.as_volts(), pulse.width.as_seconds(), a0) {
+            Some(a1) => {
+                self.stats.injected_charge += pcm.wear_increment(a0, a1);
+                self.charge = Charge::from_coulombs(a1);
+                Ok(())
+            }
+            None => Ok(()),
+        }
     }
 
     /// Like [`Self::apply_pulse`] but reusing a prepared engine — the
@@ -146,6 +221,10 @@ impl FlashCell {
         engine: &ChargeBalanceEngine,
         pulse: SquarePulse,
     ) -> Result<()> {
+        if let Some(pcm) = self.pcm {
+            // PCM has no FN engine; the prepared engine is simply unused.
+            return self.apply_pulse_pcm(&pcm, pulse);
+        }
         let spec = ProgramPulseSpec::from_pulse(pulse, self.charge);
         match engine.pulse_final_charge(&spec) {
             Ok(q_new) => {
@@ -179,7 +258,18 @@ impl FlashCell {
     ///
     /// Propagates transient failures.
     pub fn erase_default(&mut self) -> Result<()> {
-        let engine = ChargeBalanceEngine::new(&self.device);
+        if let Some(pcm) = self.pcm {
+            self.apply_pulse_pcm(
+                &pcm,
+                SquarePulse::new(
+                    gnr_flash::presets::erase_vgs(),
+                    Time::from_seconds(DEFAULT_PULSE_WIDTH_S),
+                ),
+            )?;
+            self.stats.erase_ops += 1;
+            return Ok(());
+        }
+        let engine = ChargeBalanceEngine::new_for(self.kind, &self.device);
         self.erase_default_with(&engine)
     }
 
@@ -289,6 +379,32 @@ mod tests {
         ))
         .unwrap();
         assert!(long.charge().as_coulombs() < short.charge().as_coulombs());
+    }
+
+    #[test]
+    fn pcm_cell_cycles_through_the_same_api() {
+        let backend = CellBackend::preset(BackendKind::PcmResistive);
+        let mut cell = FlashCell::with_backend(&backend);
+        assert_eq!(cell.kind(), BackendKind::PcmResistive);
+        assert_eq!(cell.read(), LogicState::Erased1);
+        // The default ±15 V / 100 µs pulses sit far above the 12 V
+        // switching threshold, so the stock cycle works unmodified.
+        cell.program_default().unwrap();
+        assert!(cell.verify_program(Voltage::from_volts(2.0)));
+        assert_eq!(cell.read(), LogicState::Programmed0);
+        let programmed_state = cell.charge();
+        // Pass-bias pulses (7 V) disturb nothing on PCM.
+        cell.apply_pulse(SquarePulse::new(
+            Voltage::from_volts(7.0),
+            Time::from_microseconds(100.0),
+        ))
+        .unwrap();
+        assert_eq!(cell.charge(), programmed_state);
+        cell.erase_default().unwrap();
+        assert!(cell.verify_erase(Voltage::from_volts(0.3)));
+        assert_eq!(cell.stats().program_ops, 1);
+        assert_eq!(cell.stats().erase_ops, 1);
+        assert!(cell.stats().injected_charge > 0.0);
     }
 
     #[test]

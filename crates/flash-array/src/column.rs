@@ -20,6 +20,7 @@
 //! use the population's cached per-variant `CFC` — the same arithmetic
 //! as [`gnr_flash::threshold::vt_shift`].
 
+use gnr_flash::backend::{BackendKind, PcmDevice};
 use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine};
 use gnr_flash::pulse::SquarePulse;
 use gnr_numerics::hash::FnvHashMap;
@@ -51,21 +52,34 @@ pub(crate) struct PulseColumns<'a> {
     variants: &'a [DeviceVariant],
     batch: &'a BatchSimulator,
     engines: Vec<Option<ChargeBalanceEngine>>,
+    kind: BackendKind,
+    pcm: Option<PcmDevice>,
 }
 
 impl<'a> PulseColumns<'a> {
-    pub(crate) fn new(variants: &'a [DeviceVariant], batch: &'a BatchSimulator) -> Self {
+    pub(crate) fn new(
+        variants: &'a [DeviceVariant],
+        batch: &'a BatchSimulator,
+        kind: BackendKind,
+        pcm: Option<PcmDevice>,
+    ) -> Self {
         Self {
             variants,
             batch,
             engines: variants.iter().map(|_| None).collect(),
+            kind,
+            pcm,
         }
     }
 
     /// Threshold shift (V) of a group — bit-identical to
-    /// [`FlashCell::vt_shift`] on the group's shared device.
+    /// [`FlashCell::vt_shift`] on the group's shared device (for PCM,
+    /// the linear fraction→window map).
     pub(crate) fn vt_shift(&self, state: &GroupState) -> f64 {
-        -(state.charge / self.variants[state.variant as usize].cfc_farads)
+        match &self.pcm {
+            Some(pcm) => pcm.vt_shift_volts(state.charge),
+            None => -(state.charge / self.variants[state.variant as usize].cfc_farads),
+        }
     }
 
     /// The engine of a variant, built on first use and reused for every
@@ -76,7 +90,7 @@ impl<'a> PulseColumns<'a> {
         if slot.is_none() {
             *slot = Some(
                 self.batch
-                    .engine_for(&self.variants[variant as usize].device),
+                    .engine_for_kind(self.kind, &self.variants[variant as usize].device),
             );
         }
         slot.as_ref().expect("slot filled above")
@@ -98,6 +112,9 @@ impl<'a> PulseColumns<'a> {
         states: &mut [GroupState],
         jobs: &[(usize, SquarePulse)],
     ) -> Vec<Result<()>> {
+        if let Some(pcm) = self.pcm {
+            return Self::apply_pcm(&pcm, states, jobs);
+        }
         let mut buckets: Vec<(u32, SquarePulse, Vec<usize>)> = Vec::new();
         let mut index: FnvHashMap<(u32, u64, u64), usize> = FnvHashMap::default();
         for (pos, &(g, pulse)) in jobs.iter().enumerate() {
@@ -133,6 +150,44 @@ impl<'a> PulseColumns<'a> {
                     Err(e) => Err(e.into()),
                 };
             }
+        }
+        out
+    }
+
+    /// The PCM arm of [`Self::apply`]: closed-form set/reset kinetics
+    /// per job — no engines, no buckets, nothing to amortise. Every
+    /// super-threshold pulse is an exact-path evaluation, so the
+    /// flow-map bookkeeping records the whole column as queries that
+    /// escaped the (inapplicable) map — the observable trace of the
+    /// exact-engine fallback the PCM backend exercises by construction.
+    fn apply_pcm(
+        pcm: &PcmDevice,
+        states: &mut [GroupState],
+        jobs: &[(usize, SquarePulse)],
+    ) -> Vec<Result<()>> {
+        let mut escaped = 0_u64;
+        let out = jobs
+            .iter()
+            .map(|&(g, pulse)| {
+                let state = &mut states[g];
+                if let Some(a1) = pcm.pulse_final_fraction(
+                    pulse.amplitude.as_volts(),
+                    pulse.width.as_seconds(),
+                    state.charge,
+                ) {
+                    escaped += 1;
+                    state.stats.injected_charge += pcm.wear_increment(state.charge, a1);
+                    state.charge = a1;
+                }
+                Ok(())
+            })
+            .collect();
+        gnr_telemetry::counter_add!("engine.flowmap.queries", jobs.len() as u64);
+        gnr_telemetry::counter_add!("engine.flowmap.escapes", escaped);
+        if escaped > 0 {
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::FlowMapEscape {
+                queries: escaped,
+            });
         }
         out
     }
@@ -173,7 +228,12 @@ mod tests {
     fn apply_matches_the_scalar_cell_path_bitwise() {
         let pop = CellPopulation::paper(1);
         let batch = BatchSimulator::sequential();
-        let mut cols = PulseColumns::new(pop.variants_for_columns(), &batch);
+        let mut cols = PulseColumns::new(
+            pop.variants_for_columns(),
+            &batch,
+            BackendKind::GnrFloatingGate,
+            None,
+        );
         let mut states = [GroupState {
             variant: 0,
             charge: 0.0,
@@ -202,6 +262,48 @@ mod tests {
         }
     }
 
+    /// The PCM arm replicates the scalar PCM cell path bitwise —
+    /// fraction, wear and the sub-threshold no-op rule — and never
+    /// touches the FN engines.
+    #[test]
+    fn pcm_columns_match_the_scalar_cell_path_bitwise() {
+        use gnr_flash::backend::CellBackend;
+        let pop = CellPopulation::paper(1);
+        let batch = BatchSimulator::sequential();
+        let backend = CellBackend::preset(BackendKind::PcmResistive);
+        let pcm = *backend.pcm_device().unwrap();
+        let mut cols = PulseColumns::new(
+            pop.variants_for_columns(),
+            &batch,
+            BackendKind::PcmResistive,
+            Some(pcm),
+        );
+        let mut states = [GroupState {
+            variant: 0,
+            charge: 0.0,
+            stats: CellStats::default(),
+        }];
+        let mut cell = FlashCell::with_backend(&backend);
+        for volts in [15.0, 7.0, 13.0, -15.0] {
+            let pulse = SquarePulse::new(Voltage::from_volts(volts), Time::from_microseconds(10.0));
+            let results = cols.apply(&mut states, &[(0, pulse)]);
+            assert!(results[0].is_ok());
+            cell.apply_pulse(pulse).unwrap();
+            assert_eq!(
+                states[0].charge.to_bits(),
+                cell.charge().as_coulombs().to_bits()
+            );
+            assert_eq!(
+                states[0].stats.injected_charge.to_bits(),
+                cell.stats().injected_charge.to_bits()
+            );
+            assert_eq!(
+                cols.vt_shift(&states[0]).to_bits(),
+                cell.vt_shift().as_volts().to_bits()
+            );
+        }
+    }
+
     /// One bucket per distinct `(variant, pulse)` — duplicate pulses in
     /// one call share a single engine column and the default-erase
     /// helper bumps the erase counter exactly once per group.
@@ -209,7 +311,12 @@ mod tests {
     fn default_erase_counts_one_op_per_group() {
         let pop = CellPopulation::paper(1);
         let batch = BatchSimulator::sequential();
-        let mut cols = PulseColumns::new(pop.variants_for_columns(), &batch);
+        let mut cols = PulseColumns::new(
+            pop.variants_for_columns(),
+            &batch,
+            BackendKind::GnrFloatingGate,
+            None,
+        );
         let mut states = [
             GroupState {
                 variant: 0,

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use gnr_flash::backend::CellBackend;
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_numerics::hash::{fnv1a_fold_bytes, fnv1a_fold_f64, FNV1A_OFFSET};
 
@@ -197,6 +198,20 @@ impl FlashController {
     #[must_use]
     pub fn new(config: NandConfig) -> Self {
         Self::over(NandArray::new(config))
+    }
+
+    /// Creates a controller over a fresh array of an arbitrary device
+    /// backend (GNR-FG, CNT-FG, PCM). The FTL above the array never
+    /// looks at the cell physics, so mapping, reclaim, GC and epoch
+    /// jumps are identical across backends — only the pulse transients
+    /// underneath differ.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::new`].
+    #[must_use]
+    pub fn with_backend(config: NandConfig, backend: &CellBackend) -> Self {
+        Self::over(NandArray::with_backend(config, backend))
     }
 
     /// Wraps an existing array (e.g. one with per-cell variation).
@@ -678,7 +693,30 @@ impl FlashController {
         blueprint: FloatingGateTransistor,
         snapshot: ControllerSnapshot,
     ) -> Result<Self> {
-        let array = NandArray::restore_state(blueprint, snapshot.array)?;
+        Self::finish_restore(snapshot, |array| NandArray::restore_state(blueprint, array))
+    }
+
+    /// Rebuilds a controller from a device backend and a snapshot — the
+    /// backend-polymorphic sibling of [`Self::restore`]. GNR restores
+    /// through this path are digest-identical to [`Self::restore`] over
+    /// the same blueprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::restore`]; additionally
+    /// [`ArrayError::UnsupportedBackend`] when a PCM backend is given a
+    /// snapshot carrying floating-gate variation deltas.
+    pub fn restore_backend(backend: &CellBackend, snapshot: ControllerSnapshot) -> Result<Self> {
+        Self::finish_restore(snapshot, |array| {
+            NandArray::restore_state_backend(backend, array)
+        })
+    }
+
+    fn finish_restore(
+        snapshot: ControllerSnapshot,
+        restore_array: impl FnOnce(ArraySnapshot) -> Result<NandArray>,
+    ) -> Result<Self> {
+        let array = restore_array(snapshot.array)?;
         let config = array.config();
         if config.blocks < 2 {
             return Err(ArrayError::Snapshot(

@@ -43,6 +43,14 @@ pub enum ArrayError {
     },
     /// A population snapshot failed to decode or validate.
     Snapshot(String),
+    /// The operation is meaningless for the population's device backend
+    /// (e.g. floating-gate process variation on a PCM population).
+    UnsupportedBackend {
+        /// The active backend's stable name.
+        backend: &'static str,
+        /// The operation that was attempted.
+        operation: &'static str,
+    },
     /// The controller ran out of writable pages: every page holds live
     /// data, so no block can be reclaimed without destroying it.
     CapacityExhausted {
@@ -79,6 +87,9 @@ impl fmt::Display for ArrayError {
                 write!(f, "page data has {got} bits, page width is {expected}")
             }
             Self::Snapshot(message) => write!(f, "population snapshot: {message}"),
+            Self::UnsupportedBackend { backend, operation } => {
+                write!(f, "backend `{backend}` does not support {operation}")
+            }
             Self::CapacityExhausted {
                 live_pages,
                 capacity,

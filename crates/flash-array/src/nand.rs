@@ -16,6 +16,7 @@
 //! Bit convention: `true` = erased = logic '1'; `false` = programmed =
 //! logic '0' (matching the paper's state naming).
 
+use gnr_flash::backend::CellBackend;
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::BatchSimulator;
 use gnr_flash::threshold::LogicState;
@@ -169,6 +170,22 @@ impl NandArray {
         Self::with_population(config, CellPopulation::paper(checked_cells(config)))
     }
 
+    /// Builds an array of fresh cells of an arbitrary device backend
+    /// (GNR-FG, CNT-FG, PCM) — the whole page/block machinery above is
+    /// backend-agnostic, so ISPP programming, block erase, disturb and
+    /// epoch jumps all work unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension of `config` is zero.
+    #[must_use]
+    pub fn with_backend(config: NandConfig, backend: &CellBackend) -> Self {
+        Self::with_population(
+            config,
+            CellPopulation::uniform_backend(backend, checked_cells(config)),
+        )
+    }
+
     /// Builds an array over an explicit population (e.g. one carrying
     /// per-cell process-variation deltas).
     ///
@@ -257,8 +274,41 @@ impl NandArray {
         blueprint: FloatingGateTransistor,
         snapshot: ArraySnapshot,
     ) -> Result<Self> {
-        let config = snapshot.config;
         let pop = CellPopulation::restore(blueprint, snapshot.population)?;
+        Self::finish_restore(
+            snapshot.config,
+            pop,
+            snapshot.page_erased,
+            snapshot.erase_count,
+        )
+    }
+
+    /// Rebuilds an array from a device backend and a snapshot — the
+    /// backend-polymorphic sibling of [`Self::restore_state`]. GNR
+    /// restores through this path are bit-identical to
+    /// [`Self::restore_state`] over the same blueprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::restore_state`]; additionally
+    /// [`ArrayError::UnsupportedBackend`] when a PCM backend is given a
+    /// snapshot carrying floating-gate variation deltas.
+    pub fn restore_state_backend(backend: &CellBackend, snapshot: ArraySnapshot) -> Result<Self> {
+        let pop = CellPopulation::restore_backend(backend, snapshot.population)?;
+        Self::finish_restore(
+            snapshot.config,
+            pop,
+            snapshot.page_erased,
+            snapshot.erase_count,
+        )
+    }
+
+    fn finish_restore(
+        config: NandConfig,
+        pop: CellPopulation,
+        page_erased: Vec<bool>,
+        erase_count: Vec<u64>,
+    ) -> Result<Self> {
         if pop.len() != config.cells() {
             return Err(ArrayError::Snapshot(format!(
                 "population has {} cells, shape wants {}",
@@ -266,23 +316,23 @@ impl NandArray {
                 config.cells()
             )));
         }
-        if snapshot.page_erased.len() != config.pages() {
+        if page_erased.len() != config.pages() {
             return Err(ArrayError::Snapshot(format!(
                 "page_erased has {} entries, shape wants {}",
-                snapshot.page_erased.len(),
+                page_erased.len(),
                 config.pages()
             )));
         }
-        if snapshot.erase_count.len() != config.blocks {
+        if erase_count.len() != config.blocks {
             return Err(ArrayError::Snapshot(format!(
                 "erase_count has {} entries, shape wants {}",
-                snapshot.erase_count.len(),
+                erase_count.len(),
                 config.blocks
             )));
         }
         let mut array = Self::with_population(config, pop);
-        array.page_erased = snapshot.page_erased;
-        array.erase_count = snapshot.erase_count;
+        array.page_erased = page_erased;
+        array.erase_count = erase_count;
         Ok(array)
     }
 

@@ -56,6 +56,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use gnr_flash::backend::{BackendKind, CellBackend, PcmDevice};
 use gnr_flash::device::{FgtBuilder, FloatingGateTransistor};
 use gnr_flash::engine::cyclemap;
 use gnr_flash::engine::{BatchSimulator, ChargeBalanceEngine, CycleMap, CycleOutcome, CycleRecipe};
@@ -226,6 +227,9 @@ pub struct CellPopulation {
     variant_of: Vec<u32>,
     // --- shared, deduplicated device builds ---
     variants: Vec<DeviceVariant>,
+    // --- device backend (shared by every cell) ---
+    backend_kind: BackendKind,
+    pcm: Option<PcmDevice>,
 }
 
 /// Bit-exact identity of a variation delta pair — variant equality and
@@ -279,6 +283,8 @@ impl CellPopulation {
             barrier_delta_ev: vec![0.0; n],
             variant_of: vec![0; n],
             variants: vec![nominal],
+            backend_kind: BackendKind::GnrFloatingGate,
+            pcm: None,
         }
     }
 
@@ -290,6 +296,41 @@ impl CellPopulation {
     #[must_use]
     pub fn paper(n: usize) -> Self {
         Self::uniform(FloatingGateTransistor::mlgnr_cnt_paper(), n)
+    }
+
+    /// A population of `n` identical cells of an arbitrary device
+    /// backend. For floating gates this is [`Self::uniform`] over the
+    /// backend's device plus the material tag; for PCM the blueprint
+    /// slot holds the paper's FG device purely as a placeholder and the
+    /// cached per-variant `CFC` is the PCM element's *effective*
+    /// capacitance, so the reliability models' charge→threshold
+    /// conversions keep working column-wise.
+    ///
+    /// Also stamps the backend's stable name into the process-wide
+    /// telemetry tag ([`gnr_telemetry::set_active_backend`]) so journal
+    /// events and snapshots attribute to the right technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    #[must_use]
+    pub fn uniform_backend(backend: &CellBackend, n: usize) -> Self {
+        let mut pop = match backend.floating_gate_device() {
+            Some(device) => Self::uniform(device.clone(), n),
+            None => Self::uniform(FloatingGateTransistor::mlgnr_cnt_paper(), n),
+        };
+        pop.adopt_backend(backend);
+        pop
+    }
+
+    /// Tags a freshly-built (single-variant) population with a backend.
+    fn adopt_backend(&mut self, backend: &CellBackend) {
+        self.backend_kind = backend.kind();
+        self.pcm = backend.pcm_device().copied();
+        if let Some(pcm) = &self.pcm {
+            self.variants[0].cfc_farads = pcm.effective_cfc_farads();
+        }
+        gnr_telemetry::set_active_backend(self.backend_kind.name());
     }
 
     /// A population with Gaussian per-cell variation of the tunnel-oxide
@@ -381,6 +422,39 @@ impl CellPopulation {
         Ok(pop)
     }
 
+    /// [`Self::restore`] under an explicit device backend (the
+    /// checkpoint-resume path of non-GNR campaigns). Floating-gate
+    /// backends restore around the backend's own device; PCM snapshots
+    /// must carry all-zero variation deltas — process variation is a
+    /// floating-gate concept here.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::UnsupportedBackend`] for a PCM snapshot with
+    /// nonzero variation deltas; otherwise as [`Self::restore`].
+    pub fn restore_backend(backend: &CellBackend, snapshot: PopulationSnapshot) -> Result<Self> {
+        if backend.pcm_device().is_some() {
+            let varied = snapshot
+                .xto_delta
+                .iter()
+                .chain(snapshot.barrier_delta_ev.iter())
+                .any(|&d| d != 0.0);
+            if varied {
+                return Err(ArrayError::UnsupportedBackend {
+                    backend: backend.kind().name(),
+                    operation: "restore with floating-gate variation deltas",
+                });
+            }
+        }
+        let blueprint = backend
+            .floating_gate_device()
+            .cloned()
+            .unwrap_or_else(FloatingGateTransistor::mlgnr_cnt_paper);
+        let mut pop = Self::restore(blueprint, snapshot)?;
+        pop.adopt_backend(backend);
+        Ok(pop)
+    }
+
     /// Captures the per-cell state columns for serialization.
     #[must_use]
     pub fn snapshot(&self) -> PopulationSnapshot {
@@ -430,12 +504,32 @@ impl CellPopulation {
         &self.blueprint
     }
 
+    /// Which device backend every cell of this population evolves under.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
+    }
+
+    /// The PCM element, when this is a PCM-backed population.
+    #[must_use]
+    pub fn pcm_device(&self) -> Option<&PcmDevice> {
+        self.pcm.as_ref()
+    }
+
     /// The (shared) device of cell `i`.
     ///
     /// # Errors
     ///
-    /// [`ArrayError::AddressOutOfRange`] for a bad index.
+    /// [`ArrayError::AddressOutOfRange`] for a bad index;
+    /// [`ArrayError::UnsupportedBackend`] on a PCM population, whose
+    /// placeholder FG device must never leak into physics.
     pub fn device(&self, i: usize) -> Result<&FloatingGateTransistor> {
+        if self.pcm.is_some() {
+            return Err(ArrayError::UnsupportedBackend {
+                backend: self.backend_kind.name(),
+                operation: "floating-gate device access",
+            });
+        }
         Ok(&self.variants[self.variant(i)?].device)
     }
 
@@ -493,9 +587,10 @@ impl CellPopulation {
     /// [`ArrayError::AddressOutOfRange`] for a bad index.
     pub fn vt_shift(&self, i: usize) -> Result<Voltage> {
         let v = self.variant(i)?;
-        Ok(Voltage::from_volts(
-            -(self.charge[i] / self.variants[v].cfc_farads),
-        ))
+        Ok(Voltage::from_volts(match &self.pcm {
+            Some(pcm) => pcm.vt_shift_volts(self.charge[i]),
+            None => -(self.charge[i] / self.variants[v].cfc_farads),
+        }))
     }
 
     /// The whole ΔVT column, fanned out over `batch` in contiguous
@@ -505,6 +600,14 @@ impl CellPopulation {
     pub fn vt_shift_column(&self, batch: &BatchSimulator) -> Vec<f64> {
         let mut out = vec![0.0f64; self.len()];
         let chunk = 16 * 1024;
+        if let Some(pcm) = &self.pcm {
+            batch.for_each_chunk_mut(&mut out, chunk, |start, slice| {
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    *slot = pcm.vt_shift_volts(self.charge[start + offset]);
+                }
+            });
+            return out;
+        }
         batch.for_each_chunk_mut(&mut out, chunk, |start, slice| {
             for (offset, slot) in slice.iter_mut().enumerate() {
                 let i = start + offset;
@@ -604,7 +707,9 @@ impl CellPopulation {
     /// [`ArrayError::AddressOutOfRange`] for a bad index.
     pub fn cell(&self, i: usize) -> Result<FlashCell> {
         let v = self.variant(i)?;
-        Ok(FlashCell::restore(
+        Ok(FlashCell::restore_backend(
+            self.backend_kind,
+            self.pcm,
             self.variants[v].device.clone(),
             Charge::from_coulombs(self.charge[i]),
             self.stats(i)?,
@@ -621,8 +726,15 @@ impl CellPopulation {
     ///
     /// # Errors
     ///
-    /// Rejects unphysical deltas and propagates device-build failures.
+    /// Rejects unphysical deltas and propagates device-build failures;
+    /// [`ArrayError::UnsupportedBackend`] on a PCM population.
     pub fn set_cell_variation(&mut self, i: usize, xto: f64, barrier_ev: f64) -> Result<()> {
+        if self.pcm.is_some() {
+            return Err(ArrayError::UnsupportedBackend {
+                backend: self.backend_kind.name(),
+                operation: "floating-gate process variation",
+            });
+        }
         self.check(i)?;
         let key = variant_key(xto, barrier_ev);
         let variant = match self
@@ -775,6 +887,24 @@ impl CellPopulation {
         duration: gnr_units::Time,
         events: u64,
     ) {
+        if let Some(pcm) = self.pcm {
+            // PCM: `events` identical exposures compose in closed form —
+            // the exponential relaxation at a fixed bias over n pulses is
+            // one pulse of n-fold width — so the whole accumulation is a
+            // single kinetics evaluation per cell. Sub-threshold biases
+            // (every stock pass/read level) return `None`: PCM cells do
+            // not disturb below the switching threshold. Like the FG
+            // path, disturb moves state without charging the wear column.
+            let volts = vgs.as_volts();
+            let width = duration.as_seconds() * events as f64;
+            for &i in indices {
+                debug_assert!(i < self.len(), "disturb index {i} out of range");
+                if let Some(a1) = pcm.pulse_final_fraction(volts, width, self.charge[i]) {
+                    self.charge[i] = a1;
+                }
+            }
+            return;
+        }
         // A program or read disturbs every sibling page of its block, so
         // this loop runs ~10⁴ cells per array operation and dominates
         // workload-replay wall time. Two layers keep the per-cell cost at
@@ -845,8 +975,15 @@ impl CellPopulation {
     /// # Errors
     ///
     /// Statistics errors for degenerate populations (e.g. every variant
-    /// below the tunneling floor).
+    /// below the tunneling floor);
+    /// [`ArrayError::UnsupportedBackend`] on a PCM population.
     pub fn variation_stats(&self, vgs: Voltage) -> Result<(Summary, Summary)> {
+        if self.pcm.is_some() {
+            return Err(ArrayError::UnsupportedBackend {
+                backend: self.backend_kind.name(),
+                operation: "FN programming-current statistics",
+            });
+        }
         // One evaluation per variant...
         let per_variant: Vec<Option<(f64, f64)>> = self
             .variants
@@ -982,7 +1119,7 @@ impl CellPopulation {
     {
         let (group_of, mut states) = self.group_states(indices);
         let results = {
-            let mut cols = PulseColumns::new(&self.variants, batch);
+            let mut cols = PulseColumns::new(&self.variants, batch, self.backend_kind, self.pcm);
             driver(&mut cols, &mut states)
         };
         debug_assert_eq!(results.len(), states.len(), "one result per group");
@@ -1026,6 +1163,9 @@ impl CellPopulation {
         };
         if indices.is_empty() || cycles == 0 {
             return Ok(report);
+        }
+        if let Some(pcm) = self.pcm {
+            return self.run_epoch_pcm(&pcm, indices, batch, recipe, cycles, report);
         }
         let (group_of, mut states) = self.group_states(indices);
         report.groups = states.len();
@@ -1128,6 +1268,100 @@ impl CellPopulation {
         Ok(report)
     }
 
+    /// The PCM arm of [`Self::run_epoch`]: no cycle maps apply, so
+    /// **every** deduplicated `(variant, charge)` probe is a fallback
+    /// that iterates its cycles through the closed-form kinetics —
+    /// with one shortcut the physics licenses: the exponential
+    /// relaxation converges to a bitwise fixed point within a few
+    /// cycles, after which every remaining cycle repeats the same state
+    /// and wear exactly, so the loop jumps the tail in one multiply.
+    fn run_epoch_pcm(
+        &mut self,
+        pcm: &PcmDevice,
+        indices: &[usize],
+        batch: &BatchSimulator,
+        recipe: &CycleRecipe,
+        cycles: u64,
+        mut report: EpochReport,
+    ) -> Result<EpochReport> {
+        let (group_of, mut states) = self.group_states(indices);
+        report.groups = states.len();
+
+        // Unique charge probes, in first-seen order (single variant:
+        // PCM populations never carry FG process variation).
+        let mut probe_of: FnvHashMap<u64, usize> = FnvHashMap::default();
+        let mut probes: Vec<f64> = Vec::new();
+        for s in &states {
+            probe_of.entry(s.charge.to_bits()).or_insert_with(|| {
+                probes.push(s.charge);
+                probes.len() - 1
+            });
+        }
+        report.map_probes = probes.len();
+        report.fallback_probes = probes.len();
+        gnr_telemetry::counter_add!("population.epoch.probes", report.map_probes as u64);
+        gnr_telemetry::counter_add!("population.epoch.fallbacks", report.fallback_probes as u64);
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::CycleMapFallback {
+            probes: report.fallback_probes as u64,
+        });
+
+        let probes_ref = &probes;
+        const PROBE_CHUNK: usize = 64;
+        let answers: Vec<CycleOutcome> = batch
+            .map_chunks(probes.len(), PROBE_CHUNK, |start, len| {
+                probes_ref[start..start + len]
+                    .iter()
+                    .map(|&a0| {
+                        let mut a = a0;
+                        let mut wear = 0.0;
+                        let mut remaining = cycles;
+                        while remaining > 0 {
+                            let mut next = a;
+                            let mut cycle_wear = 0.0;
+                            for pulse in recipe.pulses() {
+                                if let Some(a1) = pcm.pulse_final_fraction(
+                                    pulse.amplitude.as_volts(),
+                                    pulse.width.as_seconds(),
+                                    next,
+                                ) {
+                                    cycle_wear += pcm.wear_increment(next, a1);
+                                    next = a1;
+                                }
+                            }
+                            remaining -= 1;
+                            if next.to_bits() == a.to_bits() {
+                                // Bitwise fixed point: every further
+                                // cycle repeats this one exactly.
+                                wear += cycle_wear * (remaining as f64 + 1.0);
+                                break;
+                            }
+                            wear += cycle_wear;
+                            a = next;
+                        }
+                        CycleOutcome { charge: a, wear }
+                    })
+                    .collect::<Vec<CycleOutcome>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        let results: Vec<Result<()>> = states
+            .iter_mut()
+            .map(|s| {
+                let out = &answers[probe_of[&s.charge.to_bits()]];
+                s.charge = out.charge;
+                s.stats.injected_charge += out.wear;
+                s.stats.program_ops += cycles;
+                s.stats.erase_ops += cycles;
+                Ok(())
+            })
+            .collect();
+        let per_cell = self.write_back(indices, group_of, &states, &results);
+        per_cell.into_iter().collect::<Result<Vec<()>>>()?;
+        Ok(report)
+    }
+
     /// Runs an arbitrary per-cell closure once per state group on a
     /// scratch [`FlashCell`] and writes the absolute outcome back to
     /// every member. Returns per-index results in input order.
@@ -1156,6 +1390,8 @@ impl CellPopulation {
     {
         let (group_of, states) = self.group_states(indices);
         let variants = &self.variants;
+        let kind = self.backend_kind;
+        let pcm = self.pcm;
         // Chunked fan-out: big enough to amortise the per-variant
         // scratch build, small enough to spread groups across cores.
         const SCRATCH_CHUNK: usize = 64;
@@ -1170,7 +1406,16 @@ impl CellPopulation {
                 .map(|s| {
                     let (engine, cell) = scratch.entry(s.variant).or_insert_with(|| {
                         let device = &variants[s.variant as usize].device;
-                        (batch.engine_for(device), FlashCell::new(device.clone()))
+                        (
+                            batch.engine_for_kind(kind, device),
+                            FlashCell::restore_backend(
+                                kind,
+                                pcm,
+                                device.clone(),
+                                Charge::ZERO,
+                                CellStats::default(),
+                            ),
+                        )
                     });
                     cell.reset(Charge::from_coulombs(s.charge), s.stats);
                     let result = op(cell, engine);

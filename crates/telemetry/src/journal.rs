@@ -102,6 +102,9 @@ impl EventKind {
 pub struct JournalEvent {
     /// Op clock value when the event fired.
     pub op: u64,
+    /// Active device backend ([`crate::active_backend`]) when the event
+    /// fired.
+    pub backend: &'static str,
     /// The structured event.
     pub kind: EventKind,
 }
@@ -115,6 +118,10 @@ impl serde::Serialize for JournalEvent {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
             ("op".to_string(), num(self.op)),
+            (
+                "backend".to_string(),
+                serde::Value::String(self.backend.to_string()),
+            ),
             (
                 "kind".to_string(),
                 serde::Value::String(self.kind.tag().to_string()),
@@ -160,6 +167,12 @@ impl JournalEvent {
     #[must_use]
     pub fn from_value(value: &serde::Value) -> Option<Self> {
         let op = value.get("op")?.as_u64()?;
+        // Traces written before backend attribution existed decode as
+        // the default backend.
+        let backend = value
+            .get("backend")
+            .and_then(serde::Value::as_str)
+            .map_or(crate::DEFAULT_BACKEND, intern_backend);
         let field = |name: &str| value.get(name).and_then(serde::Value::as_u64);
         let kind = match value.get("kind")?.as_str()? {
             "reclaim" => EventKind::Reclaim {
@@ -196,7 +209,19 @@ impl JournalEvent {
             },
             _ => return None,
         };
-        Some(Self { op, kind })
+        Some(Self { op, backend, kind })
+    }
+}
+
+/// Maps a decoded backend name onto a `'static` string: the known
+/// backends intern to their canonical literals, anything else is leaked
+/// once (the set of names in any trace is tiny and fixed).
+fn intern_backend(name: &str) -> &'static str {
+    match name {
+        "gnr-floating-gate" => "gnr-floating-gate",
+        "cnt-floating-gate" => "cnt-floating-gate",
+        "pcm-resistive" => "pcm-resistive",
+        other => Box::leak(other.to_string().into_boxed_str()),
     }
 }
 
@@ -222,6 +247,7 @@ pub fn record(kind: EventKind) {
     }
     let event = JournalEvent {
         op: crate::op_index(),
+        backend: crate::active_backend(),
         kind,
     };
     let mut journal = JOURNAL.lock();
@@ -348,9 +374,21 @@ mod tests {
     fn digest_survives_json_round_trip() {
         let event = JournalEvent {
             op: 3,
+            backend: "pcm-resistive",
             kind: EventKind::CheckpointRestore {
                 digest: 0xc36e_c1a2_b87d_0fee,
             },
+        };
+        let parsed = JournalEvent::from_value(&event.to_value()).unwrap();
+        assert_eq!(parsed, event);
+    }
+
+    #[test]
+    fn unknown_backend_names_survive_decode() {
+        let event = JournalEvent {
+            op: 0,
+            backend: "some-future-backend",
+            kind: EventKind::Reclaim { block: 7 },
         };
         let parsed = JournalEvent::from_value(&event.to_value()).unwrap();
         assert_eq!(parsed, event);

@@ -60,6 +60,31 @@ static PROFILING: AtomicBool = AtomicBool::new(false);
 /// stamped with the value most recently stored here.
 static OP_CLOCK: AtomicU64 = AtomicU64::new(0);
 
+/// The device backend name every telemetry record defaults to before
+/// any population announces itself.
+pub const DEFAULT_BACKEND: &str = "gnr-floating-gate";
+
+/// The active device backend tag: journal events and snapshots carry
+/// the name most recently stored here.
+static ACTIVE_BACKEND: parking_lot::RwLock<&'static str> =
+    parking_lot::RwLock::new(DEFAULT_BACKEND);
+
+/// Announces the active device backend. The array layer calls this when
+/// a population is built or restored, so every journal event and
+/// [`TelemetrySnapshot`] from then on attributes to the right cell
+/// technology. Unlike the enable flags this is *always* live — backend
+/// attribution must be correct the moment telemetry is switched on.
+pub fn set_active_backend(name: &'static str) {
+    *ACTIVE_BACKEND.write() = name;
+}
+
+/// The active device backend name ([`DEFAULT_BACKEND`] until a
+/// population announces one).
+#[must_use]
+pub fn active_backend() -> &'static str {
+    *ACTIVE_BACKEND.read()
+}
+
 fn init_from_env() {
     ENV_CHECKED.call_once(|| {
         let on = |key: &str| std::env::var(key).is_ok_and(|v| !v.is_empty() && v != "0");

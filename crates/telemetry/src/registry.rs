@@ -317,6 +317,9 @@ pub fn register_collector(name: &'static str, collector: Collector) {
 /// are name-sorted so equal states serialize byte-identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetrySnapshot {
+    /// Active device backend ([`crate::active_backend`]) at snapshot
+    /// time.
+    pub backend: String,
     /// `(name, value)`, name-sorted. Collector-backed metrics are
     /// included only when telemetry was enabled at snapshot time.
     pub counters: Vec<(String, u64)>,
@@ -368,6 +371,10 @@ impl serde::Serialize for TelemetrySnapshot {
     #[allow(clippy::cast_precision_loss)]
     fn to_value(&self) -> serde::Value {
         serde::Value::Object(vec![
+            (
+                "backend".to_string(),
+                serde::Value::String(self.backend.clone()),
+            ),
             (
                 "counters".to_string(),
                 serde::Value::Object(
@@ -422,6 +429,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         .map(|(&name, h)| (name.to_string(), h.snapshot_values()))
         .collect();
     TelemetrySnapshot {
+        backend: crate::active_backend().to_string(),
         counters,
         histograms,
         zones: crate::zone::zones_snapshot(),

@@ -6,6 +6,9 @@
 //! share the default test binary (e.g. `flow_map_cache_reports_traffic`)
 //! would make those flaky. One test, one process, no interleaving.
 
+use std::sync::Arc;
+
+use gnr_flash::backend::BackendKind;
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_flash::engine::{cache, flowmap, ChargeBalanceEngine, CycleRecipe};
 use gnr_flash::pulse::SquarePulse;
@@ -93,4 +96,47 @@ fn reset_zeroes_the_telemetry_but_keeps_the_entries() {
     let final_stats = cache::stats();
     assert!(final_stats.cycle_maps.misses >= 1);
     assert!(final_stats.cycle_maps.entries >= 1);
+}
+
+#[test]
+fn cache_keys_carry_the_backend_discriminant() {
+    // The same FN model under two backends must resolve to two distinct
+    // J-table entries: the key folds the backend discriminant, so a CNT
+    // engine can never warm-hit a GNR table (or vice versa) even when
+    // the fitted coefficients collide bitwise.
+    let device = FloatingGateTransistor::mlgnr_cnt_paper();
+    let model = device.channel_emission_model();
+    let gnr = cache::tabulated(model);
+    let cnt = cache::tabulated_for(BackendKind::CntFloatingGate, model);
+    assert!(
+        !Arc::ptr_eq(&gnr, &cnt),
+        "backends must not share a J-table entry for the same model"
+    );
+
+    // Backend-qualified lookup with the default backend is the same
+    // entry as the unqualified path. The sibling test may evict entries
+    // (`clear_entries`) once, concurrently; probing twice tolerates one
+    // eviction landing between a pair of lookups.
+    let default_hits_gnr_entry = (0..2).any(|_| {
+        Arc::ptr_eq(
+            &cache::tabulated(model),
+            &cache::tabulated_for(BackendKind::GnrFloatingGate, model),
+        )
+    });
+    assert!(
+        default_hits_gnr_entry,
+        "`tabulated` must alias the GNR-qualified entry"
+    );
+
+    // The engine's memoization key is backend-folded too: identical
+    // device, different backend, different `device_key`.
+    let plain = ChargeBalanceEngine::new(&device);
+    let gnr_engine = ChargeBalanceEngine::new_for(BackendKind::GnrFloatingGate, &device);
+    let cnt_engine = ChargeBalanceEngine::new_for(BackendKind::CntFloatingGate, &device);
+    assert_eq!(plain.device_key(), gnr_engine.device_key());
+    assert_ne!(plain.device_key(), cnt_engine.device_key());
+    assert_eq!(
+        cnt_engine.device_key(),
+        BackendKind::CntFloatingGate.fold_key(device.dynamics_key()),
+    );
 }

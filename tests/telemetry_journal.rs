@@ -56,6 +56,11 @@ proptest! {
                     .wrapping_add(i as u64);
                 JournalEvent {
                     op: s >> 11,
+                    backend: match s % 3 {
+                        0 => "gnr-floating-gate",
+                        1 => "cnt-floating-gate",
+                        _ => "pcm-resistive",
+                    },
                     kind: event_for(s, s.rotate_left(17)),
                 }
             })
