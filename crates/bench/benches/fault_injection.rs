@@ -1,0 +1,288 @@
+//! Fault-injection overhead and crash-recovery bench.
+//!
+//! Replays the same GC-churn stream twice — faults off, then a seeded
+//! [`FaultPlan`] with grown-bad blocks and program-status failures over
+//! a fault-tolerant controller — and reports both throughputs plus the
+//! retirement/program-fail tallies, so the robustness machinery's cost
+//! is a recorded trajectory. Every run (including the CI smoke run)
+//! also sweeps power-loss points through `crash_and_recover` and
+//! **asserts** the recovered digest equals the uninterrupted run's at
+//! every cut — the crash-consistency pin rides along with the numbers.
+//!
+//! Environment: `GNR_BENCH_SHAPE=BxPxW`, `GNR_BENCH_SMOKE=1`,
+//! `GNR_BENCH_BACKEND=gnr|cnt|pcm` as in the other array benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnr_bench::{
+    bench_backend, bench_config, bench_threads, telemetry_phase, telemetry_snapshot_json,
+};
+use gnr_flash::backend::CellBackend;
+use gnr_flash_array::controller::FlashController;
+use gnr_flash_array::fault::{crash_and_recover, replay_ops, FaultPlan};
+use gnr_flash_array::nand::NandConfig;
+use gnr_flash_array::workload::{GcChurnSource, TraceSource};
+
+/// The seeded plan the faulted phases run under: a slice of blocks grow
+/// bad at mid-life erase counts and a thin program-fail lottery rides
+/// on every page program.
+fn bench_plan() -> FaultPlan {
+    FaultPlan {
+        // One explicit grown-bad block guarantees retirement traffic on
+        // every shape (including the CI smoke shape); the seeded
+        // lotteries scale the rest with the array.
+        bad_block_after_erases: vec![(1, 2)],
+        grown_bad_fraction: 0.05,
+        grown_bad_min_erases: 2,
+        grown_bad_max_erases: 8,
+        program_fail_probability: 0.005,
+        ..FaultPlan::seeded(0xfa17_b3c4)
+    }
+}
+
+struct ChurnOutcome {
+    seconds: f64,
+    ops: usize,
+    blocks_retired: usize,
+    program_fails: u64,
+    read_only: bool,
+    live_pages_readable: bool,
+}
+
+/// One churn phase: `ops` one-op ticks through the batched replayer.
+/// `plan: Some` runs fault-tolerant with a quarter of the blocks held
+/// as spares; `None` is the faults-off baseline on the same shape.
+fn churn(config: NandConfig, backend: &CellBackend, plan: Option<FaultPlan>) -> ChurnOutcome {
+    let spares = if plan.is_some() { config.blocks / 4 } else { 0 };
+    let mut controller = FlashController::with_backend(config, backend);
+    if plan.is_some() {
+        controller = controller.with_fault_tolerance(spares);
+    }
+    controller.set_faults(plan);
+    let capacity = controller.logical_capacity();
+    let source = GcChurnSource::new(capacity, 2 * capacity, 0xbead);
+    let ops = source.len();
+
+    let start = std::time::Instant::now();
+    // Spare exhaustion surfaces as a clean ReadOnly error, not a panic;
+    // the run records how far it got.
+    let read_only = replay_ops(&mut controller, &source, 0, ops).is_err();
+    let seconds = start.elapsed().as_secs_f64();
+
+    let live_pages_readable = controller
+        .live_logical_pages()
+        .into_iter()
+        .all(|lpn| controller.read_logical(lpn).is_ok());
+    ChurnOutcome {
+        seconds,
+        ops,
+        blocks_retired: controller.retired_blocks(),
+        program_fails: controller.program_fail_count(),
+        read_only: read_only || controller.read_only(),
+        live_pages_readable,
+    }
+}
+
+/// The crash-consistency pin: cut power at up to `max_points` op-clock
+/// indices of a small churn stream and demand digest-identical
+/// recovery at every cut plus an identical finish. Panics on any
+/// mismatch — a bench run is also a correctness run.
+fn crash_sweep(backend: &CellBackend, max_points: usize) -> (usize, usize) {
+    let config = NandConfig {
+        blocks: 4,
+        pages_per_block: 2,
+        page_width: 8,
+    };
+    let build_plain = || {
+        FlashController::with_backend(config, backend)
+            .with_fault_tolerance(1)
+            .with_crash_consistency(3)
+    };
+    let capacity = build_plain().logical_capacity();
+    let source = GcChurnSource::new(capacity, 5 * capacity, 0x5eed);
+    let len = source.len();
+    let plan = FaultPlan {
+        bad_block_after_erases: vec![(2, 2)],
+        power_loss_ops: (0..len as u64).collect(),
+        ..FaultPlan::seeded(0x00c0_ffee)
+    };
+    let build = || build_plain().with_faults(Some(plan.clone()));
+
+    let mut reference = build();
+    let mut prefix = Vec::with_capacity(len + 1);
+    prefix.push(reference.state_digest());
+    for i in 0..len {
+        replay_ops(&mut reference, &source, i, i + 1).expect("reference run replays");
+        prefix.push(reference.state_digest());
+    }
+    let final_digest = reference.state_digest();
+
+    let stride = len.div_ceil(max_points).max(1);
+    let mut points = 0;
+    let mut max_deltas = 0;
+    for crash_op in (0..len).step_by(stride) {
+        let outcome = crash_and_recover(backend, &build, &plan, &source, crash_op)
+            .expect("crash-and-recover completes");
+        assert_eq!(
+            outcome.recovered_digest, prefix[crash_op],
+            "recovered digest diverged at op {crash_op}"
+        );
+        assert_eq!(
+            outcome.final_digest, final_digest,
+            "post-recovery digest diverged at op {crash_op}"
+        );
+        points += 1;
+        max_deltas = max_deltas.max(outcome.deltas_replayed);
+    }
+    (points, max_deltas)
+}
+
+fn measure_fault_injection() {
+    let (config, smoke) = bench_config(
+        NandConfig {
+            blocks: 8,
+            pages_per_block: 4,
+            page_width: 16,
+        },
+        NandConfig {
+            blocks: 32,
+            pages_per_block: 16,
+            page_width: 64,
+        },
+    );
+    let backend = bench_backend();
+
+    // Warm the global engine caches so baseline and faulted phases both
+    // measure steady-state throughput, not first-touch table builds.
+    let _ = churn(config, &backend, None);
+    let baseline = churn(config, &backend, None);
+    let faulted = churn(config, &backend, Some(bench_plan()));
+    assert!(
+        faulted.live_pages_readable,
+        "fault churn must keep every live logical page readable"
+    );
+
+    let sweep_cap = if smoke { usize::MAX } else { 64 };
+    let (crash_points, crash_max_deltas) = crash_sweep(&backend, sweep_cap);
+
+    #[allow(clippy::cast_precision_loss)]
+    let ops_per_second = |o: &ChurnOutcome| {
+        if o.seconds > 0.0 {
+            o.ops as f64 / o.seconds
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "fault_injection [{}] {}x{}x{}: baseline {:.0} ops/s, faulted {:.0} ops/s; \
+         {} blocks retired, {} program fails, read_only={}; \
+         crash sweep {} points (max {} deltas) digest-identical",
+        backend.kind().name(),
+        config.blocks,
+        config.pages_per_block,
+        config.page_width,
+        ops_per_second(&baseline),
+        ops_per_second(&faulted),
+        faulted.blocks_retired,
+        faulted.program_fails,
+        faulted.read_only,
+        crash_points,
+        crash_max_deltas,
+    );
+
+    // Telemetry pass: one full crash-and-recover under a retiring fault
+    // plan with instrumentation on, so the report carries the fault
+    // counters (program fails, retirements, power loss, recovery
+    // replay) and their journal events.
+    let (_, telemetry) = telemetry_phase(|| {
+        let config = NandConfig {
+            blocks: 4,
+            pages_per_block: 2,
+            page_width: 8,
+        };
+        let build_plain = || {
+            FlashController::with_backend(config, &backend)
+                .with_fault_tolerance(1)
+                .with_crash_consistency(3)
+        };
+        let capacity = build_plain().logical_capacity();
+        let source = GcChurnSource::new(capacity, 5 * capacity, 0x5eed);
+        let plan = FaultPlan {
+            bad_block_after_erases: vec![(2, 2)],
+            ..FaultPlan::seeded(0x00c0_ffee)
+        };
+        let build = || build_plain().with_faults(Some(plan.clone()));
+        let outcome = crash_and_recover(&backend, &build, &plan, &source, source.len() / 2)
+            .expect("telemetry crash-and-recover completes");
+        assert_eq!(
+            outcome.recovered_digest, outcome.digest_at_crash,
+            "telemetry-phase recovery must be digest-identical"
+        );
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"fault_injection\",\n  \"config\": \"{}x{}x{}\",\n  \
+         \"smoke\": {},\n  \"backend\": \"{}\",\n  \"cores\": {},\n  \"threads\": {},\n  \
+         \"churn_ops\": {},\n  \"baseline_ops_per_second\": {:.1},\n  \
+         \"faulted_ops_per_second\": {:.1},\n  \"blocks_retired\": {},\n  \
+         \"program_fails\": {},\n  \"spare_blocks\": {},\n  \"read_only\": {},\n  \
+         \"live_pages_readable\": {},\n  \"crash_sweep_points\": {},\n  \
+         \"crash_sweep_max_deltas\": {},\n  \"crash_digests_identical\": true,\n  \
+         \"telemetry\": {}\n}}\n",
+        config.blocks,
+        config.pages_per_block,
+        config.page_width,
+        smoke,
+        backend.kind().name(),
+        rayon::current_num_threads(),
+        bench_threads(),
+        faulted.ops,
+        ops_per_second(&baseline),
+        ops_per_second(&faulted),
+        faulted.blocks_retired,
+        faulted.program_fails,
+        config.blocks / 4,
+        faulted.read_only,
+        faulted.live_pages_readable,
+        crash_points,
+        crash_max_deltas,
+        telemetry_snapshot_json(&telemetry),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_fault_injection.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench_faults(c: &mut Criterion) {
+    measure_fault_injection();
+
+    // Criterion timings on a small, fixed shape so the numbers are
+    // comparable across hosts regardless of the env overrides above.
+    let config = NandConfig {
+        blocks: 8,
+        pages_per_block: 4,
+        page_width: 16,
+    };
+    let backend = bench_backend();
+    let mut group = c.benchmark_group("fault_injection");
+    group.sample_size(10);
+    group.bench_function("faulted_churn_8x4x16", |b| {
+        b.iter(|| {
+            let mut controller = FlashController::with_backend(config, &backend)
+                .with_fault_tolerance(2)
+                .with_faults(Some(bench_plan()));
+            let capacity = controller.logical_capacity();
+            let source = GcChurnSource::new(capacity, capacity, 0xbead);
+            let _ = replay_ops(&mut controller, &source, 0, source.len());
+            controller.state_digest()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

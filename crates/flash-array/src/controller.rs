@@ -1,5 +1,7 @@
 //! A miniature flash-translation controller: logical page mapping,
-//! explicit block reclaim, garbage collection and wear statistics.
+//! explicit block reclaim, garbage collection, wear statistics — and,
+//! since the robustness PR, a hardened fault-tolerant mode with
+//! crash-consistent metadata.
 //!
 //! The original controller erased the wrapped-into block
 //! *unconditionally* on reuse — destroying still-live pages and charging
@@ -20,6 +22,32 @@
 //! Wear is accounted in exactly one place — the array's per-block erase
 //! counters — so totals can no longer double-count; the controller adds
 //! its own *reasons* (reclaims vs. explicit erases vs. GC) on top.
+//!
+//! # Fault tolerance
+//!
+//! [`FlashController::with_fault_tolerance`] arms the hardened FTL over
+//! a spare-block pool: a block whose erase reports a grown-bad status
+//! ([`ArrayError::BlockRetired`]) or whose page program reports a failed
+//! status ([`ArrayError::ProgramFailed`] or a verify exhaustion) is
+//! **retired** — its live pages are relocated to healthy blocks, every
+//! slot is parked stale, and the grown-bad table excludes it from every
+//! allocator path forever. Each retirement consumes one spare; when the
+//! pool is exhausted the controller degrades to **read-only**
+//! ([`ArrayError::ReadOnly`]): writes fail cleanly, reads keep working.
+//!
+//! # Crash consistency
+//!
+//! [`FlashController::enable_crash_consistency`] journals the volatile
+//! FTL metadata as a periodic [`MetaCheckpoint`] plus a delta log
+//! ([`MetaDelta`]) of every mutation since. Power loss at any op
+//! boundary preserves exactly the array medium plus that checkpoint and
+//! log (a [`CrashImage`]); [`FlashController::recover`] /
+//! [`FlashController::recover_backend`] replay the deltas onto the
+//! checkpoint and yield a controller whose [`state_digest`] equals the
+//! uninterrupted run's at the cut — the equality the crash-recovery
+//! sweep pins at every op index.
+//!
+//! [`state_digest`]: FlashController::state_digest
 
 use std::collections::HashMap;
 
@@ -27,6 +55,7 @@ use gnr_flash::backend::CellBackend;
 use gnr_flash::device::FloatingGateTransistor;
 use gnr_numerics::hash::{fnv1a_fold_bytes, fnv1a_fold_f64, FNV1A_OFFSET};
 
+use crate::fault::FaultPlan;
 use crate::nand::{ArraySnapshot, NandArray, NandConfig};
 use crate::pe::scheduler::{CommandOutcome, PeCommand, PlaneScheduler};
 use crate::{ArrayError, Result};
@@ -69,11 +98,12 @@ impl WearStats {
     }
 }
 
-/// One planned-but-unflushed batched page program: the logical page,
-/// the copy it superseded at plan time (restored on verify failure),
-/// the allocated address and the contents.
+/// One planned-but-unflushed batched page program: the submitting job
+/// index, the logical page, the copy it superseded at plan time
+/// (restored on verify failure), the allocated address and the contents.
 #[derive(Debug, Clone)]
 struct PendingProgram {
+    job: usize,
     lpn: usize,
     prev: Option<PageAddress>,
     addr: PageAddress,
@@ -83,17 +113,19 @@ struct PendingProgram {
     cursor_assigned: bool,
 }
 
-/// Serializable full state of a [`FlashController`]: the wrapped
-/// array's snapshot plus the FTL bookkeeping. The logical map and page
-/// lifecycle columns are integer-encoded for the JSON shim:
-/// `map[lpn]` holds the live copy's flat physical page slot
-/// (`block * pages_per_block + page`) or `-1` for unmapped;
-/// `state[slot]` holds the live logical page number, `-1` for a free
-/// page, `-2` for a stale one.
+/// The controller's complete volatile metadata at one instant: the
+/// logical map and page lifecycle columns (integer-encoded for the JSON
+/// shim: `map[lpn]` holds the live copy's flat physical page slot
+/// `block * pages_per_block + page` or `-1` for unmapped; `state[slot]`
+/// holds the live logical page number, `-1` for a free page, `-2` for a
+/// stale one), the allocation cursors, the wear-reason counters, the
+/// scheduler configuration and the fault-tolerance bookkeeping.
+///
+/// This is both the metadata half of a [`ControllerSnapshot`] and the
+/// periodic checkpoint the crash-consistency journal replays
+/// [`MetaDelta`]s onto.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct ControllerSnapshot {
-    /// The wrapped array's full state.
-    pub array: ArraySnapshot,
+pub struct MetaCheckpoint {
     /// Logical page → flat physical slot of its live copy (`-1` = none).
     pub map: Vec<i64>,
     /// Per physical page: live lpn, `-1` free, `-2` stale.
@@ -111,10 +143,21 @@ pub struct ControllerSnapshot {
     /// Plane count of the multi-plane scheduler (its entire round
     /// state: scheduling is stateless across rounds by design).
     pub planes: u64,
+    /// Grown-bad table: `true` marks a retired block.
+    pub bad_blocks: Vec<bool>,
+    /// Spare blocks provisioned for retirements.
+    pub spare_blocks: u64,
+    /// Whether the hardened fault-tolerant FTL is armed.
+    pub fault_tolerant: bool,
+    /// Whether the controller has degraded to read-only mode.
+    pub read_only: bool,
+    /// Page programs that reported a failed status.
+    pub program_fails: u64,
 }
 
-impl ControllerSnapshot {
-    /// Decodes a snapshot from an already-parsed [`serde::Value`] tree.
+impl MetaCheckpoint {
+    /// Decodes a checkpoint from an already-parsed [`serde::Value`]
+    /// tree.
     ///
     /// # Errors
     ///
@@ -130,6 +173,11 @@ impl ControllerSnapshot {
                 .as_u64()
                 .ok_or_else(|| ArrayError::Snapshot(format!("bad counter `{name}`")))
         };
+        let flag = |name: &str| -> Result<bool> {
+            field(name)?
+                .as_bool()
+                .ok_or_else(|| ArrayError::Snapshot(format!("bad flag `{name}`")))
+        };
         let i64_column = |name: &str| -> Result<Vec<i64>> {
             field(name)?
                 .as_array()
@@ -143,8 +191,18 @@ impl ControllerSnapshot {
                 })
                 .collect()
         };
+        let bool_column = |name: &str| -> Result<Vec<bool>> {
+            field(name)?
+                .as_array()
+                .ok_or_else(|| ArrayError::Snapshot(format!("`{name}` must be an array")))?
+                .iter()
+                .map(|v| {
+                    v.as_bool()
+                        .ok_or_else(|| ArrayError::Snapshot(format!("non-bool in `{name}`")))
+                })
+                .collect()
+        };
         Ok(Self {
-            array: ArraySnapshot::from_value(field("array")?)?,
             map: i64_column("map")?,
             state: i64_column("state")?,
             next_slot: counter("next_slot")?,
@@ -153,8 +211,255 @@ impl ControllerSnapshot {
             gc_erases: counter("gc_erases")?,
             gc_relocations: counter("gc_relocations")?,
             planes: counter("planes")?,
+            bad_blocks: bool_column("bad_blocks")?,
+            spare_blocks: counter("spare_blocks")?,
+            fault_tolerant: flag("fault_tolerant")?,
+            read_only: flag("read_only")?,
+            program_fails: counter("program_fails")?,
         })
     }
+}
+
+/// One journaled metadata mutation. Every delta carries **absolute**
+/// values, so replay is idempotent and order within the log is the only
+/// ordering that matters — the property that makes recovery replay
+/// byte-exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaDelta {
+    /// `map[lpn]` now points at flat `slot` (`-1` = unmapped).
+    MapSet {
+        /// The logical page.
+        lpn: u64,
+        /// Flat physical slot of the live copy, `-1` for none.
+        slot: i64,
+    },
+    /// `state[slot]` now holds `code` (live lpn, `-1` free, `-2` stale).
+    StateSet {
+        /// The flat physical slot.
+        slot: u64,
+        /// The lifecycle code.
+        code: i64,
+    },
+    /// The rotating allocation cursor moved.
+    NextSlot {
+        /// Its new absolute value.
+        value: u64,
+    },
+    /// The auto-assign logical-page cursor moved.
+    NextLpn {
+        /// Its new absolute value.
+        value: u64,
+    },
+    /// Wear-reason and fault counters (absolute values).
+    Counters {
+        /// Reclaim erases so far.
+        reclaim_erases: u64,
+        /// GC erases so far.
+        gc_erases: u64,
+        /// GC relocations so far.
+        gc_relocations: u64,
+        /// Failed page programs so far.
+        program_fails: u64,
+    },
+    /// `block` entered the grown-bad table.
+    BlockRetired {
+        /// The retired block.
+        block: u64,
+    },
+    /// The controller degraded to read-only mode.
+    ReadOnly,
+    /// An epoch jump reset the page lifecycle: map cleared, every slot
+    /// free, allocation scan restarted at slot 0.
+    MetaReset,
+}
+
+impl serde::Serialize for MetaDelta {
+    #[allow(clippy::cast_precision_loss)]
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let obj = |kind: &str, fields: Vec<(&str, Value)>| {
+            let mut pairs = vec![("kind".to_string(), Value::String(kind.to_string()))];
+            pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Value::Object(pairs)
+        };
+        let num = |v: u64| Value::Number(v as f64);
+        let int = |v: i64| Value::Number(v as f64);
+        match *self {
+            Self::MapSet { lpn, slot } => {
+                obj("map_set", vec![("lpn", num(lpn)), ("slot", int(slot))])
+            }
+            Self::StateSet { slot, code } => {
+                obj("state_set", vec![("slot", num(slot)), ("code", int(code))])
+            }
+            Self::NextSlot { value } => obj("next_slot", vec![("value", num(value))]),
+            Self::NextLpn { value } => obj("next_lpn", vec![("value", num(value))]),
+            Self::Counters {
+                reclaim_erases,
+                gc_erases,
+                gc_relocations,
+                program_fails,
+            } => obj(
+                "counters",
+                vec![
+                    ("reclaim_erases", num(reclaim_erases)),
+                    ("gc_erases", num(gc_erases)),
+                    ("gc_relocations", num(gc_relocations)),
+                    ("program_fails", num(program_fails)),
+                ],
+            ),
+            Self::BlockRetired { block } => obj("block_retired", vec![("block", num(block))]),
+            Self::ReadOnly => obj("read_only", vec![]),
+            Self::MetaReset => obj("meta_reset", vec![]),
+        }
+    }
+}
+
+impl serde::Deserialize for MetaDelta {}
+
+impl MetaDelta {
+    /// Decodes a delta from an already-parsed [`serde::Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on unknown kinds or ill-typed fields.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
+        let kind = value
+            .get("kind")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| ArrayError::Snapshot("delta missing `kind`".into()))?;
+        let num = |name: &str| -> Result<u64> {
+            value
+                .get(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| ArrayError::Snapshot(format!("delta missing counter `{name}`")))
+        };
+        let int = |name: &str| -> Result<i64> {
+            value
+                .get(name)
+                .and_then(serde::Value::as_f64)
+                .filter(|f| f.fract() == 0.0 && f.abs() < 9.0e15)
+                .map(|f| f as i64)
+                .ok_or_else(|| ArrayError::Snapshot(format!("delta missing integer `{name}`")))
+        };
+        Ok(match kind {
+            "map_set" => Self::MapSet {
+                lpn: num("lpn")?,
+                slot: int("slot")?,
+            },
+            "state_set" => Self::StateSet {
+                slot: num("slot")?,
+                code: int("code")?,
+            },
+            "next_slot" => Self::NextSlot {
+                value: num("value")?,
+            },
+            "next_lpn" => Self::NextLpn {
+                value: num("value")?,
+            },
+            "counters" => Self::Counters {
+                reclaim_erases: num("reclaim_erases")?,
+                gc_erases: num("gc_erases")?,
+                gc_relocations: num("gc_relocations")?,
+                program_fails: num("program_fails")?,
+            },
+            "block_retired" => Self::BlockRetired {
+                block: num("block")?,
+            },
+            "read_only" => Self::ReadOnly,
+            "meta_reset" => Self::MetaReset,
+            other => {
+                return Err(ArrayError::Snapshot(format!(
+                    "unknown delta kind `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+/// Serializable full state of a [`FlashController`]: the wrapped
+/// array's snapshot plus the FTL metadata (see [`MetaCheckpoint`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControllerSnapshot {
+    /// The wrapped array's full state.
+    pub array: ArraySnapshot,
+    /// The controller metadata.
+    pub meta: MetaCheckpoint,
+}
+
+impl ControllerSnapshot {
+    /// Decodes a snapshot from an already-parsed [`serde::Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on missing/ill-typed fields.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| ArrayError::Snapshot(format!("missing field `{name}`")))
+        };
+        Ok(Self {
+            array: ArraySnapshot::from_value(field("array")?)?,
+            meta: MetaCheckpoint::from_value(field("meta")?)?,
+        })
+    }
+}
+
+/// Everything that survives a power cut: the array medium (cells are
+/// non-volatile), the last metadata checkpoint and the delta log
+/// journaled since it. [`FlashController::recover`] replays the log
+/// onto the checkpoint to rebuild the exact pre-crash controller.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrashImage {
+    /// The array medium at the instant of power loss.
+    pub array: ArraySnapshot,
+    /// The last metadata checkpoint.
+    pub checkpoint: MetaCheckpoint,
+    /// Metadata deltas journaled since the checkpoint, oldest first.
+    pub deltas: Vec<MetaDelta>,
+    /// The checkpoint cadence (ops between checkpoints), so recovery
+    /// re-arms the journal identically.
+    pub interval: u64,
+}
+
+impl CrashImage {
+    /// Decodes a crash image from an already-parsed [`serde::Value`]
+    /// tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on missing/ill-typed fields.
+    pub fn from_value(value: &serde::Value) -> Result<Self> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| ArrayError::Snapshot(format!("missing field `{name}`")))
+        };
+        let deltas = field("deltas")?
+            .as_array()
+            .ok_or_else(|| ArrayError::Snapshot("`deltas` must be an array".into()))?
+            .iter()
+            .map(MetaDelta::from_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            array: ArraySnapshot::from_value(field("array")?)?,
+            checkpoint: MetaCheckpoint::from_value(field("checkpoint")?)?,
+            deltas,
+            interval: field("interval")?
+                .as_u64()
+                .ok_or_else(|| ArrayError::Snapshot("bad counter `interval`".into()))?,
+        })
+    }
+}
+
+/// The crash-consistency journal: the last checkpoint, the deltas since
+/// and the checkpoint cadence.
+#[derive(Debug, Clone)]
+struct MetaJournal {
+    interval: u64,
+    since_checkpoint: u64,
+    checkpoint: MetaCheckpoint,
+    deltas: Vec<MetaDelta>,
 }
 
 /// Lifecycle of one physical page.
@@ -166,6 +471,15 @@ enum PageState {
     Live(usize),
     /// Holds a superseded copy; reclaimed with its block.
     Stale,
+}
+
+#[allow(clippy::cast_possible_wrap)]
+fn state_code(s: PageState) -> i64 {
+    match s {
+        PageState::Free => -1,
+        PageState::Stale => -2,
+        PageState::Live(lpn) => lpn as i64,
+    }
 }
 
 /// The controller.
@@ -185,6 +499,19 @@ pub struct FlashController {
     gc_relocations: u64,
     /// The multi-plane scheduler behind the batched entry points.
     scheduler: PlaneScheduler,
+    /// Whether the hardened FTL (retire/retry/read-only) is armed.
+    fault_tolerant: bool,
+    /// Grown-bad table: `true` marks a retired block, excluded from
+    /// every allocator path.
+    bad_blocks: Vec<bool>,
+    /// Spare blocks provisioned for retirements.
+    spare_blocks: usize,
+    /// Set when the spare pool is exhausted: writes fail, reads work.
+    read_only: bool,
+    /// Page programs that reported a failed status.
+    program_fails: u64,
+    /// The crash-consistency journal, when enabled.
+    meta: Option<MetaJournal>,
 }
 
 impl FlashController {
@@ -226,6 +553,7 @@ impl FlashController {
             "FlashController needs >= 2 blocks: one is GC over-provisioning"
         );
         let pages = array.config().pages();
+        let blocks = array.config().blocks;
         Self {
             array,
             map: vec![None; pages],
@@ -236,6 +564,12 @@ impl FlashController {
             gc_erases: 0,
             gc_relocations: 0,
             scheduler: PlaneScheduler::default(),
+            fault_tolerant: false,
+            bad_blocks: vec![false; blocks],
+            spare_blocks: 0,
+            read_only: false,
+            program_fails: 0,
+            meta: None,
         }
     }
 
@@ -252,6 +586,121 @@ impl FlashController {
     pub fn with_planes(mut self, planes: usize) -> Self {
         self.scheduler = PlaneScheduler::new(planes);
         self
+    }
+
+    /// Arms the hardened fault-tolerant FTL with `spare_blocks` spares:
+    /// grown-bad blocks and program-fail blocks are retired (live pages
+    /// relocated), each retirement consuming one spare, and spare
+    /// exhaustion degrades the controller to read-only instead of
+    /// corrupting or panicking. The logical capacity shrinks by the
+    /// spare pool so retirements never strand live data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the array cannot fund the pool (`spare_blocks + 2 >
+    /// blocks` — one block stays GC over-provisioning) or when pages
+    /// have already been written (capacity cannot shrink under data).
+    #[must_use]
+    pub fn with_fault_tolerance(mut self, spare_blocks: usize) -> Self {
+        assert!(
+            spare_blocks + 2 <= self.array.config().blocks,
+            "spare pool too large: need >= 2 non-spare blocks"
+        );
+        assert!(
+            self.state.iter().all(|s| *s == PageState::Free),
+            "enable fault tolerance before writing"
+        );
+        self.fault_tolerant = true;
+        self.spare_blocks = spare_blocks;
+        self
+    }
+
+    /// Arms crash-consistent metadata: takes a checkpoint now and
+    /// journals every subsequent metadata mutation, re-checkpointing
+    /// every `interval` controller ops (clamped to at least 1). See
+    /// [`Self::crash_image`].
+    pub fn enable_crash_consistency(&mut self, interval: u64) {
+        self.meta = Some(MetaJournal {
+            interval: interval.max(1),
+            since_checkpoint: 0,
+            checkpoint: self.meta_checkpoint(),
+            deltas: Vec::new(),
+        });
+    }
+
+    /// Builder form of [`Self::enable_crash_consistency`].
+    #[must_use]
+    pub fn with_crash_consistency(mut self, interval: u64) -> Self {
+        self.enable_crash_consistency(interval);
+        self
+    }
+
+    /// Installs (or clears) the deterministic fault plan on the wrapped
+    /// array. See [`crate::fault::FaultPlan`].
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.array.set_faults(plan);
+    }
+
+    /// Builder form of [`Self::set_faults`].
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.set_faults(plan);
+        self
+    }
+
+    /// The active fault plan, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.array.faults()
+    }
+
+    /// Whether the hardened fault-tolerant FTL is armed.
+    #[must_use]
+    pub fn fault_tolerant(&self) -> bool {
+        self.fault_tolerant
+    }
+
+    /// Whether the controller has degraded to read-only mode.
+    #[must_use]
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Spare blocks provisioned for retirements.
+    #[must_use]
+    pub fn spare_blocks(&self) -> usize {
+        self.spare_blocks
+    }
+
+    /// Blocks retired into the grown-bad table so far.
+    #[must_use]
+    pub fn retired_blocks(&self) -> usize {
+        self.bad_blocks.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether `block` is in the grown-bad table.
+    #[must_use]
+    pub fn is_block_retired(&self, block: usize) -> bool {
+        self.bad_blocks.get(block).copied().unwrap_or(false)
+    }
+
+    /// Page programs that reported a failed status so far.
+    #[must_use]
+    pub fn program_fail_count(&self) -> u64 {
+        self.program_fails
+    }
+
+    /// Whether crash-consistent metadata journaling is enabled.
+    #[must_use]
+    pub fn crash_consistent(&self) -> bool {
+        self.meta.is_some()
+    }
+
+    /// Metadata deltas journaled since the last checkpoint (0 when
+    /// crash consistency is disabled).
+    #[must_use]
+    pub fn pending_deltas(&self) -> usize {
+        self.meta.as_ref().map_or(0, |j| j.deltas.len())
     }
 
     /// The multi-plane scheduler configuration.
@@ -274,11 +723,13 @@ impl FlashController {
     }
 
     /// Logical capacity in pages: the physical page count less one
-    /// block of over-provisioning, so garbage collection always has
-    /// stale pages to harvest under steady-state rewrites.
+    /// block of over-provisioning and less the spare-block pool, so
+    /// garbage collection always has stale pages to harvest and
+    /// retirements never strand live data.
     #[must_use]
     pub fn logical_capacity(&self) -> usize {
         self.array.config().logical_pages()
+            - self.spare_blocks * self.array.config().pages_per_block
     }
 
     /// Writes `bits` to the next logical page (cycling through
@@ -289,25 +740,35 @@ impl FlashController {
     ///
     /// # Errors
     ///
-    /// Page-width mismatches, capacity exhaustion and device errors
-    /// propagate.
+    /// Page-width mismatches, capacity exhaustion,
+    /// [`ArrayError::ReadOnly`] after spare exhaustion, and device
+    /// errors propagate.
     pub fn write(&mut self, bits: &[bool]) -> Result<PageAddress> {
-        let addr = self.write_logical(self.next_lpn, bits)?;
-        self.next_lpn = (self.next_lpn + 1) % self.logical_capacity();
+        let addr = self.write_logical_core(self.next_lpn, bits)?;
+        self.set_next_lpn((self.next_lpn + 1) % self.logical_capacity());
+        self.note_op();
         Ok(addr)
     }
 
     /// Writes `bits` as the new contents of logical page `lpn`. The
     /// previous physical copy (if any) becomes stale; nothing live is
-    /// ever erased.
+    /// ever erased. In fault-tolerant mode a failed program status
+    /// retires the block and retries on an alternate one.
     ///
     /// # Errors
     ///
     /// [`ArrayError::WrongPageWidth`] for bad buffers,
     /// [`ArrayError::AddressOutOfRange`] for an `lpn` beyond the logical
     /// capacity, [`ArrayError::CapacityExhausted`] when every page holds
-    /// live data, and device errors.
+    /// live data, [`ArrayError::ReadOnly`] after spare exhaustion, and
+    /// device errors.
     pub fn write_logical(&mut self, lpn: usize, bits: &[bool]) -> Result<PageAddress> {
+        let addr = self.write_logical_core(lpn, bits)?;
+        self.note_op();
+        Ok(addr)
+    }
+
+    fn write_logical_core(&mut self, lpn: usize, bits: &[bool]) -> Result<PageAddress> {
         let cfg = self.array.config();
         if bits.len() != cfg.page_width {
             return Err(ArrayError::WrongPageWidth {
@@ -327,22 +788,57 @@ impl FlashController {
         // copy of the page. (The old copy's block therefore cannot be
         // reclaimed during this allocation — worst case that means one
         // extra GC relocation, never data loss.)
-        let addr = self.allocate()?;
-        if let Err(e) = self.array.program_page(addr.block, addr.page, bits) {
-            // Pulses were applied: the page is consumed but holds no
-            // live data. Retire it so allocation never offers it again.
-            let slot = self.slot(addr);
-            self.state[slot] = PageState::Stale;
-            return Err(e);
-        }
-        if let Some(old) = self.map[lpn].replace(addr) {
-            let slot = self.slot(old);
-            self.state[slot] = PageState::Stale;
-        }
-        let slot = self.slot(addr);
-        self.state[slot] = PageState::Live(lpn);
+        let addr = self.place_bits(bits)?;
+        self.commit_live(lpn, addr);
         gnr_telemetry::counter_add!("ftl.host_pages_written", 1);
         Ok(addr)
+    }
+
+    /// Allocates a page and programs `bits` into it, retrying on an
+    /// alternate block (and retiring the failed one) in fault-tolerant
+    /// mode. On success the page is **not** yet marked — the caller
+    /// decides live vs. relocated-stale.
+    fn place_bits(&mut self, bits: &[bool]) -> Result<PageAddress> {
+        loop {
+            let addr = self.allocate()?;
+            match self.array.program_page(addr.block, addr.page, bits) {
+                Ok(()) => return Ok(addr),
+                Err(e @ (ArrayError::VerifyFailed { .. } | ArrayError::ProgramFailed { .. }))
+                    if self.fault_tolerant =>
+                {
+                    // Pulses were applied: the page is consumed but holds
+                    // no live data. Retire the whole block — a page that
+                    // fails its program status keeps failing until the
+                    // block is erased, and a block that fails programs is
+                    // on its way out — then retry on an alternate block.
+                    let slot = self.slot(addr);
+                    self.set_state(slot, PageState::Stale);
+                    self.note_program_fail(addr);
+                    self.retire_block(addr.block)?;
+                    let _ = e;
+                }
+                Err(e) => {
+                    // Pulses were applied: the page is consumed but holds
+                    // no live data. Retire it so allocation never offers
+                    // it again.
+                    let slot = self.slot(addr);
+                    self.set_state(slot, PageState::Stale);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Marks `addr` as the live copy of `lpn`, staling the previous
+    /// copy.
+    fn commit_live(&mut self, lpn: usize, addr: PageAddress) {
+        if let Some(old) = self.map[lpn] {
+            let slot = self.slot(old);
+            self.set_state(slot, PageState::Stale);
+        }
+        self.set_map(lpn, Some(addr));
+        let slot = self.slot(addr);
+        self.set_state(slot, PageState::Live(lpn));
     }
 
     /// Writes a batch of pages through the multi-plane scheduler: the
@@ -355,49 +851,50 @@ impl FlashController {
     /// The flush boundary is reclaim/GC: those erase or relocate
     /// physical pages and must observe every pending program, so the
     /// batch splits there. Between boundaries, programs on distinct
-    /// blocks merge into rounds and the final state is bit-identical to
-    /// the sequential write sequence.
+    /// blocks merge into rounds and (absent injected faults) the final
+    /// state is bit-identical to the sequential write sequence.
     ///
-    /// # Errors
-    ///
-    /// Validation errors reject the batch up front (nothing applied).
-    /// A mid-batch device failure propagates after every already-planned
-    /// program executed or was retired, with [`Self::write_logical`]'s
-    /// guarantee intact: a failed overwrite never costs the last good
-    /// copy — the logical page is remapped back to the newest copy that
-    /// *did* verify (the pre-batch one, or an earlier in-batch rewrite),
-    /// which is physically untouched because reclaim/GC only run at
-    /// flush boundaries.
+    /// Results are index-aligned with `jobs`, mirroring
+    /// [`Self::read_batch`]: an invalid job (width or range) fails alone
+    /// without rejecting the batch, and a program failure is reported on
+    /// the job that hit it with [`Self::write_logical`]'s guarantee
+    /// intact — a failed overwrite never costs the newest copy that
+    /// *did* verify. In fault-tolerant mode failed jobs retire their
+    /// block and retry on alternates, exactly like sequential writes. A
+    /// fatal allocation error (capacity, read-only) fails the remaining
+    /// jobs with clones of it.
+    #[must_use]
     pub fn write_batch(
         &mut self,
         jobs: Vec<(Option<usize>, Vec<bool>)>,
-    ) -> Result<Vec<PageAddress>> {
+    ) -> Vec<Result<PageAddress>> {
         let _zone = gnr_telemetry::zone!("ftl.write_batch");
         gnr_telemetry::counter_add!("ftl.host_pages_written", jobs.len() as u64);
         let cfg = self.array.config();
-        for (lpn, bits) in &jobs {
-            if bits.len() != cfg.page_width {
-                return Err(ArrayError::WrongPageWidth {
-                    got: bits.len(),
-                    expected: cfg.page_width,
-                });
-            }
-            if lpn.is_some_and(|l| l >= self.logical_capacity()) {
-                return Err(ArrayError::AddressOutOfRange {
-                    kind: "logical page",
-                    index: lpn.expect("checked some"),
-                    len: self.logical_capacity(),
-                });
-            }
-        }
-        let mut addresses = Vec::with_capacity(jobs.len());
+        let mut out: Vec<Option<Result<PageAddress>>> = jobs.iter().map(|_| None).collect();
         let mut pending: Vec<PendingProgram> = Vec::new();
         // Cursor-assigned jobs plan against a *provisional* cursor;
         // `self.next_lpn` commits per job as its program verifies (in
         // flush), so a verify failure leaves the cursor on the failed
         // logical page — `write`'s retry-the-same-page contract.
         let mut cursor = self.next_lpn;
-        for (lpn, bits) in jobs {
+        let mut fatal: Option<ArrayError> = None;
+        for (job, (lpn, bits)) in jobs.into_iter().enumerate() {
+            if bits.len() != cfg.page_width {
+                out[job] = Some(Err(ArrayError::WrongPageWidth {
+                    got: bits.len(),
+                    expected: cfg.page_width,
+                }));
+                continue;
+            }
+            if lpn.is_some_and(|l| l >= self.logical_capacity()) {
+                out[job] = Some(Err(ArrayError::AddressOutOfRange {
+                    kind: "logical page",
+                    index: lpn.expect("checked some"),
+                    len: self.logical_capacity(),
+                }));
+                continue;
+            }
             let (lpn, cursor_assigned) = match lpn {
                 Some(l) => (l, false),
                 None => {
@@ -409,102 +906,183 @@ impl FlashController {
             // Reclaim/GC must see every pending program: flush first,
             // then let the ordinary allocator erase/relocate.
             let addr = match self.scan_free() {
-                Some(addr) => addr,
+                Some(addr) => Some(addr),
                 None => {
-                    self.flush_programs(&mut pending)?;
-                    self.allocate()?
+                    self.flush_programs(&mut pending, &mut out);
+                    match self.allocate() {
+                        Ok(addr) => Some(addr),
+                        Err(e) => {
+                            out[job] = Some(Err(e.clone()));
+                            fatal = Some(e);
+                            None
+                        }
+                    }
                 }
             };
+            let Some(addr) = addr else { break };
             // Optimistic lifecycle marking, in the same order the
             // sequential path would apply it, so every later allocation
             // and reclaim decision matches the sequential replay. The
             // superseded copy is remembered so a verify failure can
             // restore it — it stays physically intact until the next
             // flush boundary.
-            let prev = self.map[lpn].replace(addr);
+            let prev = self.map[lpn];
             if let Some(old) = prev {
                 let slot = self.slot(old);
-                self.state[slot] = PageState::Stale;
+                self.set_state(slot, PageState::Stale);
             }
+            self.set_map(lpn, Some(addr));
             let slot = self.slot(addr);
-            self.state[slot] = PageState::Live(lpn);
+            self.set_state(slot, PageState::Live(lpn));
             pending.push(PendingProgram {
+                job,
                 lpn,
                 prev,
                 addr,
                 bits,
                 cursor_assigned,
             });
-            addresses.push(addr);
         }
-        self.flush_programs(&mut pending)?;
-        Ok(addresses)
+        self.flush_programs(&mut pending, &mut out);
+        self.note_op();
+        out.into_iter()
+            .enumerate()
+            .map(|(job, r)| {
+                r.unwrap_or_else(|| {
+                    Err(fatal.clone().unwrap_or(ArrayError::AddressOutOfRange {
+                        kind: "batch job",
+                        index: job,
+                        len: 0,
+                    }))
+                })
+            })
+            .collect()
     }
 
-    /// Executes the pending planned programs as one scheduled stream.
+    /// Executes the pending planned programs as one scheduled stream,
+    /// writing each job's outcome into `out`.
     ///
     /// Failure handling walks the results in plan order tracking, per
     /// logical page, the newest copy that verified: on a failure the
     /// consumed page is retired stale and — when the failed copy is the
     /// currently-mapped one — the mapping rolls back to that last good
     /// copy, matching the sequential path's "a failed overwrite never
-    /// costs the only copy" guarantee.
-    fn flush_programs(&mut self, pending: &mut Vec<PendingProgram>) -> Result<()> {
+    /// costs the only copy" guarantee. In fault-tolerant mode a second
+    /// pass then retires the failed blocks and replays every failed
+    /// job's program on an alternate block (superseded same-batch
+    /// rewrites land and immediately stale, preserving plan order).
+    fn flush_programs(
+        &mut self,
+        pending: &mut Vec<PendingProgram>,
+        out: &mut [Option<Result<PageAddress>>],
+    ) {
         if pending.is_empty() {
-            return Ok(());
+            return;
         }
+        let keep_bits = self.fault_tolerant;
         let mut commands = Vec::with_capacity(pending.len());
         let mut planned = Vec::with_capacity(pending.len());
         for p in pending.drain(..) {
+            let kept = keep_bits.then(|| p.bits.clone());
             commands.push(PeCommand::Program {
                 block: p.addr.block,
                 page: p.addr.page,
                 bits: p.bits,
             });
-            planned.push((p.lpn, p.prev, p.addr, p.cursor_assigned));
+            planned.push((p.job, p.lpn, p.prev, p.addr, p.cursor_assigned, kept));
         }
         let execution = self.scheduler.execute(&mut self.array, commands);
         let mut last_good: HashMap<usize, Option<PageAddress>> = HashMap::new();
-        let mut cursor_failed = false;
-        let mut first_error = None;
-        for (result, (lpn, prev, addr, cursor_assigned)) in execution.results.iter().zip(planned) {
-            // The rotating cursor commits as its jobs verify, and stops
-            // at the first cursor-assigned failure: a retry then targets
-            // the same logical page, exactly like sequential `write`.
-            if cursor_assigned && !cursor_failed {
-                match result {
-                    Ok(_) => self.next_lpn = (lpn + 1) % self.logical_capacity(),
-                    Err(_) => cursor_failed = true,
-                }
-            }
+        let mut failed: Vec<usize> = Vec::new();
+        for (k, (result, &(job, lpn, prev, addr, _, _))) in
+            execution.results.iter().zip(&planned).enumerate()
+        {
             let good = last_good.entry(lpn).or_insert(prev);
             match result {
-                Ok(_) => *good = Some(addr),
+                Ok(_) => {
+                    *good = Some(addr);
+                    out[job] = Some(Ok(addr));
+                }
                 Err(e) => {
                     // Pulses landed but the page never verified: retire
                     // it, and if it is the live mapping, fall back to
                     // the newest verified copy of this logical page.
                     let slot = self.slot(addr);
-                    self.state[slot] = PageState::Stale;
+                    self.set_state(slot, PageState::Stale);
                     if self.map[lpn] == Some(addr) {
-                        self.map[lpn] = *good;
+                        self.set_map(lpn, *good);
                         if let Some(g) = *good {
                             let slot = self.slot(g);
-                            self.state[slot] = PageState::Live(lpn);
+                            self.set_state(slot, PageState::Live(lpn));
                         }
                     }
-                    first_error.get_or_insert_with(|| e.clone());
+                    out[job] = Some(Err(e.clone()));
+                    failed.push(k);
                 }
             }
         }
-        first_error.map_or(Ok(()), Err)
+        if self.fault_tolerant && !failed.is_empty() {
+            // The newest planned job per lpn: a retried older job must
+            // never resurrect content a later same-batch job superseded.
+            let mut newest: HashMap<usize, usize> = HashMap::new();
+            for (k, &(_, lpn, ..)) in planned.iter().enumerate() {
+                newest.insert(lpn, k);
+            }
+            for &k in &failed {
+                let (job, lpn, _, addr, _, ref kept) = planned[k];
+                let retryable = matches!(
+                    out[job],
+                    Some(Err(
+                        ArrayError::VerifyFailed { .. } | ArrayError::ProgramFailed { .. }
+                    ))
+                );
+                if !retryable {
+                    continue;
+                }
+                self.note_program_fail(addr);
+                if let Err(e) = self.retire_block(addr.block) {
+                    out[job] = Some(Err(e));
+                    continue;
+                }
+                let bits = kept.clone().expect("fault-tolerant flush keeps bits");
+                match self.place_bits(&bits) {
+                    Ok(new_addr) => {
+                        if newest[&lpn] == k {
+                            self.commit_live(lpn, new_addr);
+                        } else {
+                            // Superseded within the batch: the program
+                            // landed (plan-order page consumption, like
+                            // the sequential replay) but a newer copy is
+                            // already live.
+                            let slot = self.slot(new_addr);
+                            self.set_state(slot, PageState::Stale);
+                        }
+                        out[job] = Some(Ok(new_addr));
+                    }
+                    Err(e) => out[job] = Some(Err(e)),
+                }
+            }
+        }
+        // The rotating cursor commits as its jobs (finally) succeed, and
+        // stops at the first cursor-assigned failure: a retry then
+        // targets the same logical page, exactly like sequential
+        // `write`.
+        for &(job, lpn, _, _, cursor_assigned, _) in &planned {
+            if !cursor_assigned {
+                continue;
+            }
+            match out[job] {
+                Some(Ok(_)) => self.set_next_lpn((lpn + 1) % self.logical_capacity()),
+                _ => break,
+            }
+        }
     }
 
     /// Reads a batch of logical pages through the multi-plane scheduler.
     /// Results are index-aligned with `lpns`; unmapped or out-of-range
     /// logical pages return [`ArrayError::AddressOutOfRange`] per entry
     /// (the read-miss contract of [`Self::read_logical`]) without
-    /// aborting the batch.
+    /// aborting the batch. Reads keep working in read-only mode.
     #[must_use]
     pub fn read_batch(&mut self, lpns: &[usize]) -> Vec<Result<Vec<bool>>> {
         let _zone = gnr_telemetry::zone!("ftl.read_batch");
@@ -572,22 +1150,104 @@ impl FlashController {
 
     /// Explicitly erases a block. Live pages in it are lost — their
     /// logical mappings are cleared — so this is the caller's
-    /// data-destroying escape hatch, not the reclaim path.
+    /// data-destroying escape hatch, not the reclaim path. In
+    /// fault-tolerant mode a grown-bad erase status retires the block
+    /// instead of failing (the destructive contract is honoured either
+    /// way).
     ///
     /// # Errors
     ///
-    /// Address errors and device errors propagate.
+    /// Address and device errors propagate; [`ArrayError::ReadOnly`]
+    /// when the controller has degraded to read-only.
     pub fn erase_block(&mut self, block: usize) -> Result<()> {
-        self.array.erase_block(block)?;
-        let cfg = self.array.config();
-        for page in 0..cfg.pages_per_block {
-            let slot = block * cfg.pages_per_block + page;
-            if let PageState::Live(lpn) = self.state[slot] {
-                self.map[lpn] = None;
-            }
-            self.state[slot] = PageState::Free;
+        if self.read_only {
+            return Err(ArrayError::ReadOnly);
         }
+        let cfg = self.array.config();
+        match self.array.erase_block(block) {
+            Ok(()) => {
+                for page in 0..cfg.pages_per_block {
+                    let slot = block * cfg.pages_per_block + page;
+                    if let PageState::Live(lpn) = self.state[slot] {
+                        self.set_map(lpn, None);
+                    }
+                    self.set_state(slot, PageState::Free);
+                }
+            }
+            Err(ArrayError::BlockRetired { .. }) if self.fault_tolerant => {
+                // The medium refused the erase. The caller asked for the
+                // data to go away, so clear the mappings, then retire
+                // the grown-bad block (parking its slots stale).
+                for page in 0..cfg.pages_per_block {
+                    let slot = block * cfg.pages_per_block + page;
+                    if let PageState::Live(lpn) = self.state[slot] {
+                        self.set_map(lpn, None);
+                    }
+                    self.set_state(slot, PageState::Stale);
+                }
+                self.retire_block(block)?;
+            }
+            Err(e) => return Err(e),
+        }
+        self.note_op();
         Ok(())
+    }
+
+    /// Retires `block` into the grown-bad table: relocates its live
+    /// pages to healthy blocks, parks every slot stale so no allocator
+    /// path ever offers it again, and consumes one spare. Idempotent —
+    /// retiring an already-retired block is a no-op returning `Ok(0)`.
+    ///
+    /// Returns the number of live pages relocated.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::ReadOnly`] when the spare pool cannot absorb
+    /// another retirement (the controller degrades to read-only; live
+    /// pages stay readable in place — grown-bad blocks fail erase, not
+    /// read). Address and device errors propagate.
+    pub fn retire_block(&mut self, block: usize) -> Result<usize> {
+        let cfg = self.array.config();
+        if block >= cfg.blocks {
+            return Err(ArrayError::AddressOutOfRange {
+                kind: "block",
+                index: block,
+                len: cfg.blocks,
+            });
+        }
+        if self.bad_blocks[block] {
+            return Ok(0);
+        }
+        if self.retired_blocks() >= self.spare_blocks {
+            self.enter_read_only();
+            return Err(ArrayError::ReadOnly);
+        }
+        self.mark_retired(block);
+        let first = block * cfg.pages_per_block;
+        // Park the free slots first so no relocation below can allocate
+        // into the dying block.
+        for page in 0..cfg.pages_per_block {
+            if self.state[first + page] == PageState::Free {
+                self.set_state(first + page, PageState::Stale);
+            }
+        }
+        let mut relocated = 0usize;
+        for page in 0..cfg.pages_per_block {
+            if let PageState::Live(lpn) = self.state[first + page] {
+                // Grown-bad blocks refuse erase, not read: the live copy
+                // is intact and movable.
+                let bits = self.array.read_page(block, page)?;
+                let addr = self.place_bits(&bits)?;
+                self.commit_live(lpn, addr);
+                relocated += 1;
+            }
+        }
+        gnr_telemetry::counter_add!("ftl.blocks_retired", 1);
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::BlockRetired {
+            block: block as u64,
+            relocated: relocated as u64,
+        });
+        Ok(relocated)
     }
 
     /// Wear statistics.
@@ -620,7 +1280,8 @@ impl FlashController {
     /// `recipe` (see [`NandArray::run_epoch`]) and resets the page
     /// lifecycle to match: the epoch ends with every page physically
     /// erased, so all logical mappings are dropped, every slot returns
-    /// to `Free` and the allocation scan restarts at slot 0. Wear state
+    /// to `Free` and the allocation scan restarts at slot 0. Retired
+    /// blocks stay retired — their slots re-park stale. Wear state
     /// (injected charge, op counters, per-block erase counts) carries
     /// the epoch's ageing forward — this is the time-scale-jumping
     /// primitive endurance campaigns alternate with full-fidelity
@@ -638,46 +1299,78 @@ impl FlashController {
         gnr_telemetry::counter_add!("ftl.epoch_jumps", 1);
         gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::EpochJump { cycles });
         let report = self.array.run_epoch(recipe, cycles)?;
-        self.map.fill(None);
-        self.state.fill(PageState::Free);
-        self.next_slot = 0;
+        self.meta_reset();
+        let cfg = self.array.config();
+        for block in 0..cfg.blocks {
+            if self.bad_blocks[block] {
+                let first = block * cfg.pages_per_block;
+                for slot in first..first + cfg.pages_per_block {
+                    self.set_state(slot, PageState::Stale);
+                }
+            }
+        }
+        self.note_op();
         Ok(report)
     }
 
-    /// Captures the controller's full serializable state: array state,
-    /// logical map, page lifecycle, allocation cursors, wear-reason
-    /// counters and scheduler configuration (see [`ControllerSnapshot`]).
+    /// Captures the controller's full serializable state: array state
+    /// plus the FTL metadata (see [`ControllerSnapshot`]).
     ///
     /// Snapshots are only taken *between* operations, so there is no
     /// pending-program state to capture — batched writes flush inside
     /// one [`Self::write_batch`] call.
     #[must_use]
-    #[allow(clippy::cast_possible_wrap)]
     pub fn snapshot(&self) -> ControllerSnapshot {
-        let ppb = self.array.config().pages_per_block;
         ControllerSnapshot {
             array: self.array.snapshot_state(),
+            meta: self.meta_checkpoint(),
+        }
+    }
+
+    /// Encodes the current metadata as a checkpoint.
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    fn meta_checkpoint(&self) -> MetaCheckpoint {
+        let ppb = self.array.config().pages_per_block;
+        MetaCheckpoint {
             map: self
                 .map
                 .iter()
                 .map(|addr| addr.map_or(-1, |a| (a.block * ppb + a.page) as i64))
                 .collect(),
-            state: self
-                .state
-                .iter()
-                .map(|s| match s {
-                    PageState::Free => -1,
-                    PageState::Stale => -2,
-                    PageState::Live(lpn) => *lpn as i64,
-                })
-                .collect(),
+            state: self.state.iter().map(|&s| state_code(s)).collect(),
             next_slot: self.next_slot as u64,
             next_lpn: self.next_lpn as u64,
             reclaim_erases: self.reclaim_erases,
             gc_erases: self.gc_erases,
             gc_relocations: self.gc_relocations,
             planes: self.scheduler.planes() as u64,
+            bad_blocks: self.bad_blocks.clone(),
+            spare_blocks: self.spare_blocks as u64,
+            fault_tolerant: self.fault_tolerant,
+            read_only: self.read_only,
+            program_fails: self.program_fails,
         }
+    }
+
+    /// Captures everything that survives a power cut: the array medium
+    /// plus the last metadata checkpoint and the deltas journaled since
+    /// it. See [`CrashImage`].
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] when crash consistency was never
+    /// enabled ([`Self::enable_crash_consistency`]).
+    pub fn crash_image(&self) -> Result<CrashImage> {
+        let journal = self.meta.as_ref().ok_or_else(|| {
+            ArrayError::Snapshot("crash consistency is not enabled on this controller".into())
+        })?;
+        Ok(CrashImage {
+            array: self.array.snapshot_state(),
+            checkpoint: journal.checkpoint.clone(),
+            deltas: journal.deltas.clone(),
+            interval: journal.interval,
+        })
     }
 
     /// Rebuilds a controller from a device blueprint and a snapshot —
@@ -693,7 +1386,8 @@ impl FlashController {
         blueprint: FloatingGateTransistor,
         snapshot: ControllerSnapshot,
     ) -> Result<Self> {
-        Self::finish_restore(snapshot, |array| NandArray::restore_state(blueprint, array))
+        let array = NandArray::restore_state(blueprint, snapshot.array)?;
+        Self::finish_restore(array, &snapshot.meta)
     }
 
     /// Rebuilds a controller from a device backend and a snapshot — the
@@ -707,16 +1401,68 @@ impl FlashController {
     /// [`ArrayError::UnsupportedBackend`] when a PCM backend is given a
     /// snapshot carrying floating-gate variation deltas.
     pub fn restore_backend(backend: &CellBackend, snapshot: ControllerSnapshot) -> Result<Self> {
-        Self::finish_restore(snapshot, |array| {
-            NandArray::restore_state_backend(backend, array)
-        })
+        let array = NandArray::restore_state_backend(backend, snapshot.array)?;
+        Self::finish_restore(array, &snapshot.meta)
     }
 
-    fn finish_restore(
-        snapshot: ControllerSnapshot,
-        restore_array: impl FnOnce(ArraySnapshot) -> Result<NandArray>,
-    ) -> Result<Self> {
-        let array = restore_array(snapshot.array)?;
+    fn finish_restore(array: NandArray, meta: &MetaCheckpoint) -> Result<Self> {
+        let controller = Self::from_parts(array, meta)?;
+        // The digest is a full-state fold — only pay for it when the
+        // journal will actually keep the event.
+        if gnr_telemetry::enabled() {
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::CheckpointRestore {
+                digest: controller.state_digest(),
+            });
+        }
+        Ok(controller)
+    }
+
+    /// Recovers a controller from a power-loss [`CrashImage`]: restores
+    /// the array medium, applies the metadata checkpoint, replays the
+    /// journaled deltas, and re-arms a fresh journal at the same
+    /// cadence. The recovered controller is digest-identical to the one
+    /// that lost power.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::Snapshot`] on shape mismatches or out-of-range
+    /// encodings; array restore errors propagate.
+    pub fn recover(blueprint: FloatingGateTransistor, image: &CrashImage) -> Result<Self> {
+        let array = NandArray::restore_state(blueprint, image.array.clone())?;
+        Self::finish_recover(array, image)
+    }
+
+    /// Backend-polymorphic sibling of [`Self::recover`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::recover`]; additionally
+    /// [`ArrayError::UnsupportedBackend`] when a PCM backend is given an
+    /// image carrying floating-gate variation deltas.
+    pub fn recover_backend(backend: &CellBackend, image: &CrashImage) -> Result<Self> {
+        let array = NandArray::restore_state_backend(backend, image.array.clone())?;
+        Self::finish_recover(array, image)
+    }
+
+    fn finish_recover(array: NandArray, image: &CrashImage) -> Result<Self> {
+        let mut controller = Self::from_parts(array, &image.checkpoint)?;
+        for delta in &image.deltas {
+            controller.apply_delta(delta)?;
+        }
+        controller.meta = Some(MetaJournal {
+            interval: image.interval.max(1),
+            since_checkpoint: 0,
+            checkpoint: controller.meta_checkpoint(),
+            deltas: Vec::new(),
+        });
+        gnr_telemetry::counter_add!("ftl.recoveries", 1);
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::RecoveryReplay {
+            deltas: image.deltas.len() as u64,
+        });
+        Ok(controller)
+    }
+
+    fn from_parts(array: NandArray, meta: &MetaCheckpoint) -> Result<Self> {
         let config = array.config();
         if config.blocks < 2 {
             return Err(ArrayError::Snapshot(
@@ -724,21 +1470,32 @@ impl FlashController {
             ));
         }
         let pages = config.pages();
-        let logical = config.logical_pages();
-        if snapshot.map.len() != pages {
+        let spare_blocks = usize::try_from(meta.spare_blocks)
+            .ok()
+            .filter(|&s| s + 2 <= config.blocks)
+            .ok_or_else(|| ArrayError::Snapshot(format!("bad spare pool {}", meta.spare_blocks)))?;
+        let logical = config.logical_pages() - spare_blocks * config.pages_per_block;
+        if meta.map.len() != pages {
             return Err(ArrayError::Snapshot(format!(
                 "map has {} entries, shape wants {pages}",
-                snapshot.map.len()
+                meta.map.len()
             )));
         }
-        if snapshot.state.len() != pages {
+        if meta.state.len() != pages {
             return Err(ArrayError::Snapshot(format!(
                 "state has {} entries, shape wants {pages}",
-                snapshot.state.len()
+                meta.state.len()
+            )));
+        }
+        if meta.bad_blocks.len() != config.blocks {
+            return Err(ArrayError::Snapshot(format!(
+                "bad-block table has {} entries, shape wants {}",
+                meta.bad_blocks.len(),
+                config.blocks
             )));
         }
         let ppb = config.pages_per_block;
-        let map = snapshot
+        let map = meta
             .map
             .iter()
             .map(|&slot| match slot {
@@ -750,7 +1507,7 @@ impl FlashController {
                 s => Err(ArrayError::Snapshot(format!("bad map slot {s}"))),
             })
             .collect::<Result<Vec<Option<PageAddress>>>>()?;
-        let state = snapshot
+        let state = meta
             .state
             .iter()
             .map(|&s| match s {
@@ -766,38 +1523,113 @@ impl FlashController {
                 .filter(|&c| c <= len)
                 .ok_or_else(|| ArrayError::Snapshot(format!("bad cursor `{name}` = {v}")))
         };
-        let planes = usize::try_from(snapshot.planes)
+        let planes = usize::try_from(meta.planes)
             .ok()
             .filter(|&p| p > 0)
-            .ok_or_else(|| ArrayError::Snapshot(format!("bad plane count {}", snapshot.planes)))?;
-        let controller = Self {
+            .ok_or_else(|| ArrayError::Snapshot(format!("bad plane count {}", meta.planes)))?;
+        Ok(Self {
             array,
             map,
             state,
-            next_slot: cursor("next_slot", snapshot.next_slot, pages)?,
-            next_lpn: cursor("next_lpn", snapshot.next_lpn, logical)?,
-            reclaim_erases: snapshot.reclaim_erases,
-            gc_erases: snapshot.gc_erases,
-            gc_relocations: snapshot.gc_relocations,
+            next_slot: cursor("next_slot", meta.next_slot, pages)?,
+            next_lpn: cursor("next_lpn", meta.next_lpn, logical)?,
+            reclaim_erases: meta.reclaim_erases,
+            gc_erases: meta.gc_erases,
+            gc_relocations: meta.gc_relocations,
             scheduler: PlaneScheduler::new(planes),
-        };
-        // The digest is a full-state fold — only pay for it when the
-        // journal will actually keep the event.
-        if gnr_telemetry::enabled() {
-            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::CheckpointRestore {
-                digest: controller.state_digest(),
-            });
+            fault_tolerant: meta.fault_tolerant,
+            bad_blocks: meta.bad_blocks.clone(),
+            spare_blocks,
+            read_only: meta.read_only,
+            program_fails: meta.program_fails,
+            meta: None,
+        })
+    }
+
+    /// Replays one journaled delta onto the live metadata. Used only
+    /// during recovery (the journal is not armed yet, so nothing is
+    /// re-journaled).
+    fn apply_delta(&mut self, delta: &MetaDelta) -> Result<()> {
+        let cfg = self.array.config();
+        let pages = cfg.pages();
+        let logical = self.logical_capacity();
+        let bad = |what: &str, v: i64| ArrayError::Snapshot(format!("bad delta {what} {v}"));
+        match *delta {
+            MetaDelta::MapSet { lpn, slot } => {
+                let lpn = usize::try_from(lpn)
+                    .ok()
+                    .filter(|&l| l < logical)
+                    .ok_or_else(|| ArrayError::Snapshot(format!("bad delta lpn {lpn}")))?;
+                self.map[lpn] = match slot {
+                    -1 => None,
+                    s if s >= 0 && (s as usize) < pages => Some(PageAddress {
+                        block: s as usize / cfg.pages_per_block,
+                        page: s as usize % cfg.pages_per_block,
+                    }),
+                    s => return Err(bad("map slot", s)),
+                };
+            }
+            MetaDelta::StateSet { slot, code } => {
+                let slot = usize::try_from(slot)
+                    .ok()
+                    .filter(|&s| s < pages)
+                    .ok_or_else(|| ArrayError::Snapshot(format!("bad delta slot {slot}")))?;
+                self.state[slot] = match code {
+                    -1 => PageState::Free,
+                    -2 => PageState::Stale,
+                    lpn if lpn >= 0 && (lpn as usize) < logical => PageState::Live(lpn as usize),
+                    c => return Err(bad("state code", c)),
+                };
+            }
+            MetaDelta::NextSlot { value } => {
+                self.next_slot = usize::try_from(value)
+                    .ok()
+                    .filter(|&c| c <= pages)
+                    .ok_or_else(|| ArrayError::Snapshot(format!("bad delta cursor {value}")))?;
+            }
+            MetaDelta::NextLpn { value } => {
+                self.next_lpn = usize::try_from(value)
+                    .ok()
+                    .filter(|&c| c <= logical)
+                    .ok_or_else(|| ArrayError::Snapshot(format!("bad delta cursor {value}")))?;
+            }
+            MetaDelta::Counters {
+                reclaim_erases,
+                gc_erases,
+                gc_relocations,
+                program_fails,
+            } => {
+                self.reclaim_erases = reclaim_erases;
+                self.gc_erases = gc_erases;
+                self.gc_relocations = gc_relocations;
+                self.program_fails = program_fails;
+            }
+            MetaDelta::BlockRetired { block } => {
+                let block = usize::try_from(block)
+                    .ok()
+                    .filter(|&b| b < cfg.blocks)
+                    .ok_or_else(|| ArrayError::Snapshot(format!("bad delta block {block}")))?;
+                self.bad_blocks[block] = true;
+            }
+            MetaDelta::ReadOnly => self.read_only = true,
+            MetaDelta::MetaReset => {
+                self.map.fill(None);
+                self.state.fill(PageState::Free);
+                self.next_slot = 0;
+            }
         }
-        Ok(controller)
+        Ok(())
     }
 
     /// FNV-1a digest over the controller's *complete* state: every
     /// population column (charge, wear, op counters, variation deltas),
     /// page flags, per-block erase counts, the logical map, page
-    /// lifecycle, allocation cursors and wear-reason counters. Two
-    /// controllers with equal digests continue any workload
-    /// bit-identically — the restore-equals-uninterrupted assertion of
-    /// checkpointed campaigns compares exactly this.
+    /// lifecycle, allocation cursors, wear-reason counters and the
+    /// fault-tolerance bookkeeping (grown-bad table, spare pool,
+    /// read-only flag, program-fail count). Two controllers with equal
+    /// digests continue any workload bit-identically — the
+    /// restore-equals-uninterrupted assertion of checkpointed campaigns
+    /// and the crash-recovery sweep compares exactly this.
     #[must_use]
     #[allow(clippy::cast_possible_wrap)]
     pub fn state_digest(&self) -> u64 {
@@ -832,13 +1664,8 @@ impl FlashController {
             let slot: i64 = addr.map_or(-1, |a| (a.block * ppb + a.page) as i64);
             h = fnv1a_fold_bytes(h, &slot.to_le_bytes());
         }
-        for s in &self.state {
-            let code: i64 = match s {
-                PageState::Free => -1,
-                PageState::Stale => -2,
-                PageState::Live(lpn) => *lpn as i64,
-            };
-            h = fnv1a_fold_bytes(h, &code.to_le_bytes());
+        for &s in &self.state {
+            h = fnv1a_fold_bytes(h, &state_code(s).to_le_bytes());
         }
         for v in [
             self.next_slot as u64,
@@ -846,8 +1673,17 @@ impl FlashController {
             self.reclaim_erases,
             self.gc_erases,
             self.gc_relocations,
+            self.program_fails,
+            self.spare_blocks as u64,
         ] {
             h = fnv1a_fold_bytes(h, &v.to_le_bytes());
+        }
+        h = fnv1a_fold_bytes(
+            h,
+            &[u8::from(self.fault_tolerant), u8::from(self.read_only)],
+        );
+        for &b in &self.bad_blocks {
+            h = fnv1a_fold_bytes(h, &[u8::from(b)]);
         }
         h
     }
@@ -882,46 +1718,184 @@ impl FlashController {
         addr.block * self.array.config().pages_per_block + addr.page
     }
 
-    /// Finds a free page, reclaiming or garbage-collecting when none is
-    /// left. Advances the round-robin scan pointer on success.
-    fn allocate(&mut self) -> Result<PageAddress> {
-        if let Some(addr) = self.scan_free() {
-            return Ok(addr);
+    // ---- journaled metadata mutation helpers -------------------------
+    //
+    // Every mutation of the volatile metadata goes through these, so the
+    // crash-consistency delta log is complete by construction. All
+    // deltas carry absolute values (idempotent replay).
+
+    #[allow(clippy::cast_possible_wrap)]
+    fn set_map(&mut self, lpn: usize, addr: Option<PageAddress>) {
+        let ppb = self.array.config().pages_per_block;
+        self.map[lpn] = addr;
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::MapSet {
+                lpn: lpn as u64,
+                slot: addr.map_or(-1, |a| (a.block * ppb + a.page) as i64),
+            });
         }
-        // No free page anywhere. Cheap path first: a fully-consumed
-        // block (all pages written, none live) — erase the least worn.
-        if let Some(block) = self.reclaim_candidate() {
-            self.array.erase_block(block)?;
-            self.reclaim_erases += 1;
-            gnr_telemetry::counter_add!("ftl.reclaims", 1);
-            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::Reclaim {
+    }
+
+    fn set_state(&mut self, slot: usize, s: PageState) {
+        self.state[slot] = s;
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::StateSet {
+                slot: slot as u64,
+                code: state_code(s),
+            });
+        }
+    }
+
+    fn set_next_slot(&mut self, value: usize) {
+        self.next_slot = value;
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::NextSlot {
+                value: value as u64,
+            });
+        }
+    }
+
+    fn set_next_lpn(&mut self, value: usize) {
+        self.next_lpn = value;
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::NextLpn {
+                value: value as u64,
+            });
+        }
+    }
+
+    fn journal_counters(&mut self) {
+        let delta = MetaDelta::Counters {
+            reclaim_erases: self.reclaim_erases,
+            gc_erases: self.gc_erases,
+            gc_relocations: self.gc_relocations,
+            program_fails: self.program_fails,
+        };
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(delta);
+        }
+    }
+
+    fn mark_retired(&mut self, block: usize) {
+        self.bad_blocks[block] = true;
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::BlockRetired {
                 block: block as u64,
             });
-            self.free_block_state(block);
-            return self.scan_free().ok_or(ArrayError::AddressOutOfRange {
-                kind: "free page",
-                index: 0,
-                len: 0,
-            });
         }
-        // GC: buffer the live pages of the least-live victim, erase it,
-        // and reprogram them in place.
-        self.collect_garbage()?;
-        self.scan_free().ok_or(ArrayError::AddressOutOfRange {
-            kind: "free page",
-            index: 0,
-            len: 0,
+    }
+
+    fn enter_read_only(&mut self) {
+        if self.read_only {
+            return;
+        }
+        self.read_only = true;
+        gnr_telemetry::counter_add!("ftl.read_only_entries", 1);
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::ReadOnly);
+        }
+    }
+
+    fn meta_reset(&mut self) {
+        self.map.fill(None);
+        self.state.fill(PageState::Free);
+        self.next_slot = 0;
+        if let Some(journal) = self.meta.as_mut() {
+            journal.deltas.push(MetaDelta::MetaReset);
+        }
+    }
+
+    fn note_program_fail(&mut self, addr: PageAddress) {
+        self.program_fails += 1;
+        self.journal_counters();
+        gnr_telemetry::counter_add!("ftl.program_fails", 1);
+        gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::ProgramFail {
+            block: addr.block as u64,
+            page: addr.page as u64,
+        });
+    }
+
+    /// Counts one completed controller op toward the checkpoint cadence
+    /// and re-checkpoints when it is due (resetting the delta log).
+    fn note_op(&mut self) {
+        let due = match self.meta.as_mut() {
+            Some(journal) => {
+                journal.since_checkpoint += 1;
+                journal.since_checkpoint >= journal.interval
+            }
+            None => false,
+        };
+        if due {
+            let checkpoint = self.meta_checkpoint();
+            if let Some(journal) = self.meta.as_mut() {
+                journal.checkpoint = checkpoint;
+                journal.deltas.clear();
+                journal.since_checkpoint = 0;
+            }
+            gnr_telemetry::counter_add!("ftl.meta_checkpoints", 1);
+        }
+    }
+
+    // ---- allocation, reclaim and garbage collection ------------------
+
+    /// Finds a free page, reclaiming or garbage-collecting when none is
+    /// left. Advances the round-robin scan pointer on success. In
+    /// fault-tolerant mode, blocks whose erase reports a grown-bad
+    /// status are retired and the search continues.
+    fn allocate(&mut self) -> Result<PageAddress> {
+        if self.read_only {
+            return Err(ArrayError::ReadOnly);
+        }
+        // Bounded loop: every round either returns, frees pages, or
+        // retires a block (bounded by the spare pool, then read-only).
+        for _ in 0..=2 * self.array.config().blocks + 2 {
+            if let Some(addr) = self.scan_free() {
+                return Ok(addr);
+            }
+            // No free page anywhere. Cheap path first: a fully-consumed
+            // block (all pages written, none live) — erase the least
+            // worn.
+            if let Some(block) = self.reclaim_candidate() {
+                match self.array.erase_block(block) {
+                    Ok(()) => {
+                        self.reclaim_erases += 1;
+                        self.journal_counters();
+                        gnr_telemetry::counter_add!("ftl.reclaims", 1);
+                        gnr_telemetry::journal::record(
+                            gnr_telemetry::journal::EventKind::Reclaim {
+                                block: block as u64,
+                            },
+                        );
+                        self.free_block_state(block);
+                    }
+                    Err(ArrayError::BlockRetired { .. }) if self.fault_tolerant => {
+                        // Fully-stale block grew bad on its reclaim
+                        // erase: nothing live to relocate, just retire.
+                        self.retire_block(block)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+            // GC: buffer the live pages of the least-live victim, erase
+            // it, and reprogram them in place.
+            self.collect_garbage()?;
+        }
+        Err(ArrayError::CapacityExhausted {
+            live_pages: self.live_pages(),
+            capacity: self.array.config().pages(),
         })
     }
 
-    /// Round-robin scan for the next free page.
+    /// Round-robin scan for the next free page, skipping retired
+    /// blocks.
     fn scan_free(&mut self) -> Option<PageAddress> {
         let cfg = self.array.config();
         let pages = cfg.pages();
         for off in 0..pages {
             let slot = (self.next_slot + off) % pages;
-            if self.state[slot] == PageState::Free {
-                self.next_slot = (slot + 1) % pages;
+            if self.state[slot] == PageState::Free && !self.bad_blocks[slot / cfg.pages_per_block] {
+                self.set_next_slot((slot + 1) % pages);
                 return Some(PageAddress {
                     block: slot / cfg.pages_per_block,
                     page: slot % cfg.pages_per_block,
@@ -932,15 +1906,16 @@ impl FlashController {
     }
 
     /// The least-worn fully-consumed block, if any: every page written,
-    /// zero live.
+    /// zero live, not retired.
     fn reclaim_candidate(&self) -> Option<usize> {
         let cfg = self.array.config();
         (0..cfg.blocks)
             .filter(|&b| {
                 let first = b * cfg.pages_per_block;
-                self.state[first..first + cfg.pages_per_block]
-                    .iter()
-                    .all(|s| *s == PageState::Stale)
+                !self.bad_blocks[b]
+                    && self.state[first..first + cfg.pages_per_block]
+                        .iter()
+                        .all(|s| *s == PageState::Stale)
             })
             .min_by_key(|&b| self.array.erase_count(b).unwrap_or(u64::MAX))
     }
@@ -955,12 +1930,18 @@ impl FlashController {
     /// verify) can lose the affected survivors — their mappings are
     /// *cleared* before the error propagates, so no logical page is
     /// ever left pointing at a freed or reallocated physical page; the
-    /// loss is visible as a read miss, never as aliased data.
+    /// loss is visible as a read miss, never as aliased data. In
+    /// fault-tolerant mode nothing is lost at all: a grown-bad erase or
+    /// a dried-out reprogram retires the victim and places the
+    /// survivors on healthy blocks instead.
     fn collect_garbage(&mut self) -> Result<()> {
         let _zone = gnr_telemetry::zone!("ftl.gc");
         let cfg = self.array.config();
         let victim = (0..cfg.blocks)
             .filter_map(|b| {
+                if self.bad_blocks[b] {
+                    return None; // retired — never a GC victim
+                }
                 let first = b * cfg.pages_per_block;
                 let states = &self.state[first..first + cfg.pages_per_block];
                 if states.contains(&PageState::Free) {
@@ -991,15 +1972,42 @@ impl FlashController {
                 // here until each survivor is reprogrammed, its map
                 // entry is cleared so a failure cannot leave it
                 // pointing at a page about to be erased or reassigned.
-                self.state[first + page] = PageState::Stale;
-                self.map[lpn] = None;
+                self.set_state(first + page, PageState::Stale);
+                self.set_map(lpn, None);
             }
         }
-        // On erase failure the buffered survivors are the only copies
-        // and there is nowhere safe to put them: they surface as read
-        // misses (mappings already cleared), never as aliased data.
-        self.array.erase_block(victim)?;
+        match self.array.erase_block(victim) {
+            Ok(()) => {}
+            Err(ArrayError::BlockRetired { .. }) if self.fault_tolerant => {
+                // The medium refused the erase, so the victim's cells —
+                // and the buffered survivors' originals — are intact.
+                // Retire the victim and place the survivors on healthy
+                // blocks instead.
+                self.retire_block(victim)?;
+                for (lpn, bits) in survivors {
+                    let addr = self.place_bits(&bits)?;
+                    self.commit_live(lpn, addr);
+                    self.gc_relocations += 1;
+                    self.journal_counters();
+                    gnr_telemetry::counter_add!("ftl.gc.relocations", 1);
+                    gnr_telemetry::journal::record(
+                        gnr_telemetry::journal::EventKind::GcRelocation {
+                            lpn: lpn as u64,
+                            block: addr.block as u64,
+                            page: addr.page as u64,
+                        },
+                    );
+                }
+                return Ok(());
+            }
+            // On erase failure the buffered survivors are the only
+            // copies and there is nowhere safe to put them: they
+            // surface as read misses (mappings already cleared), never
+            // as aliased data.
+            Err(e) => return Err(e),
+        }
         self.gc_erases += 1;
+        self.journal_counters();
         gnr_telemetry::counter_add!("ftl.gc.erases", 1);
         gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::GcErase {
             block: victim as u64,
@@ -1007,27 +2015,33 @@ impl FlashController {
         });
         self.free_block_state(victim);
         let mut page = 0usize;
-        for (lpn, bits) in survivors {
+        for (idx, (lpn, bits)) in survivors.iter().enumerate() {
             // A verify failure consumes a page (pulses were applied):
             // retire it and retry the survivor on the next page. Only a
             // survivor that runs out of pages is lost — and it is lost
-            // *cleanly*, its mapping already cleared above.
+            // *cleanly*, its mapping already cleared above. In
+            // fault-tolerant mode a dried-out victim is retired instead
+            // and the remaining survivors placed on healthy blocks.
             let mut last_error = None;
             let mut placed = false;
             while page < cfg.pages_per_block {
                 let slot = first + page;
-                match self.array.program_page(victim, page, &bits) {
+                match self.array.program_page(victim, page, bits) {
                     Ok(()) => {
-                        self.state[slot] = PageState::Live(lpn);
-                        self.map[lpn] = Some(PageAddress {
-                            block: victim,
-                            page,
-                        });
+                        self.set_state(slot, PageState::Live(*lpn));
+                        self.set_map(
+                            *lpn,
+                            Some(PageAddress {
+                                block: victim,
+                                page,
+                            }),
+                        );
                         self.gc_relocations += 1;
+                        self.journal_counters();
                         gnr_telemetry::counter_add!("ftl.gc.relocations", 1);
                         gnr_telemetry::journal::record(
                             gnr_telemetry::journal::EventKind::GcRelocation {
-                                lpn: lpn as u64,
+                                lpn: *lpn as u64,
                                 block: victim as u64,
                                 page: page as u64,
                             },
@@ -1037,13 +2051,41 @@ impl FlashController {
                         break;
                     }
                     Err(e) => {
-                        self.state[slot] = PageState::Stale;
+                        self.set_state(slot, PageState::Stale);
+                        if self.fault_tolerant {
+                            self.note_program_fail(PageAddress {
+                                block: victim,
+                                page,
+                            });
+                        }
                         last_error = Some(e);
                         page += 1;
                     }
                 }
             }
             if !placed {
+                if self.fault_tolerant {
+                    // The freshly-erased victim would not take its own
+                    // survivors back: it is done. Retire it (relocating
+                    // any survivors already placed back in) and place
+                    // the rest on healthy blocks.
+                    self.retire_block(victim)?;
+                    for (lpn, bits) in &survivors[idx..] {
+                        let addr = self.place_bits(bits)?;
+                        self.commit_live(*lpn, addr);
+                        self.gc_relocations += 1;
+                        self.journal_counters();
+                        gnr_telemetry::counter_add!("ftl.gc.relocations", 1);
+                        gnr_telemetry::journal::record(
+                            gnr_telemetry::journal::EventKind::GcRelocation {
+                                lpn: *lpn as u64,
+                                block: addr.block as u64,
+                                page: addr.page as u64,
+                            },
+                        );
+                    }
+                    return Ok(());
+                }
                 return Err(last_error.expect("loop only exits dry after an error"));
             }
         }
@@ -1058,11 +2100,11 @@ impl FlashController {
                 !matches!(self.state[slot], PageState::Live(_)),
                 "reclaim must never erase live pages"
             );
-            self.state[slot] = PageState::Free;
+            self.set_state(slot, PageState::Free);
         }
         // Start the next allocation scan in the reclaimed block so the
         // round-robin keeps levelling wear.
-        self.next_slot = first;
+        self.set_next_slot(first);
     }
 }
 
@@ -1070,6 +2112,7 @@ impl FlashController {
 mod tests {
     use super::*;
     use crate::ArrayError;
+    use gnr_flash::device::FloatingGateTransistor;
 
     fn controller() -> FlashController {
         FlashController::new(NandConfig {
@@ -1251,11 +2294,11 @@ mod tests {
         assert_eq!(c.live_logical_pages(), vec![0, 2]);
     }
 
-    /// A 2×2×4 controller whose page (0, 1) cells carry +30 % tunnel
-    /// oxide — nominal ISPP deterministically fails verify on them.
-    fn controller_with_bad_page() -> FlashController {
+    /// A controller whose page (0, 1) cells carry +30 % tunnel oxide —
+    /// nominal ISPP deterministically fails verify on them.
+    fn controller_with_bad_page_over(blocks: usize) -> FlashController {
         let config = NandConfig {
-            blocks: 2,
+            blocks,
             pages_per_block: 2,
             page_width: 4,
         };
@@ -1268,6 +2311,10 @@ mod tests {
         FlashController::over(NandArray::with_population(config, pop))
     }
 
+    fn controller_with_bad_page() -> FlashController {
+        controller_with_bad_page_over(2)
+    }
+
     #[test]
     fn batched_write_failure_keeps_the_pre_batch_copy() {
         // Regression: plan-time remapping must not cost the last good
@@ -1275,11 +2322,14 @@ mod tests {
         // write_logical documents, now preserved across flush rollback.
         let mut c = controller_with_bad_page();
         let data = vec![false, true, false, true];
-        let first = c.write_batch(vec![(Some(0), data.clone())]).unwrap();
-        assert_eq!(first, vec![PageAddress { block: 0, page: 0 }]);
+        let first = c.write_batch(vec![(Some(0), data.clone())]);
+        assert_eq!(first[0].clone().unwrap(), PageAddress { block: 0, page: 0 });
         // The rewrite allocates the bad page (0, 1) and fails...
         let err = c
             .write_batch(vec![(Some(0), vec![true, false, true, false])])
+            .into_iter()
+            .next()
+            .unwrap()
             .unwrap_err();
         assert!(matches!(err, ArrayError::VerifyFailed { .. }));
         // ...and the mapping rolled back to the intact pre-batch copy.
@@ -1293,13 +2343,12 @@ mod tests {
         // copy that verified, not only the pre-batch one.
         let mut c = controller_with_bad_page();
         let good = vec![false, true, true, true];
-        let err = c
-            .write_batch(vec![
-                (Some(0), good.clone()),                   // lands (0,0), verifies
-                (Some(0), vec![true, false, true, false]), // lands (0,1), fails
-            ])
-            .unwrap_err();
-        assert!(matches!(err, ArrayError::VerifyFailed { .. }));
+        let results = c.write_batch(vec![
+            (Some(0), good.clone()),                   // lands (0,0), verifies
+            (Some(0), vec![true, false, true, false]), // lands (0,1), fails
+        ]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ArrayError::VerifyFailed { .. })));
         assert_eq!(c.physical_of(0), Some(PageAddress { block: 0, page: 0 }));
         assert_eq!(c.read_logical(0).unwrap(), good);
     }
@@ -1312,10 +2361,10 @@ mod tests {
         let mut c = controller_with_bad_page();
         let good = vec![false, true, false, true];
         // Cursor job 1 lands (0,0) and verifies: cursor moves to lpn 1.
-        c.write_batch(vec![(None, good.clone())]).unwrap();
+        assert!(c.write_batch(vec![(None, good.clone())])[0].is_ok());
         // Cursor job 2 lands the bad page (0,1) and fails: the cursor
         // must stay on lpn 1 so a retry targets the same logical page.
-        assert!(c.write_batch(vec![(None, good.clone())]).is_err());
+        assert!(c.write_batch(vec![(None, good.clone())])[0].is_err());
         assert_eq!(c.physical_of(1), None);
         let retry = vec![false, false, true, true];
         let addr = c.write(&retry).unwrap();
@@ -1326,6 +2375,35 @@ mod tests {
     }
 
     #[test]
+    fn write_batch_reports_per_op_results() {
+        // Per-op contract: invalid jobs fail alone, valid neighbours in
+        // the same batch land and stay readable.
+        let mut c = FlashController::new(NandConfig {
+            blocks: 3,
+            pages_per_block: 2,
+            page_width: 4,
+        });
+        let good = vec![true, false, true, false];
+        let results = c.write_batch(vec![
+            (Some(0), good.clone()),
+            (Some(99), good.clone()), // out-of-range lpn
+            (Some(1), vec![true; 2]), // wrong width
+            (Some(2), good.clone()),
+        ]);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(ArrayError::AddressOutOfRange { .. })
+        ));
+        assert!(matches!(results[2], Err(ArrayError::WrongPageWidth { .. })));
+        assert!(results[3].is_ok());
+        assert_eq!(c.read_logical(0).unwrap(), good);
+        assert_eq!(c.read_logical(2).unwrap(), good);
+        assert_eq!(c.physical_of(1), None);
+    }
+
+    #[test]
     fn explicit_erase_clears_mappings() {
         let mut c = controller();
         let d = vec![false; 4];
@@ -1333,5 +2411,102 @@ mod tests {
         c.erase_block(addr.block).unwrap();
         assert!(c.read_logical(0).is_err());
         assert_eq!(c.live_pages(), 0);
+    }
+
+    #[test]
+    fn fault_tolerant_write_retries_past_a_failing_page() {
+        // A verify failure in fault-tolerant mode retires the block and
+        // retries on a healthy one instead of surfacing the error.
+        let mut c = controller_with_bad_page_over(4).with_fault_tolerance(1);
+        assert_eq!(c.logical_capacity(), 4);
+        let d0 = vec![false, true, false, true];
+        let d1 = vec![true, true, false, false];
+        c.write_logical(0, &d0).unwrap();
+        // This write lands the bad page (0, 1), fails verify, retires
+        // block 0 (relocating lpn 0) and retries on block 1.
+        let addr = c.write_logical(1, &d1).unwrap();
+        assert_ne!(addr.block, 0);
+        assert_eq!(c.retired_blocks(), 1);
+        assert!(c.is_block_retired(0));
+        assert!(c.program_fail_count() >= 1);
+        assert!(!c.read_only());
+        assert_eq!(c.read_logical(0).unwrap(), d0);
+        assert_eq!(c.read_logical(1).unwrap(), d1);
+        // The retired block never hosts data again.
+        for _ in 0..8 {
+            let a = c.write_logical(2, &d0).unwrap();
+            assert_ne!(a.block, 0);
+        }
+    }
+
+    #[test]
+    fn spare_exhaustion_enters_read_only_and_keeps_reads() {
+        // Zero spares: the first retirement cannot be absorbed, so the
+        // controller degrades to read-only — an error, not a panic, and
+        // reads keep working.
+        let mut c = controller_with_bad_page().with_fault_tolerance(0);
+        let d = vec![false, true, false, true];
+        c.write_logical(0, &d).unwrap();
+        let err = c.write_logical(0, &[false; 4]).unwrap_err();
+        assert!(matches!(err, ArrayError::ReadOnly));
+        assert!(c.read_only());
+        assert_eq!(c.read_logical(0).unwrap(), d);
+        // Writes keep failing cleanly; reads keep succeeding.
+        assert!(matches!(c.write_logical(1, &d), Err(ArrayError::ReadOnly)));
+        assert_eq!(c.read_logical(0).unwrap(), d);
+    }
+
+    #[test]
+    fn crash_image_replays_to_the_running_digest() {
+        // Power-loss model: the crash image (medium + checkpoint +
+        // journaled deltas) recovers digest-identical to the running
+        // controller at any point, including mid-delta-window.
+        let mut c = FlashController::new(NandConfig {
+            blocks: 3,
+            pages_per_block: 2,
+            page_width: 4,
+        })
+        .with_crash_consistency(4);
+        let data: Vec<Vec<bool>> = (0..4)
+            .map(|i| (0..4).map(|b| (b + i) % 2 == 0).collect())
+            .collect();
+        for (lpn, bits) in data.iter().enumerate() {
+            c.write_logical(lpn, bits).unwrap();
+        }
+        // Rewrites force reclaim/GC churn across the checkpoint window.
+        for step in 0..5 {
+            c.write_logical(step % 4, &data[step % 4]).unwrap();
+            let image = c.crash_image().unwrap();
+            let recovered =
+                FlashController::recover(FloatingGateTransistor::mlgnr_cnt_paper(), &image)
+                    .unwrap();
+            assert_eq!(
+                recovered.state_digest(),
+                c.state_digest(),
+                "recovery diverged at step {step}"
+            );
+            assert_eq!(recovered.live_pages(), c.live_pages());
+        }
+        // The crash image itself round-trips through JSON.
+        let image = c.crash_image().unwrap();
+        let json = serde_json::to_string(&image).unwrap();
+        let decoded = CrashImage::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        let recovered =
+            FlashController::recover(FloatingGateTransistor::mlgnr_cnt_paper(), &decoded).unwrap();
+        assert_eq!(recovered.state_digest(), c.state_digest());
+        // The delta log is bounded by the checkpoint cadence.
+        assert!(c.crash_consistent());
+    }
+
+    #[test]
+    fn retire_block_is_idempotent() {
+        let mut c = controller_with_bad_page_over(4).with_fault_tolerance(2);
+        let d = vec![true; 4];
+        c.write_logical(0, &d).unwrap();
+        let moved = c.retire_block(0).unwrap();
+        assert_eq!(moved, 1);
+        assert_eq!(c.retire_block(0).unwrap(), 0);
+        assert_eq!(c.retired_blocks(), 1);
+        assert_eq!(c.read_logical(0).unwrap(), d);
     }
 }

@@ -59,6 +59,25 @@ pub enum ArrayError {
         /// Total pages in the array.
         capacity: usize,
     },
+    /// The controller degraded to read-only mode: the spare-block pool
+    /// is exhausted, so another retirement cannot be absorbed without
+    /// shrinking below the advertised logical capacity. Reads keep
+    /// working; writes fail with this error.
+    ReadOnly,
+    /// A block has grown bad and been (or must be) retired — the media
+    /// reported an unrecoverable erase/program status for it.
+    BlockRetired {
+        /// The retired physical block.
+        block: usize,
+    },
+    /// A page program reported a failed status (injected or media):
+    /// the data did not land and the page is consumed.
+    ProgramFailed {
+        /// Block of the failed page.
+        block: usize,
+        /// Page index within the block.
+        page: usize,
+    },
 }
 
 impl fmt::Display for ArrayError {
@@ -97,6 +116,15 @@ impl fmt::Display for ArrayError {
                 f,
                 "capacity exhausted: {live_pages} of {capacity} pages hold live data"
             ),
+            Self::ReadOnly => {
+                write!(f, "controller is read-only: spare-block pool exhausted")
+            }
+            Self::BlockRetired { block } => {
+                write!(f, "block {block} has grown bad and is retired")
+            }
+            Self::ProgramFailed { block, page } => {
+                write!(f, "program status failed on page {page} of block {block}")
+            }
         }
     }
 }

@@ -26,6 +26,10 @@
 //! * [`controller`] — a miniature flash-translation controller: logical
 //!   page mapping, explicit block reclaim, garbage collection and wear
 //!   tracking.
+//! * [`fault`] — deterministic, seeded fault injection: grown-bad
+//!   blocks, stuck-at cells, transient read flips, program-status
+//!   failures and power-loss points, plus the crash-and-recover
+//!   harness.
 //! * [`workload`] — trace-driven workloads: generators for
 //!   sequential/random/hot-cold/read-heavy/GC-churn mixes and a replayer
 //!   that records latency, wear and margin trajectories.
@@ -52,6 +56,7 @@ mod column;
 pub mod controller;
 pub mod disturb;
 pub mod endurance;
+pub mod fault;
 pub mod ispp;
 pub mod margins;
 pub mod mlc;

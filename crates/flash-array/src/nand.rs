@@ -24,6 +24,7 @@ use gnr_units::Voltage;
 
 use crate::cell::FlashCell;
 use crate::disturb::DisturbBias;
+use crate::fault::FaultPlan;
 use crate::ispp::{IsppEraser, IsppProgrammer};
 use crate::pe::operation::{erase_verify_cells, BlockEraseReport, EraseVerify, SoftProgram};
 use crate::population::{CellPopulation, PopulationSnapshot};
@@ -157,6 +158,10 @@ pub struct NandArray {
     programmer: IsppProgrammer,
     eraser: IsppEraser,
     batch: BatchSimulator,
+    /// Injected fault schedule (None = fault-free). Not part of array
+    /// snapshots: the plan is configuration, like the device backend,
+    /// and is re-armed by whoever rebuilds the array.
+    faults: Option<FaultPlan>,
 }
 
 impl NandArray {
@@ -210,7 +215,29 @@ impl NandArray {
             programmer: IsppProgrammer::nominal(),
             eraser: IsppEraser::nominal(),
             batch: BatchSimulator::new(),
+            faults: None,
         }
+    }
+
+    /// Installs (or clears) an injected fault schedule. Fault decisions
+    /// are pure functions of the plan and local persistent state, so
+    /// arming the same plan on a rebuilt array resumes the same fault
+    /// behaviour.
+    #[must_use]
+    pub fn with_faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Replaces the injected fault schedule in place.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The armed fault schedule, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The array shape.
@@ -429,6 +456,17 @@ impl NandArray {
         for report in reports {
             report?;
         }
+        // Injected program-status failure: the pulses landed (the page
+        // is consumed, disturb happened) but the device reports fail —
+        // keyed on the block's erase generation so the decision is
+        // replay-order-independent.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.program_fails(block, page, self.erase_count[block]))
+        {
+            return Err(ArrayError::ProgramFailed { block, page });
+        }
         Ok(())
     }
 
@@ -441,11 +479,23 @@ impl NandArray {
     pub fn read_page(&mut self, block: usize, page: usize) -> Result<Vec<bool>> {
         self.page_slot(block, page)?;
         let base = self.cell_index(block, page, 0);
-        let bits = (base..base + self.config.page_width)
+        let mut bits = (base..base + self.config.page_width)
             .map(|i| Ok(self.pop.read(i)? == LogicState::Erased1))
             .collect::<Result<Vec<bool>>>()?;
+        self.corrupt_read(block, base, &mut bits);
         self.disturb_block_except(block, page, self.bias.v_pass_read, false);
         Ok(bits)
+    }
+
+    /// Applies injected stuck-at and soft-flip faults to one page's
+    /// sensed bits (no-op without an armed plan).
+    fn corrupt_read(&self, block: usize, base: usize, bits: &mut [bool]) {
+        if let Some(plan) = &self.faults {
+            let generation = self.erase_count[block];
+            for (k, bit) in bits.iter_mut().enumerate() {
+                *bit = plan.corrupt_read_bit(base + k, generation, *bit);
+            }
+        }
     }
 
     /// Erases a whole block (the only erase granularity NAND offers).
@@ -460,6 +510,18 @@ impl NandArray {
                 index: block,
                 len: self.config.blocks,
             });
+        }
+        // Injected grown-bad block: the erase is attempted (the wear
+        // counter advances) but the device reports a failed status and
+        // the cells keep their state — the data stays readable so the
+        // FTL can relocate it out of the dying block.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.block_goes_bad(block, self.erase_count[block] + 1))
+        {
+            self.erase_count[block] += 1;
+            return Err(ArrayError::BlockRetired { block });
         }
         // Block erase hits every cell of the block at once — one erase
         // transient (or ISPP ladder) per distinct cell state, fanned out
@@ -557,6 +619,16 @@ impl NandArray {
                     break;
                 }
             }
+            // Same injected program-status check as the per-op path —
+            // merged rounds must stay bit-identical to sequential calls.
+            if outcome.is_ok()
+                && self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|p| p.program_fails(block, page, self.erase_count[block]))
+            {
+                outcome = Err(ArrayError::ProgramFailed { block, page });
+            }
             results[j] = Some(outcome);
         }
         results
@@ -598,7 +670,11 @@ impl NandArray {
         for (page_bits, &j) in bits.into_iter().zip(&valid) {
             let (block, page) = pages[j];
             self.disturb_block_except(block, page, self.bias.v_pass_read, false);
-            results[j] = Some(page_bits.into_iter().collect());
+            let mut sensed = page_bits.into_iter().collect::<Result<Vec<bool>>>();
+            if let Ok(bits) = &mut sensed {
+                self.corrupt_read(block, self.cell_index(block, page, 0), bits);
+            }
+            results[j] = Some(sensed);
         }
         results
             .into_iter()
@@ -628,6 +704,19 @@ impl NandArray {
                     index: block,
                     len: self.config.blocks,
                 })));
+                spans.push(None);
+                continue;
+            }
+            // Injected grown-bad block: attempted (wear advances) but
+            // skipped from the merged submission — the per-op ordering
+            // of `erase_block` exactly.
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|p| p.block_goes_bad(block, self.erase_count[block] + 1))
+            {
+                self.erase_count[block] += 1;
+                results.push(Some(Err(ArrayError::BlockRetired { block })));
                 spans.push(None);
                 continue;
             }
@@ -689,6 +778,14 @@ impl NandArray {
                 index: block,
                 len: self.config.blocks,
             });
+        }
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.block_goes_bad(block, self.erase_count[block] + 1))
+        {
+            self.erase_count[block] += 1;
+            return Err(ArrayError::BlockRetired { block });
         }
         let base = self.cell_index(block, 0, 0);
         let indices: Vec<usize> =

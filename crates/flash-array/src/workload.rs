@@ -656,6 +656,13 @@ fn intern_metric_catalogue() {
     gnr_telemetry::counter_add!("scheduler.reads_hoisted", 0);
     gnr_telemetry::counter_add!("replay.write_batches", 0);
     gnr_telemetry::counter_add!("replay.read_batches", 0);
+    gnr_telemetry::counter_add!("ftl.program_fails", 0);
+    gnr_telemetry::counter_add!("ftl.blocks_retired", 0);
+    gnr_telemetry::counter_add!("ftl.read_only_entries", 0);
+    gnr_telemetry::counter_add!("ftl.meta_checkpoints", 0);
+    gnr_telemetry::counter_add!("ftl.power_losses", 0);
+    gnr_telemetry::counter_add!("ftl.recoveries", 0);
+    gnr_telemetry::counter_add!("ftl.read_reclaims", 0);
 }
 
 /// Replays a trace against a controller, recording per-op latency and
@@ -705,7 +712,7 @@ pub(crate) struct SegmentCounts {
 /// running it whole with the same boundaries — the property that makes
 /// checkpointed campaigns resume digest-identical: the replayer always
 /// cuts segments at snapshot boundaries.
-fn execute_segment(
+pub(crate) fn execute_segment(
     controller: &mut FlashController,
     source: &dyn TraceSource,
     start: usize,
@@ -729,7 +736,7 @@ fn execute_segment(
                 let n = jobs.len();
                 gnr_telemetry::set_op_index(i as u64);
                 let t0 = Instant::now();
-                controller.write_batch(jobs)?;
+                let results = controller.write_batch(jobs);
                 let elapsed = t0.elapsed();
                 gnr_telemetry::counter_add!("replay.write_batches", 1);
                 gnr_telemetry::histogram_record!(
@@ -738,8 +745,14 @@ fn execute_segment(
                 );
                 #[allow(clippy::cast_precision_loss)]
                 let per_op = elapsed.as_secs_f64() * 1.0e6 / n as f64;
-                write_lat.extend(std::iter::repeat_n(per_op, n));
-                counts.writes += n as u64;
+                // Per-op results: the replayer keeps the historical
+                // abort-on-first-failure contract — committed work
+                // before the failing op stands.
+                for result in results {
+                    result?;
+                    write_lat.push(per_op);
+                    counts.writes += 1;
+                }
                 i += n;
             }
             WorkloadOp::Read { .. } => {

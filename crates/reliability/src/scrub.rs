@@ -34,6 +34,12 @@ pub struct ScrubPolicy {
     /// Fixed read reference (V); `None` re-centers on the margin
     /// histogram each pass.
     pub reference: Option<f64>,
+    /// Read-reclaim escalation: when at least this many pages of one
+    /// physical block needed the retry ladder (or stayed uncorrectable)
+    /// in a single pass, the block is decaying as a unit — *every* live
+    /// page on it is relocated through the refresh seam instead of
+    /// waiting for each to fail alone. `None` disables escalation.
+    pub read_reclaim_threshold: Option<usize>,
 }
 
 impl Default for ScrubPolicy {
@@ -43,6 +49,7 @@ impl Default for ScrubPolicy {
             retry: ReadRetryPolicy::default(),
             histogram_bins: 64,
             reference: None,
+            read_reclaim_threshold: None,
         }
     }
 }
@@ -61,6 +68,9 @@ pub struct ScrubReport {
     pub pages_uncorrectable: usize,
     /// The reference voltage the pass sensed at (V).
     pub reference: f64,
+    /// Blocks whose live pages were wholesale-relocated by read-reclaim
+    /// escalation ([`ScrubPolicy::read_reclaim_threshold`]).
+    pub blocks_read_reclaimed: usize,
     /// Decode statistics over the scanned pages.
     pub decode: DecodeStats,
 }
@@ -147,6 +157,10 @@ pub fn scrub(
     // Scan first (immutable), then rewrite (mutable): the refresh list
     // is decided against one consistent snapshot of the array.
     let mut refresh: Vec<(usize, Vec<bool>)> = Vec::new();
+    // Per-block count of pages that needed the deep end of the read
+    // path (retry-recovered or uncorrectable) — the read-reclaim
+    // escalation signal.
+    let mut deep_hits = vec![0usize; config.blocks];
     for lpn in controller.live_logical_pages() {
         let Some(addr) = controller.physical_of(lpn) else {
             continue;
@@ -155,6 +169,9 @@ pub fn scrub(
         let read = path.read_page(&ctx, codec, start, width, scrub_lane(pass, lpn))?;
         report.pages_scanned += 1;
         report.decode.record(read.outcome);
+        if read.retries > 0 || matches!(read.outcome, DecodeOutcome::Detected) {
+            deep_hits[addr.block] += 1;
+        }
         if read.retries > 0 && !matches!(read.outcome, DecodeOutcome::Detected) {
             report.pages_recovered_by_retry += 1;
         }
@@ -182,6 +199,49 @@ pub fn scrub(
             }
         }
     }
+    // Read-reclaim escalation: the last rung of the read-retry → ECC →
+    // reclaim ladder. A block where `read_reclaim_threshold` pages hit
+    // the deep end of the read path this pass is decaying as a unit, so
+    // every live page on it joins the refresh list — rewriting them all
+    // marks the block stale and the ordinary reclaim/GC machinery
+    // erases (or, under fault injection, retires) it.
+    if let Some(threshold) = policy.read_reclaim_threshold {
+        let threshold = threshold.max(1);
+        let queued: std::collections::HashSet<usize> =
+            refresh.iter().map(|(lpn, _)| *lpn).collect();
+        for (block, hits) in deep_hits.iter().enumerate() {
+            if *hits < threshold {
+                continue;
+            }
+            let mut pages = 0u64;
+            for lpn in controller.live_logical_pages() {
+                let Some(addr) = controller.physical_of(lpn) else {
+                    continue;
+                };
+                if addr.block != block {
+                    continue;
+                }
+                pages += 1;
+                if queued.contains(&lpn) {
+                    continue;
+                }
+                // Re-reading with the same noise lane is deterministic,
+                // so this sees exactly the scan's bits.
+                let start = controller.array().cell_index(addr.block, addr.page, 0);
+                let read = path.read_page(&ctx, codec, start, width, scrub_lane(pass, lpn))?;
+                let mut bits = read.bits;
+                let n = codec.code_bits();
+                bits[n..].fill(true);
+                refresh.push((lpn, bits));
+            }
+            report.blocks_read_reclaimed += 1;
+            gnr_telemetry::counter_add!("ftl.read_reclaims", 1);
+            gnr_telemetry::journal::record(gnr_telemetry::journal::EventKind::ReadReclaim {
+                block: block as u64,
+                pages,
+            });
+        }
+    }
     // The refresh traffic flows through the controller's batched entry
     // point: rewrites of pages on distinct blocks execute as multi-plane
     // rounds (and the reclaim pressure they generate still lands on the
@@ -192,9 +252,9 @@ pub fn scrub(
             .map(|(lpn, bits)| (Some(lpn), bits))
             .collect();
         report.pages_refreshed = jobs.len();
-        controller
-            .write_batch(jobs)
-            .map_err(ReliabilityError::Array)?;
+        for result in controller.write_batch(jobs) {
+            result.map_err(ReliabilityError::Array)?;
+        }
     }
     Ok(report)
 }
@@ -352,6 +412,72 @@ mod tests {
         assert_eq!(report.pages_recovered_by_retry, 1, "{report:?}");
         assert_eq!(report.pages_refreshed, 1, "{report:?}");
         assert_eq!(report.pages_uncorrectable, 0);
+    }
+
+    #[test]
+    fn read_reclaim_escalation_relocates_the_whole_block() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Fails the first decode it sees, then reports Clean — the
+        /// first page scanned (lpn 0, on block 0) needs the retry
+        /// ladder while every other page decodes clean first try.
+        struct FlakyFirstRead(AtomicUsize);
+        impl PageCodec for FlakyFirstRead {
+            fn name(&self) -> String {
+                "flaky-first-read".into()
+            }
+            fn code_bits(&self) -> usize {
+                15
+            }
+            fn data_bits(&self) -> usize {
+                7
+            }
+            fn correctable(&self) -> usize {
+                2
+            }
+            fn encode(&self, data: &[bool]) -> crate::Result<Vec<bool>> {
+                let mut word = data.to_vec();
+                word.resize(15, false);
+                Ok(word)
+            }
+            fn decode(&self, _word: &mut [bool]) -> crate::Result<DecodeOutcome> {
+                if self.0.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Ok(DecodeOutcome::Detected)
+                } else {
+                    Ok(DecodeOutcome::Clean)
+                }
+            }
+            fn extract(&self, word: &[bool]) -> crate::Result<Vec<bool>> {
+                Ok(word[..7].to_vec())
+            }
+        }
+
+        let (mut c, payloads) = loaded_controller(codec().as_ref());
+        let block0 = c.physical_of(0).unwrap().block;
+        let flaky = FlakyFirstRead(AtomicUsize::new(0));
+        let policy = ScrubPolicy {
+            read_reclaim_threshold: Some(1),
+            ..ScrubPolicy::default()
+        };
+        let report = scrub(&mut c, &flaky, &quiet_ber(), &policy, 3).unwrap();
+        // Only lpn 0 needed the ladder, but escalation drags its whole
+        // block along: the healthy neighbour (lpn 1) relocates too.
+        assert_eq!(report.pages_recovered_by_retry, 1, "{report:?}");
+        assert_eq!(report.blocks_read_reclaimed, 1, "{report:?}");
+        assert_eq!(report.pages_refreshed, 2, "{report:?}");
+        assert_ne!(c.physical_of(0).unwrap().block, block0);
+        assert_ne!(c.physical_of(1).unwrap().block, block0);
+        // The relocated payloads survive bit-exact (BCH pages still
+        // decode to the original data through the real codec).
+        let real = codec();
+        for (lpn, data) in payloads.iter().enumerate() {
+            let bits = c.read_logical(lpn).unwrap();
+            assert_eq!(
+                &real.extract(&bits[..real.code_bits()]).unwrap(),
+                data,
+                "payload {lpn}"
+            );
+        }
     }
 
     #[test]

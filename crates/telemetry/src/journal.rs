@@ -76,6 +76,42 @@ pub enum EventKind {
         /// Deepest retry rung used (1 = first retry).
         depth: u64,
     },
+    /// A page program reported a failed status (media or injected).
+    ProgramFail {
+        /// Block of the failed page.
+        block: u64,
+        /// Page index within the block.
+        page: u64,
+    },
+    /// The FTL retired a grown-bad block into the spare pool.
+    BlockRetired {
+        /// The retired physical block.
+        block: u64,
+        /// Live pages relocated out of the block before retirement.
+        relocated: u64,
+    },
+    /// Power was cut at an injected op-clock point; volatile FTL
+    /// metadata past the last checkpoint survives only as journaled
+    /// deltas.
+    PowerLoss {
+        /// Metadata deltas pending (not yet folded into a checkpoint)
+        /// at the moment power was lost.
+        pending_deltas: u64,
+    },
+    /// Crash recovery replayed the metadata delta journal onto the last
+    /// checkpoint.
+    RecoveryReplay {
+        /// Deltas replayed onto the checkpoint.
+        deltas: u64,
+    },
+    /// Read-reclaim escalation relocated a whole block's live pages
+    /// (decode failures past threshold).
+    ReadReclaim {
+        /// The reclaimed physical block.
+        block: u64,
+        /// Live pages relocated out of it.
+        pages: u64,
+    },
 }
 
 impl EventKind {
@@ -92,6 +128,11 @@ impl EventKind {
             Self::CycleMapFallback { .. } => "cyclemap_fallback",
             Self::DecodeFailure { .. } => "decode_failure",
             Self::ReadRetryStep { .. } => "read_retry_step",
+            Self::ProgramFail { .. } => "program_fail",
+            Self::BlockRetired { .. } => "block_retired",
+            Self::PowerLoss { .. } => "power_loss",
+            Self::RecoveryReplay { .. } => "recovery_replay",
+            Self::ReadReclaim { .. } => "read_reclaim",
         }
     }
 }
@@ -155,6 +196,24 @@ impl serde::Serialize for JournalEvent {
             }
             EventKind::DecodeFailure { pages } => fields.push(("pages".to_string(), num(pages))),
             EventKind::ReadRetryStep { depth } => fields.push(("depth".to_string(), num(depth))),
+            EventKind::ProgramFail { block, page } => {
+                fields.push(("block".to_string(), num(block)));
+                fields.push(("page".to_string(), num(page)));
+            }
+            EventKind::BlockRetired { block, relocated } => {
+                fields.push(("block".to_string(), num(block)));
+                fields.push(("relocated".to_string(), num(relocated)));
+            }
+            EventKind::PowerLoss { pending_deltas } => {
+                fields.push(("pending_deltas".to_string(), num(pending_deltas)));
+            }
+            EventKind::RecoveryReplay { deltas } => {
+                fields.push(("deltas".to_string(), num(deltas)));
+            }
+            EventKind::ReadReclaim { block, pages } => {
+                fields.push(("block".to_string(), num(block)));
+                fields.push(("pages".to_string(), num(pages)));
+            }
         }
         serde::Value::Object(fields)
     }
@@ -206,6 +265,24 @@ impl JournalEvent {
             },
             "read_retry_step" => EventKind::ReadRetryStep {
                 depth: field("depth")?,
+            },
+            "program_fail" => EventKind::ProgramFail {
+                block: field("block")?,
+                page: field("page")?,
+            },
+            "block_retired" => EventKind::BlockRetired {
+                block: field("block")?,
+                relocated: field("relocated")?,
+            },
+            "power_loss" => EventKind::PowerLoss {
+                pending_deltas: field("pending_deltas")?,
+            },
+            "recovery_replay" => EventKind::RecoveryReplay {
+                deltas: field("deltas")?,
+            },
+            "read_reclaim" => EventKind::ReadReclaim {
+                block: field("block")?,
+                pages: field("pages")?,
             },
             _ => return None,
         };

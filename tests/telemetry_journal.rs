@@ -15,10 +15,11 @@ use proptest::prelude::*;
 
 const F64_EXACT: u64 = (1 << 53) - 1;
 
-/// One of the nine event kinds, derived deterministically from a seed.
+/// One of the fourteen event kinds, derived deterministically from a
+/// seed.
 fn event_for(selector: u64, payload: u64) -> EventKind {
     let p = payload & F64_EXACT;
-    match selector % 9 {
+    match selector % 14 {
         0 => EventKind::Reclaim { block: p },
         1 => EventKind::GcErase {
             block: p,
@@ -35,7 +36,21 @@ fn event_for(selector: u64, payload: u64) -> EventKind {
         5 => EventKind::FlowMapEscape { queries: p },
         6 => EventKind::CycleMapFallback { probes: p },
         7 => EventKind::DecodeFailure { pages: p },
-        _ => EventKind::ReadRetryStep { depth: p % 5 },
+        8 => EventKind::ReadRetryStep { depth: p % 5 },
+        9 => EventKind::ProgramFail {
+            block: p % 64,
+            page: p % 8,
+        },
+        10 => EventKind::BlockRetired {
+            block: p % 64,
+            relocated: p % 8,
+        },
+        11 => EventKind::PowerLoss { pending_deltas: p },
+        12 => EventKind::RecoveryReplay { deltas: p },
+        _ => EventKind::ReadReclaim {
+            block: p % 64,
+            pages: p % 8,
+        },
     }
 }
 
